@@ -1,0 +1,84 @@
+//! Analytic baselines: the published closed forms of prior algorithms.
+//!
+//! The paper's Table 2 compares against Tseng et al. \[13\] and
+//! Suh & Yalamanchili \[9\] purely through their closed-form costs on
+//! `2^d × 2^d` tori; neither implementation is publicly available, so the
+//! comparison benches evaluate the same forms (from
+//! [`cost_model::table2`]) under the chosen machine parameters.
+
+use cost_model::{CommParams, Pow2SquareCosts};
+
+/// A named closed-form cost model for `2^d × 2^d` tori.
+#[derive(Clone, Copy)]
+pub struct AnalyticBaseline {
+    /// Display name, e.g. `"Tseng et al. [13]"`.
+    pub name: &'static str,
+    /// The cost formula.
+    pub costs: fn(u32) -> Pow2SquareCosts,
+}
+
+impl AnalyticBaseline {
+    /// Completion time on a `2^d × 2^d` torus under `params` (µs).
+    pub fn completion_time(&self, d: u32, params: &CommParams) -> f64 {
+        (self.costs)(d).completion_time(params)
+    }
+}
+
+impl std::fmt::Debug for AnalyticBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AnalyticBaseline({})", self.name)
+    }
+}
+
+/// Tseng, Gupta & Panda, *An Efficient Scheme for Complete Exchange in 2D
+/// Tori*, IPPS 1995 — reference \[13\].
+pub const TSENG_13: AnalyticBaseline = AnalyticBaseline {
+    name: "Tseng et al. [13]",
+    costs: cost_model::tseng_13,
+};
+
+/// Suh & Yalamanchili, *All-to-All Communication with Minimum Start-Up
+/// Costs in 2D/3D Tori and Meshes*, IEEE TPDS 1998 — reference \[9\].
+pub const SUH_YALAMANCHILI_9: AnalyticBaseline = AnalyticBaseline {
+    name: "Suh & Yalamanchili [9]",
+    costs: cost_model::suh_yalamanchili_9,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_formulas_wired_correctly() {
+        assert!(TSENG_13.name.contains("[13]"));
+        assert!(SUH_YALAMANCHILI_9.name.contains("[9]"));
+        let t = (TSENG_13.costs)(4);
+        assert_eq!(t.startup_steps, cost_model::tseng_13(4).startup_steps);
+        let s = (SUH_YALAMANCHILI_9.costs)(4);
+        assert_eq!(s.startup_steps, 9.0);
+    }
+
+    #[test]
+    fn completion_time_positive_and_ordered_under_t3d() {
+        // Under startup-heavy Cray-T3D-like parameters, [9]'s O(d)
+        // startups should make it cheapest on startup but the proposed
+        // algorithm close; here we just sanity-check positivity and that
+        // the analytic interface composes.
+        let p = CommParams::cray_t3d_like();
+        for d in 2..=6 {
+            assert!(TSENG_13.completion_time(d, &p) > 0.0);
+            assert!(SUH_YALAMANCHILI_9.completion_time(d, &p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn tseng_rearrangement_dominates_at_scale() {
+        // For big networks with nonzero rho, [13]'s per-step rearrangement
+        // makes it lose to the proposed algorithm.
+        let p = CommParams::cray_t3d_like();
+        let d = 6;
+        let proposed = cost_model::proposed_pow2_square(d).completion_time(&p);
+        let tseng = TSENG_13.completion_time(d, &p);
+        assert!(tseng > proposed);
+    }
+}

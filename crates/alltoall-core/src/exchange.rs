@@ -1,0 +1,293 @@
+//! High-level API: run the proposed algorithm on any torus shape.
+//!
+//! [`Exchange`] handles the two gaps between a user's shape and the
+//! algorithm's canonical form:
+//!
+//! * **orientation** — the paper assumes `a_1 ≥ a_2 ≥ … ≥ a_n`; arbitrary
+//!   dimension orders are permuted internally and results mapped back;
+//! * **granularity** — extents that are not multiples of four are padded
+//!   with virtual nodes (Section 6; see [`crate::virtualnodes`]).
+
+use cost_model::{CommParams, CompletionTime};
+use torus_topology::{NodeId, TorusShape};
+
+use crate::exec::{ExchangeError, Executor};
+use crate::observer::{NullObserver, Observer};
+use crate::report::ExchangeReport;
+use crate::verify::verify_delivery;
+use crate::virtualnodes::Padding;
+
+/// A configured all-to-all personalized exchange on one torus.
+#[derive(Clone, Debug)]
+pub struct Exchange {
+    orig: TorusShape,
+    padding: Padding,
+    /// Canonicalizing permutation of the padded shape's dimensions.
+    perm: Vec<usize>,
+    canon: TorusShape,
+    threads: usize,
+}
+
+impl Exchange {
+    /// Prepares an exchange for `shape`.
+    ///
+    /// Any extents are accepted (padding applies); at least two dimensions
+    /// are required — for a ring, model it as an `k × 4`-style 2D torus or
+    /// use a baseline algorithm.
+    pub fn new(shape: &TorusShape) -> Result<Self, ExchangeError> {
+        if shape.ndims() < 2 {
+            return Err(ExchangeError::BadShape(format!(
+                "the algorithms are defined for n >= 2 dimensions, got {shape}"
+            )));
+        }
+        let padding = Padding::new(shape);
+        let (perm, canon) = padding.padded().canonical_permutation();
+        Ok(Self {
+            orig: shape.clone(),
+            padding,
+            perm,
+            canon,
+            threads: 1,
+        })
+    }
+
+    /// Sets the number of worker threads for buffer processing.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The canonical shape that will actually be executed.
+    pub fn executed_shape(&self) -> &TorusShape {
+        &self.canon
+    }
+
+    /// The original (user-facing) shape.
+    pub fn shape_ref(&self) -> &TorusShape {
+        &self.orig
+    }
+
+    /// Whether virtual-node padding is in effect.
+    pub fn is_padded(&self) -> bool {
+        self.padding.is_padded()
+    }
+
+    /// Maps an original node id to its id in the canonical executed shape.
+    pub fn to_canonical(&self, id: NodeId) -> NodeId {
+        let padded_coord = self.padding.real().coord_of(id);
+        let canon_coord = TorusShape::permute_coord(&padded_coord, &self.perm);
+        self.canon.index_of(&canon_coord)
+    }
+
+    /// Maps a canonical node id back to the original id (`None` for
+    /// virtual nodes).
+    pub fn from_canonical(&self, id: NodeId) -> Option<NodeId> {
+        let canon_coord = self.canon.coord_of(id);
+        let padded_coord = TorusShape::unpermute_coord(&canon_coord, &self.perm);
+        self.padding
+            .is_real(&padded_coord)
+            .then(|| self.orig.index_of(&padded_coord))
+    }
+
+    /// Runs a counting-mode exchange (no payloads) and verifies delivery.
+    pub fn run_counting(&self, params: &CommParams) -> Result<ExchangeReport, ExchangeError> {
+        self.run_observed(params, &mut NullObserver)
+    }
+
+    /// Runs a counting-mode exchange with an [`Observer`] receiving
+    /// per-step buffer snapshots (canonical node ids).
+    pub fn run_observed<O: Observer<()>>(
+        &self,
+        params: &CommParams,
+        observer: &mut O,
+    ) -> Result<ExchangeReport, ExchangeError> {
+        let (report, _) = self.run_impl(params, observer, |_, _| ())?;
+        Ok(report)
+    }
+
+    /// Runs a data-carrying exchange: `payload(src, dst)` (original ids)
+    /// produces each block's payload. Returns the report plus, for every
+    /// original node, the delivered `(source, payload)` pairs sorted by
+    /// source.
+    #[allow(clippy::type_complexity)]
+    pub fn run_with_payloads<P, F>(
+        &self,
+        params: &CommParams,
+        payload: F,
+    ) -> Result<(ExchangeReport, Vec<Vec<(NodeId, P)>>), ExchangeError>
+    where
+        P: Clone + Send,
+        F: FnMut(NodeId, NodeId) -> P,
+    {
+        self.run_impl(params, &mut NullObserver, payload)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_impl<P, F, O>(
+        &self,
+        params: &CommParams,
+        observer: &mut O,
+        mut payload: F,
+    ) -> Result<(ExchangeReport, Vec<Vec<(NodeId, P)>>), ExchangeError>
+    where
+        P: Clone + Send,
+        F: FnMut(NodeId, NodeId) -> P,
+        O: Observer<P>,
+    {
+        let mut ex: Executor<P> = Executor::new(&self.canon, *params, self.threads);
+
+        // Seed blocks for every real (src, dst) pair.
+        let real_n = self.orig.num_nodes();
+        let canon_ids: Vec<NodeId> = (0..real_n).map(|id| self.to_canonical(id)).collect();
+        {
+            let mut pairs = Vec::with_capacity((real_n as usize).saturating_mul(real_n as usize - 1));
+            for s in 0..real_n {
+                for d in 0..real_n {
+                    if s != d {
+                        pairs.push((canon_ids[s as usize], canon_ids[d as usize], payload(s, d)));
+                    }
+                }
+            }
+            ex.seed_pairs(pairs);
+        }
+
+        ex.run(observer)?;
+
+        // Expected delivery per canonical node.
+        let mut expected: Vec<Vec<NodeId>> = vec![Vec::new(); self.canon.num_nodes() as usize];
+        for d in 0..real_n {
+            let cd = canon_ids[d as usize];
+            expected[cd as usize] = (0..real_n)
+                .filter(|&s| s != d)
+                .map(|s| canon_ids[s as usize])
+                .collect();
+        }
+        let verified = verify_delivery(ex.buffers(), &expected).is_ok();
+
+        // Collect payloads back in original ids.
+        let mut deliveries: Vec<Vec<(NodeId, P)>> = vec![Vec::new(); real_n as usize];
+        {
+            let bufs = ex.buffers();
+            for d in 0..real_n {
+                let cd = canon_ids[d as usize];
+                let mut got: Vec<(NodeId, P)> = bufs
+                    .node(cd)
+                    .iter()
+                    .map(|b| {
+                        let orig_src = self
+                            .from_canonical(b.src)
+                            .expect("delivered blocks originate from real nodes");
+                        (orig_src, b.payload.clone())
+                    })
+                    .collect();
+                got.sort_by_key(|(s, _)| *s);
+                deliveries[d as usize] = got;
+            }
+        }
+
+        let engine = ex.engine();
+        let report = ExchangeReport {
+            shape: self.orig.clone(),
+            executed_shape: self.canon.clone(),
+            padded: self.is_padded(),
+            counts: engine.counts(),
+            elapsed: engine.elapsed(),
+            formula: cost_model::proposed_nd(self.canon.dims()),
+            trace: engine.trace().clone(),
+            verified,
+            params: *params,
+        };
+        if !verified {
+            // Surface the precise reason.
+            verify_delivery(ex.buffers(), &expected)?;
+        }
+        Ok((report, deliveries))
+    }
+
+    /// Predicted completion time from the Table 1 closed form for this
+    /// exchange's executed shape — no simulation.
+    pub fn predicted_time(&self, params: &CommParams) -> CompletionTime {
+        CompletionTime::from_counts(&cost_model::proposed_nd(self.canon.dims()), params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiple_of_four_runs_exactly() {
+        let e = Exchange::new(&TorusShape::new_2d(8, 8).unwrap()).unwrap();
+        assert!(!e.is_padded());
+        let r = e.run_counting(&CommParams::unit()).unwrap();
+        assert!(r.verified);
+        assert!(r.matches_formula(), "measured {:?} vs formula {:?}", r.counts, r.formula);
+    }
+
+    #[test]
+    fn unsorted_dims_are_canonicalized() {
+        let e = Exchange::new(&TorusShape::new_2d(12, 8).unwrap()).unwrap();
+        assert_eq!(e.executed_shape().dims(), &[12, 8]);
+        let e2 = Exchange::new(&TorusShape::new_2d(8, 12).unwrap()).unwrap();
+        assert_eq!(e2.executed_shape().dims(), &[12, 8]);
+        let r = e2.run_counting(&CommParams::unit()).unwrap();
+        assert!(r.verified);
+        assert_eq!(r.counts.startup_steps, 12 / 2 + 2);
+    }
+
+    #[test]
+    fn padded_6x6_verifies() {
+        let e = Exchange::new(&TorusShape::new_2d(6, 6).unwrap()).unwrap();
+        assert!(e.is_padded());
+        assert_eq!(e.executed_shape().dims(), &[8, 8]);
+        let r = e.run_counting(&CommParams::unit()).unwrap();
+        assert!(r.verified);
+        assert!(r.matches_formula());
+    }
+
+    #[test]
+    fn id_mapping_roundtrip() {
+        let e = Exchange::new(&TorusShape::new(&[6, 10, 5]).unwrap()).unwrap();
+        for id in 0..e.orig.num_nodes() {
+            let c = e.to_canonical(id);
+            assert_eq!(e.from_canonical(c), Some(id));
+        }
+    }
+
+    #[test]
+    fn payload_exchange_small() {
+        let e = Exchange::new(&TorusShape::new_2d(4, 4).unwrap()).unwrap();
+        let (r, deliveries) = e
+            .run_with_payloads(&CommParams::unit(), |s, d| (s as u64) << 32 | d as u64)
+            .unwrap();
+        assert!(r.verified);
+        for (d, got) in deliveries.iter().enumerate() {
+            assert_eq!(got.len(), 15);
+            for (s, p) in got {
+                assert_eq!(*p, (*s as u64) << 32 | d as u64);
+            }
+            // sorted by source
+            let srcs: Vec<NodeId> = got.iter().map(|(s, _)| *s).collect();
+            let mut sorted = srcs.clone();
+            sorted.sort_unstable();
+            assert_eq!(srcs, sorted);
+        }
+    }
+
+    #[test]
+    fn rejects_1d() {
+        assert!(matches!(
+            Exchange::new(&TorusShape::new(&[16]).unwrap()),
+            Err(ExchangeError::BadShape(_))
+        ));
+    }
+
+    #[test]
+    fn predicted_matches_unit_formula() {
+        let e = Exchange::new(&TorusShape::new_2d(8, 8).unwrap()).unwrap();
+        let t = e.predicted_time(&CommParams::unit());
+        let f = cost_model::proposed_2d(8, 8);
+        assert_eq!(t.startup, f.startup_steps as f64);
+        assert_eq!(t.propagation, f.prop_hops as f64);
+    }
+}

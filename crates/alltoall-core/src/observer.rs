@@ -1,0 +1,87 @@
+//! Execution observers.
+//!
+//! The benchmark harness regenerates the paper's illustrations (Figures 1
+//! and 3) by watching buffer states evolve step by step; an [`Observer`]
+//! receives a callback after every executed step with read access to all
+//! node buffers.
+
+use crate::block::Buffers;
+
+/// Which of the `n + 2` phases a step belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhaseKind {
+    /// Within-group ring scatter, phases `1..=n` (0-based `index`).
+    Scatter {
+        /// 0-based phase index (`0` is the paper's phase 1).
+        index: usize,
+    },
+    /// Distance-2 exchange in `4×…×4` submeshes (phase `n+1`).
+    Distance2,
+    /// Distance-1 exchange in `2×…×2` submeshes (phase `n+2`).
+    Distance1,
+}
+
+/// Callback interface invoked by the executor.
+pub trait Observer<P> {
+    /// Called once before the first step, with the initial buffers.
+    fn on_start(&mut self, _buffers: &Buffers<P>) {}
+
+    /// Called after each executed step.
+    fn on_step(&mut self, _phase: PhaseKind, _step: usize, _buffers: &Buffers<P>) {}
+
+    /// Called after each inter-phase rearrangement.
+    fn on_rearrange(&mut self, _after_phase: PhaseKind, _buffers: &Buffers<P>) {}
+}
+
+/// The do-nothing observer (zero overhead — calls inline away).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct NullObserver;
+
+impl<P> Observer<P> for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+
+    struct Counting {
+        starts: usize,
+        steps: usize,
+        rearranges: usize,
+    }
+
+    impl Observer<()> for Counting {
+        fn on_start(&mut self, _: &Buffers<()>) {
+            self.starts += 1;
+        }
+        fn on_step(&mut self, _: PhaseKind, _: usize, _: &Buffers<()>) {
+            self.steps += 1;
+        }
+        fn on_rearrange(&mut self, _: PhaseKind, _: &Buffers<()>) {
+            self.rearranges += 1;
+        }
+    }
+
+    #[test]
+    fn callbacks_fire() {
+        let mut obs = Counting {
+            starts: 0,
+            steps: 0,
+            rearranges: 0,
+        };
+        let mut bufs: Buffers = Buffers::empty(2);
+        bufs.deliver(0, vec![Block::new(0, 1)]);
+        obs.on_start(&bufs);
+        obs.on_step(PhaseKind::Scatter { index: 0 }, 1, &bufs);
+        obs.on_rearrange(PhaseKind::Scatter { index: 0 }, &bufs);
+        assert_eq!((obs.starts, obs.steps, obs.rearranges), (1, 1, 1));
+    }
+
+    #[test]
+    fn null_observer_is_usable() {
+        let bufs: Buffers = Buffers::empty(1);
+        let mut o = NullObserver;
+        Observer::<()>::on_start(&mut o, &bufs);
+        Observer::<()>::on_step(&mut o, PhaseKind::Distance1, 0, &bufs);
+    }
+}

@@ -1,0 +1,171 @@
+//! Prepared (buffer-cached) exchanges for repeated use.
+//!
+//! The paper highlights that fixed destinations make the algorithms
+//! *"amenable to optimizations, e.g., caching of message buffers"*.
+//! Iterative applications (FFT every timestep, repeated transposes) run
+//! the same exchange on the same torus thousands of times; recomputing
+//! group representatives and shift vectors for all `N²` blocks each
+//! iteration is pure waste, because the schedule is workload-independent.
+//!
+//! [`PreparedExchange`] performs that work once: it caches the fully
+//! seeded counting-mode buffer state (every block with its precomputed
+//! shift vector) and the expected-delivery table. Each
+//! [`run`](PreparedExchange::run) then starts from a memcpy of the cached
+//! state instead of re-deriving it. The `prepared` Criterion bench
+//! measures the saving.
+
+use cost_model::CommParams;
+use torus_topology::{NodeId, TorusShape};
+
+use crate::block::{Block, Buffers};
+use crate::exchange::Exchange;
+use crate::exec::{ExchangeError, Executor};
+use crate::observer::NullObserver;
+use crate::report::ExchangeReport;
+use crate::verify::verify_delivery;
+
+/// A reusable, pre-seeded exchange plan for one torus shape.
+///
+/// ```
+/// use alltoall_core::PreparedExchange;
+/// use cost_model::CommParams;
+/// use torus_topology::TorusShape;
+///
+/// let prepared = PreparedExchange::new(&TorusShape::new_2d(8, 8).unwrap()).unwrap();
+/// for _timestep in 0..3 {
+///     let report = prepared.run(&CommParams::cray_t3d_like()).unwrap();
+///     assert!(report.verified && report.matches_formula());
+/// }
+/// ```
+pub struct PreparedExchange {
+    exchange: Exchange,
+    /// Cached fully-seeded counting-mode buffers (canonical ids).
+    seeded: Vec<Vec<Block<()>>>,
+    /// Cached expected-delivery table for verification.
+    expected: Vec<Vec<NodeId>>,
+    threads: usize,
+}
+
+impl PreparedExchange {
+    /// Prepares an exchange on `shape`: computes the canonical mapping,
+    /// every block's shift vector, and the verification table, once.
+    pub fn new(shape: &TorusShape) -> Result<Self, ExchangeError> {
+        Self::with_threads(shape, 1)
+    }
+
+    /// Like [`new`](Self::new) with a worker-thread count for the runs.
+    pub fn with_threads(shape: &TorusShape, threads: usize) -> Result<Self, ExchangeError> {
+        let exchange = Exchange::new(shape)?;
+        let canon = exchange.executed_shape().clone();
+        // Seed once via a throwaway executor.
+        let mut ex: Executor = Executor::new(&canon, CommParams::unit(), 1);
+        let real_n = shape.num_nodes();
+        let canon_ids: Vec<NodeId> = (0..real_n).map(|id| exchange.to_canonical(id)).collect();
+        let mut pairs = Vec::with_capacity((real_n as usize).saturating_mul(real_n as usize - 1));
+        for s in 0..real_n {
+            for d in 0..real_n {
+                if s != d {
+                    pairs.push((canon_ids[s as usize], canon_ids[d as usize], ()));
+                }
+            }
+        }
+        ex.seed_pairs(pairs);
+        let (buffers, _) = ex.into_parts();
+        let seeded: Vec<Vec<Block<()>>> = buffers.as_slices().to_vec();
+
+        let mut expected: Vec<Vec<NodeId>> = vec![Vec::new(); canon.num_nodes() as usize];
+        for d in 0..real_n {
+            let cd = canon_ids[d as usize];
+            expected[cd as usize] = (0..real_n)
+                .filter(|&s| s != d)
+                .map(|s| canon_ids[s as usize])
+                .collect();
+        }
+        Ok(Self {
+            exchange,
+            seeded,
+            expected,
+            threads: threads.max(1),
+        })
+    }
+
+    /// Runs one counting-mode exchange from the cached buffer state.
+    pub fn run(&self, params: &CommParams) -> Result<ExchangeReport, ExchangeError> {
+        let canon = self.exchange.executed_shape();
+        let mut ex: Executor = Executor::new(canon, *params, self.threads);
+        *ex.buffers_mut() = Buffers::from_vecs(self.seeded.clone());
+        ex.run(&mut NullObserver)?;
+        let verified = verify_delivery(ex.buffers(), &self.expected).is_ok();
+        let engine = ex.engine();
+        Ok(ExchangeReport {
+            shape: self.exchange.shape_ref().clone(),
+            executed_shape: canon.clone(),
+            padded: self.exchange.is_padded(),
+            counts: engine.counts(),
+            elapsed: engine.elapsed(),
+            formula: cost_model::proposed_nd(canon.dims()),
+            trace: engine.trace().clone(),
+            verified,
+            params: *params,
+        })
+    }
+
+    /// The underlying exchange configuration.
+    pub fn exchange(&self) -> &Exchange {
+        &self.exchange
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_matches_unprepared() {
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let prepared = PreparedExchange::new(&shape).unwrap();
+        let a = prepared.run(&CommParams::unit()).unwrap();
+        let b = Exchange::new(&shape)
+            .unwrap()
+            .run_counting(&CommParams::unit())
+            .unwrap();
+        assert!(a.verified && b.verified);
+        assert_eq!(a.counts, b.counts);
+        assert!(a.matches_formula());
+    }
+
+    #[test]
+    fn repeated_runs_are_independent() {
+        let shape = TorusShape::new(&[8, 4]).unwrap();
+        let prepared = PreparedExchange::new(&shape).unwrap();
+        let first = prepared.run(&CommParams::unit()).unwrap();
+        for _ in 0..3 {
+            let again = prepared.run(&CommParams::unit()).unwrap();
+            assert!(again.verified);
+            assert_eq!(again.counts, first.counts);
+        }
+    }
+
+    #[test]
+    fn prepared_works_with_padding_and_threads() {
+        let shape = TorusShape::new_2d(6, 6).unwrap();
+        let prepared = PreparedExchange::with_threads(&shape, 4).unwrap();
+        let r = prepared.run(&CommParams::unit()).unwrap();
+        assert!(r.verified);
+        assert!(r.padded);
+    }
+
+    #[test]
+    fn parameters_vary_per_run() {
+        // The cached state is parameter-independent; time scales with the
+        // parameters of each run.
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let prepared = PreparedExchange::new(&shape).unwrap();
+        let cheap = prepared.run(&CommParams::unit()).unwrap();
+        let dear = prepared
+            .run(&CommParams::unit().with_t_s(100.0))
+            .unwrap();
+        assert_eq!(cheap.counts, dear.counts);
+        assert!(dear.total_time() > cheap.total_time());
+    }
+}

@@ -1,0 +1,128 @@
+//! Exchange run reports.
+
+use cost_model::{CommParams, CompletionTime, CostCounts};
+use torus_sim::Trace;
+use torus_topology::TorusShape;
+
+/// The outcome of one complete-exchange run.
+#[derive(Clone, Debug)]
+pub struct ExchangeReport {
+    /// The torus shape the user asked for.
+    pub shape: TorusShape,
+    /// The canonical (sorted, padded) shape actually executed; equals a
+    /// permutation of `shape` when no padding was needed.
+    pub executed_shape: TorusShape,
+    /// Whether virtual-node padding was applied.
+    pub padded: bool,
+    /// Measured critical-path cost counts.
+    pub counts: CostCounts,
+    /// Completion time under the run's parameters.
+    pub elapsed: CompletionTime,
+    /// Closed-form counts (Table 1) for the executed shape.
+    pub formula: CostCounts,
+    /// Per-phase, per-step trace.
+    pub trace: Trace,
+    /// Whether post-run delivery verification passed.
+    pub verified: bool,
+    /// The parameters used.
+    pub params: CommParams,
+}
+
+impl ExchangeReport {
+    /// Measured total completion time (µs).
+    pub fn total_time(&self) -> f64 {
+        self.elapsed.total()
+    }
+
+    /// Whether the measured step/rearrangement/hop counts equal the
+    /// closed forms of Table 1 exactly (transmission blocks may fall below
+    /// the closed form only on padded runs, where virtual sources hold no
+    /// blocks).
+    pub fn matches_formula(&self) -> bool {
+        let exact = self.counts.startup_steps == self.formula.startup_steps
+            && self.counts.rearr_steps == self.formula.rearr_steps
+            && self.counts.rearr_blocks == self.formula.rearr_blocks
+            && self.counts.prop_hops == self.formula.prop_hops;
+        if self.padded {
+            exact && self.counts.trans_blocks <= self.formula.trans_blocks
+        } else {
+            exact && self.counts.trans_blocks == self.formula.trans_blocks
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} steps, {} blocks (critical), {} hops, {} rearrangements, {:.1} µs{}",
+            self.shape,
+            self.counts.startup_steps,
+            self.counts.trans_blocks,
+            self.counts.prop_hops,
+            self.counts.rearr_steps,
+            self.total_time(),
+            if self.verified { "" } else { " [UNVERIFIED]" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> ExchangeReport {
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let counts = CostCounts {
+            startup_steps: 6,
+            trans_blocks: 192,
+            rearr_steps: 3,
+            rearr_blocks: 192,
+            prop_hops: 14,
+        };
+        ExchangeReport {
+            shape: shape.clone(),
+            executed_shape: shape.clone(),
+            padded: false,
+            counts,
+            elapsed: CompletionTime::from_counts(&counts, &CommParams::unit()),
+            formula: cost_model::proposed_2d(8, 8),
+            trace: Trace::default(),
+            verified: true,
+            params: CommParams::unit(),
+        }
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let r = dummy();
+        let s = r.summary();
+        assert!(s.contains("8x8"));
+        assert!(s.contains("6 steps"));
+        assert!(!s.contains("UNVERIFIED"));
+    }
+
+    #[test]
+    fn unverified_is_flagged() {
+        let mut r = dummy();
+        r.verified = false;
+        assert!(r.summary().contains("UNVERIFIED"));
+    }
+
+    #[test]
+    fn matches_formula_checks_all_dimensions() {
+        let mut r = dummy();
+        r.counts = r.formula;
+        assert!(r.matches_formula());
+        r.counts.prop_hops += 1;
+        assert!(!r.matches_formula());
+    }
+
+    #[test]
+    fn padded_runs_allow_fewer_blocks() {
+        let mut r = dummy();
+        r.counts = r.formula;
+        r.counts.trans_blocks -= 10;
+        assert!(!r.matches_formula());
+        r.padded = true;
+        assert!(r.matches_formula());
+    }
+}

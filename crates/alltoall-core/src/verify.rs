@@ -1,0 +1,144 @@
+//! Post-run verification of exchange correctness.
+//!
+//! After all-to-all personalized exchange, node `i` must hold exactly the
+//! blocks `B[j, i]` for every `j ≠ i` — one block from every other node,
+//! all destined to `i`. These checks are run by every test and by the
+//! public API after each exchange.
+
+use torus_topology::{NodeId, TorusShape};
+
+use crate::block::Buffers;
+use crate::exec::ExchangeError;
+
+/// Verifies a *full* exchange: every node ends with one block from every
+/// other node of the torus.
+pub fn verify_full_exchange<P: Clone>(
+    shape: &TorusShape,
+    buffers: &Buffers<P>,
+) -> Result<(), ExchangeError> {
+    let n = shape.num_nodes();
+    let expected: Vec<Vec<NodeId>> = (0..n)
+        .map(|d| (0..n).filter(|&s| s != d).collect())
+        .collect();
+    verify_delivery(buffers, &expected)
+}
+
+/// Verifies delivery against an explicit expectation: `expected[node]`
+/// lists the sources whose block must have arrived at `node` (in any
+/// order). Nodes not covered by the expectation must hold nothing.
+pub fn verify_delivery<P: Clone>(
+    buffers: &Buffers<P>,
+    expected: &[Vec<NodeId>],
+) -> Result<(), ExchangeError> {
+    if buffers.num_nodes() < expected.len() {
+        return Err(ExchangeError::VerificationFailed(format!(
+            "{} nodes in buffers, {} expected",
+            buffers.num_nodes(),
+            expected.len()
+        )));
+    }
+    for node in 0..buffers.num_nodes() as NodeId {
+        let held = buffers.node(node);
+        for b in held {
+            if b.dst != node {
+                return Err(ExchangeError::VerificationFailed(format!(
+                    "node {node} holds a block destined for {} (from {})",
+                    b.dst, b.src
+                )));
+            }
+        }
+        let want = expected.get(node as usize).map(|v| v.as_slice()).unwrap_or(&[]);
+        let mut got: Vec<NodeId> = held.iter().map(|b| b.src).collect();
+        got.sort_unstable();
+        let mut want_sorted = want.to_vec();
+        want_sorted.sort_unstable();
+        if got != want_sorted {
+            // Produce a compact diagnosis.
+            let missing: Vec<NodeId> = want_sorted
+                .iter()
+                .filter(|s| !got.contains(s))
+                .copied()
+                .take(5)
+                .collect();
+            let extra: Vec<NodeId> = got
+                .iter()
+                .filter(|s| !want_sorted.contains(s))
+                .copied()
+                .take(5)
+                .collect();
+            return Err(ExchangeError::VerificationFailed(format!(
+                "node {node}: got {} blocks, want {}; missing sources {missing:?}, \
+                 unexpected sources {extra:?}",
+                got.len(),
+                want_sorted.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+
+    fn complete_buffers(n: u32) -> Buffers {
+        let mut bufs = Buffers::empty(n as usize);
+        for d in 0..n {
+            for s in 0..n {
+                if s != d {
+                    bufs.node_mut(d).push(Block::new(s, d));
+                }
+            }
+        }
+        bufs
+    }
+
+    #[test]
+    fn accepts_complete_exchange() {
+        let shape = TorusShape::new_2d(2, 2).unwrap();
+        let bufs = complete_buffers(4);
+        verify_full_exchange(&shape, &bufs).unwrap();
+    }
+
+    #[test]
+    fn rejects_misdelivered_block() {
+        let shape = TorusShape::new_2d(2, 2).unwrap();
+        let mut bufs = complete_buffers(4);
+        // plant a block destined elsewhere
+        bufs.node_mut(0).push(Block::new(1, 2));
+        let err = verify_full_exchange(&shape, &bufs).unwrap_err();
+        assert!(matches!(err, ExchangeError::VerificationFailed(_)));
+        assert!(err.to_string().contains("destined for 2"));
+    }
+
+    #[test]
+    fn rejects_missing_block() {
+        let shape = TorusShape::new_2d(2, 2).unwrap();
+        let mut bufs = complete_buffers(4);
+        bufs.node_mut(3).pop();
+        let err = verify_full_exchange(&shape, &bufs).unwrap_err();
+        assert!(err.to_string().contains("missing sources"));
+    }
+
+    #[test]
+    fn rejects_duplicate_block() {
+        let shape = TorusShape::new_2d(2, 2).unwrap();
+        let mut bufs = complete_buffers(4);
+        let dup = bufs.node(1)[0].clone();
+        bufs.node_mut(1).push(dup);
+        assert!(verify_full_exchange(&shape, &bufs).is_err());
+    }
+
+    #[test]
+    fn delivery_with_partial_expectation() {
+        let mut bufs: Buffers = Buffers::empty(3);
+        bufs.node_mut(0).push(Block::new(2, 0));
+        verify_delivery(&bufs, &[vec![2], vec![], vec![]]).unwrap();
+        // node 2 beyond the expectation list must be empty: here it is.
+        verify_delivery(&bufs, &[vec![2]]).unwrap();
+        // but a block on an uncovered node fails
+        bufs.node_mut(2).push(Block::new(0, 2));
+        assert!(verify_delivery(&bufs, &[vec![2]]).is_err());
+    }
+}

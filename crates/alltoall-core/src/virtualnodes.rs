@@ -1,0 +1,139 @@
+//! Virtual-node padding for tori whose extents are not multiples of four.
+//!
+//! The paper (Section 6): *"If the number of nodes in each dimension is
+//! not a multiple of four, the proposed algorithms can be used by adding
+//! virtual nodes, then having every node perform communication steps as
+//! proposed."*
+//!
+//! We implement this as a **logical emulation**: each dimension is padded
+//! up to the next multiple of four (minimum 4), virtual nodes participate
+//! in the schedule with initially empty buffers, and real blocks may
+//! transit virtual positions. Costs are accounted on the padded torus —
+//! a conservative upper bound for a real deployment, where each physical
+//! node would emulate its virtual neighbors. See DESIGN.md §3.
+
+use torus_topology::{Coord, NodeId, TorusShape};
+
+/// Rounds one extent up to the next multiple of four (minimum 4).
+pub fn pad_extent(k: u32) -> u32 {
+    debug_assert!(k >= 1);
+    k.div_ceil(4).max(1) * 4
+}
+
+/// The padding relation between a real shape and its padded counterpart.
+#[derive(Clone, Debug)]
+pub struct Padding {
+    real: TorusShape,
+    padded: TorusShape,
+}
+
+impl Padding {
+    /// Computes the padded shape for `real`. The dimension *order* is
+    /// preserved (canonicalization happens separately, on the padded
+    /// shape).
+    pub fn new(real: &TorusShape) -> Self {
+        let dims: Vec<u32> = real.dims().iter().map(|&k| pad_extent(k)).collect();
+        let padded = TorusShape::new(&dims).expect("padded shape is valid");
+        Self {
+            real: real.clone(),
+            padded,
+        }
+    }
+
+    /// Whether any dimension actually grew.
+    pub fn is_padded(&self) -> bool {
+        self.real.dims() != self.padded.dims()
+    }
+
+    /// The real shape.
+    pub fn real(&self) -> &TorusShape {
+        &self.real
+    }
+
+    /// The padded shape.
+    pub fn padded(&self) -> &TorusShape {
+        &self.padded
+    }
+
+    /// Whether a padded-shape coordinate refers to a real node.
+    pub fn is_real(&self, c: &Coord) -> bool {
+        (0..self.real.ndims()).all(|d| c[d] < self.real.extent(d))
+    }
+
+    /// Maps a real node id to its id in the padded shape (coordinates are
+    /// unchanged; only linearization differs).
+    pub fn real_to_padded(&self, id: NodeId) -> NodeId {
+        self.padded.index_of(&self.real.coord_of(id))
+    }
+
+    /// Maps a padded node id back to the real id, or `None` for a virtual
+    /// node.
+    pub fn padded_to_real(&self, id: NodeId) -> Option<NodeId> {
+        let c = self.padded.coord_of(id);
+        self.is_real(&c).then(|| self.real.index_of(&c))
+    }
+
+    /// Number of virtual nodes introduced.
+    pub fn num_virtual(&self) -> u32 {
+        self.padded.num_nodes() - self.real.num_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_extent_rounds_up() {
+        assert_eq!(pad_extent(1), 4);
+        assert_eq!(pad_extent(4), 4);
+        assert_eq!(pad_extent(5), 8);
+        assert_eq!(pad_extent(8), 8);
+        assert_eq!(pad_extent(10), 12);
+        assert_eq!(pad_extent(12), 12);
+    }
+
+    #[test]
+    fn no_padding_for_multiples_of_four() {
+        let p = Padding::new(&TorusShape::new_2d(8, 12).unwrap());
+        assert!(!p.is_padded());
+        assert_eq!(p.num_virtual(), 0);
+        assert_eq!(p.padded().dims(), &[8, 12]);
+    }
+
+    #[test]
+    fn padding_6x10() {
+        let p = Padding::new(&TorusShape::new_2d(6, 10).unwrap());
+        assert!(p.is_padded());
+        assert_eq!(p.padded().dims(), &[8, 12]);
+        assert_eq!(p.num_virtual(), 96 - 60);
+    }
+
+    #[test]
+    fn id_mapping_roundtrip() {
+        let p = Padding::new(&TorusShape::new_2d(6, 10).unwrap());
+        for id in 0..p.real().num_nodes() {
+            let pid = p.real_to_padded(id);
+            assert_eq!(p.padded_to_real(pid), Some(id));
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_map_to_none() {
+        let p = Padding::new(&TorusShape::new_2d(6, 10).unwrap());
+        let virt = p.padded().index_of(&Coord::new(&[7, 0]));
+        assert_eq!(p.padded_to_real(virt), None);
+        assert!(!p.is_real(&Coord::new(&[0, 11])));
+        assert!(p.is_real(&Coord::new(&[5, 9])));
+    }
+
+    #[test]
+    fn real_and_virtual_partition() {
+        let p = Padding::new(&TorusShape::new(&[5, 7]).unwrap());
+        let real_count = (0..p.padded().num_nodes())
+            .filter(|&id| p.padded_to_real(id).is_some())
+            .count() as u32;
+        assert_eq!(real_count, 35);
+        assert_eq!(p.num_virtual(), p.padded().num_nodes() - 35);
+    }
+}

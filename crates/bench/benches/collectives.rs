@@ -1,0 +1,44 @@
+//! Criterion bench: simulator throughput of the collective operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use collectives::{allgather, allreduce, broadcast, gather, reduce, scatter};
+use cost_model::CommParams;
+use torus_topology::TorusShape;
+
+fn bench_collectives(c: &mut Criterion) {
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    let params = CommParams::cray_t3d_like();
+    let mut g = c.benchmark_group("collectives-8x8");
+    g.sample_size(20);
+    g.bench_function("broadcast", |b| {
+        b.iter(|| black_box(broadcast(&shape, &params, 0, 16).unwrap().counts))
+    });
+    g.bench_function("scatter", |b| {
+        b.iter(|| black_box(scatter(&shape, &params, 0).unwrap().counts))
+    });
+    g.bench_function("gather", |b| {
+        b.iter(|| black_box(gather(&shape, &params, 0).unwrap().counts))
+    });
+    g.bench_function("allgather", |b| {
+        b.iter(|| black_box(allgather(&shape, &params, 1).unwrap().counts))
+    });
+    g.bench_function("reduce", |b| {
+        b.iter(|| black_box(reduce(&shape, &params, 0, 8, |u| vec![u as u64; 8]).unwrap().0.counts))
+    });
+    g.bench_function("allreduce", |b| {
+        b.iter(|| {
+            black_box(
+                allreduce(&shape, &params, 8, |u| vec![u as u64; 8])
+                    .unwrap()
+                    .0
+                    .counts,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

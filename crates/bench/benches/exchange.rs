@@ -1,0 +1,78 @@
+//! Criterion bench C1: wall-clock of simulated complete exchange across
+//! torus sizes and algorithms.
+//!
+//! Measures the *simulator's* throughput (schedule generation + step
+//! execution + block movement), not the modeled network time — the
+//! modeled time is deterministic and covered by `table1`/`table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use alltoall_baselines::{DirectExchange, ExchangeAlgorithm, RingExchange, RowColumnExchange};
+use alltoall_core::Exchange;
+use cost_model::CommParams;
+use torus_topology::TorusShape;
+
+fn bench_proposed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("proposed");
+    // Large simulations are ~100ms-1s per run; keep sampling light.
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    for dims in [vec![8u32, 8], vec![16, 16], vec![8, 8, 8]] {
+        let shape = TorusShape::new(&dims).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shape}")),
+            &shape,
+            |b, shape| {
+                let ex = Exchange::new(shape).unwrap();
+                b.iter(|| {
+                    let r = ex.run_counting(&CommParams::cray_t3d_like()).unwrap();
+                    black_box(r.counts)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines-8x8");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    let algos: Vec<(&str, &dyn ExchangeAlgorithm)> = vec![
+        ("direct", &DirectExchange),
+        ("ring", &RingExchange),
+        ("row-column", &RowColumnExchange),
+    ];
+    for (name, algo) in algos {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = algo.run(&shape, &CommParams::cray_t3d_like()).unwrap();
+                black_box(r.counts)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_payload_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("payload");
+    g.sample_size(20);
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    g.bench_function("8x8-64B-blocks", |b| {
+        let ex = Exchange::new(&shape).unwrap();
+        b.iter(|| {
+            let (r, deliveries) = ex
+                .run_with_payloads(&CommParams::cray_t3d_like(), |s, d| {
+                    vec![(s ^ d) as u8; 64]
+                })
+                .unwrap();
+            black_box((r.counts, deliveries.len()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_proposed, bench_baselines, bench_payload_exchange);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment S5 — the collective family on one substrate.
+//!
+//! All collectives (including the paper's all-to-all) on the same torus
+//! under the same parameters: step counts, critical volumes, and modeled
+//! completion times. Shows where complete exchange sits in the hierarchy
+//! of collective costs (top), which is the paper's motivation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin collectives_table
+//! ```
+
+use alltoall_core::Exchange;
+use bench::{fnum, Table};
+use collectives::{allgather, allreduce, broadcast, gather, reduce, scatter};
+use cost_model::CommParams;
+use torus_topology::TorusShape;
+
+fn main() {
+    let params = CommParams::cray_t3d_like();
+    for dims in [&[8u32, 8][..], &[8, 8, 8]] {
+        let shape = TorusShape::new(dims).unwrap();
+        println!(
+            "collectives on {shape} ({} nodes), T3D-like parameters, m = {} B\n",
+            shape.num_nodes(),
+            params.block_bytes
+        );
+        let mut t = Table::new(&["operation", "steps", "crit blocks", "hops", "time (µs)"]);
+        let mut row = |name: &str, counts: cost_model::CostCounts, time: f64, ok: bool| {
+            assert!(ok, "{name} failed verification");
+            t.row(&[
+                name.to_string(),
+                counts.startup_steps.to_string(),
+                counts.trans_blocks.to_string(),
+                counts.prop_hops.to_string(),
+                fnum(time),
+            ]);
+        };
+        let r = broadcast(&shape, &params, 0, 1).unwrap();
+        row("broadcast", r.counts, r.total_time(), r.verified);
+        let r = scatter(&shape, &params, 0).unwrap();
+        row("scatter", r.counts, r.total_time(), r.verified);
+        let r = gather(&shape, &params, 0).unwrap();
+        row("gather", r.counts, r.total_time(), r.verified);
+        let r = allgather(&shape, &params, 1).unwrap();
+        row("allgather", r.counts, r.total_time(), r.verified);
+        let (r, _) = reduce(&shape, &params, 0, 1, |u| vec![u as u64]).unwrap();
+        row("reduce", r.counts, r.total_time(), r.verified);
+        let (r, _) = allreduce(&shape, &params, 1, |u| vec![u as u64]).unwrap();
+        row("allreduce", r.counts, r.total_time(), r.verified);
+        let rep = Exchange::new(&shape).unwrap().run_counting(&params).unwrap();
+        row("alltoall (paper)", rep.counts, rep.total_time(), rep.verified);
+        t.print();
+        println!();
+    }
+    println!("expected shape: alltoall transmits the most data of the family; the paper's");
+    println!("combining keeps its *startup* count on par with the cheap collectives.");
+}

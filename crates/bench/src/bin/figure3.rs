@@ -1,0 +1,93 @@
+//! Figure 3 — blocks transmitted by P(0,0,0) in each step of phases 1–3
+//! of a 12×12×12 torus.
+//!
+//! Regenerates the paper's array-slice notation (`B[4..11, *, *]` etc.)
+//! from the data-array model, and cross-checks the slice sizes against
+//! the blocks actually transmitted by the executor.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figure3
+//! ```
+
+use alltoall_core::block::Buffers;
+use alltoall_core::dataarray::DataArray;
+use alltoall_core::observer::{Observer, PhaseKind};
+use alltoall_core::Exchange;
+use bench::Table;
+use cost_model::CommParams;
+use torus_topology::{Coord, TorusShape};
+
+/// Records node 0's buffer size after every scatter step so the actual
+/// sent counts can be reconstructed (sent = held-before − kept).
+#[derive(Default)]
+struct Node0Watch {
+    /// (phase index, buffer length after the step)
+    after: Vec<(usize, usize)>,
+}
+
+impl Observer<()> for Node0Watch {
+    fn on_step(&mut self, phase: PhaseKind, _step: usize, bufs: &Buffers<()>) {
+        if let PhaseKind::Scatter { index } = phase {
+            self.after.push((index, bufs.node(0).len()));
+        }
+    }
+}
+
+fn main() {
+    let shape = TorusShape::new_3d(12, 12, 12).unwrap();
+    let origin = Coord::new(&[0, 0, 0]);
+    let arr = DataArray::new(&shape, &origin);
+
+    println!("Figure 3: blocks transmitted by P(0,0,0) of a 12x12x12 torus\n");
+    let mut t = Table::new(&["phase", "step", "array slice sent", "blocks"]);
+    for phase in 0..3usize {
+        for step in 1..=2u32 {
+            t.row(&[
+                (phase + 1).to_string(),
+                step.to_string(),
+                arr.sent_notation(phase, step),
+                arr.sent_count(phase, step).to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    // Cross-check against execution: P(0,0,0) sends blocks with
+    // remaining-shift > 0 each step; the counts must equal the slice
+    // sizes (minus the self block, which lives in the never-sent region).
+    let mut watch = Node0Watch::default();
+    let report = Exchange::new(&shape)
+        .unwrap()
+        .run_observed(&CommParams::unit(), &mut watch)
+        .expect("contention-free");
+    assert!(report.verified);
+
+    println!("\ncross-check vs executed schedule:");
+    // In the fully symmetric 12³ torus every node sends and receives the
+    // same volume each scatter step, so P(0,0,0)'s occupancy stays at
+    // N−1 = 1727 blocks throughout phases 1–3; and the engine's critical
+    // per-step volume must equal the slice sizes above.
+    let total = shape.num_nodes() as usize - 1;
+    assert!(
+        watch.after.iter().all(|&(_, len)| len == total),
+        "occupancy must stay constant during the scatter phases"
+    );
+    for phase in 0..3usize {
+        assert_eq!(arr.sent_count(phase, 1), 12 * 12 * 8);
+        assert_eq!(arr.sent_count(phase, 2), 12 * 12 * 4);
+        let trace_phase = &report.trace.phases[phase];
+        for (s, stat) in trace_phase.steps.iter().enumerate() {
+            assert_eq!(
+                stat.max_blocks,
+                arr.sent_count(phase, s as u32 + 1),
+                "phase {} step {}",
+                phase + 1,
+                s + 1
+            );
+        }
+    }
+    println!("  slice sizes match the engine's measured per-step critical volume");
+    println!("  (each phase ships 1152 then 576 blocks; occupancy constant at 1727)");
+    println!("  executed run verified ({} steps, {} critical blocks)",
+        report.counts.startup_steps, report.counts.trans_blocks);
+}

@@ -1,0 +1,157 @@
+//! Model-validation experiment (S4): the analytic step model vs. the
+//! flit-level wormhole simulator.
+//!
+//! The paper's evaluation rests on `T = t_s + m·t_c + h·t_l` for
+//! contention-free steps. Here every step of the proposed schedule is
+//! replayed flit by flit (router buffers, channel ownership, one-port
+//! injection/consumption) and its measured cycle count compared with the
+//! model's `m + h` (in cycles; `t_s` is software overhead outside the
+//! network). The two must agree exactly for every step — and a deliberate
+//! contention experiment shows what the schedules are protecting against.
+//!
+//! ```text
+//! cargo run --release -p bench --bin flit_validation
+//! ```
+
+use bench::Table;
+use cost_model::CommParams;
+use torus_sim::{FlitConfig, FlitError, FlitSim, Packet};
+use torus_topology::{dor_path, Coord, Direction, TorusShape};
+
+/// Replays one step's transmissions at flit granularity.
+fn flit_cycles(
+    shape: &TorusShape,
+    txs: &[torus_sim::Transmission],
+    flits_per_block: u32,
+) -> Result<u64, FlitError> {
+    let mut sim = FlitSim::new(shape, FlitConfig::default());
+    for t in txs {
+        if t.blocks == 0 {
+            continue;
+        }
+        sim.try_add_packet(Packet::from_transmission(t, t.blocks as u32 * flits_per_block))?;
+    }
+    Ok(sim.run()?.completion_cycle)
+}
+
+fn main() {
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    let m_flits = 4u32; // flits per block
+
+    // Rebuild the proposed schedule's steps via the executor's trace...
+    // simpler: regenerate the per-step transmissions directly from the
+    // phase rules, using uniform block counts per step from the trace.
+    let report = alltoall_core::Exchange::new(&shape)
+        .unwrap()
+        .run_counting(&CommParams::unit())
+        .unwrap();
+    assert!(report.verified);
+
+    println!("S4a: per-step flit-level cycles vs analytic m + h (8x8 torus, {m_flits} flits/block)\n");
+    let sched = alltoall_core::DirectionSchedule::new(&shape);
+    let mut t = Table::new(&["phase", "step", "blocks (crit)", "hops", "model cycles", "flit cycles", "match"]);
+    let mut all_ok = true;
+
+    // Scatter phases: reconstruct transmissions per step with the traced
+    // per-step critical block count (every active node sends that many).
+    for (p, phase) in report.trace.phases.iter().enumerate().take(2) {
+        for (s, stat) in phase.steps.iter().enumerate() {
+            let txs: Vec<torus_sim::Transmission> = shape
+                .iter_coords()
+                .map(|c| {
+                    let dir = sched.scatter_dirs(&c)[p];
+                    torus_sim::Transmission::along_ring(&shape, &c, dir, 4, stat.max_blocks)
+                })
+                .collect();
+            let model = (stat.max_blocks as u32 * m_flits + 4) as u64;
+            let cycles = flit_cycles(&shape, &txs, m_flits).expect("contention-free");
+            let ok = cycles == model;
+            all_ok &= ok;
+            t.row(&[
+                (p + 1).to_string(),
+                (s + 1).to_string(),
+                stat.max_blocks.to_string(),
+                "4".to_string(),
+                model.to_string(),
+                cycles.to_string(),
+                if ok { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    t.print();
+    assert!(all_ok, "flit-level timing must match the analytic model");
+    println!("\nanalytic model validated cycle-exactly on every contention-free step\n");
+
+    // S4b: what contention costs. One round of *unscheduled* direct
+    // exchange (shift by C/2 along rows) at flit level vs. the same
+    // messages serialized into contention-free groups.
+    println!("S4b: the cost of ignoring contention (shift-by-4 row permutation, 16 flits/msg)\n");
+    let len = 16u32;
+    let mut naive = FlitSim::new(&shape, FlitConfig::default());
+    let mut txs = Vec::new();
+    for c in shape.iter_coords() {
+        let dstc = Coord::new(&[c[0], (c[1] + 4) % 8]);
+        let path = dor_path(&shape, &c, &dstc);
+        let tx = torus_sim::Transmission::over_path(
+            shape.index_of(&c),
+            shape.index_of(&dstc),
+            1,
+            path,
+        );
+        naive
+            .try_add_packet(Packet::from_transmission(&tx, len))
+            .unwrap();
+        txs.push(tx);
+    }
+    match naive.run() {
+        Ok(stats) => {
+            let groups = alltoall_baselines::direct::contention_free_groups(txs);
+            let mut scheduled_total = 0u64;
+            for g in &groups {
+                scheduled_total += flit_cycles(&shape, g, len).unwrap();
+            }
+            println!("  all-at-once (contending): {} cycles", stats.completion_cycle);
+            println!(
+                "  scheduled into {} contention-free groups: {} cycles total",
+                groups.len(),
+                scheduled_total
+            );
+            println!(
+                "  contention-free single step of the proposed schedule: {} cycles",
+                4 + len
+            );
+        }
+        Err(FlitError::Deadlock { cycle, stalled }) => {
+            println!("  all-at-once (contending): DEADLOCK at cycle {cycle} ({stalled} worms stalled)");
+            println!("  — wormhole worms chasing each other around the ring; real machines need");
+            println!("    virtual channels for this. The paper's schedules never block at all.");
+        }
+        Err(e) => panic!("unexpected: {e}"),
+    }
+
+    // S4c: one deliberately sabotaged proposed step (two groups share a
+    // direction) — serialization measured at flit level.
+    println!("\nS4c: sabotaged phase-1 direction assignment (γ=0 and γ=2 both +X):\n");
+    let mut sab = FlitSim::new(&shape, FlitConfig::default());
+    for c in shape.iter_coords() {
+        let gamma = (c[0] + c[1]) % 4;
+        if gamma == 0 || gamma == 2 {
+            let t = torus_sim::Transmission::along_ring(&shape, &c, Direction::plus(0), 4, 1);
+            sab.try_add_packet(Packet::from_transmission(&t, len)).unwrap();
+        }
+    }
+    match sab.run() {
+        Ok(stats) => {
+            println!(
+                "  completes but serialized: {} cycles vs {} contention-free",
+                stats.completion_cycle,
+                4 + len
+            );
+            assert!(stats.completion_cycle > (4 + len) as u64);
+        }
+        Err(FlitError::Deadlock { cycle, .. }) => {
+            println!("  DEADLOCK at cycle {cycle} — colliding worms wedge the ring");
+        }
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}

@@ -1,0 +1,459 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `torus-xchg` command-line driver.
+//!
+//! Kept in a library so argument parsing and command execution are unit
+//! testable; `main.rs` is a thin shim.
+
+use std::fmt::Write as _;
+
+use alltoall_baselines::{
+    DirectExchange, ExchangeAlgorithm, MeshExchange, RingExchange, RowColumnExchange,
+};
+use alltoall_core::{Exchange, StaticSchedule};
+use cost_model::CommParams;
+use torus_topology::TorusShape;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `run --shape RxC [--algo NAME] [...params]`
+    Run {
+        /// Torus shape.
+        shape: Vec<u32>,
+        /// Algorithm name.
+        algo: String,
+        /// Machine parameters.
+        params: CommParams,
+        /// Worker threads.
+        threads: usize,
+    },
+    /// `compare --shape RxC [...params]` — all algorithms side by side.
+    Compare {
+        /// Torus shape.
+        shape: Vec<u32>,
+        /// Machine parameters.
+        params: CommParams,
+    },
+    /// `collective --op NAME --shape RxC [...params]`
+    Collective {
+        /// Operation name.
+        op: String,
+        /// Torus shape.
+        shape: Vec<u32>,
+        /// Machine parameters.
+        params: CommParams,
+    },
+    /// `schedule --shape RxC [--json]` — static schedule export.
+    Schedule {
+        /// Torus shape.
+        shape: Vec<u32>,
+        /// Emit full JSON instead of a summary.
+        json: bool,
+    },
+    /// `help`
+    Help,
+}
+
+/// Parses a shape string like `"8x12"` or `"8x8x4"`.
+pub fn parse_shape(s: &str) -> Result<Vec<u32>, String> {
+    let dims: Result<Vec<u32>, _> = s.split(['x', 'X']).map(|p| p.trim().parse()).collect();
+    match dims {
+        Ok(d) if !d.is_empty() => Ok(d),
+        _ => Err(format!("bad shape '{s}': expected e.g. 8x12 or 8x8x4")),
+    }
+}
+
+/// Parses command-line arguments (past argv\[0\]).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    if args.is_empty() {
+        return Ok(Command::Help);
+    }
+    let cmd = args[0].as_str();
+    let mut shape: Option<Vec<u32>> = None;
+    let mut algo = "proposed".to_string();
+    let mut op = String::new();
+    let mut json = false;
+    let mut threads = 1usize;
+    let mut params = CommParams::cray_t3d_like();
+
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        match key {
+            "--shape" => shape = Some(parse_shape(&val(&mut i)?)?),
+            "--algo" => algo = val(&mut i)?,
+            "--op" => op = val(&mut i)?,
+            "--json" => json = true,
+            "--threads" => {
+                threads = val(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--ts" => params.t_s = val(&mut i)?.parse().map_err(|e| format!("--ts: {e}"))?,
+            "--tc" => params.t_c = val(&mut i)?.parse().map_err(|e| format!("--tc: {e}"))?,
+            "--tl" => params.t_l = val(&mut i)?.parse().map_err(|e| format!("--tl: {e}"))?,
+            "--rho" => params.rho = val(&mut i)?.parse().map_err(|e| format!("--rho: {e}"))?,
+            "-m" | "--block-bytes" => {
+                params.block_bytes = val(&mut i)?.parse().map_err(|e| format!("-m: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}' (try 'torus-xchg help')")),
+        }
+        i += 1;
+    }
+
+    let need_shape = |s: Option<Vec<u32>>| s.ok_or_else(|| "--shape is required".to_string());
+    match cmd {
+        "run" => Ok(Command::Run {
+            shape: need_shape(shape)?,
+            algo,
+            params,
+            threads,
+        }),
+        "compare" => Ok(Command::Compare {
+            shape: need_shape(shape)?,
+            params,
+        }),
+        "collective" => {
+            if op.is_empty() {
+                return Err("--op is required for 'collective'".into());
+            }
+            Ok(Command::Collective {
+                op,
+                shape: need_shape(shape)?,
+                params,
+            })
+        }
+        "schedule" => Ok(Command::Schedule {
+            shape: need_shape(shape)?,
+            json,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}' (try 'torus-xchg help')")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+torus-xchg — all-to-all personalized exchange on torus networks (Suh & Shin, ICPP 1998)
+
+USAGE:
+  torus-xchg run        --shape 8x12 [--algo proposed|direct|ring|rowcol|mesh] [params]
+  torus-xchg compare    --shape 8x8 [params]
+  torus-xchg collective --op broadcast|scatter|gather|allgather|reduce|allreduce|alltoall --shape 8x8
+  torus-xchg schedule   --shape 8x8 [--json]
+  torus-xchg help
+
+PARAMS (defaults are Cray-T3D-like):
+  --ts µs   startup per message        --tc µs/B  per-byte transmission
+  --tl µs   per-hop propagation        --rho µs/B rearrangement
+  -m bytes  block size                 --threads N executor threads
+";
+
+/// Executes a command, returning its stdout text.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Run {
+            shape,
+            algo,
+            params,
+            threads,
+        } => {
+            let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
+            match algo.as_str() {
+                "proposed" => {
+                    let report = Exchange::new(&shape)
+                        .map_err(|e| e.to_string())?
+                        .with_threads(threads)
+                        .run_counting(&params)
+                        .map_err(|e| e.to_string())?;
+                    writeln!(out, "{}", report.summary()).unwrap();
+                    writeln!(
+                        out,
+                        "components: startup {:.1} + transmission {:.1} + rearrangement {:.1} + propagation {:.1} µs",
+                        report.elapsed.startup,
+                        report.elapsed.transmission,
+                        report.elapsed.rearrangement,
+                        report.elapsed.propagation
+                    )
+                    .unwrap();
+                    writeln!(out, "matches Table 1 closed form: {}", report.matches_formula())
+                        .unwrap();
+                }
+                name => {
+                    let algo: &dyn ExchangeAlgorithm = match name {
+                        "direct" => &DirectExchange,
+                        "ring" => &RingExchange,
+                        "rowcol" | "row-column" => &RowColumnExchange,
+                        "mesh" => &MeshExchange,
+                        other => return Err(format!("unknown algorithm '{other}'")),
+                    };
+                    let r = algo.run(&shape, &params)?;
+                    writeln!(
+                        out,
+                        "{} on {}: {} steps, {} blocks (critical), {} hops, {:.1} µs, verified: {}",
+                        r.name,
+                        shape,
+                        r.counts.startup_steps,
+                        r.counts.trans_blocks,
+                        r.counts.prop_hops,
+                        r.total_time(),
+                        r.verified
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        Command::Compare { shape, params } => {
+            let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{:<16} {:>8} {:>12} {:>8} {:>12}",
+                "algorithm", "steps", "crit blocks", "hops", "time (µs)"
+            )
+            .unwrap();
+            let report = Exchange::new(&shape)
+                .map_err(|e| e.to_string())?
+                .run_counting(&params)
+                .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "{:<16} {:>8} {:>12} {:>8} {:>12.1}",
+                "proposed",
+                report.counts.startup_steps,
+                report.counts.trans_blocks,
+                report.counts.prop_hops,
+                report.total_time()
+            )
+            .unwrap();
+            for algo in [
+                &DirectExchange as &dyn ExchangeAlgorithm,
+                &RingExchange,
+                &RowColumnExchange,
+                &MeshExchange,
+            ] {
+                match algo.run(&shape, &params) {
+                    Ok(r) => writeln!(
+                        out,
+                        "{:<16} {:>8} {:>12} {:>8} {:>12.1}",
+                        r.name,
+                        r.counts.startup_steps,
+                        r.counts.trans_blocks,
+                        r.counts.prop_hops,
+                        r.total_time()
+                    )
+                    .unwrap(),
+                    Err(e) => writeln!(out, "{:<16} (skipped: {e})", algo.name()).unwrap(),
+                }
+            }
+        }
+        Command::Collective { op, shape, params } => {
+            let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
+            let (name, counts, time, verified) = match op.as_str() {
+                "broadcast" => {
+                    let r = collectives::broadcast(&shape, &params, 0, 1)
+                        .map_err(|e| e.to_string())?;
+                    (r.name, r.counts, r.total_time(), r.verified)
+                }
+                "scatter" => {
+                    let r = collectives::scatter(&shape, &params, 0).map_err(|e| e.to_string())?;
+                    (r.name, r.counts, r.total_time(), r.verified)
+                }
+                "gather" => {
+                    let r = collectives::gather(&shape, &params, 0).map_err(|e| e.to_string())?;
+                    (r.name, r.counts, r.total_time(), r.verified)
+                }
+                "allgather" => {
+                    let r =
+                        collectives::allgather(&shape, &params, 1).map_err(|e| e.to_string())?;
+                    (r.name, r.counts, r.total_time(), r.verified)
+                }
+                "reduce" => {
+                    let (r, _) = collectives::reduce(&shape, &params, 0, 8, |u| {
+                        vec![u as u64; 8]
+                    })
+                    .map_err(|e| e.to_string())?;
+                    (r.name, r.counts, r.total_time(), r.verified)
+                }
+                "allreduce" => {
+                    let (r, _) = collectives::allreduce(&shape, &params, 8, |u| {
+                        vec![u as u64; 8]
+                    })
+                    .map_err(|e| e.to_string())?;
+                    (r.name, r.counts, r.total_time(), r.verified)
+                }
+                "alltoall" => {
+                    let r = Exchange::new(&shape)
+                        .map_err(|e| e.to_string())?
+                        .run_counting(&params)
+                        .map_err(|e| e.to_string())?;
+                    ("alltoall", r.counts, r.total_time(), r.verified)
+                }
+                other => return Err(format!("unknown collective '{other}'")),
+            };
+            writeln!(
+                out,
+                "{name} on {shape}: {} steps, {} blocks (critical), {} hops, {time:.1} µs, verified: {verified}",
+                counts.startup_steps, counts.trans_blocks, counts.prop_hops,
+            )
+            .unwrap();
+        }
+        Command::Schedule { shape, json } => {
+            let shape_dims = shape;
+            let shape = TorusShape::new(&shape_dims).map_err(|e| e.to_string())?;
+            let (_, canon) = shape.canonical_permutation();
+            if !canon.all_multiple_of(4) || canon.ndims() < 2 {
+                return Err(format!(
+                    "static schedules require >=2 dims, multiples of 4 (got {shape})"
+                ));
+            }
+            let sched = StaticSchedule::generate(&canon);
+            sched.validate(&canon).map_err(|e| e.to_string())?;
+            if json {
+                out.push_str(&serde_json::to_string_pretty(&sched).map_err(|e| e.to_string())?);
+                out.push('\n');
+            } else {
+                writeln!(out, "static schedule for {canon} (canonicalized from {shape}):").unwrap();
+                writeln!(
+                    out,
+                    "  {} phases, {} total steps, contention-free: yes, destinations fixed per scatter phase: {}",
+                    sched.phases.len(),
+                    sched.total_steps(),
+                    sched.destinations_fixed_within_phases()
+                )
+                .unwrap();
+                for p in &sched.phases {
+                    writeln!(
+                        out,
+                        "  {}: {} steps x {} sends",
+                        p.name,
+                        p.steps.len(),
+                        p.steps.first().map(|s| s.sends.len()).unwrap_or(0)
+                    )
+                    .unwrap();
+                }
+                writeln!(out, "  (use --json for the full machine-readable schedule)").unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_shapes() {
+        assert_eq!(parse_shape("8x12").unwrap(), vec![8, 12]);
+        assert_eq!(parse_shape("4X4x4").unwrap(), vec![4, 4, 4]);
+        assert!(parse_shape("abc").is_err());
+        assert!(parse_shape("8x").is_err());
+    }
+
+    #[test]
+    fn parse_run_command() {
+        let cmd = parse_args(&argv("run --shape 8x8 --algo ring --ts 5 -m 128 --threads 4")).unwrap();
+        match cmd {
+            Command::Run {
+                shape,
+                algo,
+                params,
+                threads,
+            } => {
+                assert_eq!(shape, vec![8, 8]);
+                assert_eq!(algo, "ring");
+                assert_eq!(params.t_s, 5.0);
+                assert_eq!(params.block_bytes, 128);
+                assert_eq!(threads, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&argv("run")).is_err());
+        assert!(parse_args(&argv("bogus --shape 4x4")).is_err());
+        assert!(parse_args(&argv("run --shape 4x4 --nope 1")).is_err());
+        assert!(parse_args(&argv("collective --shape 4x4")).is_err());
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn execute_run_proposed() {
+        let out = execute(parse_args(&argv("run --shape 8x8")).unwrap()).unwrap();
+        assert!(out.contains("8x8"));
+        assert!(out.contains("matches Table 1 closed form: true"));
+    }
+
+    #[test]
+    fn execute_run_baselines() {
+        for algo in ["direct", "ring", "rowcol", "mesh"] {
+            let out =
+                execute(parse_args(&argv(&format!("run --shape 4x4 --algo {algo}"))).unwrap())
+                    .unwrap();
+            assert!(out.contains("verified: true"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn execute_compare() {
+        let out = execute(parse_args(&argv("compare --shape 4x4")).unwrap()).unwrap();
+        assert!(out.contains("proposed"));
+        assert!(out.contains("direct"));
+        assert!(out.contains("ring"));
+    }
+
+    #[test]
+    fn execute_collectives() {
+        for op in [
+            "broadcast",
+            "scatter",
+            "gather",
+            "allgather",
+            "reduce",
+            "allreduce",
+            "alltoall",
+        ] {
+            let out = execute(
+                parse_args(&argv(&format!("collective --op {op} --shape 4x4"))).unwrap(),
+            )
+            .unwrap();
+            assert!(out.contains("verified: true"), "{op}: {out}");
+        }
+    }
+
+    #[test]
+    fn execute_schedule_summary_and_json() {
+        let out = execute(parse_args(&argv("schedule --shape 8x8")).unwrap()).unwrap();
+        assert!(out.contains("4 phases"));
+        assert!(out.contains("contention-free: yes"));
+        let out = execute(parse_args(&argv("schedule --shape 8x8 --json")).unwrap()).unwrap();
+        assert!(out.contains("\"phases\""));
+        // JSON round-trips through the schedule type.
+        let parsed: alltoall_core::StaticSchedule = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed.dims, vec![8, 8]);
+    }
+
+    #[test]
+    fn execute_schedule_rejects_unsupported() {
+        assert!(execute(parse_args(&argv("schedule --shape 6x6")).unwrap()).is_err());
+    }
+
+    #[test]
+    fn run_rejects_unknown_algo() {
+        assert!(execute(parse_args(&argv("run --shape 4x4 --algo nope")).unwrap()).is_err());
+    }
+}

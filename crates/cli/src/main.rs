@@ -1,0 +1,12 @@
+//! `torus-xchg` — command-line driver for the torus-alltoall library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match torus_xchg_cli::parse_args(&args).and_then(torus_xchg_cli::execute) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

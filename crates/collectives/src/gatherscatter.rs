@@ -1,0 +1,268 @@
+//! Scatter (one-to-all personalized) and gather (all-to-one).
+
+use cost_model::CommParams;
+use torus_sim::{Engine, Transmission};
+use torus_topology::{Direction, NodeId, TorusShape};
+
+use crate::ring::{covered_before_phase, ring_offset};
+use crate::{report_from_engine, CollectiveError, CollectiveReport};
+
+/// One-to-all personalized scatter: `root` starts with one distinct block
+/// per node; every node ends with exactly its own.
+///
+/// Dimension-ordered: in phase `d`, each ring's single holder distributes
+/// blocks by destination dim-`d` coordinate — **recursive halving**
+/// (`log₂ a_d` steps) when the extent is a power of two, a combining
+/// pipeline (`a_d − 1` steps) otherwise.
+pub fn scatter(
+    shape: &TorusShape,
+    params: &CommParams,
+    root: NodeId,
+) -> Result<CollectiveReport, CollectiveError> {
+    if root >= shape.num_nodes() {
+        return Err(CollectiveError::BadArgument(format!(
+            "root {root} out of range for {shape}"
+        )));
+    }
+    let rootc = shape.coord_of(root);
+    let n = shape.ndims();
+    let nn = shape.num_nodes() as usize;
+    // held[u] = destination ids of blocks node u currently holds.
+    let mut held: Vec<Vec<NodeId>> = vec![Vec::new(); nn];
+    held[root as usize] = (0..shape.num_nodes()).collect();
+    let mut engine = Engine::new(shape, *params);
+
+    for d in 0..n {
+        engine.begin_phase(&format!("scatter dim {d}"));
+        let k = shape.extent(d);
+        if k == 1 {
+            continue;
+        }
+        if k.is_power_of_two() {
+            // Recursive halving: at level j, each holder owns a window of
+            // k/2^j ring offsets and ships the far half k/2^{j+1} forward.
+            let mut half = k / 2;
+            while half >= 1 {
+                let mut txs = Vec::new();
+                let mut deliveries: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+                for c in shape.iter_coords() {
+                    let u = shape.index_of(&c) as usize;
+                    if held[u].is_empty() {
+                        continue;
+                    }
+                    // Blocks whose destination offset from *this holder*
+                    // along dim d falls in [half, 2*half) move on.
+                    let (send, keep): (Vec<NodeId>, Vec<NodeId>) =
+                        held[u].iter().partition(|&&t| {
+                            let tc = shape.coord_of(t);
+                            let off = ring_offset(shape, &c, &tc, d);
+                            off >= half && off < 2 * half
+                        });
+                    if send.is_empty() {
+                        continue;
+                    }
+                    held[u] = keep;
+                    let tx = Transmission::along_ring(
+                        shape,
+                        &c,
+                        Direction::plus(d),
+                        half,
+                        send.len() as u64,
+                    );
+                    deliveries.push((tx.dst, send));
+                    txs.push(tx);
+                }
+                engine
+                    .execute_step(&txs)
+                    .map_err(|e| CollectiveError::Sim(e.to_string()))?;
+                for (dst, blocks) in deliveries {
+                    held[dst as usize].extend(blocks);
+                }
+                half /= 2;
+            }
+        } else {
+            // Combining pipeline: every holder forwards, one hop at a
+            // time, the blocks whose destination lies further along.
+            for _step in 0..k - 1 {
+                let mut txs = Vec::new();
+                let mut deliveries: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+                for c in shape.iter_coords() {
+                    let u = shape.index_of(&c) as usize;
+                    if held[u].is_empty() {
+                        continue;
+                    }
+                    let (send, keep): (Vec<NodeId>, Vec<NodeId>) =
+                        held[u].iter().partition(|&&t| {
+                            let tc = shape.coord_of(t);
+                            ring_offset(shape, &c, &tc, d) > 0
+                        });
+                    if send.is_empty() {
+                        continue;
+                    }
+                    held[u] = keep;
+                    let tx =
+                        Transmission::along_ring(shape, &c, Direction::plus(d), 1, send.len() as u64);
+                    deliveries.push((tx.dst, send));
+                    txs.push(tx);
+                }
+                engine
+                    .execute_step(&txs)
+                    .map_err(|e| CollectiveError::Sim(e.to_string()))?;
+                for (dst, blocks) in deliveries {
+                    held[dst as usize].extend(blocks);
+                }
+            }
+        }
+    }
+    let _ = rootc;
+
+    let verified = held
+        .iter()
+        .enumerate()
+        .all(|(u, h)| h.len() == 1 && h[0] as usize == u);
+    Ok(report_from_engine("scatter", shape, &engine, verified))
+}
+
+/// All-to-one gather: every node contributes one block; `root` ends with
+/// all of them.
+///
+/// Dimension-ordered combining pipelines toward the root, last dimension
+/// first (the mirror of scatter): `Σ (a_d − 1)` steps.
+pub fn gather(
+    shape: &TorusShape,
+    params: &CommParams,
+    root: NodeId,
+) -> Result<CollectiveReport, CollectiveError> {
+    if root >= shape.num_nodes() {
+        return Err(CollectiveError::BadArgument(format!(
+            "root {root} out of range for {shape}"
+        )));
+    }
+    let rootc = shape.coord_of(root);
+    let n = shape.ndims();
+    let nn = shape.num_nodes() as usize;
+    let mut held: Vec<Vec<NodeId>> = (0..nn as u32).map(|u| vec![u]).collect();
+    let mut engine = Engine::new(shape, *params);
+
+    for d in (0..n).rev() {
+        engine.begin_phase(&format!("gather dim {d}"));
+        let k = shape.extent(d);
+        if k == 1 {
+            continue;
+        }
+        for _step in 0..k - 1 {
+            let mut txs = Vec::new();
+            let mut deliveries: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+            for c in shape.iter_coords() {
+                let u = shape.index_of(&c) as usize;
+                // Only nodes in the still-active region participate:
+                // higher dimensions already collapsed onto the root.
+                if !covered_before_phase(&rootc, &c, d + 1, n) {
+                    continue;
+                }
+                if held[u].is_empty() || ring_offset(shape, &rootc, &c, d) == 0 {
+                    continue;
+                }
+                let send = std::mem::take(&mut held[u]);
+                let tx =
+                    Transmission::along_ring(shape, &c, Direction::minus(d), 1, send.len() as u64);
+                deliveries.push((tx.dst, send));
+                txs.push(tx);
+            }
+            engine
+                .execute_step(&txs)
+                .map_err(|e| CollectiveError::Sim(e.to_string()))?;
+            for (dst, blocks) in deliveries {
+                held[dst as usize].extend(blocks);
+            }
+        }
+    }
+
+    let verified = {
+        let mut at_root = held[root as usize].clone();
+        at_root.sort_unstable();
+        at_root.dedup();
+        at_root.len() == nn
+            && held
+                .iter()
+                .enumerate()
+                .all(|(u, h)| u == root as usize || h.is_empty())
+    };
+    Ok(report_from_engine("gather", shape, &engine, verified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cost_model::CommParams;
+
+    #[test]
+    fn scatter_delivers_own_block_to_everyone() {
+        for dims in [&[4u32, 4][..], &[8, 8], &[4, 8], &[3, 5], &[4, 4, 4], &[6, 6]] {
+            let shape = TorusShape::new(dims).unwrap();
+            let r = scatter(&shape, &CommParams::unit(), 0)
+                .unwrap_or_else(|e| panic!("{dims:?}: {e}"));
+            assert!(r.verified, "{dims:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_from_nonzero_root() {
+        let shape = TorusShape::new_2d(8, 4).unwrap();
+        for root in [1u32, 13, 31] {
+            let r = scatter(&shape, &CommParams::unit(), root).unwrap();
+            assert!(r.verified, "root {root}");
+        }
+    }
+
+    #[test]
+    fn scatter_pow2_uses_log_steps() {
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let r = scatter(&shape, &CommParams::unit(), 0).unwrap();
+        // log2(8) per dim = 3 + 3 = 6 steps.
+        assert_eq!(r.counts.startup_steps, 6);
+    }
+
+    #[test]
+    fn scatter_non_pow2_uses_pipeline() {
+        let shape = TorusShape::new_2d(3, 5).unwrap();
+        let r = scatter(&shape, &CommParams::unit(), 0).unwrap();
+        assert_eq!(r.counts.startup_steps, 2 + 4);
+    }
+
+    #[test]
+    fn gather_collects_everything_at_root() {
+        for dims in [&[4u32, 4][..], &[4, 8], &[3, 5], &[4, 4, 4]] {
+            let shape = TorusShape::new(dims).unwrap();
+            for root in [0u32, shape.num_nodes() - 1] {
+                let r = gather(&shape, &CommParams::unit(), root)
+                    .unwrap_or_else(|e| panic!("{dims:?} root {root}: {e}"));
+                assert!(r.verified, "{dims:?} root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_step_count() {
+        let shape = TorusShape::new_2d(4, 8).unwrap();
+        let r = gather(&shape, &CommParams::unit(), 0).unwrap();
+        assert_eq!(r.counts.startup_steps, (4 - 1) + (8 - 1));
+    }
+
+    #[test]
+    fn scatter_and_gather_are_inverse_cost_shapes() {
+        // Same volume moved in opposite directions; scatter (halving) uses
+        // fewer startups on power-of-two rings.
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let s = scatter(&shape, &CommParams::unit(), 0).unwrap();
+        let g = gather(&shape, &CommParams::unit(), 0).unwrap();
+        assert!(s.counts.startup_steps < g.counts.startup_steps);
+    }
+
+    #[test]
+    fn bad_roots_rejected() {
+        let shape = TorusShape::new_2d(4, 4).unwrap();
+        assert!(scatter(&shape, &CommParams::unit(), 16).is_err());
+        assert!(gather(&shape, &CommParams::unit(), 99).is_err());
+    }
+}

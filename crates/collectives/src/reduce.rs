@@ -1,0 +1,232 @@
+//! Reduce (all-to-one combining) and allreduce.
+//!
+//! These collectives carry **real data** — `u64` vectors combined
+//! elementwise with wrapping addition — so verification checks the actual
+//! reduced values, not just block bookkeeping.
+
+use cost_model::CommParams;
+use torus_sim::{Engine, Transmission};
+use torus_topology::{Direction, NodeId, TorusShape};
+
+use crate::bcast::broadcast;
+use crate::ring::{covered_before_phase, ring_offset};
+use crate::{report_from_engine, CollectiveError, CollectiveReport};
+
+/// All-to-one reduction: every node contributes a `vec_len`-element
+/// vector produced by `contribution(node)`; `root` ends with the
+/// elementwise (wrapping) sum. Returns the report and the reduced vector.
+///
+/// Dimension-ordered combining waves: in each ring, partial sums flow one
+/// hop per step toward the root's coordinate, added into whatever the
+/// intermediate node holds — `Σ (a_d − 1)` contention-free steps.
+///
+/// ```
+/// use collectives::reduce;
+/// use cost_model::CommParams;
+/// use torus_topology::TorusShape;
+///
+/// let shape = TorusShape::new_2d(4, 4).unwrap();
+/// let (report, sum) = reduce(&shape, &CommParams::unit(), 0, 1, |node| vec![node as u64]).unwrap();
+/// assert!(report.verified);
+/// assert_eq!(sum, vec![(0..16).sum::<u64>()]);
+/// ```
+pub fn reduce<F>(
+    shape: &TorusShape,
+    params: &CommParams,
+    root: NodeId,
+    vec_len: usize,
+    mut contribution: F,
+) -> Result<(CollectiveReport, Vec<u64>), CollectiveError>
+where
+    F: FnMut(NodeId) -> Vec<u64>,
+{
+    if root >= shape.num_nodes() {
+        return Err(CollectiveError::BadArgument(format!(
+            "root {root} out of range for {shape}"
+        )));
+    }
+    if vec_len == 0 {
+        return Err(CollectiveError::BadArgument("vec_len must be > 0".into()));
+    }
+    let rootc = shape.coord_of(root);
+    let n = shape.ndims();
+    let nn = shape.num_nodes() as usize;
+
+    // Partial sums; None = nothing to forward.
+    let mut partial: Vec<Option<Vec<u64>>> = (0..nn as u32)
+        .map(|u| {
+            let v = contribution(u);
+            assert_eq!(v.len(), vec_len, "contribution length mismatch at node {u}");
+            Some(v)
+        })
+        .collect();
+    // Reference sum for verification.
+    let mut expected = vec![0u64; vec_len];
+    for p in partial.iter().flatten() {
+        for (e, x) in expected.iter_mut().zip(p) {
+            *e = e.wrapping_add(*x);
+        }
+    }
+
+    let mut engine = Engine::new(shape, *params);
+    for d in (0..n).rev() {
+        engine.begin_phase(&format!("reduce dim {d}"));
+        let k = shape.extent(d);
+        if k == 1 {
+            continue;
+        }
+        for _step in 0..k - 1 {
+            let mut txs = Vec::new();
+            let mut deliveries: Vec<(NodeId, Vec<u64>)> = Vec::new();
+            for c in shape.iter_coords() {
+                let u = shape.index_of(&c) as usize;
+                if !covered_before_phase(&rootc, &c, d + 1, n)
+                    || ring_offset(shape, &rootc, &c, d) == 0
+                {
+                    continue;
+                }
+                let Some(v) = partial[u].take() else { continue };
+                let tx = Transmission::along_ring(
+                    shape,
+                    &c,
+                    Direction::minus(d),
+                    1,
+                    vec_len as u64,
+                );
+                deliveries.push((tx.dst, v));
+                txs.push(tx);
+            }
+            engine
+                .execute_step(&txs)
+                .map_err(|e| CollectiveError::Sim(e.to_string()))?;
+            for (dst, v) in deliveries {
+                match &mut partial[dst as usize] {
+                    Some(acc) => {
+                        for (a, x) in acc.iter_mut().zip(&v) {
+                            *a = a.wrapping_add(*x);
+                        }
+                    }
+                    slot @ None => *slot = Some(v),
+                }
+            }
+        }
+    }
+
+    let result = partial[root as usize].clone().unwrap_or_default();
+    let verified = result == expected
+        && partial
+            .iter()
+            .enumerate()
+            .all(|(u, p)| u == root as usize || p.is_none());
+    Ok((
+        report_from_engine("reduce", shape, &engine, verified),
+        result,
+    ))
+}
+
+/// Allreduce: reduce to node 0, then broadcast the result. Returns the
+/// composed report (cost counts summed) and the reduced vector.
+pub fn allreduce<F>(
+    shape: &TorusShape,
+    params: &CommParams,
+    vec_len: usize,
+    contribution: F,
+) -> Result<(CollectiveReport, Vec<u64>), CollectiveError>
+where
+    F: FnMut(NodeId) -> Vec<u64>,
+{
+    let (r1, value) = reduce(shape, params, 0, vec_len, contribution)?;
+    let r2 = broadcast(shape, params, 0, vec_len as u64)?;
+    let counts = r1.counts.add(&r2.counts);
+    let elapsed = cost_model::CompletionTime {
+        startup: r1.elapsed.startup + r2.elapsed.startup,
+        transmission: r1.elapsed.transmission + r2.elapsed.transmission,
+        rearrangement: r1.elapsed.rearrangement + r2.elapsed.rearrangement,
+        propagation: r1.elapsed.propagation + r2.elapsed.propagation,
+    };
+    Ok((
+        CollectiveReport {
+            name: "allreduce",
+            shape: shape.clone(),
+            counts,
+            elapsed,
+            verified: r1.verified && r2.verified,
+        },
+        value,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cost_model::CommParams;
+
+    fn contrib(u: NodeId) -> Vec<u64> {
+        vec![u as u64 + 1, (u as u64) * 3, 7]
+    }
+
+    #[test]
+    fn reduce_computes_exact_sum() {
+        for dims in [&[4u32, 4][..], &[4, 8], &[3, 5], &[4, 4, 4]] {
+            let shape = TorusShape::new(dims).unwrap();
+            let (r, v) = reduce(&shape, &CommParams::unit(), 0, 3, contrib)
+                .unwrap_or_else(|e| panic!("{dims:?}: {e}"));
+            assert!(r.verified, "{dims:?}");
+            let n = shape.num_nodes() as u64;
+            assert_eq!(v[0], n * (n + 1) / 2);
+            assert_eq!(v[1], 3 * n * (n - 1) / 2);
+            assert_eq!(v[2], 7 * n);
+        }
+    }
+
+    #[test]
+    fn reduce_to_any_root() {
+        let shape = TorusShape::new_2d(4, 6).unwrap();
+        for root in [0u32, 7, 23] {
+            let (r, v) = reduce(&shape, &CommParams::unit(), root, 1, |u| vec![u as u64]).unwrap();
+            assert!(r.verified, "root {root}");
+            let n = shape.num_nodes() as u64;
+            assert_eq!(v[0], n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn reduce_step_count() {
+        let shape = TorusShape::new_2d(4, 8).unwrap();
+        let (r, _) = reduce(&shape, &CommParams::unit(), 0, 1, |_| vec![1]).unwrap();
+        assert_eq!(r.counts.startup_steps, 3 + 7);
+    }
+
+    #[test]
+    fn reduce_wrapping_overflow_is_defined() {
+        let shape = TorusShape::new_2d(4, 4).unwrap();
+        let (r, v) = reduce(&shape, &CommParams::unit(), 0, 1, |_| vec![u64::MAX]).unwrap();
+        assert!(r.verified);
+        // 16 * MAX (wrapping) = MAX.wrapping_mul(16)
+        assert_eq!(v[0], u64::MAX.wrapping_mul(16));
+    }
+
+    #[test]
+    fn allreduce_combines_reduce_and_broadcast() {
+        let shape = TorusShape::new_2d(4, 4).unwrap();
+        let (r, v) = allreduce(&shape, &CommParams::unit(), 2, |u| {
+            vec![u as u64, 1]
+        })
+        .unwrap();
+        assert!(r.verified);
+        assert_eq!(v, vec![120, 16]);
+        // steps = reduce steps + broadcast steps
+        let (r1, _) = reduce(&shape, &CommParams::unit(), 0, 2, |u| vec![u as u64, 1]).unwrap();
+        let r2 = broadcast(&shape, &CommParams::unit(), 0, 2).unwrap();
+        assert_eq!(
+            r.counts.startup_steps,
+            r1.counts.startup_steps + r2.counts.startup_steps
+        );
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let shape = TorusShape::new_2d(4, 4).unwrap();
+        assert!(reduce(&shape, &CommParams::unit(), 0, 0, |_| vec![]).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Ring bookkeeping shared by the dimension-ordered collectives.
+
+use torus_topology::{Coord, NodeId, TorusShape};
+
+/// Ring-relative offset of `node` from `origin` along `dim`, in the
+/// positive direction (`0 ≤ offset < a_d`).
+pub fn ring_offset(shape: &TorusShape, origin: &Coord, node: &Coord, dim: usize) -> u32 {
+    torus_topology::ring_sub(node[dim], origin[dim], shape.extent(dim))
+}
+
+/// The "ring anchor" of a node for phase `d` of a rooted dimension-ordered
+/// collective: the node of the same dim-`d` ring whose dim-`d` coordinate
+/// matches the root's. Rings are disjoint; the anchor is each ring's
+/// member of the already-covered region.
+pub fn ring_anchor(shape: &TorusShape, root: &Coord, node: &Coord, dim: usize) -> Coord {
+    let _ = shape;
+    node.with(dim, root[dim])
+}
+
+/// Whether `node` participates as a data holder at the *start* of phase
+/// `d` of a rooted dimension-ordered collective that processes dimensions
+/// `0, 1, …` in order: it must match the root's coordinates on all
+/// dimensions `≥ d`.
+pub fn covered_before_phase(root: &Coord, node: &Coord, dim: usize, ndims: usize) -> bool {
+    (dim..ndims).all(|e| node[e] == root[e])
+}
+
+/// Iterates the nodes of the dim-`d` ring through `anchor` in positive
+/// ring order starting at the anchor.
+pub fn ring_members<'a>(
+    shape: &'a TorusShape,
+    anchor: &'a Coord,
+    dim: usize,
+) -> impl Iterator<Item = Coord> + 'a {
+    let k = shape.extent(dim);
+    (0..k).map(move |i| anchor.with(dim, (anchor[dim] + i) % k))
+}
+
+/// Node id shorthand.
+pub fn id(shape: &TorusShape, c: &Coord) -> NodeId {
+    shape.index_of(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_and_anchor() {
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let root = Coord::new(&[2, 3]);
+        let node = Coord::new(&[6, 3]);
+        assert_eq!(ring_offset(&shape, &root, &node, 0), 4);
+        assert_eq!(ring_anchor(&shape, &root, &node, 0), root);
+        let other = Coord::new(&[6, 5]);
+        assert_eq!(ring_anchor(&shape, &root, &other, 0), Coord::new(&[2, 5]));
+    }
+
+    #[test]
+    fn coverage_predicate() {
+        let root = Coord::new(&[1, 2, 3]);
+        // phase 0: must match root on dims 0..3? no — dims >= 0 is all.
+        assert!(covered_before_phase(&root, &root, 0, 3));
+        assert!(!covered_before_phase(&root, &Coord::new(&[0, 2, 3]), 0, 3));
+        // phase 1: dims 1,2 must match.
+        assert!(covered_before_phase(&root, &Coord::new(&[7, 2, 3]), 1, 3));
+        assert!(!covered_before_phase(&root, &Coord::new(&[7, 0, 3]), 1, 3));
+        // phase 2: only dim 2 must match.
+        assert!(covered_before_phase(&root, &Coord::new(&[7, 7, 3]), 2, 3));
+    }
+
+    #[test]
+    fn ring_members_cover_ring_once() {
+        let shape = TorusShape::new_2d(4, 8).unwrap();
+        let anchor = Coord::new(&[2, 5]);
+        let members: Vec<Coord> = ring_members(&shape, &anchor, 1).collect();
+        assert_eq!(members.len(), 8);
+        assert_eq!(members[0], anchor);
+        let mut dedup = members.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8);
+        assert!(members.iter().all(|m| m[0] == 2));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Analytic cost models for complete exchange on torus networks.
+//!
+//! This crate encodes, as executable closed forms, the complexity analysis
+//! of Suh & Shin (ICPP 1998):
+//!
+//! * [`params`] — the performance parameters of Section 2 (`t_s`, `t_c`,
+//!   `t_l`, `ρ`, block size `m`) with machine presets,
+//! * [`counts`] — the four cost dimensions the paper tracks (startup steps,
+//!   transmitted blocks, rearrangement, propagation hops),
+//! * [`table1`] — Table 1: closed forms of the proposed algorithm for 2D
+//!   and general n-D tori,
+//! * [`table2`] — Table 2: comparison of the proposed algorithm with
+//!   Tseng et al. \[13\] and Suh & Yalamanchili \[9\] on `2^d × 2^d` tori,
+//! * [`completion`] — turning counts plus parameters into completion time.
+//!
+//! The simulator (`torus-sim`) measures the same [`counts::CostCounts`]
+//! quantities by executing schedules step by step; the test suites assert
+//! measured == closed-form for every supported topology.
+
+pub mod completion;
+pub mod counts;
+pub mod params;
+pub mod table1;
+pub mod table2;
+
+pub use completion::CompletionTime;
+pub use counts::CostCounts;
+pub use params::{CommParams, SwitchingMode};
+pub use table1::{proposed_2d, proposed_nd};
+pub use table2::{proposed_pow2_square, suh_yalamanchili_9, tseng_13, Pow2SquareCosts};

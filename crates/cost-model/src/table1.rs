@@ -1,0 +1,121 @@
+//! Table 1 — closed-form costs of the proposed algorithms.
+//!
+//! | Network | `R × C` torus | `a_1 × … × a_n` torus |
+//! |---|---|---|
+//! | Startup | `(C/2 + 2)·t_s` | `n(a_1/4 + 1)·t_s` |
+//! | Message transmission | `RC(C+4)/4 · m·t_c` | `n/8·(a_1+4)·(a_1…a_n)·m·t_c` |
+//! | Data rearrangement | `3RC·m·ρ` | `(n+1)(a_1…a_n)·m·ρ` |
+//! | Propagation | `2(C−1)·t_l` | `n(a_1−1)·t_l` |
+//!
+//! with `a_1 ≥ a_2 ≥ … ≥ a_n` (2D: `R ≤ C`, so `C` plays the role of `a_1`).
+//! The 2D column is exactly the `n = 2` instance of the general column; the
+//! tests verify that identity.
+
+use crate::counts::CostCounts;
+
+/// Closed-form cost counts of the proposed n-D algorithm for an
+/// `a_1 × … × a_n` torus. Dimensions may be given in any order (the largest
+/// is used as `a_1`); each must be a multiple of four.
+///
+/// # Panics
+///
+/// Panics if `dims` is empty or any extent is not a positive multiple
+/// of four.
+pub fn proposed_nd(dims: &[u32]) -> CostCounts {
+    assert!(!dims.is_empty(), "need at least one dimension");
+    for &k in dims {
+        assert!(k > 0 && k % 4 == 0, "dimension {k} must be a positive multiple of 4");
+    }
+    let n = dims.len() as u64;
+    let a1 = *dims.iter().max().expect("non-empty") as u64;
+    let prod: u64 = dims.iter().map(|&k| k as u64).product();
+    CostCounts {
+        startup_steps: n * (a1 / 4 + 1),
+        trans_blocks: n * (a1 + 4) * prod / 8,
+        rearr_steps: n + 1,
+        rearr_blocks: (n + 1) * prod,
+        prop_hops: n * (a1 - 1),
+    }
+}
+
+/// Closed-form cost counts of the proposed 2D algorithm for an `R × C`
+/// torus (Section 3.4). `R` and `C` may be given in either order.
+pub fn proposed_2d(r: u32, c: u32) -> CostCounts {
+    proposed_nd(&[r, c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_section_3_4_for_12x12() {
+        let c = proposed_2d(12, 12);
+        // C/2 + 2 = 8 steps
+        assert_eq!(c.startup_steps, 8);
+        // RC(C+4)/4 = 144*16/4 = 576 blocks
+        assert_eq!(c.trans_blocks, 576);
+        assert_eq!(c.rearr_steps, 3);
+        // 3RC = 432
+        assert_eq!(c.rearr_blocks, 432);
+        // 2(C-1) = 22
+        assert_eq!(c.prop_hops, 22);
+    }
+
+    #[test]
+    fn two_d_uses_larger_dim_as_c() {
+        // R=8, C=16: startup = C/2+2 = 10 regardless of argument order.
+        assert_eq!(proposed_2d(8, 16).startup_steps, 10);
+        assert_eq!(proposed_2d(16, 8).startup_steps, 10);
+        assert_eq!(proposed_2d(8, 16), proposed_2d(16, 8));
+    }
+
+    #[test]
+    fn rectangular_2d_formula() {
+        let c = proposed_2d(8, 16);
+        assert_eq!(c.trans_blocks, 2 * (16 + 4) * 8 * 16 / 8); // n/8 (a1+4) prod
+        assert_eq!(c.trans_blocks, 8 * 16 * (16 + 4) / 4); // RC(C+4)/4
+        assert_eq!(c.prop_hops, 2 * 15);
+        assert_eq!(c.rearr_blocks, 3 * 128);
+    }
+
+    #[test]
+    fn three_d_formula() {
+        let c = proposed_nd(&[12, 12, 12]);
+        let prod = 12u64 * 12 * 12;
+        assert_eq!(c.startup_steps, 3 * (3 + 1));
+        assert_eq!(c.trans_blocks, 3 * 16 * prod / 8);
+        assert_eq!(c.rearr_steps, 4);
+        assert_eq!(c.rearr_blocks, 4 * prod);
+        assert_eq!(c.prop_hops, 3 * 11);
+    }
+
+    #[test]
+    fn nd_sorted_invariance() {
+        assert_eq!(proposed_nd(&[8, 12, 16]), proposed_nd(&[16, 12, 8]));
+    }
+
+    #[test]
+    fn four_d() {
+        let c = proposed_nd(&[8, 8, 8, 8]);
+        assert_eq!(c.startup_steps, 4 * 3);
+        assert_eq!(c.trans_blocks, 4 * 12 * 4096 / 8);
+        assert_eq!(c.rearr_steps, 5);
+        assert_eq!(c.prop_hops, 4 * 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn rejects_non_multiple_of_4() {
+        proposed_nd(&[12, 10]);
+    }
+
+    #[test]
+    fn one_dimensional_degenerate() {
+        // n=1: a ring of a1 nodes. n+2 = 3 phases; formula still evaluates.
+        let c = proposed_nd(&[16]);
+        assert_eq!(c.startup_steps, 16 / 4 + 1);
+        assert_eq!(c.trans_blocks, 20 * 16 / 8);
+        assert_eq!(c.rearr_steps, 2);
+    }
+}

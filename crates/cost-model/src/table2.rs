@@ -1,0 +1,193 @@
+//! Table 2 — completion-cost comparison on `2^d × 2^d` tori.
+//!
+//! | Cost | Tseng et al. \[13\] | Suh & Yalamanchili \[9\] | Proposed |
+//! |---|---|---|---|
+//! | Startup | `(2^{d-1}+2)·t_s` | `(3d−3)·t_s` | `(2^{d-1}+2)·t_s` |
+//! | Transmission | `(2^{3d−2}+2^{2d})·m·t_c` | `{9·2^{3d−4}+(d²−5d+3)·2^{2d−1}}·m·t_c` | `(2^{3d−2}+2^{2d})·m·t_c` |
+//! | Rearrangement | `(2^{d−1}+1)·2^{2d}·m·ρ` | `{9·2^{3d−4}+(d²−5d+3)·2^{2d−1}}·m·ρ` | `3·2^{2d}·m·ρ` |
+//! | Propagation | `(2^{2d−1}+10)/3·t_l` | `(13·2^{d−2}−3d−3)·t_l` | `(2^{d+1}−2)·t_l` |
+//!
+//! These are the paper's published closed forms for the two prior
+//! algorithms; we use them as analytic baselines (the original
+//! implementations are not available — see DESIGN.md §5).
+//!
+//! Counts use `f64` because the \[9\] transmission expression contains the
+//! factor `d² − 5d + 3`, which is negative for `d ≤ 4` (the expression as a
+//! whole stays positive for all `d ≥ 2`).
+
+/// The four Table 2 cost rows for one algorithm on a `2^d × 2^d` torus,
+/// expressed in the paper's units (steps, blocks, blocks, hops).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Pow2SquareCosts {
+    /// Torus is `2^d × 2^d`.
+    pub d: u32,
+    /// Startup steps (multiply by `t_s`).
+    pub startup_steps: f64,
+    /// Transmitted blocks (multiply by `m·t_c`).
+    pub trans_blocks: f64,
+    /// Rearranged blocks (multiply by `m·ρ`).
+    pub rearr_blocks: f64,
+    /// Propagation hops (multiply by `t_l`).
+    pub prop_hops: f64,
+}
+
+impl Pow2SquareCosts {
+    /// Completion time under `params` (µs), ignoring any overlap:
+    /// `startup·t_s + blocks·m·t_c + rearr·m·ρ + hops·t_l`.
+    pub fn completion_time(&self, params: &crate::params::CommParams) -> f64 {
+        let m = params.block_size() as f64;
+        self.startup_steps * params.t_s
+            + self.trans_blocks * m * params.t_c
+            + self.rearr_blocks * m * params.rho
+            + self.prop_hops * params.t_l
+    }
+}
+
+fn p2(e: i64) -> f64 {
+    debug_assert!(e >= 0, "negative power 2^{e} in a count formula");
+    (1u128 << e) as f64
+}
+
+/// Proposed algorithm on a `2^d × 2^d` torus (Table 2, last column).
+/// Requires `d ≥ 2` so the side `2^d` is a multiple of four.
+pub fn proposed_pow2_square(d: u32) -> Pow2SquareCosts {
+    assert!(d >= 2, "side 2^d must be a multiple of 4 (d >= 2), got d={d}");
+    let d = d as i64;
+    Pow2SquareCosts {
+        d: d as u32,
+        startup_steps: p2(d - 1) + 2.0,
+        trans_blocks: p2(3 * d - 2) + p2(2 * d),
+        rearr_blocks: 3.0 * p2(2 * d),
+        prop_hops: p2(d + 1) - 2.0,
+    }
+}
+
+/// Tseng, Gupta & Panda \[13\] on a `2^d × 2^d` torus (Table 2, column 1).
+pub fn tseng_13(d: u32) -> Pow2SquareCosts {
+    assert!(d >= 1, "need d >= 1");
+    let d = d as i64;
+    Pow2SquareCosts {
+        d: d as u32,
+        startup_steps: p2(d - 1) + 2.0,
+        trans_blocks: p2(3 * d - 2) + p2(2 * d),
+        rearr_blocks: (p2(d - 1) + 1.0) * p2(2 * d),
+        prop_hops: (p2(2 * d - 1) + 10.0) / 3.0,
+    }
+}
+
+/// Suh & Yalamanchili \[9\] on a `2^d × 2^d` torus (Table 2, column 2).
+pub fn suh_yalamanchili_9(d: u32) -> Pow2SquareCosts {
+    assert!(d >= 2, "the [9] formulas assume d >= 2, got d={d}");
+    let di = d as i64;
+    let quad = (di * di - 5 * di + 3) as f64; // negative for d <= 4
+    let trans = 9.0 * p2(3 * di - 4) + quad * p2(2 * di - 1);
+    Pow2SquareCosts {
+        d,
+        startup_steps: (3 * di - 3) as f64,
+        trans_blocks: trans,
+        rearr_blocks: trans, // same expression, multiplied by m·ρ instead of m·t_c
+        prop_hops: 13.0 * p2(di - 2) - (3 * di + 3) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CommParams;
+    use crate::table1::proposed_2d;
+
+    #[test]
+    fn proposed_column_matches_table1_instance() {
+        // Table 2's "Proposed" column must equal Table 1 with R=C=2^d.
+        for d in 2..=7u32 {
+            let side = 1u32 << d;
+            let t1 = proposed_2d(side, side);
+            let t2 = proposed_pow2_square(d);
+            assert_eq!(t2.startup_steps, t1.startup_steps as f64, "d={d}");
+            assert_eq!(t2.trans_blocks, t1.trans_blocks as f64, "d={d}");
+            assert_eq!(t2.rearr_blocks, t1.rearr_blocks as f64, "d={d}");
+            assert_eq!(t2.prop_hops, t1.prop_hops as f64, "d={d}");
+        }
+    }
+
+    #[test]
+    fn proposed_and_tseng_share_startup_and_transmission() {
+        // Section 5: "the startup time and message-transmission time are
+        // equivalent to those in [13]".
+        for d in 2..=8 {
+            let p = proposed_pow2_square(d);
+            let t = tseng_13(d);
+            assert_eq!(p.startup_steps, t.startup_steps);
+            assert_eq!(p.trans_blocks, t.trans_blocks);
+        }
+    }
+
+    #[test]
+    fn proposed_beats_tseng_on_rearrangement_and_propagation() {
+        // At d=2 the two algorithms tie exactly (3 = 2^{d-1}+1 and both
+        // propagation forms give 6); the advantage is strict for d >= 3.
+        let p2 = proposed_pow2_square(2);
+        let t2 = tseng_13(2);
+        assert_eq!(p2.rearr_blocks, t2.rearr_blocks);
+        assert_eq!(p2.prop_hops, t2.prop_hops);
+        for d in 3..=10 {
+            let p = proposed_pow2_square(d);
+            let t = tseng_13(d);
+            assert!(p.rearr_blocks < t.rearr_blocks, "d={d}");
+            // Propagation also ties at d=3 ((2^5+10)/3 = 14 = 2^4−2) and is
+            // strictly better from d=4 on (O(2^d) vs O(2^{2d})).
+            if d >= 4 {
+                assert!(p.prop_hops < t.prop_hops, "d={d}");
+            } else {
+                assert_eq!(p.prop_hops, t.prop_hops, "d={d}");
+            }
+        }
+        // Rearrangement ratio grows as 2^{d-1}+1 vs constant 3.
+        let p = proposed_pow2_square(6);
+        let t = tseng_13(6);
+        assert_eq!(t.rearr_blocks / p.rearr_blocks, (32.0 + 1.0) / 3.0);
+    }
+
+    #[test]
+    fn suh_yala_beats_proposed_on_startup_only() {
+        // Section 5: [9] has O(d) startups vs O(2^d) for the proposed,
+        // but loses on transmission and rearrangement.
+        for d in 4..=10 {
+            let p = proposed_pow2_square(d);
+            let s = suh_yalamanchili_9(d);
+            assert!(s.startup_steps < p.startup_steps, "d={d}");
+            assert!(s.trans_blocks > p.trans_blocks, "d={d}");
+            assert!(s.rearr_blocks > p.rearr_blocks, "d={d}");
+        }
+    }
+
+    #[test]
+    fn suh_yala_transmission_positive() {
+        // (d²−5d+3) < 0 for small d must not drive the total negative.
+        for d in 2..=12 {
+            assert!(suh_yalamanchili_9(d).trans_blocks > 0.0, "d={d}");
+        }
+    }
+
+    #[test]
+    fn completion_time_unit_params_is_sum() {
+        let p = proposed_pow2_square(3);
+        let t = p.completion_time(&CommParams::unit());
+        let want = p.startup_steps + p.trans_blocks + p.rearr_blocks + p.prop_hops;
+        assert!((t - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propagation_complexity_orders() {
+        // Proposed is O(2^d), [13] is O(2^{2d}): ratio must grow ~2^d.
+        let r6 = tseng_13(6).prop_hops / proposed_pow2_square(6).prop_hops;
+        let r8 = tseng_13(8).prop_hops / proposed_pow2_square(8).prop_hops;
+        assert!(r8 > 3.0 * r6);
+    }
+
+    #[test]
+    #[should_panic(expected = "d >= 2")]
+    fn proposed_rejects_d1() {
+        proposed_pow2_square(1);
+    }
+}

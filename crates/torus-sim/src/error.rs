@@ -1,0 +1,112 @@
+//! Simulator error types.
+//!
+//! Every violation of the paper's communication model is a distinct error
+//! so failure-injection tests can assert that broken schedules are caught
+//! for the *right* reason.
+
+use std::fmt;
+
+use torus_topology::{Channel, NodeId};
+
+/// A rejected simulation step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Two messages of the same step require the same unidirectional
+    /// channel (wormhole switching holds every channel of the path for the
+    /// whole step).
+    ChannelContention {
+        /// The contended channel.
+        channel: Channel,
+        /// `(src, dst)` of the message that reserved the channel first.
+        first: (NodeId, NodeId),
+        /// `(src, dst)` of the conflicting message.
+        second: (NodeId, NodeId),
+    },
+    /// A node attempted two sends in one step (single injection channel).
+    SendPortBusy {
+        /// The overcommitted sender.
+        node: NodeId,
+    },
+    /// A node was the destination of two messages in one step (single
+    /// consumption channel).
+    ReceivePortBusy {
+        /// The overcommitted receiver.
+        node: NodeId,
+    },
+    /// A transmission's channel list is not a contiguous path from its
+    /// source to its destination.
+    MalformedPath {
+        /// Source of the offending transmission.
+        src: NodeId,
+        /// Destination of the offending transmission.
+        dst: NodeId,
+        /// Human-readable description of the defect.
+        reason: &'static str,
+    },
+    /// A channel endpoint pair is not a torus-adjacent node pair.
+    NotAdjacent {
+        /// The offending channel.
+        channel: Channel,
+    },
+    /// A transmission from a node to itself.
+    SelfMessage {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ChannelContention {
+                channel,
+                first,
+                second,
+            } => write!(
+                f,
+                "channel contention on {}->{}: messages {}->{} and {}->{} overlap",
+                channel.from, channel.to, first.0, first.1, second.0, second.1
+            ),
+            SimError::SendPortBusy { node } => {
+                write!(f, "node {node} attempted two sends in one step (one-port)")
+            }
+            SimError::ReceivePortBusy { node } => {
+                write!(f, "node {node} receives two messages in one step (one-port)")
+            }
+            SimError::MalformedPath { src, dst, reason } => {
+                write!(f, "malformed path for message {src}->{dst}: {reason}")
+            }
+            SimError::NotAdjacent { channel } => write!(
+                f,
+                "channel {}->{} does not connect adjacent torus nodes",
+                channel.from, channel.to
+            ),
+            SimError::SelfMessage { node } => {
+                write!(f, "node {node} sends a message to itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::ChannelContention {
+            channel: Channel::new(3, 4),
+            first: (1, 5),
+            second: (2, 6),
+        };
+        let s = e.to_string();
+        assert!(s.contains("3->4"));
+        assert!(s.contains("1->5"));
+        assert!(s.contains("2->6"));
+
+        assert!(SimError::SendPortBusy { node: 7 }.to_string().contains("7"));
+        assert!(SimError::ReceivePortBusy { node: 9 }.to_string().contains("9"));
+    }
+}

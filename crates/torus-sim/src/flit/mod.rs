@@ -1,0 +1,203 @@
+//! Flit-level wormhole simulation.
+//!
+//! The step engine ([`crate::engine`]) *assumes* the paper's analytic
+//! timing `T = t_s + m·t_c + h·t_l` for contention-free steps. This module
+//! drops one level of abstraction and simulates individual flits moving
+//! through router buffers under wormhole switching — single-flit-wide
+//! channels, credit-style backpressure, channel ownership from header
+//! acquisition to tail release, one-port injection/consumption — so that:
+//!
+//! * the analytic model can be **validated** (a contention-free step of
+//!   `m`-flit messages over `h` hops completes in exactly `h + m` cycles,
+//!   the `m·t_c + h·t_l` part of the paper's expression), and
+//! * the *cost of violating* contention-freedom can be measured: wormhole
+//!   messages sharing a channel serialize (and cyclically blocked worms
+//!   deadlock — detected and reported), which is exactly why the paper
+//!   engineers its schedules the way it does.
+//!
+//! The model: each unidirectional channel moves one flit per cycle into a
+//! FIFO buffer at its downstream router (capacity [`FlitConfig::buf_cap`]).
+//! A packet's header flit may cross a channel only if it owns it or can
+//! acquire it (free channel, deterministic lowest-packet-id arbitration);
+//! body flits follow the established path; the tail flit releases each
+//! channel as it passes. Injection and consumption are one flit per cycle
+//! per node (one-port architecture, paper Section 2).
+
+mod packet;
+mod sim;
+
+pub use packet::{FlitConfig, FlitError, FlitStats, Packet, PacketId};
+pub use sim::FlitSim;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transmission::Transmission;
+    use torus_topology::{Coord, Direction, TorusShape};
+
+    fn shape8() -> TorusShape {
+        TorusShape::new_2d(8, 8).unwrap()
+    }
+
+    fn pkt(shape: &TorusShape, from: [u32; 2], dir: Direction, hops: u32, len: u32) -> Packet {
+        let t = Transmission::along_ring(shape, &Coord::new(&from), dir, hops, 1);
+        Packet::from_transmission(&t, len)
+    }
+
+    #[test]
+    fn single_packet_pipelined_latency() {
+        // h hops + m flits: injection is the first channel crossing, so
+        // the header reaches the last buffer at cycle h, the sink drains
+        // one flit per cycle, and the tail is consumed at cycle h + m —
+        // exactly the m·t_c + h·t_l of the paper's analytic model.
+        let shape = shape8();
+        for (hops, len) in [(1u32, 1u32), (4, 8), (7, 16), (2, 64)] {
+            let mut sim = FlitSim::new(&shape, FlitConfig::default());
+            sim.add_packet(pkt(&shape, [0, 0], Direction::plus(1), hops, len));
+            let stats = sim.run().unwrap();
+            assert_eq!(
+                stats.completion_cycle,
+                (hops + len) as u64,
+                "hops={hops} len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn contention_free_step_completes_in_max_time() {
+        // The paper's phase-1 step on an 8x8 torus: every node sends 4 hops
+        // in its assigned direction; all messages are channel-disjoint, so
+        // the whole step takes the same time as one message.
+        let shape = shape8();
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        let len = 16u32;
+        for c in shape.iter_coords() {
+            let gamma = (c[0] + c[1]) % 4;
+            let dir = match gamma {
+                0 => Direction::plus(0),
+                1 => Direction::plus(1),
+                2 => Direction::minus(0),
+                _ => Direction::minus(1),
+            };
+            sim.add_packet(pkt(&shape, [c[0], c[1]], dir, 4, len));
+        }
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.completion_cycle, (4 + len) as u64);
+        assert_eq!(stats.delivered, 64);
+    }
+
+    #[test]
+    fn contending_packets_serialize() {
+        // Two messages share channels (0,1)->(0,2)->(0,3): the second worm
+        // blocks until the first tail releases; completion is roughly
+        // doubled vs. the contention-free case.
+        let shape = shape8();
+        let len = 32u32;
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        sim.add_packet(pkt(&shape, [0, 0], Direction::plus(1), 4, len));
+        sim.add_packet(pkt(&shape, [0, 1], Direction::plus(1), 4, len));
+        let stats = sim.run().unwrap();
+        let single = (4 + len) as u64;
+        assert!(
+            stats.completion_cycle > single + (len / 2) as u64,
+            "expected serialization: {} vs single {}",
+            stats.completion_cycle,
+            single
+        );
+        assert_eq!(stats.delivered, 2);
+    }
+
+    #[test]
+    fn one_port_injection_serializes_same_source() {
+        // Two packets from the same node go out one after the other even
+        // on disjoint routes (single injection channel).
+        let shape = shape8();
+        let len = 16u32;
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        sim.add_packet(pkt(&shape, [0, 0], Direction::plus(1), 2, len));
+        sim.add_packet(pkt(&shape, [0, 0], Direction::plus(0), 2, len));
+        let stats = sim.run().unwrap();
+        // Second packet's injection starts after the first's tail left the
+        // queue: >= 2*len cycles total.
+        assert!(stats.completion_cycle >= 2 * len as u64);
+    }
+
+    #[test]
+    fn cyclic_contention_deadlocks_and_is_detected() {
+        // Four worms chase each other around a 4-ring with tiny buffers:
+        // each owns one segment and waits on the next — classic wormhole
+        // deadlock (real machines break it with virtual channels; the
+        // paper's schedules avoid it by construction).
+        let shape = TorusShape::new_2d(4, 4).unwrap();
+        let mut sim = FlitSim::new(
+            &shape,
+            FlitConfig {
+                buf_cap: 1,
+                ..FlitConfig::default()
+            },
+        );
+        let len = 64u32;
+        for c in 0..4u32 {
+            sim.add_packet(pkt(&shape, [0, c], Direction::plus(1), 2, len));
+        }
+        match sim.run() {
+            Err(FlitError::Deadlock { cycle, stalled }) => {
+                assert!(stalled > 0);
+                assert!(cycle > 0);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flit_conservation() {
+        let shape = shape8();
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        let mut total = 0u64;
+        // Rows 0 and 1 both move along their own column, in opposite
+        // directions, so all 16 routes are channel-disjoint (many worms in
+        // one ring direction would deadlock — that behaviour has its own
+        // test above).
+        for (i, c) in shape.iter_coords().enumerate().take(16) {
+            let len = 4 + (i as u32 % 13);
+            total += len as u64;
+            let dir = if c[0] == 0 {
+                Direction::plus(0)
+            } else {
+                Direction::minus(0)
+            };
+            sim.add_packet(pkt(&shape, [c[0], c[1]], dir, 3, len));
+        }
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.flits_delivered, total);
+        assert_eq!(stats.delivered, 16);
+    }
+
+    #[test]
+    fn zero_length_packet_rejected() {
+        let shape = shape8();
+        let t = Transmission::along_ring(&shape, &Coord::new(&[0, 0]), Direction::plus(0), 1, 1);
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        assert!(matches!(
+            sim.try_add_packet(Packet::from_transmission(&t, 0)),
+            Err(FlitError::EmptyPacket { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_capacity_does_not_change_results_without_contention() {
+        let shape = shape8();
+        for cap in [1usize, 2, 8] {
+            let mut sim = FlitSim::new(
+                &shape,
+                FlitConfig {
+                    buf_cap: cap,
+                    ..FlitConfig::default()
+                },
+            );
+            sim.add_packet(pkt(&shape, [0, 0], Direction::plus(1), 4, 16));
+            let stats = sim.run().unwrap();
+            assert_eq!(stats.completion_cycle, 20, "cap={cap}");
+        }
+    }
+}

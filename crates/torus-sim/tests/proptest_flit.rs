@@ -1,0 +1,102 @@
+//! Property-based tests of the flit-level wormhole simulator.
+
+use proptest::prelude::*;
+use torus_sim::{FlitConfig, FlitSim, Packet, Transmission};
+use torus_topology::{Coord, Direction, Sign, TorusShape};
+
+/// A contention-free transmission set: every node sends along the paper's
+/// phase-1 direction assignment (tiled rings), with random lengths.
+fn phase1_packets(shape: &TorusShape, lens: &[u32]) -> Vec<Packet> {
+    shape
+        .iter_coords()
+        .enumerate()
+        .map(|(i, c)| {
+            let gamma = (c.component_sum() % 4) as u32;
+            let dir = match gamma {
+                0 => Direction::plus(0),
+                1 => Direction::plus(1),
+                2 => Direction::minus(0),
+                _ => Direction::minus(1),
+            };
+            let t = Transmission::along_ring(shape, &c, dir, 4, 1);
+            Packet::from_transmission(&t, lens[i % lens.len()])
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn contention_free_sets_complete_in_max_time(
+        lens in prop::collection::vec(1u32..=48, 4..=16),
+        cap in 1usize..=8,
+    ) {
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let mut sim = FlitSim::new(&shape, FlitConfig { buf_cap: cap, ..FlitConfig::default() });
+        let packets = phase1_packets(&shape, &lens);
+        let total_flits: u64 = packets.iter().map(|p| p.len_flits as u64).sum();
+        let max_len = packets.iter().map(|p| p.len_flits).max().unwrap();
+        for p in packets {
+            sim.add_packet(p);
+        }
+        let stats = sim.run().unwrap();
+        // With zero contention the step ends when the longest worm lands.
+        prop_assert_eq!(stats.completion_cycle, (4 + max_len) as u64);
+        prop_assert_eq!(stats.flits_delivered, total_flits);
+    }
+
+    #[test]
+    fn single_packet_latency_formula(
+        hops in 1u32..=7,
+        len in 1u32..=64,
+        dim in 0usize..2,
+        sign in prop::bool::ANY,
+        start in 0u32..64,
+    ) {
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let from = shape.coord_of(start % 64);
+        let dir = Direction::new(dim, if sign { Sign::Plus } else { Sign::Minus });
+        let t = Transmission::along_ring(&shape, &from, dir, hops, 1);
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        sim.add_packet(Packet::from_transmission(&t, len));
+        let stats = sim.run().unwrap();
+        prop_assert_eq!(stats.completion_cycle, (hops + len) as u64);
+        prop_assert_eq!(stats.channel_flit_moves, (hops as u64) * (len as u64));
+    }
+
+    #[test]
+    fn two_disjoint_packets_do_not_interact(
+        len_a in 1u32..=32,
+        len_b in 1u32..=32,
+    ) {
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let ta = Transmission::along_ring(&shape, &Coord::new(&[0, 0]), Direction::plus(1), 3, 1);
+        let tb = Transmission::along_ring(&shape, &Coord::new(&[4, 0]), Direction::plus(1), 3, 1);
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        sim.add_packet(Packet::from_transmission(&ta, len_a));
+        sim.add_packet(Packet::from_transmission(&tb, len_b));
+        let stats = sim.run().unwrap();
+        prop_assert_eq!(stats.completion_cycle, (3 + len_a.max(len_b)) as u64);
+    }
+
+    #[test]
+    fn same_route_serializes_additively(
+        len in 2u32..=32,
+        count in 2u32..=4,
+    ) {
+        // `count` packets back-to-back from one source on one route: the
+        // injection port serializes them; completion ≈ count·len + hops.
+        let shape = TorusShape::new_2d(8, 8).unwrap();
+        let t = Transmission::along_ring(&shape, &Coord::new(&[0, 0]), Direction::plus(1), 4, 1);
+        let mut sim = FlitSim::new(&shape, FlitConfig::default());
+        for _ in 0..count {
+            sim.add_packet(Packet::from_transmission(&t, len));
+        }
+        let stats = sim.run().unwrap();
+        let lower = (count * len) as u64;
+        let upper = (count * len + 4 + count) as u64;
+        prop_assert!(stats.completion_cycle >= lower && stats.completion_cycle <= upper,
+            "{} not in [{lower}, {upper}]", stats.completion_cycle);
+    }
+}

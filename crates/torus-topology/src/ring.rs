@@ -1,0 +1,99 @@
+//! Modular ("ring") arithmetic along a single torus dimension.
+//!
+//! A torus dimension of size `k` is a bidirectional ring of `k` nodes. The
+//! exchange algorithms repeatedly shift positions by ±1, ±2 or ±4 with
+//! wraparound, and need to know how many shifts separate two positions along
+//! a chosen direction.
+
+use crate::direction::Sign;
+
+/// `(a + delta) mod k` where `delta` may be negative.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `a >= k`.
+#[inline]
+pub fn ring_add(a: u32, delta: i64, k: u32) -> u32 {
+    debug_assert!(a < k, "position {a} out of ring of size {k}");
+    let k = k as i64;
+    (((a as i64 + delta) % k + k) % k) as u32
+}
+
+/// `(a - b) mod k`: the number of `+1` hops from `b` to `a`.
+#[inline]
+pub fn ring_sub(a: u32, b: u32, k: u32) -> u32 {
+    debug_assert!(a < k && b < k);
+    ((a as i64 - b as i64).rem_euclid(k as i64)) as u32
+}
+
+/// Number of hops from `from` to `to` travelling in direction `sign`
+/// around a ring of size `k`. Always in `0..k`.
+#[inline]
+pub fn ring_hops(from: u32, to: u32, k: u32, sign: Sign) -> u32 {
+    match sign {
+        Sign::Plus => ring_sub(to, from, k),
+        Sign::Minus => ring_sub(from, to, k),
+    }
+}
+
+/// Minimal distance between two positions on a ring of size `k`
+/// (shortest of the two directions).
+#[inline]
+pub fn ring_distance(a: u32, b: u32, k: u32) -> u32 {
+    let d = ring_sub(a, b, k);
+    d.min(k - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wraps_positive() {
+        assert_eq!(ring_add(10, 4, 12), 2);
+        assert_eq!(ring_add(0, 12, 12), 0);
+    }
+
+    #[test]
+    fn add_wraps_negative() {
+        assert_eq!(ring_add(1, -4, 12), 9);
+        assert_eq!(ring_add(0, -1, 5), 4);
+        assert_eq!(ring_add(0, -25, 5), 0);
+    }
+
+    #[test]
+    fn sub_is_directed_distance() {
+        assert_eq!(ring_sub(2, 10, 12), 4);
+        assert_eq!(ring_sub(10, 2, 12), 8);
+        assert_eq!(ring_sub(5, 5, 9), 0);
+    }
+
+    #[test]
+    fn hops_by_direction() {
+        // from 0 to 8 on a ring of 12: +8 hops or -4 hops.
+        assert_eq!(ring_hops(0, 8, 12, Sign::Plus), 8);
+        assert_eq!(ring_hops(0, 8, 12, Sign::Minus), 4);
+    }
+
+    #[test]
+    fn distance_is_min_of_directions() {
+        assert_eq!(ring_distance(0, 8, 12), 4);
+        assert_eq!(ring_distance(8, 0, 12), 4);
+        assert_eq!(ring_distance(3, 3, 12), 0);
+        assert_eq!(ring_distance(0, 6, 12), 6);
+    }
+
+    #[test]
+    fn add_then_hops_roundtrip() {
+        for k in [4u32, 8, 12, 20] {
+            for a in 0..k {
+                for h in 0..k {
+                    let b = ring_add(a, h as i64, k);
+                    assert_eq!(ring_hops(a, b, k, Sign::Plus), h);
+                    let c = ring_add(a, -(h as i64), k);
+                    assert_eq!(ring_hops(a, c, k, Sign::Minus), h);
+                }
+            }
+        }
+    }
+}

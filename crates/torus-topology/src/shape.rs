@@ -1,0 +1,364 @@
+//! Torus shapes: dimension extents, node enumeration and linearization.
+
+use std::fmt;
+
+use crate::coord::{Coord, MAX_DIMS};
+use crate::direction::Direction;
+use crate::ring::ring_add;
+
+/// Linear node identifier in `0 .. num_nodes`.
+///
+/// Nodes are numbered in row-major order: the **last** dimension varies
+/// fastest (`P(r, c)` of an `R×C` torus has id `r*C + c`).
+pub type NodeId = u32;
+
+/// Errors from building a [`TorusShape`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// No dimensions given.
+    Empty,
+    /// More than [`MAX_DIMS`] dimensions.
+    TooManyDims(usize),
+    /// A dimension has extent zero.
+    ZeroExtent(usize),
+    /// Total node count exceeds `u32` range.
+    TooManyNodes(u128),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Empty => write!(f, "torus must have at least one dimension"),
+            ShapeError::TooManyDims(n) => {
+                write!(f, "torus has {n} dimensions, max is {MAX_DIMS}")
+            }
+            ShapeError::ZeroExtent(d) => write!(f, "dimension {d} has extent 0"),
+            ShapeError::TooManyNodes(n) => write!(f, "torus has {n} nodes, max is 2^32-1"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// An `a_1 × a_2 × … × a_n` torus.
+///
+/// The shape owns only the extents; it is cheap to copy around. All strides
+/// are precomputed so `index_of`/`coord_of` are branch-free loops.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TorusShape {
+    dims: [u32; MAX_DIMS],
+    strides: [u32; MAX_DIMS],
+    ndims: u8,
+    num_nodes: u32,
+}
+
+impl TorusShape {
+    /// Builds a torus shape from dimension extents.
+    pub fn new(dims: &[u32]) -> Result<Self, ShapeError> {
+        if dims.is_empty() {
+            return Err(ShapeError::Empty);
+        }
+        if dims.len() > MAX_DIMS {
+            return Err(ShapeError::TooManyDims(dims.len()));
+        }
+        let mut total: u128 = 1;
+        for (d, &k) in dims.iter().enumerate() {
+            if k == 0 {
+                return Err(ShapeError::ZeroExtent(d));
+            }
+            total *= k as u128;
+        }
+        if total > u32::MAX as u128 {
+            return Err(ShapeError::TooManyNodes(total));
+        }
+        let mut dbuf = [1u32; MAX_DIMS];
+        dbuf[..dims.len()].copy_from_slice(dims);
+        // Row-major: stride of the last dimension is 1.
+        let mut strides = [1u32; MAX_DIMS];
+        for d in (0..dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * dbuf[d + 1];
+        }
+        Ok(Self {
+            dims: dbuf,
+            strides,
+            ndims: dims.len() as u8,
+            num_nodes: total as u32,
+        })
+    }
+
+    /// Builds a 2D `R × C` torus (paper Section 3 notation: `P(r, c)`).
+    pub fn new_2d(r: u32, c: u32) -> Result<Self, ShapeError> {
+        Self::new(&[r, c])
+    }
+
+    /// Builds a 3D `a1 × a2 × a3` torus (paper Section 4.1: `P(X, Y, Z)`).
+    pub fn new_3d(a1: u32, a2: u32, a3: u32) -> Result<Self, ShapeError> {
+        Self::new(&[a1, a2, a3])
+    }
+
+    /// Number of dimensions `n`.
+    #[inline]
+    pub fn ndims(&self) -> usize {
+        self.ndims as usize
+    }
+
+    /// Dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[u32] {
+        &self.dims[..self.ndims as usize]
+    }
+
+    /// Extent of dimension `d`.
+    #[inline]
+    pub fn extent(&self, d: usize) -> u32 {
+        debug_assert!(d < self.ndims());
+        self.dims[d]
+    }
+
+    /// Total number of nodes `N = a_1 · a_2 · … · a_n`.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Linearizes a coordinate (row-major, last dimension fastest).
+    #[inline]
+    pub fn index_of(&self, c: &Coord) -> NodeId {
+        debug_assert_eq!(c.ndims(), self.ndims());
+        let mut idx = 0u32;
+        for d in 0..self.ndims() {
+            debug_assert!(c[d] < self.dims[d], "coordinate {c} out of shape {self}");
+            idx += c[d] * self.strides[d];
+        }
+        idx
+    }
+
+    /// Inverse of [`index_of`](Self::index_of).
+    #[inline]
+    pub fn coord_of(&self, id: NodeId) -> Coord {
+        debug_assert!(id < self.num_nodes);
+        let mut c = Coord::zero(self.ndims());
+        let mut rem = id;
+        for d in 0..self.ndims() {
+            c[d] = rem / self.strides[d];
+            rem %= self.strides[d];
+        }
+        c
+    }
+
+    /// Whether `c` lies inside the shape.
+    #[inline]
+    pub fn contains(&self, c: &Coord) -> bool {
+        c.ndims() == self.ndims() && (0..self.ndims()).all(|d| c[d] < self.dims[d])
+    }
+
+    /// Iterates over all coordinates in id order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        (0..self.num_nodes).map(|id| self.coord_of(id))
+    }
+
+    /// The neighbor of `c` one hop along `dir` (with wraparound).
+    #[inline]
+    pub fn neighbor(&self, c: &Coord, dir: Direction) -> Coord {
+        self.shift(c, dir, 1)
+    }
+
+    /// The node `hops` hops from `c` along `dir` (with wraparound).
+    #[inline]
+    pub fn shift(&self, c: &Coord, dir: Direction, hops: u32) -> Coord {
+        let d = dir.dim();
+        debug_assert!(d < self.ndims());
+        c.with(d, ring_add(c[d], dir.unit() * hops as i64, self.dims[d]))
+    }
+
+    /// True if every dimension extent is a multiple of `m`.
+    pub fn all_multiple_of(&self, m: u32) -> bool {
+        self.dims().iter().all(|&k| k % m == 0)
+    }
+
+    /// True if the extents are non-increasing (`a_1 ≥ a_2 ≥ … ≥ a_n`),
+    /// the canonical orientation assumed by the paper's n-D algorithm.
+    ///
+    /// Note: the paper's 2D section uses the opposite convention (`R ≤ C`
+    /// with phases keyed to `C`); the implementation canonicalizes to
+    /// non-increasing extents and permutes back.
+    pub fn is_sorted_desc(&self) -> bool {
+        self.dims().windows(2).all(|w| w[0] >= w[1])
+    }
+
+    /// Returns a permutation `perm` such that applying it to the dimensions
+    /// yields non-increasing extents, along with the permuted shape.
+    /// `perm[i]` is the original dimension placed at position `i`.
+    /// The sort is stable so equal extents keep their relative order.
+    pub fn canonical_permutation(&self) -> (Vec<usize>, TorusShape) {
+        let mut perm: Vec<usize> = (0..self.ndims()).collect();
+        perm.sort_by(|&a, &b| self.dims[b].cmp(&self.dims[a]));
+        let permuted: Vec<u32> = perm.iter().map(|&d| self.dims[d]).collect();
+        let shape = TorusShape::new(&permuted).expect("permutation preserves validity");
+        (perm, shape)
+    }
+
+    /// Applies a dimension permutation to a coordinate:
+    /// `result[i] = c[perm[i]]`.
+    pub fn permute_coord(c: &Coord, perm: &[usize]) -> Coord {
+        let mut out = Coord::zero(c.ndims());
+        for (i, &d) in perm.iter().enumerate() {
+            out[i] = c[d];
+        }
+        out
+    }
+
+    /// Inverse of [`permute_coord`](Self::permute_coord).
+    pub fn unpermute_coord(c: &Coord, perm: &[usize]) -> Coord {
+        let mut out = Coord::zero(c.ndims());
+        for (i, &d) in perm.iter().enumerate() {
+            out[d] = c[i];
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TorusShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TorusShape({self})")
+    }
+}
+
+impl fmt::Display for TorusShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, k) in self.dims().iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::Sign;
+
+    #[test]
+    fn build_and_count() {
+        let s = TorusShape::new(&[12, 8]).unwrap();
+        assert_eq!(s.ndims(), 2);
+        assert_eq!(s.num_nodes(), 96);
+        assert_eq!(s.dims(), &[12, 8]);
+        assert_eq!(s.extent(1), 8);
+    }
+
+    #[test]
+    fn build_errors() {
+        assert_eq!(TorusShape::new(&[]), Err(ShapeError::Empty));
+        assert_eq!(TorusShape::new(&[4, 0]), Err(ShapeError::ZeroExtent(1)));
+        assert!(matches!(
+            TorusShape::new(&[0; MAX_DIMS + 1][..].to_vec().iter().map(|_| 2).collect::<Vec<_>>()),
+            Err(ShapeError::TooManyDims(_))
+        ));
+        assert!(matches!(
+            TorusShape::new(&[u32::MAX, u32::MAX]),
+            Err(ShapeError::TooManyNodes(_))
+        ));
+    }
+
+    #[test]
+    fn row_major_linearization() {
+        // P(r, c) -> r*C + c
+        let s = TorusShape::new_2d(4, 6).unwrap();
+        assert_eq!(s.index_of(&Coord::new(&[0, 0])), 0);
+        assert_eq!(s.index_of(&Coord::new(&[0, 5])), 5);
+        assert_eq!(s.index_of(&Coord::new(&[1, 0])), 6);
+        assert_eq!(s.index_of(&Coord::new(&[3, 5])), 23);
+    }
+
+    #[test]
+    fn index_coord_roundtrip() {
+        let s = TorusShape::new(&[3, 4, 5]).unwrap();
+        for id in 0..s.num_nodes() {
+            let c = s.coord_of(id);
+            assert!(s.contains(&c));
+            assert_eq!(s.index_of(&c), id);
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_exactly_once() {
+        let s = TorusShape::new(&[4, 4]).unwrap();
+        let all: Vec<Coord> = s.iter_coords().collect();
+        assert_eq!(all.len(), 16);
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+    }
+
+    #[test]
+    fn neighbor_wraps() {
+        let s = TorusShape::new_2d(4, 8).unwrap();
+        let c = Coord::new(&[3, 7]);
+        assert_eq!(
+            s.neighbor(&c, Direction::plus(0)),
+            Coord::new(&[0, 7])
+        );
+        assert_eq!(
+            s.neighbor(&c, Direction::plus(1)),
+            Coord::new(&[3, 0])
+        );
+        assert_eq!(
+            s.neighbor(&Coord::new(&[0, 0]), Direction::minus(0)),
+            Coord::new(&[3, 0])
+        );
+    }
+
+    #[test]
+    fn shift_multi_hop() {
+        let s = TorusShape::new_2d(12, 12).unwrap();
+        let c = Coord::new(&[10, 3]);
+        assert_eq!(
+            s.shift(&c, Direction::new(0, Sign::Plus), 4),
+            Coord::new(&[2, 3])
+        );
+        assert_eq!(
+            s.shift(&c, Direction::new(1, Sign::Minus), 4),
+            Coord::new(&[10, 11])
+        );
+    }
+
+    #[test]
+    fn multiple_of_and_sorted() {
+        let s = TorusShape::new(&[12, 8, 4]).unwrap();
+        assert!(s.all_multiple_of(4));
+        assert!(!s.all_multiple_of(8));
+        assert!(s.is_sorted_desc());
+        let t = TorusShape::new(&[8, 12]).unwrap();
+        assert!(!t.is_sorted_desc());
+    }
+
+    #[test]
+    fn canonical_permutation_sorts_desc() {
+        let s = TorusShape::new(&[8, 16, 12]).unwrap();
+        let (perm, canon) = s.canonical_permutation();
+        assert_eq!(canon.dims(), &[16, 12, 8]);
+        assert_eq!(perm, vec![1, 2, 0]);
+        let c = Coord::new(&[1, 2, 3]);
+        let p = TorusShape::permute_coord(&c, &perm);
+        assert_eq!(p.as_slice(), &[2, 3, 1]);
+        assert_eq!(TorusShape::unpermute_coord(&p, &perm), c);
+    }
+
+    #[test]
+    fn canonical_permutation_is_stable() {
+        let s = TorusShape::new(&[8, 8, 8]).unwrap();
+        let (perm, _) = s.canonical_permutation();
+        assert_eq!(perm, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn display() {
+        let s = TorusShape::new(&[12, 12, 8]).unwrap();
+        assert_eq!(format!("{s}"), "12x12x8");
+    }
+}

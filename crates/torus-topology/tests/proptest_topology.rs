@@ -1,0 +1,149 @@
+//! Property-based tests for the topology substrate.
+
+use proptest::prelude::*;
+use torus_topology::{
+    dor_path, ring_add, ring_distance, ring_hops, ring_path, Coord, Direction, GroupInfo, Sign,
+    TorusShape,
+};
+
+/// Strategy: a torus shape of 1..=4 dims, each extent in 1..=16.
+fn arb_shape() -> impl Strategy<Value = TorusShape> {
+    prop::collection::vec(1u32..=16, 1..=4)
+        .prop_map(|dims| TorusShape::new(&dims).expect("valid dims"))
+}
+
+/// Strategy: a shape whose dims are multiples of 4 (4..=16), 2..=3 dims.
+fn arb_shape_mult4() -> impl Strategy<Value = TorusShape> {
+    prop::collection::vec((1u32..=4).prop_map(|k| 4 * k), 2..=3)
+        .prop_map(|dims| TorusShape::new(&dims).expect("valid dims"))
+}
+
+fn arb_node(shape: &TorusShape) -> impl Strategy<Value = Coord> {
+    let s = shape.clone();
+    (0..shape.num_nodes()).prop_map(move |id| s.coord_of(id))
+}
+
+proptest! {
+    #[test]
+    fn index_coord_roundtrip(shape in arb_shape()) {
+        for id in 0..shape.num_nodes().min(4096) {
+            let c = shape.coord_of(id);
+            prop_assert!(shape.contains(&c));
+            prop_assert_eq!(shape.index_of(&c), id);
+        }
+    }
+
+    #[test]
+    fn ring_add_inverse((k, a, h) in (1u32..=64).prop_flat_map(|k| (Just(k), 0..k, 0..k))) {
+        let b = ring_add(a, h as i64, k);
+        prop_assert_eq!(ring_hops(a, b, k, Sign::Plus), h);
+        prop_assert_eq!(ring_add(b, -(h as i64), k), a);
+    }
+
+    #[test]
+    fn ring_distance_symmetric((k, a, b) in (1u32..=64).prop_flat_map(|k| (Just(k), 0..k, 0..k))) {
+        prop_assert_eq!(ring_distance(a, b, k), ring_distance(b, a, k));
+        prop_assert!(ring_distance(a, b, k) <= k / 2);
+    }
+
+    #[test]
+    fn shift_roundtrip(shape in arb_shape(), id in 0u32..1024, dim_sel in 0usize..4, hops in 0u32..16) {
+        let id = id % shape.num_nodes();
+        let dim = dim_sel % shape.ndims();
+        let hops = hops % shape.extent(dim);
+        let c = shape.coord_of(id);
+        let fwd = shape.shift(&c, Direction::plus(dim), hops);
+        let back = shape.shift(&fwd, Direction::minus(dim), hops);
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn dor_path_contiguous_and_minimal(shape in arb_shape(), a in 0u32..4096, b in 0u32..4096) {
+        let a = shape.coord_of(a % shape.num_nodes());
+        let b = shape.coord_of(b % shape.num_nodes());
+        let p = dor_path(&shape, &a, &b);
+        // contiguity
+        for w in p.windows(2) {
+            prop_assert_eq!(w[0].to, w[1].from);
+        }
+        // endpoint correctness
+        if !p.is_empty() {
+            prop_assert_eq!(p[0].from, shape.index_of(&a));
+            prop_assert_eq!(p[p.len()-1].to, shape.index_of(&b));
+        }
+        // minimality: length equals sum of per-dim ring distances
+        let want: u32 = (0..shape.ndims())
+            .map(|d| ring_distance(a[d], b[d], shape.extent(d)))
+            .sum();
+        prop_assert_eq!(p.len() as u32, want);
+    }
+
+    #[test]
+    fn ring_path_lands_at_shift(shape in arb_shape(), id in 0u32..4096, dim_sel in 0usize..4, sign in prop::bool::ANY, hops in 0u32..16) {
+        let c = shape.coord_of(id % shape.num_nodes());
+        let dim = dim_sel % shape.ndims();
+        let hops = hops % shape.extent(dim);
+        let dir = Direction::new(dim, if sign { Sign::Plus } else { Sign::Minus });
+        let p = ring_path(&shape, &c, dir, hops);
+        prop_assert_eq!(p.len() as u32, hops);
+        if hops > 0 {
+            let end = shape.shift(&c, dir, hops);
+            prop_assert_eq!(p[p.len()-1].to, shape.index_of(&end));
+        }
+    }
+
+    #[test]
+    fn representative_properties(shape in arb_shape_mult4(), s_id in 0u32..4096, d_id in 0u32..4096) {
+        let gi = GroupInfo::new(&shape);
+        let s = shape.coord_of(s_id % shape.num_nodes());
+        let d = shape.coord_of(d_id % shape.num_nodes());
+        let t = gi.representative(&s, &d);
+        prop_assert_eq!(gi.group_of(&t), gi.group_of(&s));
+        prop_assert_eq!(gi.submesh_of(&t), gi.submesh_of(&d));
+        // idempotent: representative of (t, d) is t itself
+        prop_assert_eq!(gi.representative(&t, &d), t);
+    }
+
+    #[test]
+    fn groups_and_submeshes_partition(shape in arb_shape_mult4()) {
+        let gi = GroupInfo::new(&shape);
+        // every node is the member() of its (group, submesh) pair
+        for c in shape.iter_coords().take(2048) {
+            let g = gi.group_of(&c);
+            let sm = gi.submesh_of(&c);
+            prop_assert_eq!(gi.member(g, sm), c);
+        }
+    }
+
+    #[test]
+    fn canonical_permutation_roundtrip(shape in arb_shape(), id in 0u32..4096) {
+        let (perm, canon) = shape.canonical_permutation();
+        prop_assert!(canon.is_sorted_desc());
+        let c = shape.coord_of(id % shape.num_nodes());
+        let p = TorusShape::permute_coord(&c, &perm);
+        prop_assert!(canon.contains(&p));
+        prop_assert_eq!(TorusShape::unpermute_coord(&p, &perm), c);
+    }
+}
+
+/// Strategy-free check: proptest strategies used above must themselves be
+/// sound for the smallest shapes (regression guard for modulo-by-zero).
+#[test]
+fn smallest_shapes_work() {
+    for dims in [&[1u32][..], &[1, 1], &[2, 1, 2]] {
+        let s = TorusShape::new(dims).unwrap();
+        for id in 0..s.num_nodes() {
+            assert_eq!(s.index_of(&s.coord_of(id)), id);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn arb_node_strategy_within_shape(shape in arb_shape()) {
+        // sanity for the helper itself
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let tree = arb_node(&shape).new_tree(&mut runner).unwrap();
+        prop_assert!(shape.contains(&proptest::strategy::ValueTree::current(&tree)));
+    }
+}

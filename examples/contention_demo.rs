@@ -1,0 +1,95 @@
+//! Why contention-freedom matters: flit-level wormhole behaviour.
+//!
+//! Replays the same traffic three ways at flit granularity — the paper's
+//! contention-free step, a sabotaged direction assignment, and a naive
+//! unscheduled permutation — and shows pipelining, serialization, and
+//! wormhole deadlock respectively.
+//!
+//! ```text
+//! cargo run --release --example contention_demo
+//! ```
+
+use torus_alltoall::core::DirectionSchedule;
+use torus_alltoall::prelude::*;
+use torus_alltoall::sim::{FlitConfig, FlitError, FlitSim, Packet, Transmission};
+use torus_alltoall::topology::{dor_path, Direction};
+
+const LEN: u32 = 32; // flits per message
+
+fn main() {
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    println!("flit-level wormhole simulation on a {shape} torus, {LEN}-flit messages\n");
+
+    // 1. The paper's phase-1 step: all 64 nodes send 4 hops, schedules
+    //    assigned by (r+c) mod 4 — perfectly tiled rings.
+    let sched = DirectionSchedule::new(&shape);
+    let mut sim = FlitSim::new(&shape, FlitConfig::default());
+    for c in shape.iter_coords() {
+        let t = Transmission::along_ring(&shape, &c, sched.scatter_dirs(&c)[0], 4, 1);
+        sim.add_packet(Packet::from_transmission(&t, LEN));
+    }
+    let stats = sim.run().expect("contention-free by construction");
+    println!(
+        "1. proposed phase-1 step (64 messages): {} cycles — exactly h + m = {} \n   (full pipelining: every message ignores the other 63)",
+        stats.completion_cycle,
+        4 + LEN
+    );
+    assert_eq!(stats.completion_cycle, (4 + LEN) as u64);
+
+    // 2. Sabotage: groups γ=0 and γ=2 both take +X. Worms collide and
+    //    serialize behind each other.
+    let mut sim = FlitSim::new(&shape, FlitConfig::default());
+    for c in shape.iter_coords() {
+        let gamma = (c[0] + c[1]) % 4;
+        if gamma == 0 || gamma == 2 {
+            let t = Transmission::along_ring(&shape, &c, Direction::plus(0), 4, 1);
+            sim.add_packet(Packet::from_transmission(&t, LEN));
+        }
+    }
+    match sim.run() {
+        Ok(stats) => {
+            println!(
+                "2. sabotaged assignment (two groups share +X): {} cycles ({}x slower)",
+                stats.completion_cycle,
+                stats.completion_cycle / (4 + LEN) as u64
+            );
+            assert!(stats.completion_cycle > (4 + LEN) as u64);
+        }
+        Err(FlitError::Deadlock { cycle, stalled }) => {
+            println!(
+                "2. sabotaged assignment: DEADLOCK at cycle {cycle} with {stalled} worms wedged \n   (worms chasing each other around the wrap links)"
+            );
+        }
+        Err(e) => panic!("unexpected: {e}"),
+    }
+
+    // 3. Naive direct exchange round: shift-by-3 along rows, minimal DOR
+    //    routes, no scheduling. Long overlapping worms around a ring.
+    let mut sim = FlitSim::new(
+        &shape,
+        FlitConfig {
+            buf_cap: 2,
+            ..FlitConfig::default()
+        },
+    );
+    for c in shape.iter_coords() {
+        let d = Coord::new(&[c[0], (c[1] + 3) % 8]);
+        let path = dor_path(&shape, &c, &d);
+        let t = Transmission::over_path(shape.index_of(&c), shape.index_of(&d), 1, path);
+        sim.add_packet(Packet::from_transmission(&t, LEN));
+    }
+    match sim.run() {
+        Ok(stats) => println!(
+            "3. unscheduled shift-by-3 permutation: {} cycles vs {} contention-free",
+            stats.completion_cycle,
+            3 + LEN
+        ),
+        Err(FlitError::Deadlock { cycle, stalled }) => println!(
+            "3. unscheduled shift-by-3 permutation: DEADLOCK at cycle {cycle} ({stalled} worms) \n   — this is why real routers need virtual channels, and why the paper's \n   schedules are engineered to never block at all"
+        ),
+        Err(e) => panic!("unexpected: {e}"),
+    }
+
+    println!("\ntakeaway: the (r+c) mod 4 direction assignment is not an optimization detail —");
+    println!("it is what makes wormhole all-to-all finish at line rate instead of wedging.");
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the full exchange across random torus shapes.
+
+use proptest::prelude::*;
+use torus_alltoall::prelude::*;
+
+/// Random multiple-of-four shapes, 2–3 dims, extents 4..=16 (node count
+/// bounded so the suite stays fast).
+fn arb_exact_shape() -> impl Strategy<Value = TorusShape> {
+    prop::collection::vec((1u32..=4).prop_map(|k| 4 * k), 2..=3)
+        .prop_filter("bounded size", |dims| {
+            dims.iter().map(|&k| k as u64).product::<u64>() <= 1024
+        })
+        .prop_map(|dims| TorusShape::new(&dims).expect("valid"))
+}
+
+/// Random arbitrary-extent shapes (padding path), 2 dims, extents 2..=9.
+fn arb_padded_shape() -> impl Strategy<Value = TorusShape> {
+    prop::collection::vec(2u32..=9, 2..=2).prop_map(|dims| TorusShape::new(&dims).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exchange_verifies_and_matches_formula(shape in arb_exact_shape()) {
+        let report = Exchange::new(&shape)
+            .unwrap()
+            .run_counting(&CommParams::unit())
+            .unwrap();
+        prop_assert!(report.verified);
+        prop_assert!(report.matches_formula(),
+            "{}: {:?} vs {:?}", shape, report.counts, report.formula);
+    }
+
+    #[test]
+    fn padded_exchange_always_delivers(shape in arb_padded_shape()) {
+        let report = Exchange::new(&shape)
+            .unwrap()
+            .run_counting(&CommParams::unit())
+            .unwrap();
+        prop_assert!(report.verified, "{}", shape);
+    }
+
+    #[test]
+    fn payloads_never_corrupt(shape in arb_exact_shape(), seed in any::<u64>()) {
+        let (report, deliveries) = Exchange::new(&shape)
+            .unwrap()
+            .run_with_payloads(&CommParams::unit(), |s, d| {
+                seed ^ ((s as u64) << 32) ^ d as u64
+            })
+            .unwrap();
+        prop_assert!(report.verified);
+        for (d, got) in deliveries.iter().enumerate() {
+            prop_assert_eq!(got.len() as u32, shape.num_nodes() - 1);
+            for (s, p) in got {
+                prop_assert_eq!(*p, seed ^ ((*s as u64) << 32) ^ d as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn startup_steps_equal_formula_for_any_exact_shape(shape in arb_exact_shape()) {
+        let report = Exchange::new(&shape)
+            .unwrap()
+            .run_counting(&CommParams::unit())
+            .unwrap();
+        let n = shape.ndims() as u64;
+        let a1 = *shape.dims().iter().max().unwrap() as u64;
+        prop_assert_eq!(report.counts.startup_steps, n * (a1 / 4 + 1));
+        prop_assert_eq!(report.counts.rearr_steps, n + 1);
+        prop_assert_eq!(report.counts.prop_hops, n * (a1 - 1));
+    }
+
+    #[test]
+    fn completion_time_monotone_in_each_parameter(shape in arb_exact_shape()) {
+        let counts = Exchange::new(&shape)
+            .unwrap()
+            .run_counting(&CommParams::unit())
+            .unwrap()
+            .counts;
+        let base = CommParams::cray_t3d_like();
+        let t0 = CompletionTime::from_counts(&counts, &base).total();
+        let bump = |p: CommParams| CompletionTime::from_counts(&counts, &p).total();
+        // prop_assert! stringifies its condition into a format string, so
+        // struct literals (with `{`) must live outside the macro call.
+        let more_tc = CommParams { t_c: base.t_c * 2.0, ..base };
+        let more_tl = CommParams { t_l: base.t_l * 2.0, ..base };
+        let more_rho = CommParams { rho: base.rho * 2.0, ..base };
+        prop_assert!(bump(base.with_t_s(base.t_s * 2.0)) > t0);
+        prop_assert!(bump(more_tc) > t0);
+        prop_assert!(bump(more_tl) > t0);
+        prop_assert!(bump(more_rho) > t0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn static_schedules_validate_for_random_shapes(shape in arb_exact_shape()) {
+        use torus_alltoall::core::StaticSchedule;
+        let (_, canon) = shape.canonical_permutation();
+        let sched = StaticSchedule::generate(&canon);
+        prop_assert!(sched.validate(&canon).is_ok(), "{}", canon);
+        prop_assert!(sched.destinations_fixed_within_phases());
+        let n = canon.ndims() as u32;
+        let a1 = canon.extent(0);
+        prop_assert_eq!(sched.total_steps() as u32, n * (a1 / 4 + 1));
+    }
+
+    #[test]
+    fn alltoallv_random_counts_deliver(shape in arb_exact_shape(), seed in any::<u32>()) {
+        let n = shape.num_nodes() as usize;
+        prop_assume!(n <= 256);
+        let counts: Vec<Vec<u64>> = (0..n)
+            .map(|s| {
+                (0..n)
+                    .map(|d| {
+                        if s == d { 0 } else { ((s as u32 ^ d as u32 ^ seed) % 3) as u64 }
+                    })
+                    .collect()
+            })
+            .collect();
+        let r = Exchange::new(&shape)
+            .unwrap()
+            .run_alltoallv(&CommParams::unit(), &counts)
+            .unwrap();
+        prop_assert!(r.verified, "{}", shape);
+    }
+}
