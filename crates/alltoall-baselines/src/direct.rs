@@ -144,7 +144,9 @@ mod tests {
         assert!(groups.len() >= 2, "shift-2 must serialize");
         let mut engine = Engine::new(&shape, CommParams::unit());
         for g in groups {
-            engine.execute_step(&g).expect("group must be contention-free");
+            engine
+                .execute_step(&g)
+                .expect("group must be contention-free");
         }
     }
 

@@ -63,9 +63,9 @@ impl ExchangeAlgorithm for MeshExchange {
         // One bidirectional pipeline pass along `dim` for `steps` steps,
         // alternating +/− so each node sends at most once per step.
         let pass = |engine: &mut Engine,
-                        bufs: &mut Vec<Vec<Pending>>,
-                        dim: usize,
-                        steps: i32|
+                    bufs: &mut Vec<Vec<Pending>>,
+                    dim: usize,
+                    steps: i32|
          -> Result<(), String> {
             let ext = shape.extent(dim) as i32;
             for step in 0..steps {

@@ -37,7 +37,13 @@ pub fn snake_ring(shape: &TorusShape) -> Vec<NodeId> {
     let n = shape.ndims();
     let mut order = Vec::with_capacity(shape.num_nodes() as usize);
     // Recursive boustrophedon: gray-code style sweep.
-    fn rec(shape: &TorusShape, dim: usize, prefix: &mut Vec<u32>, rev: bool, out: &mut Vec<NodeId>) {
+    fn rec(
+        shape: &TorusShape,
+        dim: usize,
+        prefix: &mut Vec<u32>,
+        rev: bool,
+        out: &mut Vec<NodeId>,
+    ) {
         let k = shape.extent(dim);
         let last = dim + 1 == shape.ndims();
         let range: Box<dyn Iterator<Item = u32>> = if rev {

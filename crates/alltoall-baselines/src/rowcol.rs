@@ -65,9 +65,9 @@ impl ExchangeAlgorithm for RowColumnExchange {
         // `sel` move one hop per step for `steps` steps. Charges a
         // rearrangement pass before every step after the first.
         let pass = |engine: &mut Engine,
-                        bufs: &mut Vec<Vec<(u32, u32)>>,
-                        dim: usize,
-                        steps: u32|
+                    bufs: &mut Vec<Vec<(u32, u32)>>,
+                    dim: usize,
+                    steps: u32|
          -> Result<(), String> {
             for step in 0..steps {
                 if step > 0 {

@@ -62,8 +62,7 @@ impl Exchange {
         send_counts: &[Vec<u64>],
     ) -> Result<AlltoallvReport, ExchangeError> {
         let n = self.shape_ref().num_nodes();
-        if send_counts.len() != n as usize
-            || send_counts.iter().any(|row| row.len() != n as usize)
+        if send_counts.len() != n as usize || send_counts.iter().any(|row| row.len() != n as usize)
         {
             return Err(ExchangeError::BadShape(format!(
                 "send_counts must be {n}x{n}"
@@ -111,9 +110,8 @@ impl Exchange {
             }
         }
         let verified = !misdelivered
-            && (0..n as usize).all(|d| {
-                (0..n as usize).all(|s| s == d || received[d][s] == send_counts[s][d])
-            });
+            && (0..n as usize)
+                .all(|d| (0..n as usize).all(|s| s == d || received[d][s] == send_counts[s][d]));
         let engine = ex.engine();
         Ok(AlltoallvReport {
             counts: engine.counts(),
@@ -200,7 +198,9 @@ mod tests {
     fn empty_exchange_still_verifies() {
         let shape = TorusShape::new_2d(4, 4).unwrap();
         let e = Exchange::new(&shape).unwrap();
-        let r = e.run_alltoallv(&CommParams::unit(), &uniform(16, 0)).unwrap();
+        let r = e
+            .run_alltoallv(&CommParams::unit(), &uniform(16, 0))
+            .unwrap();
         assert!(r.verified);
         assert_eq!(r.counts.trans_blocks, 0);
     }

@@ -161,7 +161,10 @@ mod tests {
     #[test]
     fn buffers_drain_and_deliver() {
         let mut bufs: Buffers = Buffers::empty(4);
-        bufs.deliver(0, vec![Block::new(0, 1), Block::new(0, 2), Block::new(0, 3)]);
+        bufs.deliver(
+            0,
+            vec![Block::new(0, 1), Block::new(0, 2), Block::new(0, 3)],
+        );
         assert_eq!(bufs.total_blocks(), 3);
         let sent = bufs.drain_matching(0, |b| b.dst >= 2);
         assert_eq!(sent.len(), 2);

@@ -228,8 +228,16 @@ mod tests {
             // (coord with sum γ, phase1, phase2)
             (Coord::new(&[0, 0]), Direction::plus(0), Direction::plus(1)),
             (Coord::new(&[1, 0]), Direction::plus(1), Direction::plus(0)),
-            (Coord::new(&[1, 1]), Direction::minus(0), Direction::minus(1)),
-            (Coord::new(&[2, 1]), Direction::minus(1), Direction::minus(0)),
+            (
+                Coord::new(&[1, 1]),
+                Direction::minus(0),
+                Direction::minus(1),
+            ),
+            (
+                Coord::new(&[2, 1]),
+                Direction::minus(1),
+                Direction::minus(0),
+            ),
         ];
         for (c, p1, p2) in cases {
             let dirs = s.scatter_dirs(&c);
@@ -245,17 +253,33 @@ mod tests {
         let s = sched_3d();
         // γ = (X+Y) mod 4 = 0, Z mod 4 = 0 -> phase1 +X, phase2 +Y, phase3 +Z
         let dirs = s.scatter_dirs(&Coord::new(&[0, 0, 0]));
-        assert_eq!(dirs, vec![Direction::plus(0), Direction::plus(1), Direction::plus(2)]);
+        assert_eq!(
+            dirs,
+            vec![Direction::plus(0), Direction::plus(1), Direction::plus(2)]
+        );
         // γ = 1, Z mod 4 = 2 -> phase1 +Y, phase2 +X, phase3 −Z
         let dirs = s.scatter_dirs(&Coord::new(&[0, 1, 2]));
-        assert_eq!(dirs, vec![Direction::plus(1), Direction::plus(0), Direction::minus(2)]);
+        assert_eq!(
+            dirs,
+            vec![Direction::plus(1), Direction::plus(0), Direction::minus(2)]
+        );
         // Z mod 4 = 1 -> phase1 +Z, then B, then A. γ = (X+Y) mod 4 = 2:
         // B(2) = −Y, A(2) = −X.
         let dirs = s.scatter_dirs(&Coord::new(&[1, 1, 1]));
-        assert_eq!(dirs, vec![Direction::plus(2), Direction::minus(1), Direction::minus(0)]);
+        assert_eq!(
+            dirs,
+            vec![Direction::plus(2), Direction::minus(1), Direction::minus(0)]
+        );
         // Z mod 4 = 3 -> phase1 −Z. γ = 3: B(3) = −X, A(3) = −Y.
         let dirs = s.scatter_dirs(&Coord::new(&[1, 2, 3]));
-        assert_eq!(dirs, vec![Direction::minus(2), Direction::minus(0), Direction::minus(1)]);
+        assert_eq!(
+            dirs,
+            vec![
+                Direction::minus(2),
+                Direction::minus(0),
+                Direction::minus(1)
+            ]
+        );
     }
 
     #[test]

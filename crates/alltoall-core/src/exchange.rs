@@ -140,7 +140,8 @@ impl Exchange {
         let real_n = self.orig.num_nodes();
         let canon_ids: Vec<NodeId> = (0..real_n).map(|id| self.to_canonical(id)).collect();
         {
-            let mut pairs = Vec::with_capacity((real_n as usize).saturating_mul(real_n as usize - 1));
+            let mut pairs =
+                Vec::with_capacity((real_n as usize).saturating_mul(real_n as usize - 1));
             for s in 0..real_n {
                 for d in 0..real_n {
                     if s != d {
@@ -221,7 +222,12 @@ mod tests {
         assert!(!e.is_padded());
         let r = e.run_counting(&CommParams::unit()).unwrap();
         assert!(r.verified);
-        assert!(r.matches_formula(), "measured {:?} vs formula {:?}", r.counts, r.formula);
+        assert!(
+            r.matches_formula(),
+            "measured {:?} vs formula {:?}",
+            r.counts,
+            r.formula
+        );
     }
 
     #[test]

@@ -78,10 +78,7 @@ impl<P: Clone + Send> Executor<P> {
         let n = shape.num_nodes() as usize;
         let coords: Vec<Coord> = shape.iter_coords().collect();
         let dirs: Vec<Vec<Direction>> = coords.iter().map(|c| sched.scatter_dirs(c)).collect();
-        let sm_order: Vec<Vec<usize>> = coords
-            .iter()
-            .map(|c| sched.submesh_dim_order(c))
-            .collect();
+        let sm_order: Vec<Vec<usize>> = coords.iter().map(|c| sched.submesh_dim_order(c)).collect();
         Self {
             engine: Engine::new(shape, params),
             buffers: Buffers::empty(n),
@@ -363,8 +360,10 @@ where
     } else {
         let chunk = n.div_ceil(threads);
         cb_thread::scope(|s| {
-            for (ti, (bchunk, ochunk)) in
-                bufs.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate()
+            for (ti, (bchunk, ochunk)) in bufs
+                .chunks_mut(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
             {
                 let process = &process;
                 s.spawn(move |_| process(ti * chunk, bchunk, ochunk));
@@ -385,7 +384,8 @@ mod tests {
         let shape = TorusShape::new(dims).unwrap();
         let mut ex: Executor = Executor::new(&shape, CommParams::unit(), 1);
         ex.seed_full(|_, _| ());
-        ex.run(&mut NullObserver).expect("schedule must be contention-free");
+        ex.run(&mut NullObserver)
+            .expect("schedule must be contention-free");
         ex
     }
 

@@ -51,6 +51,7 @@ pub mod observer;
 pub mod prepared;
 pub mod report;
 pub mod schedule;
+pub mod steps;
 pub mod verify;
 pub mod virtualnodes;
 
@@ -63,3 +64,5 @@ pub use observer::{NullObserver, Observer, PhaseKind};
 pub use prepared::PreparedExchange;
 pub use report::ExchangeReport;
 pub use schedule::StaticSchedule;
+pub use steps::{PlannedPhase, PlannedStep, StepKind, StepPlan};
+pub use verify::{verify_delivery, verify_full_exchange};

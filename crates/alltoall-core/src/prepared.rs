@@ -114,6 +114,32 @@ impl PreparedExchange {
     pub fn exchange(&self) -> &Exchange {
         &self.exchange
     }
+
+    /// The cached fully-seeded counting-mode buffer state (canonical node
+    /// ids, correct shift vectors). External runtimes use this as the
+    /// authoritative "which blocks exist and where" starting point.
+    pub fn seeded_blocks(&self) -> &[Vec<Block<()>>] {
+        &self.seeded
+    }
+
+    /// The cached expected-delivery table (canonical ids):
+    /// `expected_delivery()[node]` lists the sources whose block must end
+    /// at `node`. Feed it to [`verify_delivery`].
+    pub fn expected_delivery(&self) -> &[Vec<NodeId>] {
+        &self.expected
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Materializes the step-by-step plan (destinations + selection rules)
+    /// for the canonical shape — what an external executor such as
+    /// `torus-runtime` iterates. See [`crate::steps::StepPlan`].
+    pub fn step_plan(&self) -> crate::steps::StepPlan {
+        crate::steps::StepPlan::new(self.exchange.executed_shape())
+    }
 }
 
 #[cfg(test)]
@@ -162,9 +188,7 @@ mod tests {
         let shape = TorusShape::new_2d(8, 8).unwrap();
         let prepared = PreparedExchange::new(&shape).unwrap();
         let cheap = prepared.run(&CommParams::unit()).unwrap();
-        let dear = prepared
-            .run(&CommParams::unit().with_t_s(100.0))
-            .unwrap();
+        let dear = prepared.run(&CommParams::unit().with_t_s(100.0)).unwrap();
         assert_eq!(cheap.counts, dear.counts);
         assert!(dear.total_time() > cheap.total_time());
     }

@@ -266,7 +266,8 @@ mod tests {
     fn schedule_validates_contention_free() {
         for dims in [&[8u32, 8][..], &[12, 8], &[8, 8, 8], &[4, 4, 4, 4]] {
             let (shape, s) = sched_for(dims);
-            s.validate(&shape).unwrap_or_else(|e| panic!("{dims:?}: {e}"));
+            s.validate(&shape)
+                .unwrap_or_else(|e| panic!("{dims:?}: {e}"));
         }
     }
 

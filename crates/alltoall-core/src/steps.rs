@@ -1,0 +1,345 @@
+//! Step-by-step schedule iteration for external runtimes.
+//!
+//! [`crate::exec::Executor`] interleaves schedule generation with cost
+//! accounting on the simulator; a *real* runtime (e.g. `torus-runtime`'s
+//! thread-per-node executor) instead wants the schedule as plain data it
+//! can iterate: for every step, who sends to whom, and which blocks a
+//! node must fold into its combined message.
+//!
+//! [`StepPlan`] provides exactly that. It wraps the contention-validated
+//! [`StaticSchedule`](crate::schedule::StaticSchedule) (destinations per
+//! node per step) and adds the paper's per-step **block-selection rules**
+//! ([`selects`](StepPlan::selects)) so an external executor reproduces the
+//! `n + 2`-phase algorithm without re-deriving any of the direction
+//! machinery. [`execute_serial`](StepPlan::execute_serial) is the
+//! reference interpreter: it replays the plan on [`Buffers`] sequentially
+//! and is what the equivalence tests (and the `torus-runtime` proptest
+//! suite) compare threaded executions against.
+
+use torus_topology::{Coord, NodeId, TorusShape};
+
+use crate::block::{Block, Buffers};
+use crate::observer::PhaseKind;
+use crate::schedule::{StaticSchedule, StaticSend};
+
+/// What kind of step this is — determines the block-selection rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// Step of within-group scatter phase `phase + 1` (0-based index).
+    Scatter {
+        /// 0-based scatter-phase index (also the shift-counter slot).
+        phase: usize,
+    },
+    /// Step `step + 1` of the distance-2 submesh phase (`n + 1`).
+    Distance2 {
+        /// 0-based step index within the phase.
+        step: usize,
+    },
+    /// Distance-1 exchange along canonical dimension `dim` (phase `n + 2`).
+    Distance1 {
+        /// Canonical dimension exchanged along.
+        dim: usize,
+    },
+}
+
+/// One step of the plan: per-node destinations plus the selection rule.
+#[derive(Clone, Debug)]
+pub struct PlannedStep {
+    /// The step's kind (selection rule + shift bookkeeping).
+    pub kind: StepKind,
+    /// Hop count of every message in this step (4, 2, or 1).
+    pub hops: u32,
+    /// Indexed by node id: the node's send this step, `None` if it idles.
+    pub sends: Vec<Option<StaticSend>>,
+}
+
+/// One phase of the plan.
+#[derive(Clone, Debug)]
+pub struct PlannedPhase {
+    /// Phase label, e.g. `"phase 1"` (matches the executor's trace names).
+    pub name: String,
+    /// The phase kind reported to [`Observer`](crate::observer::Observer)s.
+    pub kind: PhaseKind,
+    /// Steps in execution order.
+    pub steps: Vec<PlannedStep>,
+    /// Whether the paper's inter-phase data rearrangement follows this
+    /// phase (true for every phase except the last).
+    pub rearrange_after: bool,
+}
+
+/// The full `n + 2`-phase plan for one canonical torus shape, with the
+/// per-step block-selection rules needed to execute it on real buffers.
+///
+/// ```
+/// use alltoall_core::StepPlan;
+/// use torus_topology::TorusShape;
+///
+/// let shape = TorusShape::new_2d(8, 8).unwrap();
+/// let plan = StepPlan::new(&shape);
+/// assert_eq!(plan.phases().len(), 4); // n + 2
+///
+/// // The reference interpreter performs a full exchange.
+/// let mut bufs = plan.seed_counting();
+/// plan.execute_serial(&mut bufs);
+/// alltoall_core::verify_full_exchange(&shape, &bufs).unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct StepPlan {
+    shape: TorusShape,
+    phases: Vec<PlannedPhase>,
+    coords: Vec<Coord>,
+}
+
+impl StepPlan {
+    /// Builds the plan for a **canonical** shape (extents non-increasing,
+    /// all multiples of four, `n >= 2` — see
+    /// [`DirectionSchedule::new`](crate::dirsched::DirectionSchedule::new),
+    /// which panics otherwise).
+    pub fn new(shape: &TorusShape) -> Self {
+        let sched = StaticSchedule::generate(shape);
+        let n = shape.ndims();
+        let nn = shape.num_nodes() as usize;
+        let coords: Vec<Coord> = shape.iter_coords().collect();
+
+        let mut phases = Vec::with_capacity(n + 2);
+        for (pi, phase) in sched.phases.iter().enumerate() {
+            let kind = if pi < n {
+                PhaseKind::Scatter { index: pi }
+            } else if pi == n {
+                PhaseKind::Distance2
+            } else {
+                PhaseKind::Distance1
+            };
+            let steps = phase
+                .steps
+                .iter()
+                .enumerate()
+                .map(|(si, st)| {
+                    let (kind, hops) = if pi < n {
+                        (StepKind::Scatter { phase: pi }, 4)
+                    } else if pi == n {
+                        (StepKind::Distance2 { step: si }, 2)
+                    } else {
+                        (StepKind::Distance1 { dim: si }, 1)
+                    };
+                    let mut sends: Vec<Option<StaticSend>> = vec![None; nn];
+                    for s in &st.sends {
+                        sends[s.src as usize] = Some(*s);
+                    }
+                    PlannedStep { kind, hops, sends }
+                })
+                .collect();
+            phases.push(PlannedPhase {
+                name: phase.name.clone(),
+                kind,
+                steps,
+                // The paper performs n + 1 rearrangements for n + 2
+                // phases: one after every phase but the last.
+                rearrange_after: pi <= n,
+            });
+        }
+        Self {
+            shape: shape.clone(),
+            phases,
+            coords,
+        }
+    }
+
+    /// The canonical shape the plan executes on.
+    pub fn shape(&self) -> &TorusShape {
+        &self.shape
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[PlannedPhase] {
+        &self.phases
+    }
+
+    /// Total number of communication steps across all phases.
+    pub fn total_steps(&self) -> usize {
+        self.phases.iter().map(|p| p.steps.len()).sum()
+    }
+
+    /// The paper's block-selection rule: must `node` fold `block` into its
+    /// combined message for `step`?
+    ///
+    /// * scatter phase `p`: blocks still owing 4-stride shifts along the
+    ///   phase's dimension (`shifts[p] > 0`);
+    /// * distance-2: blocks whose destination lies in the other half of
+    ///   the `4 × … × 4` submesh along the node's step dimension;
+    /// * distance-1: blocks whose destination has the other parity along
+    ///   the step's dimension.
+    pub fn selects<P>(&self, step: &PlannedStep, node: NodeId, block: &Block<P>) -> bool {
+        match step.kind {
+            StepKind::Scatter { phase } => block.shifts[phase] > 0,
+            StepKind::Distance2 { .. } => match &step.sends[node as usize] {
+                Some(send) => {
+                    let delta = send.dim as usize;
+                    let u = self.coords[node as usize][delta] % 4;
+                    let d = self.coords[block.dst as usize][delta] % 4;
+                    u / 2 != d / 2
+                }
+                None => false,
+            },
+            StepKind::Distance1 { dim } => {
+                self.coords[node as usize][dim] % 2 != self.coords[block.dst as usize][dim] % 2
+            }
+        }
+    }
+
+    /// The shift-counter slot a sender must decrement on each forwarded
+    /// block (`Some(p)` in scatter phase `p`; the block is about to travel
+    /// one 4-hop stride).
+    pub fn shift_decrement(step: &PlannedStep) -> Option<usize> {
+        match step.kind {
+            StepKind::Scatter { phase } => Some(phase),
+            _ => None,
+        }
+    }
+
+    /// Seeds counting-mode buffers for a full exchange on the plan's shape
+    /// (every ordered pair, correct shift vectors) — convenience for tests
+    /// and doc examples.
+    pub fn seed_counting(&self) -> Buffers<()> {
+        let mut ex: crate::exec::Executor =
+            crate::exec::Executor::new(&self.shape, cost_model::CommParams::unit(), 1);
+        ex.seed_full(|_, _| ());
+        let (bufs, _) = ex.into_parts();
+        bufs
+    }
+
+    /// Reference interpreter: replays the whole plan on `bufs`
+    /// sequentially (select → decrement → deliver, phase by phase).
+    ///
+    /// This moves exactly the blocks a conforming runtime must move; the
+    /// equivalence suites compare threaded byte-moving executions against
+    /// it. Rearrangements are no-ops here (they permute local memory, not
+    /// block ownership).
+    pub fn execute_serial<P: Clone>(&self, bufs: &mut Buffers<P>) {
+        for phase in &self.phases {
+            for step in &phase.steps {
+                let mut deliveries: Vec<(NodeId, Vec<Block<P>>)> = Vec::new();
+                for node in 0..self.shape.num_nodes() {
+                    let Some(send) = step.sends[node as usize] else {
+                        continue;
+                    };
+                    let mut sent = bufs.drain_matching(node, |b| self.selects(step, node, b));
+                    if let Some(p) = Self::shift_decrement(step) {
+                        for b in &mut sent {
+                            debug_assert!(b.shifts[p] > 0);
+                            b.shifts[p] -= 1;
+                        }
+                    }
+                    if !sent.is_empty() {
+                        deliveries.push((send.dst, sent));
+                    }
+                }
+                for (dst, blocks) in deliveries {
+                    bufs.deliver(dst, blocks);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_full_exchange;
+
+    #[test]
+    fn plan_structure_matches_paper() {
+        let shape = TorusShape::new_2d(12, 12).unwrap();
+        let plan = StepPlan::new(&shape);
+        assert_eq!(plan.phases().len(), 4);
+        assert_eq!(plan.total_steps(), 2 * (12 / 4 + 1) as usize);
+        assert_eq!(plan.phases()[0].steps.len(), 2); // a1/4 - 1
+        assert_eq!(plan.phases()[2].steps.len(), 2); // distance-2: n steps
+        assert_eq!(plan.phases()[3].steps.len(), 2); // distance-1: n steps
+        assert!(plan.phases()[0].rearrange_after);
+        assert!(plan.phases()[2].rearrange_after);
+        assert!(!plan.phases()[3].rearrange_after);
+        assert_eq!(plan.phases()[0].kind, PhaseKind::Scatter { index: 0 });
+        assert_eq!(plan.phases()[2].kind, PhaseKind::Distance2);
+        assert_eq!(plan.phases()[3].kind, PhaseKind::Distance1);
+    }
+
+    #[test]
+    fn serial_replay_completes_full_exchange() {
+        for dims in [&[8u32, 8][..], &[12, 8], &[8, 8, 8], &[4, 4, 4, 4]] {
+            let shape = TorusShape::new(dims).unwrap();
+            let plan = StepPlan::new(&shape);
+            let mut bufs = plan.seed_counting();
+            plan.execute_serial(&mut bufs);
+            verify_full_exchange(&shape, &bufs).unwrap_or_else(|e| panic!("{dims:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn replay_matches_executor_step_for_step() {
+        // The plan's selection rules must pick exactly the blocks the
+        // dynamic executor moves: after replay, per-node multisets agree.
+        let shape = TorusShape::new(&[12, 8]).unwrap();
+        let plan = StepPlan::new(&shape);
+        let mut bufs = plan.seed_counting();
+        plan.execute_serial(&mut bufs);
+
+        let mut ex: crate::exec::Executor =
+            crate::exec::Executor::new(&shape, cost_model::CommParams::unit(), 1);
+        ex.seed_full(|_, _| ());
+        ex.run(&mut crate::observer::NullObserver).unwrap();
+
+        for node in 0..shape.num_nodes() {
+            let mut a: Vec<(NodeId, NodeId)> =
+                bufs.node(node).iter().map(|b| (b.src, b.dst)).collect();
+            let mut b: Vec<(NodeId, NodeId)> = ex
+                .buffers()
+                .node(node)
+                .iter()
+                .map(|b| (b.src, b.dst))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "node {node}");
+        }
+    }
+
+    #[test]
+    fn idle_senders_hold_no_selected_blocks() {
+        // Whenever the static plan marks a node idle, the dynamic
+        // selection rule must agree that it has nothing to forward —
+        // otherwise blocks would strand.
+        let shape = TorusShape::new(&[12, 8]).unwrap();
+        let plan = StepPlan::new(&shape);
+        let mut bufs = plan.seed_counting();
+        for phase in plan.phases() {
+            for step in &phase.steps {
+                let mut deliveries: Vec<(NodeId, Vec<Block<()>>)> = Vec::new();
+                for node in 0..shape.num_nodes() {
+                    let selected = bufs.drain_matching(node, |b| plan.selects(step, node, b));
+                    match step.sends[node as usize] {
+                        Some(send) => {
+                            let mut sent = selected;
+                            if let Some(p) = StepPlan::shift_decrement(step) {
+                                for b in &mut sent {
+                                    b.shifts[p] -= 1;
+                                }
+                            }
+                            deliveries.push((send.dst, sent));
+                        }
+                        None => assert!(
+                            selected.is_empty(),
+                            "idle node {node} had {} selected blocks in {:?}",
+                            selected.len(),
+                            step.kind
+                        ),
+                    }
+                }
+                for (dst, blocks) in deliveries {
+                    bufs.deliver(dst, blocks);
+                }
+            }
+        }
+        verify_full_exchange(&shape, &bufs).unwrap();
+    }
+}

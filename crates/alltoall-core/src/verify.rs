@@ -47,7 +47,10 @@ pub fn verify_delivery<P: Clone>(
                 )));
             }
         }
-        let want = expected.get(node as usize).map(|v| v.as_slice()).unwrap_or(&[]);
+        let want = expected
+            .get(node as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
         let mut got: Vec<NodeId> = held.iter().map(|b| b.src).collect();
         got.sort_unstable();
         let mut want_sorted = want.to_vec();

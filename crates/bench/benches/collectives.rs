@@ -25,7 +25,14 @@ fn bench_collectives(c: &mut Criterion) {
         b.iter(|| black_box(allgather(&shape, &params, 1).unwrap().counts))
     });
     g.bench_function("reduce", |b| {
-        b.iter(|| black_box(reduce(&shape, &params, 0, 8, |u| vec![u as u64; 8]).unwrap().0.counts))
+        b.iter(|| {
+            black_box(
+                reduce(&shape, &params, 0, 8, |u| vec![u as u64; 8])
+                    .unwrap()
+                    .0
+                    .counts,
+            )
+        })
     });
     g.bench_function("allreduce", |b| {
         b.iter(|| {

@@ -64,9 +64,7 @@ fn bench_payload_exchange(c: &mut Criterion) {
         let ex = Exchange::new(&shape).unwrap();
         b.iter(|| {
             let (r, deliveries) = ex
-                .run_with_payloads(&CommParams::cray_t3d_like(), |s, d| {
-                    vec![(s ^ d) as u8; 64]
-                })
+                .run_with_payloads(&CommParams::cray_t3d_like(), |s, d| vec![(s ^ d) as u8; 64])
                 .unwrap();
             black_box((r.counts, deliveries.len()))
         });
@@ -74,5 +72,10 @@ fn bench_payload_exchange(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_proposed, bench_baselines, bench_payload_exchange);
+criterion_group!(
+    benches,
+    bench_proposed,
+    bench_baselines,
+    bench_payload_exchange
+);
 criterion_main!(benches);

@@ -34,9 +34,13 @@ fn bench_parallel_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel-helpers");
     let n = 100_000usize;
     for threads in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("par_map_nodes", threads), &threads, |b, &t| {
-            b.iter(|| black_box(par_map_nodes(n, t, |i| i.wrapping_mul(2654435761))));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("par_map_nodes", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| black_box(par_map_nodes(n, t, |i| i.wrapping_mul(2654435761))));
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("par_apply_chunks", threads),
             &threads,
@@ -64,7 +68,13 @@ fn bench_prepared_vs_fresh(c: &mut Criterion) {
     let shape = TorusShape::new_2d(16, 16).unwrap();
     g.bench_function("fresh-16x16", |b| {
         let ex = Exchange::new(&shape).unwrap();
-        b.iter(|| black_box(ex.run_counting(&CommParams::cray_t3d_like()).unwrap().counts));
+        b.iter(|| {
+            black_box(
+                ex.run_counting(&CommParams::cray_t3d_like())
+                    .unwrap()
+                    .counts,
+            )
+        });
     });
     g.bench_function("prepared-16x16", |b| {
         let prepared = alltoall_core::PreparedExchange::new(&shape).unwrap();
@@ -73,5 +83,10 @@ fn bench_prepared_vs_fresh(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_thread_scaling, bench_parallel_primitives, bench_prepared_vs_fresh);
+criterion_group!(
+    benches,
+    bench_thread_scaling,
+    bench_parallel_primitives,
+    bench_prepared_vs_fresh
+);
 criterion_main!(benches);

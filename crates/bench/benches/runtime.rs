@@ -1,0 +1,76 @@
+//! Criterion bench C4: wall-clock of the *byte-moving* runtime across
+//! torus sizes, worker counts, and block sizes.
+//!
+//! Unlike the `exchange` bench (which times the simulator's bookkeeping),
+//! this measures real work: message assembly memcpys, channel transport,
+//! and inter-phase rearrangement passes. Every timed run is also
+//! bit-exactly verified, so these numbers are end-to-end costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use torus_runtime::{Runtime, RuntimeConfig};
+use torus_topology::TorusShape;
+
+fn bench_runtime_shapes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime-shapes");
+    g.sample_size(10);
+    let workers = torus_sim::default_threads();
+    for dims in [vec![4u32, 4], vec![8, 8], vec![8, 12], vec![4, 4, 4]] {
+        let shape = TorusShape::new(&dims).unwrap();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{shape}")),
+            &shape,
+            |b, shape| {
+                let rt =
+                    Runtime::new(shape, RuntimeConfig::default().with_workers(workers)).unwrap();
+                b.iter(|| {
+                    let r = rt.run().unwrap();
+                    black_box((r.wire_bytes, r.wall))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_runtime_workers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime-8x8-workers");
+    g.sample_size(10);
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            let rt = Runtime::new(&shape, RuntimeConfig::default().with_workers(w)).unwrap();
+            b.iter(|| black_box(rt.run().unwrap().wall));
+        });
+    }
+    g.finish();
+}
+
+fn bench_runtime_block_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime-8x8-block-bytes");
+    g.sample_size(10);
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    let workers = torus_sim::default_threads();
+    for m in [16usize, 256, 4096] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let rt = Runtime::new(
+                &shape,
+                RuntimeConfig::default()
+                    .with_block_bytes(m)
+                    .with_workers(workers),
+            )
+            .unwrap();
+            b.iter(|| black_box(rt.run().unwrap().wall));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_runtime_shapes,
+    bench_runtime_workers,
+    bench_runtime_block_sizes
+);
+criterion_main!(benches);

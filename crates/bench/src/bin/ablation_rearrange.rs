@@ -23,7 +23,11 @@ use torus_topology::{Coord, TorusShape};
 fn main() {
     println!("S2: rearrangement passes — proposed (per phase) vs. row-column (per step)\n");
     let mut t = Table::new(&[
-        "torus", "proposed passes", "row-col passes", "[13] closed form", "proposed model",
+        "torus",
+        "proposed passes",
+        "row-col passes",
+        "[13] closed form",
+        "proposed model",
     ]);
     for side in [4u32, 8, 16, 32] {
         let shape = TorusShape::new_2d(side, side).unwrap();
@@ -49,7 +53,9 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\nproposed stays at n+1 = 3 passes regardless of size; per-step schemes grow with C\n");
+    println!(
+        "\nproposed stays at n+1 = 3 passes regardless of size; per-step schemes grow with C\n"
+    );
 
     println!("time impact on a 16x16 torus as rho grows (m = 64 B, T3D-like otherwise):\n");
     let shape = TorusShape::new_2d(16, 16).unwrap();

@@ -47,8 +47,16 @@ fn main() {
         row("reduce", r.counts, r.total_time(), r.verified);
         let (r, _) = allreduce(&shape, &params, 1, |u| vec![u as u64]).unwrap();
         row("allreduce", r.counts, r.total_time(), r.verified);
-        let rep = Exchange::new(&shape).unwrap().run_counting(&params).unwrap();
-        row("alltoall (paper)", rep.counts, rep.total_time(), rep.verified);
+        let rep = Exchange::new(&shape)
+            .unwrap()
+            .run_counting(&params)
+            .unwrap();
+        row(
+            "alltoall (paper)",
+            rep.counts,
+            rep.total_time(),
+            rep.verified,
+        );
         t.print();
         println!();
     }

@@ -80,8 +80,11 @@ impl Observer<()> for Fig1Observer {
         match phase {
             PhaseKind::Scatter { index } => {
                 self.print_group(
-                    &format!("after phase {} step {step} (Figure 1{})", index + 1,
-                        ["e/f", "g/h"][index.min(1)]),
+                    &format!(
+                        "after phase {} step {step} (Figure 1{})",
+                        index + 1,
+                        ["e/f", "g/h"][index.min(1)]
+                    ),
                     bufs,
                 );
             }

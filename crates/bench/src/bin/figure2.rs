@@ -38,7 +38,9 @@ fn main() {
     let shape = TorusShape::new_3d(12, 12, 12).unwrap();
     let sched = DirectionSchedule::new(&shape);
 
-    println!("Figure 2(a)-(c): pattern per X-Y plane (A = 2D phase-1, B = 2D phase-2, C = Z shift)\n");
+    println!(
+        "Figure 2(a)-(c): pattern per X-Y plane (A = 2D phase-1, B = 2D phase-2, C = Z shift)\n"
+    );
     for phase in 0..3 {
         println!("phase {}:", phase + 1);
         for z in 0..12u32 {
@@ -51,8 +53,16 @@ fn main() {
                 .collect();
             kinds.sort_unstable();
             kinds.dedup();
-            assert_eq!(kinds.len(), 1, "plane z={z} must be uniform in phase {phase}");
-            println!("  plane Z={z:>2} (Z mod 4 = {}): pattern {}", z % 4, kinds[0]);
+            assert_eq!(
+                kinds.len(),
+                1,
+                "plane z={z} must be uniform in phase {phase}"
+            );
+            println!(
+                "  plane Z={z:>2} (Z mod 4 = {}): pattern {}",
+                z % 4,
+                kinds[0]
+            );
         }
         println!();
     }

@@ -88,6 +88,8 @@ fn main() {
     }
     println!("  slice sizes match the engine's measured per-step critical volume");
     println!("  (each phase ships 1152 then 576 blocks; occupancy constant at 1727)");
-    println!("  executed run verified ({} steps, {} critical blocks)",
-        report.counts.startup_steps, report.counts.trans_blocks);
+    println!(
+        "  executed run verified ({} steps, {} critical blocks)",
+        report.counts.startup_steps, report.counts.trans_blocks
+    );
 }

@@ -29,7 +29,10 @@ fn flit_cycles(
         if t.blocks == 0 {
             continue;
         }
-        sim.try_add_packet(Packet::from_transmission(t, t.blocks as u32 * flits_per_block))?;
+        sim.try_add_packet(Packet::from_transmission(
+            t,
+            t.blocks as u32 * flits_per_block,
+        ))?;
     }
     Ok(sim.run()?.completion_cycle)
 }
@@ -47,9 +50,19 @@ fn main() {
         .unwrap();
     assert!(report.verified);
 
-    println!("S4a: per-step flit-level cycles vs analytic m + h (8x8 torus, {m_flits} flits/block)\n");
+    println!(
+        "S4a: per-step flit-level cycles vs analytic m + h (8x8 torus, {m_flits} flits/block)\n"
+    );
     let sched = alltoall_core::DirectionSchedule::new(&shape);
-    let mut t = Table::new(&["phase", "step", "blocks (crit)", "hops", "model cycles", "flit cycles", "match"]);
+    let mut t = Table::new(&[
+        "phase",
+        "step",
+        "blocks (crit)",
+        "hops",
+        "model cycles",
+        "flit cycles",
+        "match",
+    ]);
     let mut all_ok = true;
 
     // Scatter phases: reconstruct transmissions per step with the traced
@@ -92,12 +105,8 @@ fn main() {
     for c in shape.iter_coords() {
         let dstc = Coord::new(&[c[0], (c[1] + 4) % 8]);
         let path = dor_path(&shape, &c, &dstc);
-        let tx = torus_sim::Transmission::over_path(
-            shape.index_of(&c),
-            shape.index_of(&dstc),
-            1,
-            path,
-        );
+        let tx =
+            torus_sim::Transmission::over_path(shape.index_of(&c), shape.index_of(&dstc), 1, path);
         naive
             .try_add_packet(Packet::from_transmission(&tx, len))
             .unwrap();
@@ -110,7 +119,10 @@ fn main() {
             for g in &groups {
                 scheduled_total += flit_cycles(&shape, g, len).unwrap();
             }
-            println!("  all-at-once (contending): {} cycles", stats.completion_cycle);
+            println!(
+                "  all-at-once (contending): {} cycles",
+                stats.completion_cycle
+            );
             println!(
                 "  scheduled into {} contention-free groups: {} cycles total",
                 groups.len(),
@@ -122,7 +134,9 @@ fn main() {
             );
         }
         Err(FlitError::Deadlock { cycle, stalled }) => {
-            println!("  all-at-once (contending): DEADLOCK at cycle {cycle} ({stalled} worms stalled)");
+            println!(
+                "  all-at-once (contending): DEADLOCK at cycle {cycle} ({stalled} worms stalled)"
+            );
             println!("  — wormhole worms chasing each other around the ring; real machines need");
             println!("    virtual channels for this. The paper's schedules never block at all.");
         }
@@ -137,7 +151,8 @@ fn main() {
         let gamma = (c[0] + c[1]) % 4;
         if gamma == 0 || gamma == 2 {
             let t = torus_sim::Transmission::along_ring(&shape, &c, Direction::plus(0), 4, 1);
-            sab.try_add_packet(Packet::from_transmission(&t, len)).unwrap();
+            sab.try_add_packet(Packet::from_transmission(&t, len))
+                .unwrap();
         }
     }
     match sab.run() {

@@ -1,0 +1,87 @@
+//! Runtime sweep (experiment R1): measured byte-moving execution across
+//! shapes and block sizes, with the analytic Table 1 prediction alongside.
+//!
+//! Prints a table and exports every full [`RuntimeReport`] (per-phase
+//! walls, assembly/transport/rearrange split, wire bytes, peak residency,
+//! per-step trace) to `results/runtime_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin runtime_sweep
+//! TORUS_THREADS=16 cargo run --release -p bench --bin runtime_sweep
+//! ```
+
+use bench::{fnum, Table};
+use std::io::Write as _;
+use torus_runtime::{Runtime, RuntimeConfig, RuntimeReport};
+use torus_topology::TorusShape;
+
+fn main() {
+    let workers = torus_sim::default_threads();
+    let mut reports: Vec<RuntimeReport> = Vec::new();
+
+    println!("R1: byte-moving runtime, {workers} workers (override with TORUS_THREADS)\n");
+    let mut t = Table::new(&[
+        "torus",
+        "nodes",
+        "m (B)",
+        "steps",
+        "wall (ms)",
+        "assembly (ms)",
+        "transport (ms)",
+        "rearrange (ms)",
+        "wire (KiB)",
+        "peak node (KiB)",
+        "model (µs)",
+    ]);
+    let cases: &[(&[u32], usize)] = &[
+        (&[4, 4], 64),
+        (&[8, 8], 64),
+        (&[8, 8], 1024),
+        (&[8, 12], 64),
+        (&[4, 4, 4], 64),
+        (&[6, 6], 64), // padded path: executes as 8x8, real pairs only
+    ];
+    for &(dims, m) in cases {
+        let shape = TorusShape::new(dims).unwrap();
+        let rt = Runtime::new(
+            &shape,
+            RuntimeConfig::default()
+                .with_block_bytes(m)
+                .with_workers(workers),
+        )
+        .expect("shape accepted");
+        let r = rt.run().expect("verified run");
+        let ms = |d: std::time::Duration| fnum(d.as_secs_f64() * 1e3);
+        t.row(&[
+            format!("{shape}"),
+            r.nodes.to_string(),
+            m.to_string(),
+            r.total_steps().to_string(),
+            ms(r.wall),
+            ms(r.assembly()),
+            ms(r.transport()),
+            ms(r.rearrange()),
+            fnum(r.wire_bytes as f64 / 1024.0),
+            fnum(r.peak_node_bytes as f64 / 1024.0),
+            fnum(r.analytic.total()),
+        ]);
+        reports.push(r);
+    }
+    t.print();
+    println!();
+
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("runtime_sweep.json");
+        match serde_json::to_string_pretty(&reports) {
+            Ok(json) => {
+                if let Ok(mut f) = std::fs::File::create(&path) {
+                    let _ = f.write_all(json.as_bytes());
+                    println!("(wrote {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("json export failed: {e}"),
+        }
+    }
+    println!("all runs bit-exactly verified; wall excludes seeding/verification.");
+}

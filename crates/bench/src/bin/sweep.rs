@@ -17,11 +17,18 @@ use alltoall_baselines::{
     DirectExchange, ExchangeAlgorithm, RingExchange, RowColumnExchange, SUH_YALAMANCHILI_9,
     TSENG_13,
 };
-use alltoall_core::Exchange;
+use alltoall_core::{Exchange, ExchangeReport};
 use bench::{fnum, Table};
 use cost_model::{CommParams, CompletionTime, CostCounts};
 use std::io::Write as _;
 use torus_topology::TorusShape;
+
+/// One measured run's per-step trace, labeled for the JSON artifact.
+#[derive(serde::Serialize)]
+struct TraceDump {
+    torus: String,
+    trace: torus_sim::Trace,
+}
 
 /// Writes one CSV artifact under `results/` (plot-ready).
 fn write_csv(name: &str, header: &str, rows: &[String]) {
@@ -39,14 +46,31 @@ fn write_csv(name: &str, header: &str, rows: &[String]) {
     }
 }
 
-fn measure_proposed(shape: &TorusShape) -> CostCounts {
+/// Writes one pretty-printed JSON artifact under `results/`.
+fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // read-only checkout: skip export silently
+    }
+    let path = dir.join(name);
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if std::fs::write(&path, s).is_ok() {
+                println!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("json export failed for {name}: {e}"),
+    }
+}
+
+fn measure_proposed(shape: &TorusShape) -> ExchangeReport {
     let r = Exchange::new(shape)
         .unwrap()
         .with_threads(4)
         .run_counting(&CommParams::unit())
         .expect("contention-free");
     assert!(r.verified);
-    r.counts
+    r
 }
 
 fn main() {
@@ -54,12 +78,24 @@ fn main() {
 
     println!("S1a: completion time (µs) vs. 2D torus size, T3D-like parameters\n");
     let mut t = Table::new(&[
-        "torus", "proposed", "direct", "ring", "row-col", "[13] analytic", "[9] analytic",
+        "torus",
+        "proposed",
+        "direct",
+        "ring",
+        "row-col",
+        "[13] analytic",
+        "[9] analytic",
     ]);
     let mut csv_rows: Vec<String> = Vec::new();
+    let mut traces: Vec<TraceDump> = Vec::new();
     for side in [4u32, 8, 12, 16] {
         let shape = TorusShape::new_2d(side, side).unwrap();
-        let prop = CompletionTime::from_counts(&measure_proposed(&shape), &params).total();
+        let rep = measure_proposed(&shape);
+        let prop = CompletionTime::from_counts(&rep.counts, &params).total();
+        traces.push(TraceDump {
+            torus: format!("{shape}"),
+            trace: rep.trace,
+        });
         let dir = DirectExchange.run(&shape, &params).unwrap();
         let ring = RingExchange.run(&shape, &params).unwrap();
         let rc = RowColumnExchange.run(&shape, &params).unwrap();
@@ -100,7 +136,7 @@ fn main() {
 
     println!("S1b: winner vs. t_s on an 8x8 torus (measured counts, m = 64 B)\n");
     let shape = TorusShape::new_2d(8, 8).unwrap();
-    let prop_counts = measure_proposed(&shape);
+    let prop_counts = measure_proposed(&shape).counts;
     let base = CommParams::cray_t3d_like();
     let others: Vec<(&str, CostCounts)> = [
         &DirectExchange as &dyn ExchangeAlgorithm,
@@ -113,7 +149,14 @@ fn main() {
         (r.name, r.counts)
     })
     .collect();
-    let mut t = Table::new(&["t_s (µs)", "proposed", "direct", "ring", "row-col", "winner"]);
+    let mut t = Table::new(&[
+        "t_s (µs)",
+        "proposed",
+        "direct",
+        "ring",
+        "row-col",
+        "winner",
+    ]);
     for t_s in [0.1, 0.5, 1.0, 5.0, 25.0, 100.0] {
         let p = base.with_t_s(t_s);
         let times: Vec<(&str, f64)> = std::iter::once(("proposed", prop_counts))
@@ -141,8 +184,13 @@ fn main() {
     let mut t = Table::new(&["torus", "nodes", "steps", "crit. blocks", "time (µs)"]);
     for dims in [[4u32, 4, 4], [8, 8, 8], [8, 8, 4], [12, 12, 12]] {
         let shape = TorusShape::new(&dims).unwrap();
-        let counts = measure_proposed(&shape);
+        let rep = measure_proposed(&shape);
+        let counts = rep.counts;
         let time = CompletionTime::from_counts(&counts, &params).total();
+        traces.push(TraceDump {
+            torus: format!("{shape}"),
+            trace: rep.trace,
+        });
         t.row(&[
             format!("{shape}"),
             shape.num_nodes().to_string(),
@@ -153,6 +201,7 @@ fn main() {
     }
     t.print();
     println!();
+    write_json("sweep_traces.json", &traces);
     println!("expected shape: combining beats direct except at near-zero t_s;");
     println!("ring competitive only on tiny networks; [9] lowest startup term.");
 }

@@ -33,7 +33,16 @@ fn main() {
     ];
 
     let mut t = Table::new(&[
-        "torus", "startup", "meas", "trans blk", "meas", "rearr", "meas", "prop hops", "meas", "ok",
+        "torus",
+        "startup",
+        "meas",
+        "trans blk",
+        "meas",
+        "rearr",
+        "meas",
+        "prop hops",
+        "meas",
+        "ok",
     ]);
     let mut all_ok = true;
     for dims in shapes {

@@ -16,7 +16,9 @@ use cost_model::{proposed_pow2_square, suh_yalamanchili_9, tseng_13, CommParams}
 use torus_topology::TorusShape;
 
 fn main() {
-    println!("Table 2: costs on a 2^d x 2^d torus (counts; multiply by t_s / m*t_c / m*rho / t_l)\n");
+    println!(
+        "Table 2: costs on a 2^d x 2^d torus (counts; multiply by t_s / m*t_c / m*rho / t_l)\n"
+    );
     for d in 2..=6u32 {
         let side = 1u32 << d;
         let t13 = tseng_13(d);
@@ -34,7 +36,10 @@ fn main() {
                 .run_counting(&CommParams::unit())
                 .expect("contention-free");
             assert!(r.verified);
-            assert!(r.matches_formula(), "measured must match Table 1/2 closed form");
+            assert!(
+                r.matches_formula(),
+                "measured must match Table 1/2 closed form"
+            );
             Some(r.counts)
         } else {
             None

@@ -35,7 +35,8 @@ impl Table {
     /// Appends one row (must match the header count).
     pub fn row<S: Display>(&mut self, cells: &[S]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Renders with aligned columns.

@@ -28,6 +28,17 @@ pub enum Command {
         /// Worker threads.
         threads: usize,
     },
+    /// `run-real --shape RxC [...params]` — byte-moving runtime execution.
+    RunReal {
+        /// Torus shape.
+        shape: Vec<u32>,
+        /// Machine parameters (block size doubles as payload size).
+        params: CommParams,
+        /// Worker threads; `None` = auto (`TORUS_THREADS` or core count).
+        threads: Option<usize>,
+        /// Emit the full report as JSON instead of a summary.
+        json: bool,
+    },
     /// `compare --shape RxC [...params]` — all algorithms side by side.
     Compare {
         /// Torus shape.
@@ -74,7 +85,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut algo = "proposed".to_string();
     let mut op = String::new();
     let mut json = false;
-    let mut threads = 1usize;
+    let mut threads: Option<usize> = None;
     let mut params = CommParams::cray_t3d_like();
 
     let mut i = 1;
@@ -92,7 +103,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--op" => op = val(&mut i)?,
             "--json" => json = true,
             "--threads" => {
-                threads = val(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+                threads = Some(
+                    val(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
             }
             "--ts" => params.t_s = val(&mut i)?.parse().map_err(|e| format!("--ts: {e}"))?,
             "--tc" => params.t_c = val(&mut i)?.parse().map_err(|e| format!("--tc: {e}"))?,
@@ -112,7 +127,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             shape: need_shape(shape)?,
             algo,
             params,
+            threads: threads.unwrap_or(1),
+        }),
+        "run-real" => Ok(Command::RunReal {
+            shape: need_shape(shape)?,
+            params,
             threads,
+            json,
         }),
         "compare" => Ok(Command::Compare {
             shape: need_shape(shape)?,
@@ -143,6 +164,7 @@ torus-xchg — all-to-all personalized exchange on torus networks (Suh & Shin, I
 
 USAGE:
   torus-xchg run        --shape 8x12 [--algo proposed|direct|ring|rowcol|mesh] [params]
+  torus-xchg run-real   --shape 8x8 [--json] [params]   (moves real bytes, verifies bit-exactly)
   torus-xchg compare    --shape 8x8 [params]
   torus-xchg collective --op broadcast|scatter|gather|allgather|reduce|allreduce|alltoall --shape 8x8
   torus-xchg schedule   --shape 8x8 [--json]
@@ -183,8 +205,12 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                         report.elapsed.propagation
                     )
                     .unwrap();
-                    writeln!(out, "matches Table 1 closed form: {}", report.matches_formula())
-                        .unwrap();
+                    writeln!(
+                        out,
+                        "matches Table 1 closed form: {}",
+                        report.matches_formula()
+                    )
+                    .unwrap();
                 }
                 name => {
                     let algo: &dyn ExchangeAlgorithm = match name {
@@ -208,6 +234,29 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     )
                     .unwrap();
                 }
+            }
+        }
+        Command::RunReal {
+            shape,
+            params,
+            threads,
+            json,
+        } => {
+            let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
+            let mut config = torus_runtime::RuntimeConfig::default()
+                .with_block_bytes(params.block_bytes as usize)
+                .with_params(params);
+            if let Some(t) = threads {
+                config = config.with_workers(t);
+            }
+            let runtime = torus_runtime::Runtime::new(&shape, config).map_err(|e| e.to_string())?;
+            let report = runtime.run().map_err(|e| e.to_string())?;
+            if json {
+                out.push_str(&serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+                out.push('\n');
+            } else {
+                out.push_str(&report.summary());
+                out.push('\n');
             }
         }
         Command::Compare { shape, params } => {
@@ -257,8 +306,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
             let (name, counts, time, verified) = match op.as_str() {
                 "broadcast" => {
-                    let r = collectives::broadcast(&shape, &params, 0, 1)
-                        .map_err(|e| e.to_string())?;
+                    let r =
+                        collectives::broadcast(&shape, &params, 0, 1).map_err(|e| e.to_string())?;
                     (r.name, r.counts, r.total_time(), r.verified)
                 }
                 "scatter" => {
@@ -275,17 +324,13 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     (r.name, r.counts, r.total_time(), r.verified)
                 }
                 "reduce" => {
-                    let (r, _) = collectives::reduce(&shape, &params, 0, 8, |u| {
-                        vec![u as u64; 8]
-                    })
-                    .map_err(|e| e.to_string())?;
+                    let (r, _) = collectives::reduce(&shape, &params, 0, 8, |u| vec![u as u64; 8])
+                        .map_err(|e| e.to_string())?;
                     (r.name, r.counts, r.total_time(), r.verified)
                 }
                 "allreduce" => {
-                    let (r, _) = collectives::allreduce(&shape, &params, 8, |u| {
-                        vec![u as u64; 8]
-                    })
-                    .map_err(|e| e.to_string())?;
+                    let (r, _) = collectives::allreduce(&shape, &params, 8, |u| vec![u as u64; 8])
+                        .map_err(|e| e.to_string())?;
                     (r.name, r.counts, r.total_time(), r.verified)
                 }
                 "alltoall" => {
@@ -319,7 +364,11 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 out.push_str(&serde_json::to_string_pretty(&sched).map_err(|e| e.to_string())?);
                 out.push('\n');
             } else {
-                writeln!(out, "static schedule for {canon} (canonicalized from {shape}):").unwrap();
+                writeln!(
+                    out,
+                    "static schedule for {canon} (canonicalized from {shape}):"
+                )
+                .unwrap();
                 writeln!(
                     out,
                     "  {} phases, {} total steps, contention-free: yes, destinations fixed per scatter phase: {}",
@@ -363,7 +412,10 @@ mod tests {
 
     #[test]
     fn parse_run_command() {
-        let cmd = parse_args(&argv("run --shape 8x8 --algo ring --ts 5 -m 128 --threads 4")).unwrap();
+        let cmd = parse_args(&argv(
+            "run --shape 8x8 --algo ring --ts 5 -m 128 --threads 4",
+        ))
+        .unwrap();
         match cmd {
             Command::Run {
                 shape,
@@ -379,6 +431,53 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_run_real_command() {
+        let cmd = parse_args(&argv("run-real --shape 4x4 -m 32")).unwrap();
+        match cmd {
+            Command::RunReal {
+                shape,
+                params,
+                threads,
+                json,
+            } => {
+                assert_eq!(shape, vec![4, 4]);
+                assert_eq!(params.block_bytes, 32);
+                assert_eq!(threads, None, "threads default to auto");
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_args(&argv("run-real --shape 4x4 --threads 2 --json")).unwrap();
+        match cmd {
+            Command::RunReal { threads, json, .. } => {
+                assert_eq!(threads, Some(2));
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_run_real() {
+        let out =
+            execute(parse_args(&argv("run-real --shape 4x4 --threads 2 -m 16")).unwrap()).unwrap();
+        assert!(out.contains("verified=true"), "{out}");
+        assert!(out.contains("analytic model"), "{out}");
+        assert!(out.contains("phase 1"), "{out}");
+    }
+
+    #[test]
+    fn execute_run_real_json() {
+        let out =
+            execute(parse_args(&argv("run-real --shape 4x4 --threads 2 -m 16 --json")).unwrap())
+                .unwrap();
+        assert!(out.contains("\"verified\": true"), "{out}");
+        // Round-trips as JSON.
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["nodes"], 16);
     }
 
     #[test]
@@ -427,10 +526,9 @@ mod tests {
             "allreduce",
             "alltoall",
         ] {
-            let out = execute(
-                parse_args(&argv(&format!("collective --op {op} --shape 4x4"))).unwrap(),
-            )
-            .unwrap();
+            let out =
+                execute(parse_args(&argv(&format!("collective --op {op} --shape 4x4"))).unwrap())
+                    .unwrap();
             assert!(out.contains("verified: true"), "{op}: {out}");
         }
     }

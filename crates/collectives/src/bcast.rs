@@ -208,7 +208,11 @@ mod tests {
         let r = broadcast(&shape, &CommParams::unit(), 0, 1).unwrap();
         // per dim: prime+, prime−, then parallel: 8-ring needs 5 steps
         // (1+1, then +2 per step for the remaining 5 nodes => 3 steps).
-        assert!(r.counts.startup_steps <= 2 * 5, "steps={}", r.counts.startup_steps);
+        assert!(
+            r.counts.startup_steps <= 2 * 5,
+            "steps={}",
+            r.counts.startup_steps
+        );
         assert!(r.counts.startup_steps >= 2 * 4);
     }
 

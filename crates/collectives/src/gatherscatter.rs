@@ -100,8 +100,13 @@ pub fn scatter(
                         continue;
                     }
                     held[u] = keep;
-                    let tx =
-                        Transmission::along_ring(shape, &c, Direction::plus(d), 1, send.len() as u64);
+                    let tx = Transmission::along_ring(
+                        shape,
+                        &c,
+                        Direction::plus(d),
+                        1,
+                        send.len() as u64,
+                    );
                     deliveries.push((tx.dst, send));
                     txs.push(tx);
                 }
@@ -198,10 +203,17 @@ mod tests {
 
     #[test]
     fn scatter_delivers_own_block_to_everyone() {
-        for dims in [&[4u32, 4][..], &[8, 8], &[4, 8], &[3, 5], &[4, 4, 4], &[6, 6]] {
+        for dims in [
+            &[4u32, 4][..],
+            &[8, 8],
+            &[4, 8],
+            &[3, 5],
+            &[4, 4, 4],
+            &[6, 6],
+        ] {
             let shape = TorusShape::new(dims).unwrap();
-            let r = scatter(&shape, &CommParams::unit(), 0)
-                .unwrap_or_else(|e| panic!("{dims:?}: {e}"));
+            let r =
+                scatter(&shape, &CommParams::unit(), 0).unwrap_or_else(|e| panic!("{dims:?}: {e}"));
             assert!(r.verified, "{dims:?}");
         }
     }

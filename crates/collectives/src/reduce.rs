@@ -86,13 +86,8 @@ where
                     continue;
                 }
                 let Some(v) = partial[u].take() else { continue };
-                let tx = Transmission::along_ring(
-                    shape,
-                    &c,
-                    Direction::minus(d),
-                    1,
-                    vec_len as u64,
-                );
+                let tx =
+                    Transmission::along_ring(shape, &c, Direction::minus(d), 1, vec_len as u64);
                 deliveries.push((tx.dst, v));
                 txs.push(tx);
             }
@@ -209,10 +204,7 @@ mod tests {
     #[test]
     fn allreduce_combines_reduce_and_broadcast() {
         let shape = TorusShape::new_2d(4, 4).unwrap();
-        let (r, v) = allreduce(&shape, &CommParams::unit(), 2, |u| {
-            vec![u as u64, 1]
-        })
-        .unwrap();
+        let (r, v) = allreduce(&shape, &CommParams::unit(), 2, |u| vec![u as u64, 1]).unwrap();
         assert!(r.verified);
         assert_eq!(v, vec![120, 16]);
         // steps = reduce steps + broadcast steps

@@ -1,14 +1,16 @@
 //! Property-based tests: every collective, random shapes and roots.
 
-use proptest::prelude::*;
 use collectives::{allgather, allreduce, broadcast, gather, reduce, scatter};
 use cost_model::CommParams;
+use proptest::prelude::*;
 use torus_topology::TorusShape;
 
 /// Random shapes: 1–3 dims, extents 1..=9 (node count bounded).
 fn arb_shape() -> impl Strategy<Value = TorusShape> {
     prop::collection::vec(1u32..=9, 1..=3)
-        .prop_filter("bounded", |d| d.iter().map(|&k| k as u64).product::<u64>() <= 400)
+        .prop_filter("bounded", |d| {
+            d.iter().map(|&k| k as u64).product::<u64>() <= 400
+        })
         .prop_map(|d| TorusShape::new(&d).expect("valid"))
 }
 

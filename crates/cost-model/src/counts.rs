@@ -73,6 +73,9 @@ mod tests {
     #[test]
     fn default_is_zero() {
         assert_eq!(CostCounts::default().startup_steps, 0);
-        assert_eq!(CostCounts::default().add(&CostCounts::default()), CostCounts::default());
+        assert_eq!(
+            CostCounts::default().add(&CostCounts::default()),
+            CostCounts::default()
+        );
     }
 }

@@ -185,7 +185,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let p = CommParams::cray_t3d_like().with_block_bytes(128).with_t_s(5.0);
+        let p = CommParams::cray_t3d_like()
+            .with_block_bytes(128)
+            .with_t_s(5.0);
         assert_eq!(p.block_bytes, 128);
         assert_eq!(p.t_s, 5.0);
     }

@@ -24,7 +24,10 @@ use crate::counts::CostCounts;
 pub fn proposed_nd(dims: &[u32]) -> CostCounts {
     assert!(!dims.is_empty(), "need at least one dimension");
     for &k in dims {
-        assert!(k > 0 && k % 4 == 0, "dimension {k} must be a positive multiple of 4");
+        assert!(
+            k > 0 && k % 4 == 0,
+            "dimension {k} must be a positive multiple of 4"
+        );
     }
     let n = dims.len() as u64;
     let a1 = *dims.iter().max().expect("non-empty") as u64;

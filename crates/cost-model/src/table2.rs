@@ -51,7 +51,10 @@ fn p2(e: i64) -> f64 {
 /// Proposed algorithm on a `2^d × 2^d` torus (Table 2, last column).
 /// Requires `d ≥ 2` so the side `2^d` is a multiple of four.
 pub fn proposed_pow2_square(d: u32) -> Pow2SquareCosts {
-    assert!(d >= 2, "side 2^d must be a multiple of 4 (d >= 2), got d={d}");
+    assert!(
+        d >= 2,
+        "side 2^d must be a multiple of 4 (d >= 2), got d={d}"
+    );
     let d = d as i64;
     Pow2SquareCosts {
         d: d as u32,

@@ -1,0 +1,168 @@
+//! Wire format for combined messages.
+//!
+//! The paper's message combining means that everything a node forwards in
+//! one step travels as **one** message. Here that is literal: the blocks
+//! are framed back to back into a single contiguous [`Bytes`] buffer, so
+//! a step costs one channel send regardless of how many logical blocks it
+//! carries — exactly the `t_s`-amortization the algorithms are built
+//! around. Decoding is zero-copy: each block's payload is a
+//! [`Bytes::slice`] view into the received buffer.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! message := count:u32 , block*count
+//! block   := src:u32 , dst:u32 , shifts:[u8; MAX_DIMS] , len:u32 , payload:[u8; len]
+//! ```
+//!
+//! Empty messages (`count = 0`) are legal — the paper explicitly allows
+//! idle nodes to "send empty messages" in short-dimension scatter steps.
+
+use alltoall_core::Block;
+use bytes::{BufMut, Bytes, BytesMut};
+use torus_topology::MAX_DIMS;
+
+use crate::RuntimeError;
+
+/// Fixed bytes of framing per message (the block count).
+pub const MESSAGE_HEADER_BYTES: usize = 4;
+
+/// Fixed bytes of framing per block (`src + dst + shifts + len`).
+pub const BLOCK_HEADER_BYTES: usize = 4 + 4 + MAX_DIMS + 4;
+
+/// Assembles one combined wire message from the blocks a node forwards in
+/// one step. Block order is preserved.
+pub fn encode_message(blocks: &[Block<Bytes>]) -> Bytes {
+    let payload_total: usize = blocks.iter().map(|b| b.payload.len()).sum();
+    let mut buf = BytesMut::with_capacity(
+        MESSAGE_HEADER_BYTES + blocks.len() * BLOCK_HEADER_BYTES + payload_total,
+    );
+    buf.put_u32_le(blocks.len() as u32);
+    for b in blocks {
+        buf.put_u32_le(b.src);
+        buf.put_u32_le(b.dst);
+        buf.put_slice(&b.shifts);
+        buf.put_u32_le(b.payload.len() as u32);
+        buf.put_slice(&b.payload);
+    }
+    buf.freeze()
+}
+
+fn read_u32(msg: &Bytes, off: usize) -> Result<u32, RuntimeError> {
+    let end = off + 4;
+    let raw: [u8; 4] = msg
+        .get(off..end)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| truncated(msg.len(), end))?;
+    Ok(u32::from_le_bytes(raw))
+}
+
+fn truncated(len: usize, need: usize) -> RuntimeError {
+    RuntimeError::Wire(format!("message truncated: {len} bytes, need {need}"))
+}
+
+/// Splits a combined wire message back into blocks. Payloads are zero-copy
+/// slices of `msg`. Rejects truncated and over-long framing.
+pub fn decode_message(msg: &Bytes) -> Result<Vec<Block<Bytes>>, RuntimeError> {
+    let count = read_u32(msg, 0)? as usize;
+    let mut off = MESSAGE_HEADER_BYTES;
+    let mut blocks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let src = read_u32(msg, off)?;
+        let dst = read_u32(msg, off + 4)?;
+        let shifts_end = off + 8 + MAX_DIMS;
+        let shifts: [u8; MAX_DIMS] = msg
+            .get(off + 8..shifts_end)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| truncated(msg.len(), shifts_end))?;
+        let len = read_u32(msg, shifts_end)? as usize;
+        let start = shifts_end + 4;
+        let end = start + len;
+        if end > msg.len() {
+            return Err(truncated(msg.len(), end));
+        }
+        let mut b = Block::with_payload(src, dst, msg.slice(start..end));
+        b.shifts = shifts;
+        blocks.push(b);
+        off = end;
+    }
+    if off != msg.len() {
+        return Err(RuntimeError::Wire(format!(
+            "message has {} trailing bytes after {count} blocks",
+            msg.len() - off
+        )));
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::pattern_payload;
+
+    fn sample_blocks() -> Vec<Block<Bytes>> {
+        let mut blocks = Vec::new();
+        for (s, d, len) in [(0u32, 5u32, 16usize), (0, 9, 0), (0, 2, 33)] {
+            let mut b = Block::with_payload(s, d, pattern_payload(s, d, len));
+            b.shifts[0] = (d % 3) as u8;
+            b.shifts[1] = 1;
+            blocks.push(b);
+        }
+        blocks
+    }
+
+    #[test]
+    fn roundtrip_preserves_blocks() {
+        let blocks = sample_blocks();
+        let msg = encode_message(&blocks);
+        let expected_len = MESSAGE_HEADER_BYTES
+            + blocks.len() * BLOCK_HEADER_BYTES
+            + blocks.iter().map(|b| b.payload.len()).sum::<usize>();
+        assert_eq!(msg.len(), expected_len);
+        let back = decode_message(&msg).unwrap();
+        assert_eq!(back, blocks);
+    }
+
+    #[test]
+    fn empty_message_roundtrips() {
+        let msg = encode_message(&[]);
+        assert_eq!(msg.len(), MESSAGE_HEADER_BYTES);
+        assert!(decode_message(&msg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decoded_payloads_are_zero_copy() {
+        let blocks = sample_blocks();
+        let msg = encode_message(&blocks);
+        let back = decode_message(&msg).unwrap();
+        // A Bytes slice of `msg` shares its allocation: the slice's
+        // pointer lies inside the message buffer.
+        let msg_range = msg.as_ptr() as usize..msg.as_ptr() as usize + msg.len();
+        for b in &back {
+            if !b.payload.is_empty() {
+                assert!(msg_range.contains(&(b.payload.as_ptr() as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_messages_are_rejected() {
+        let msg = encode_message(&sample_blocks());
+        for cut in [0, 2, MESSAGE_HEADER_BYTES + 3, msg.len() - 1] {
+            let short = msg.slice(..cut);
+            assert!(
+                matches!(decode_message(&short), Err(RuntimeError::Wire(_))),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let msg = encode_message(&sample_blocks());
+        let mut long = bytes::BytesMut::from(&msg[..]);
+        long.put_u8(0xAB);
+        let err = decode_message(&long.freeze()).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+}

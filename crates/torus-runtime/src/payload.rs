@@ -1,0 +1,64 @@
+//! Deterministic per-pair payload patterns.
+//!
+//! Verification needs payloads that make corruption *detectable*: every
+//! `(src, dst)` pair gets a distinct pseudo-random byte stream derived
+//! from a [splitmix64](https://prng.di.unimi.it/splitmix64.c) keyed by the
+//! pair, so a block that is truncated, cross-wired, or stale-cached
+//! mismatches with overwhelming probability. The proptest equivalence
+//! suite and [`Runtime::run`](crate::Runtime::run) both use this pattern.
+
+use bytes::Bytes;
+use torus_topology::NodeId;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The 64-bit seed for pair `(src, dst)`.
+pub fn pattern_seed(src: NodeId, dst: NodeId) -> u64 {
+    splitmix64(((src as u64) << 32) | dst as u64)
+}
+
+/// `len` pattern bytes for pair `(src, dst)`: the splitmix64 stream seeded
+/// by [`pattern_seed`].
+pub fn pattern_payload(src: NodeId, dst: NodeId, len: usize) -> Bytes {
+    let mut out = Vec::with_capacity(len);
+    let mut state = pattern_seed(src, dst);
+    while out.len() < len {
+        state = splitmix64(state);
+        let take = (len - out.len()).min(8);
+        out.extend_from_slice(&state.to_le_bytes()[..take]);
+    }
+    Bytes::from(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_pair_distinct() {
+        assert_eq!(pattern_payload(3, 7, 64), pattern_payload(3, 7, 64));
+        assert_ne!(pattern_payload(3, 7, 64), pattern_payload(7, 3, 64));
+        assert_ne!(pattern_payload(0, 1, 64), pattern_payload(0, 2, 64));
+        assert_ne!(pattern_seed(1, 0), pattern_seed(0, 1));
+    }
+
+    #[test]
+    fn lengths_are_exact() {
+        for len in [0, 1, 7, 8, 9, 64, 1000] {
+            assert_eq!(pattern_payload(5, 6, len).len(), len);
+        }
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // Shorter patterns are prefixes of longer ones (stream-derived).
+        let long = pattern_payload(2, 9, 100);
+        let short = pattern_payload(2, 9, 10);
+        assert_eq!(&long[..10], &short[..]);
+    }
+}

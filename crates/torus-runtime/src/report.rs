@@ -1,0 +1,235 @@
+//! Measured execution reports.
+//!
+//! A [`RuntimeReport`] is the byte-moving counterpart of
+//! [`ExchangeReport`](alltoall_core::ExchangeReport): instead of modeled
+//! time it carries *measured* wall time, broken down the way the paper's
+//! cost analysis is — per phase, and within each phase into message
+//! assembly (the combining memcpys), transport (channel traffic), and the
+//! inter-phase data rearrangement. The analytic
+//! [`CompletionTime`](cost_model::CompletionTime) for the same shape and
+//! parameters rides along so model and measurement can be compared in one
+//! artifact, and the [`Trace`](torus_sim::Trace) slot feeds the existing
+//! figure harness unchanged.
+
+use std::time::Duration;
+
+use cost_model::CompletionTime;
+use serde::Serialize;
+use torus_sim::Trace;
+
+/// Measured totals for one of the `n + 2` phases.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct PhaseReport {
+    /// Phase label (`"phase 1"`…), matching the trace and the paper.
+    pub name: String,
+    /// Communication steps executed.
+    pub steps: usize,
+    /// Wall time of the whole phase, including its trailing rearrangement.
+    pub wall: Duration,
+    /// Worker time spent assembling and disassembling combined messages
+    /// (block selection, framing, zero-copy splitting), summed over
+    /// workers.
+    pub assembly: Duration,
+    /// Worker time spent on channel sends and receives, summed over
+    /// workers.
+    pub transport: Duration,
+    /// Worker time spent in the inter-phase rearrangement memcpy pass,
+    /// summed over workers (zero for the final phase).
+    pub rearrange: Duration,
+    /// Bytes put on the wire (framing + payloads).
+    pub wire_bytes: u64,
+    /// Payload bytes copied by the rearrangement pass.
+    pub rearranged_bytes: u64,
+    /// Combined messages sent.
+    pub messages: u64,
+}
+
+/// Full measured report of one runtime execution.
+#[derive(Clone, Debug, Serialize)]
+pub struct RuntimeReport {
+    /// Original (user-facing) torus extents.
+    pub dims: Vec<u32>,
+    /// Canonical extents actually executed (padding/permutation applied).
+    pub executed_dims: Vec<u32>,
+    /// Whether virtual-node padding was in effect.
+    pub padded: bool,
+    /// Number of real nodes.
+    pub nodes: u32,
+    /// Payload bytes per block (the paper's `m`) used for seeding and the
+    /// analytic prediction.
+    pub block_bytes: usize,
+    /// Worker threads the nodes were multiplexed onto.
+    pub workers: usize,
+    /// Per-phase measurements, execution order.
+    pub phases: Vec<PhaseReport>,
+    /// End-to-end wall time (seeding and verification excluded).
+    pub wall: Duration,
+    /// Total bytes put on the wire.
+    pub wire_bytes: u64,
+    /// Total payload bytes copied by rearrangement passes.
+    pub rearranged_bytes: u64,
+    /// Peak bytes resident in any single node's buffer at a step boundary.
+    pub peak_node_bytes: u64,
+    /// Total combined messages sent.
+    pub messages: u64,
+    /// Whether delivery verified (correct block set at every node *and*
+    /// bit-exact payloads). [`Runtime::run`](crate::Runtime::run) returns
+    /// an error instead of a report with `verified = false`.
+    pub verified: bool,
+    /// The Table 1 closed-form prediction for the executed shape under the
+    /// configured [`CommParams`](cost_model::CommParams).
+    pub analytic: CompletionTime,
+    /// Per-step trace in the same format the simulator emits (step walls
+    /// in `time_us`), consumable by the figure harness.
+    pub trace: Trace,
+}
+
+impl RuntimeReport {
+    /// Total worker time spent assembling/disassembling messages.
+    pub fn assembly(&self) -> Duration {
+        self.phases.iter().map(|p| p.assembly).sum()
+    }
+
+    /// Total worker time spent on channel transport.
+    pub fn transport(&self) -> Duration {
+        self.phases.iter().map(|p| p.transport).sum()
+    }
+
+    /// Total worker time spent rearranging.
+    pub fn rearrange(&self) -> Duration {
+        self.phases.iter().map(|p| p.rearrange).sum()
+    }
+
+    /// Total communication steps executed.
+    pub fn total_steps(&self) -> usize {
+        self.phases.iter().map(|p| p.steps).sum()
+    }
+
+    /// One-line-per-phase human summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let dims = |d: &[u32]| {
+            d.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("x")
+        };
+        let _ = writeln!(
+            s,
+            "runtime exchange on {} ({} nodes{}, {} workers, {} B blocks): \
+             {:.3} ms wall, {} steps, {} messages, {} wire bytes, verified={}",
+            dims(&self.dims),
+            self.nodes,
+            if self.padded {
+                format!(", executed as {}", dims(&self.executed_dims))
+            } else {
+                String::new()
+            },
+            self.workers,
+            self.block_bytes,
+            self.wall.as_secs_f64() * 1e3,
+            self.total_steps(),
+            self.messages,
+            self.wire_bytes,
+            self.verified,
+        );
+        for p in &self.phases {
+            let _ = writeln!(
+                s,
+                "  {:<9} {:>2} steps  wall {:>9.3} ms  assembly {:>9.3} ms  \
+                 transport {:>9.3} ms  rearrange {:>9.3} ms  {:>12} wire B  {:>12} rearr B",
+                p.name,
+                p.steps,
+                p.wall.as_secs_f64() * 1e3,
+                p.assembly.as_secs_f64() * 1e3,
+                p.transport.as_secs_f64() * 1e3,
+                p.rearrange.as_secs_f64() * 1e3,
+                p.wire_bytes,
+                p.rearranged_bytes,
+            );
+        }
+        let _ = write!(
+            s,
+            "  peak node residency {} B; analytic model: {:.1} us total ({} dominant)",
+            self.peak_node_bytes,
+            self.analytic.total(),
+            self.analytic.dominant(),
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RuntimeReport {
+        RuntimeReport {
+            dims: vec![8, 8],
+            executed_dims: vec![8, 8],
+            padded: false,
+            nodes: 64,
+            block_bytes: 64,
+            workers: 4,
+            phases: vec![
+                PhaseReport {
+                    name: "phase 1".into(),
+                    steps: 1,
+                    wall: Duration::from_micros(500),
+                    assembly: Duration::from_micros(200),
+                    transport: Duration::from_micros(100),
+                    rearrange: Duration::from_micros(50),
+                    wire_bytes: 4096,
+                    rearranged_bytes: 2048,
+                    messages: 64,
+                },
+                PhaseReport {
+                    name: "phase 2".into(),
+                    steps: 1,
+                    wall: Duration::from_micros(400),
+                    assembly: Duration::from_micros(150),
+                    transport: Duration::from_micros(80),
+                    rearrange: Duration::default(),
+                    wire_bytes: 2048,
+                    rearranged_bytes: 0,
+                    messages: 64,
+                },
+            ],
+            wall: Duration::from_micros(900),
+            wire_bytes: 6144,
+            rearranged_bytes: 2048,
+            peak_node_bytes: 8192,
+            messages: 128,
+            verified: true,
+            analytic: CompletionTime::default(),
+            trace: Trace::default(),
+        }
+    }
+
+    #[test]
+    fn totals_sum_phases() {
+        let r = sample();
+        assert_eq!(r.assembly(), Duration::from_micros(350));
+        assert_eq!(r.transport(), Duration::from_micros(180));
+        assert_eq!(r.rearrange(), Duration::from_micros(50));
+        assert_eq!(r.total_steps(), 2);
+    }
+
+    #[test]
+    fn summary_mentions_the_essentials() {
+        let s = sample().summary();
+        assert!(s.contains("8x8"));
+        assert!(s.contains("verified=true"));
+        assert!(s.contains("phase 1"));
+        assert!(s.contains("peak node residency 8192 B"));
+    }
+
+    #[test]
+    fn padded_summary_names_executed_shape() {
+        let mut r = sample();
+        r.dims = vec![6, 6];
+        r.padded = true;
+        assert!(r.summary().contains("executed as 8x8"));
+    }
+}

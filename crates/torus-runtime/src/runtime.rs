@@ -1,0 +1,815 @@
+//! The byte-moving runtime: worker threads execute exchange plans.
+//!
+//! # Execution model
+//!
+//! The canonical torus's `N` nodes are multiplexed onto `W` worker
+//! threads in contiguous chunks (`W` = [`RuntimeConfig::workers`], else
+//! `TORUS_THREADS`, else the machine's available parallelism, clamped to
+//! `1..=N`). Each worker
+//! *owns* its nodes' buffers outright — no locks on the hot path — and
+//! every node has an unbounded lock-free channel as its inbox.
+//!
+//! Each communication step of the [`StepPlan`] executes as:
+//!
+//! 1. **assemble** — for every owned node scheduled to send, select the
+//!    step's blocks (the paper's per-phase selection rules), frame them
+//!    into one combined wire message;
+//! 2. **transport** — push the message into the destination's inbox
+//!    (never blocks: channels are unbounded), then receive exactly the
+//!    messages the static schedule says each owned node is due (possibly
+//!    empty ones — the paper's idle senders), splitting them zero-copy
+//!    into the receiving buffer;
+//! 3. **synchronize** — a two-phase [`Barrier`] rendezvous with the main
+//!    thread. The first crossing marks "all step traffic delivered" (the
+//!    main thread timestamps the step and snapshots buffers for
+//!    [`Observer`]s); the second releases everyone into the next step, so
+//!    messages from step `s + 1` can never interleave with step `s`.
+//!
+//! After every phase but the last, workers run the paper's **data
+//! rearrangement** as a real memory pass: each node's blocks are sorted
+//! into delivery order and their payloads compacted into one fresh
+//! contiguous arena (the measured analogue of the `ρ`-term the cost model
+//! charges per byte), again bracketed by the two-barrier rendezvous.
+//!
+//! Sends never block and every receive is matched to a scheduled send, so
+//! the protocol is deadlock-free by construction; determinism across
+//! worker counts follows from the per-step barriers plus the fixed
+//! ownership partition.
+
+use std::collections::HashMap;
+use std::sync::{Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use alltoall_core::block::Buffers;
+use alltoall_core::steps::StepPlan;
+use alltoall_core::{verify_delivery, Block, NullObserver, Observer, PreparedExchange};
+use bytes::{Bytes, BytesMut};
+use cost_model::{CommParams, CompletionTime};
+use crossbeam::channel::{unbounded, Receiver};
+use crossbeam::thread as cb_thread;
+use torus_sim::{StepStat, Trace};
+use torus_topology::{NodeId, TorusShape};
+
+use crate::message::{decode_message, encode_message};
+use crate::payload::pattern_payload;
+use crate::report::{PhaseReport, RuntimeReport};
+use crate::RuntimeError;
+
+/// Configuration for a [`Runtime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Payload bytes per block (the paper's `m`). Used for the default
+    /// pattern payloads and the analytic prediction. Default: 64.
+    pub block_bytes: usize,
+    /// Worker threads to multiplex nodes onto. `None` (default) means the
+    /// `TORUS_THREADS` environment variable if set, else the machine's
+    /// available parallelism (see [`torus_sim::default_threads`]).
+    /// Always clamped to `1..=N`.
+    pub workers: Option<usize>,
+    /// Machine parameters for the analytic [`CompletionTime`] that rides
+    /// along in the report. Default: [`CommParams::cray_t3d_like`].
+    pub params: CommParams,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            block_bytes: 64,
+            workers: None,
+            params: CommParams::cray_t3d_like(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Sets the payload bytes per block.
+    pub fn with_block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Caps the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the machine parameters for the analytic prediction.
+    pub fn with_params(mut self, params: CommParams) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+/// A reusable byte-moving executor for one torus shape.
+///
+/// Construction does all the schedule work once (canonicalization,
+/// padding, shift vectors, step plan); every [`run`](Self::run) then
+/// seeds real payloads, executes the plan over worker threads, and
+/// verifies delivery bit-exactly.
+pub struct Runtime {
+    prepared: PreparedExchange,
+    plan: StepPlan,
+    config: RuntimeConfig,
+}
+
+/// Per-worker, per-global-step measurement.
+#[derive(Clone, Copy, Default)]
+struct StepSide {
+    messages: u64,
+    blocks: u64,
+    max_blocks: u64,
+    wire_bytes: u64,
+}
+
+/// Per-worker, per-phase measurement.
+#[derive(Clone, Copy, Default)]
+struct PhaseSide {
+    assembly: Duration,
+    transport: Duration,
+    rearrange: Duration,
+    wire_bytes: u64,
+    rearranged_bytes: u64,
+    messages: u64,
+    rearr_blocks_max: u64,
+}
+
+/// Everything one worker measured, returned at join.
+struct WorkerStats {
+    phase: Vec<PhaseSide>,
+    steps: Vec<StepSide>,
+    peak_bytes: u64,
+}
+
+fn snapshot_buffers(slots: &[Mutex<Vec<Block<Bytes>>>]) -> Buffers<Bytes> {
+    Buffers::from_vecs(
+        slots
+            .iter()
+            .map(|m| m.lock().expect("snapshot lock").clone())
+            .collect(),
+    )
+}
+
+impl Runtime {
+    /// Prepares a runtime for `shape` (any extents; padding applies).
+    pub fn new(shape: &TorusShape, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        Ok(Self::from_prepared(PreparedExchange::new(shape)?, config))
+    }
+
+    /// Wraps an existing [`PreparedExchange`] (shares its cached seeding
+    /// and verification tables).
+    pub fn from_prepared(prepared: PreparedExchange, config: RuntimeConfig) -> Self {
+        let plan = prepared.step_plan();
+        Self {
+            prepared,
+            plan,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The step plan being executed.
+    pub fn plan(&self) -> &StepPlan {
+        &self.plan
+    }
+
+    /// The underlying prepared exchange.
+    pub fn prepared(&self) -> &PreparedExchange {
+        &self.prepared
+    }
+
+    /// The worker count a run will use.
+    pub fn effective_workers(&self) -> usize {
+        let nn = self.plan.shape().num_nodes() as usize;
+        self.config
+            .workers
+            .unwrap_or_else(torus_sim::default_threads)
+            .clamp(1, nn)
+    }
+
+    /// Runs one exchange with deterministic per-pair pattern payloads of
+    /// [`block_bytes`](RuntimeConfig::block_bytes) each, and verifies
+    /// delivery bit-exactly. This is the standard measurement entry point.
+    pub fn run(&self) -> Result<RuntimeReport, RuntimeError> {
+        let m = self.config.block_bytes;
+        self.run_impl(&mut NullObserver, |s, d| pattern_payload(s, d, m), false)
+            .map(|(report, _)| report)
+    }
+
+    /// Runs one exchange carrying caller-provided payloads:
+    /// `payload(src, dst)` (original node ids) produces each block's
+    /// bytes (lengths may vary per pair). Returns the report plus, for
+    /// every original node, the delivered `(source, payload)` pairs
+    /// sorted by source.
+    #[allow(clippy::type_complexity)]
+    pub fn run_with_payloads<F>(
+        &self,
+        payload: F,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+    {
+        self.run_impl(&mut NullObserver, payload, false)
+    }
+
+    /// Runs with pattern payloads and an [`Observer`] receiving per-step
+    /// buffer snapshots (canonical node ids) — the same interface the
+    /// analytic executor drives the figure harness with.
+    pub fn run_observed<O: Observer<Bytes>>(
+        &self,
+        observer: &mut O,
+    ) -> Result<RuntimeReport, RuntimeError> {
+        let m = self.config.block_bytes;
+        self.run_impl(observer, |s, d| pattern_payload(s, d, m), true)
+            .map(|(report, _)| report)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_impl<F, O>(
+        &self,
+        observer: &mut O,
+        mut payload: F,
+        observe: bool,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+        O: Observer<Bytes>,
+    {
+        let exchange = self.prepared.exchange();
+        let canon = self.plan.shape();
+        let nn = canon.num_nodes() as usize;
+        let workers = self.effective_workers();
+        let plan = &self.plan;
+        let phases = plan.phases();
+        let total_steps = plan.total_steps();
+
+        // Seed data-carrying buffers from the cached counting state; keep
+        // every pair's bytes for the post-run bit-exact comparison.
+        let mut expected_payloads: HashMap<(NodeId, NodeId), Bytes> = HashMap::new();
+        let mut node_bufs: Vec<Vec<Block<Bytes>>> = Vec::with_capacity(nn);
+        for blocks in self.prepared.seeded_blocks() {
+            let mut out = Vec::with_capacity(blocks.len());
+            for b in blocks {
+                let os = exchange
+                    .from_canonical(b.src)
+                    .expect("seeded blocks originate from real nodes");
+                let od = exchange
+                    .from_canonical(b.dst)
+                    .expect("seeded blocks target real nodes");
+                let bytes = payload(os, od);
+                expected_payloads.insert((b.src, b.dst), bytes.clone());
+                let mut nb = Block::with_payload(b.src, b.dst, bytes);
+                nb.shifts = b.shifts;
+                out.push(nb);
+            }
+            node_bufs.push(out);
+        }
+        if observe {
+            observer.on_start(&Buffers::from_vecs(node_bufs.clone()));
+        }
+
+        // Static receive expectations: node `d` receives in global step
+        // `g` iff some node is scheduled to send to it then.
+        let mut expect_recv = vec![vec![false; nn]; total_steps];
+        {
+            let mut g = 0;
+            for ph in phases {
+                for st in &ph.steps {
+                    for send in st.sends.iter().flatten() {
+                        expect_recv[g][send.dst as usize] = true;
+                    }
+                    g += 1;
+                }
+            }
+        }
+
+        // Per-node inboxes. Senders are shared (any worker may deliver to
+        // any node); each receiver is owned by the node's worker.
+        let mut senders = Vec::with_capacity(nn);
+        let mut receivers = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            let (tx, rx) = unbounded::<Bytes>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let chunk = nn.div_ceil(workers);
+        let n_chunks = nn.div_ceil(chunk);
+        let barrier = Barrier::new(n_chunks + 1);
+        let snapshots: Vec<Mutex<Vec<Block<Bytes>>>> =
+            (0..nn).map(|_| Mutex::new(Vec::new())).collect();
+        let finals: Vec<Mutex<Vec<Block<Bytes>>>> =
+            (0..nn).map(|_| Mutex::new(Vec::new())).collect();
+
+        let mut buf_chunks: Vec<Vec<Vec<Block<Bytes>>>> = Vec::with_capacity(n_chunks);
+        let mut rx_chunks: Vec<Vec<Receiver<Bytes>>> = Vec::with_capacity(n_chunks);
+        {
+            let mut bi = node_bufs.into_iter();
+            let mut ri = receivers.into_iter();
+            for ci in 0..n_chunks {
+                let take = chunk.min(nn - ci * chunk);
+                buf_chunks.push(bi.by_ref().take(take).collect());
+                rx_chunks.push(ri.by_ref().take(take).collect());
+            }
+        }
+
+        let senders = &senders[..];
+        let worker = |base: usize,
+                      mut bufs: Vec<Vec<Block<Bytes>>>,
+                      rxs: Vec<Receiver<Bytes>>|
+         -> WorkerStats {
+            let mut stats = WorkerStats {
+                phase: vec![PhaseSide::default(); phases.len()],
+                steps: vec![StepSide::default(); total_steps],
+                peak_bytes: 0,
+            };
+            let mut g = 0usize;
+            for (pi, ph) in phases.iter().enumerate() {
+                for st in &ph.steps {
+                    let pstats = &mut stats.phase[pi];
+                    let sstats = &mut stats.steps[g];
+
+                    // Assemble and send for every owned scheduled sender.
+                    for (li, buf) in bufs.iter_mut().enumerate() {
+                        let node = (base + li) as NodeId;
+                        let Some(send) = st.sends[node as usize] else {
+                            continue;
+                        };
+                        let t0 = Instant::now();
+                        let mut kept = Vec::with_capacity(buf.len());
+                        let mut outgoing = Vec::new();
+                        for mut b in buf.drain(..) {
+                            if plan.selects(st, node, &b) {
+                                if let Some(p) = StepPlan::shift_decrement(st) {
+                                    b.shifts[p] -= 1;
+                                }
+                                outgoing.push(b);
+                            } else {
+                                kept.push(b);
+                            }
+                        }
+                        *buf = kept;
+                        let msg = encode_message(&outgoing);
+                        let assembled = Instant::now();
+                        pstats.assembly += assembled - t0;
+                        sstats.messages += 1;
+                        sstats.blocks += outgoing.len() as u64;
+                        sstats.max_blocks = sstats.max_blocks.max(outgoing.len() as u64);
+                        sstats.wire_bytes += msg.len() as u64;
+                        pstats.wire_bytes += msg.len() as u64;
+                        pstats.messages += 1;
+                        senders[send.dst as usize]
+                            .send(msg)
+                            .expect("inbox receiver lives for the whole run");
+                        pstats.transport += assembled.elapsed();
+                    }
+
+                    // Receive exactly the scheduled traffic, split it
+                    // zero-copy, and track residency.
+                    for (li, buf) in bufs.iter_mut().enumerate() {
+                        if expect_recv[g][base + li] {
+                            let t0 = Instant::now();
+                            let msg = rxs[li].recv().expect("a scheduled message is always sent");
+                            let received = Instant::now();
+                            pstats.transport += received - t0;
+                            let mut blocks =
+                                decode_message(&msg).expect("self-produced framing is valid");
+                            buf.append(&mut blocks);
+                            pstats.assembly += received.elapsed();
+                        }
+                        let resident: u64 = buf.iter().map(|b| b.payload.len() as u64).sum();
+                        stats.peak_bytes = stats.peak_bytes.max(resident);
+                    }
+
+                    if observe {
+                        for (li, buf) in bufs.iter().enumerate() {
+                            *snapshots[base + li].lock().expect("snapshot lock") = buf.clone();
+                        }
+                    }
+                    g += 1;
+                    barrier.wait(); // step traffic complete
+                    barrier.wait(); // released into the next step
+                }
+
+                if ph.rearrange_after {
+                    let pstats = &mut stats.phase[pi];
+                    for buf in bufs.iter_mut() {
+                        let t0 = Instant::now();
+                        // The paper's inter-phase rearrangement: compact
+                        // the node's data array into delivery order with
+                        // one contiguous copy pass.
+                        buf.sort_by_key(|b| (b.dst, b.src));
+                        let total: usize = buf.iter().map(|b| b.payload.len()).sum();
+                        let mut arena = BytesMut::with_capacity(total);
+                        for b in buf.iter() {
+                            arena.extend_from_slice(&b.payload);
+                        }
+                        let arena = arena.freeze();
+                        let mut off = 0usize;
+                        for b in buf.iter_mut() {
+                            let len = b.payload.len();
+                            b.payload = arena.slice(off..off + len);
+                            off += len;
+                        }
+                        pstats.rearrange += t0.elapsed();
+                        pstats.rearranged_bytes += total as u64;
+                        pstats.rearr_blocks_max = pstats.rearr_blocks_max.max(buf.len() as u64);
+                    }
+                    if observe {
+                        for (li, buf) in bufs.iter().enumerate() {
+                            *snapshots[base + li].lock().expect("snapshot lock") = buf.clone();
+                        }
+                    }
+                    barrier.wait(); // rearrangement complete
+                    barrier.wait();
+                }
+            }
+            for (li, buf) in bufs.iter_mut().enumerate() {
+                *finals[base + li].lock().expect("finals lock") = std::mem::take(buf);
+            }
+            stats
+        };
+
+        // Execute: workers run the plan, the main thread mirrors the
+        // barrier sequence to measure walls and drive the observer.
+        let (stats, phase_walls, step_walls, wall) = cb_thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n_chunks);
+            for (ci, (bufs, rxs)) in buf_chunks.drain(..).zip(rx_chunks.drain(..)).enumerate() {
+                let worker = &worker;
+                handles.push(s.spawn(move |_| worker(ci * chunk, bufs, rxs)));
+            }
+
+            let t_run = Instant::now();
+            let mut phase_walls = Vec::with_capacity(phases.len());
+            let mut step_walls = Vec::with_capacity(total_steps);
+            for ph in phases {
+                let t_phase = Instant::now();
+                for si in 0..ph.steps.len() {
+                    let t_step = Instant::now();
+                    barrier.wait();
+                    step_walls.push(t_step.elapsed());
+                    if observe {
+                        observer.on_step(ph.kind, si + 1, &snapshot_buffers(&snapshots));
+                    }
+                    barrier.wait();
+                }
+                if ph.rearrange_after {
+                    barrier.wait();
+                    if observe {
+                        observer.on_rearrange(ph.kind, &snapshot_buffers(&snapshots));
+                    }
+                    barrier.wait();
+                }
+                phase_walls.push(t_phase.elapsed());
+            }
+            let wall = t_run.elapsed();
+            let stats: Vec<WorkerStats> = handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect();
+            (stats, phase_walls, step_walls, wall)
+        })
+        .expect("runtime worker panicked");
+
+        // Reassemble final buffers and verify: right delivery set, and
+        // every payload bit-exactly as seeded.
+        let buffers = Buffers::from_vecs(
+            finals
+                .iter()
+                .map(|m| std::mem::take(&mut *m.lock().expect("finals lock")))
+                .collect(),
+        );
+        verify_delivery(&buffers, self.prepared.expected_delivery())
+            .map_err(|e| RuntimeError::Verification(e.to_string()))?;
+        for node in 0..nn as NodeId {
+            for b in buffers.node(node) {
+                match expected_payloads.get(&(b.src, b.dst)) {
+                    Some(expected) if *expected == b.payload => {}
+                    Some(_) => {
+                        return Err(RuntimeError::Verification(format!(
+                            "payload corruption: block ({} -> {}) differs from seeded bytes",
+                            b.src, b.dst
+                        )))
+                    }
+                    None => {
+                        return Err(RuntimeError::Verification(format!(
+                            "unseeded block ({} -> {}) delivered",
+                            b.src, b.dst
+                        )))
+                    }
+                }
+            }
+        }
+
+        // Deliveries in original ids, sorted by source (same contract as
+        // `Exchange::run_with_payloads`).
+        let real_n = exchange.shape_ref().num_nodes();
+        let mut deliveries: Vec<Vec<(NodeId, Bytes)>> = vec![Vec::new(); real_n as usize];
+        for d in 0..real_n {
+            let cd = exchange.to_canonical(d);
+            let mut got: Vec<(NodeId, Bytes)> = buffers
+                .node(cd)
+                .iter()
+                .map(|b| {
+                    let os = exchange
+                        .from_canonical(b.src)
+                        .expect("delivered blocks originate from real nodes");
+                    (os, b.payload.clone())
+                })
+                .collect();
+            got.sort_by_key(|(s, _)| *s);
+            deliveries[d as usize] = got;
+        }
+
+        // Aggregate worker measurements into the report and trace.
+        let mut trace = Trace::default();
+        let mut phase_reports = Vec::with_capacity(phases.len());
+        let mut gbase = 0usize;
+        for (pi, ph) in phases.iter().enumerate() {
+            trace.begin_phase(&ph.name);
+            for (si, st) in ph.steps.iter().enumerate() {
+                let g = gbase + si;
+                let mut messages = 0u64;
+                let mut blocks = 0u64;
+                let mut max_blocks = 0u64;
+                for w in &stats {
+                    messages += w.steps[g].messages;
+                    blocks += w.steps[g].blocks;
+                    max_blocks = max_blocks.max(w.steps[g].max_blocks);
+                }
+                trace.record_step(StepStat {
+                    messages: messages as u32,
+                    total_blocks: blocks,
+                    max_blocks,
+                    max_hops: st.hops,
+                    time_us: step_walls[g].as_secs_f64() * 1e6,
+                });
+            }
+            gbase += ph.steps.len();
+
+            let mut pr = PhaseReport {
+                name: ph.name.clone(),
+                steps: ph.steps.len(),
+                wall: phase_walls[pi],
+                ..Default::default()
+            };
+            let mut rearr_max = 0u64;
+            for w in &stats {
+                let side = &w.phase[pi];
+                pr.assembly += side.assembly;
+                pr.transport += side.transport;
+                pr.rearrange += side.rearrange;
+                pr.wire_bytes += side.wire_bytes;
+                pr.rearranged_bytes += side.rearranged_bytes;
+                pr.messages += side.messages;
+                rearr_max = rearr_max.max(side.rearr_blocks_max);
+            }
+            if ph.rearrange_after {
+                trace.record_rearrangement(rearr_max);
+            }
+            phase_reports.push(pr);
+        }
+
+        let params = self
+            .config
+            .params
+            .with_block_bytes(self.config.block_bytes as u32);
+        let report = RuntimeReport {
+            dims: exchange.shape_ref().dims().to_vec(),
+            executed_dims: canon.dims().to_vec(),
+            padded: exchange.is_padded(),
+            nodes: real_n,
+            block_bytes: self.config.block_bytes,
+            workers,
+            wall,
+            wire_bytes: phase_reports.iter().map(|p| p.wire_bytes).sum(),
+            rearranged_bytes: phase_reports.iter().map(|p| p.rearranged_bytes).sum(),
+            peak_node_bytes: stats.iter().map(|w| w.peak_bytes).max().unwrap_or(0),
+            messages: phase_reports.iter().map(|p| p.messages).sum(),
+            phases: phase_reports,
+            verified: true,
+            analytic: CompletionTime::from_counts(&cost_model::proposed_nd(canon.dims()), &params),
+            trace,
+        };
+        Ok((report, deliveries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES};
+    use alltoall_core::PhaseKind;
+
+    fn runtime(dims: &[u32], config: RuntimeConfig) -> Runtime {
+        Runtime::new(&TorusShape::new(dims).unwrap(), config).unwrap()
+    }
+
+    #[test]
+    fn run_4x4_verifies_bit_exact() {
+        let r = runtime(&[4, 4], RuntimeConfig::default()).run().unwrap();
+        assert!(r.verified);
+        assert_eq!(r.phases.len(), 4);
+        // a1 = 4: scatter phases are empty; submesh phases do 2 + 2 steps.
+        assert_eq!(r.total_steps(), 4);
+        assert!(r.messages > 0);
+        assert!(r.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn run_8x12_verifies_and_reports() {
+        let r = runtime(&[8, 12], RuntimeConfig::default().with_workers(4))
+            .run()
+            .unwrap();
+        assert!(r.verified);
+        assert_eq!(r.executed_dims, vec![12, 8]); // canonicalized
+        assert!(!r.padded);
+        assert_eq!(r.total_steps(), 2 * (12 / 4 + 1));
+        assert_eq!(r.trace.total_steps(), r.total_steps());
+        assert_eq!(r.workers, 4);
+        // Per-phase walls and bytes are populated.
+        assert!(r.phases.iter().all(|p| p.wall > Duration::ZERO));
+        assert!(r.phases.iter().take(3).all(|p| p.rearranged_bytes > 0));
+        assert_eq!(r.phases.last().unwrap().rearranged_bytes, 0);
+        assert!(r.wire_bytes > 0);
+        assert!(r.peak_node_bytes > 0);
+    }
+
+    #[test]
+    fn run_4x4x4_verifies() {
+        let r = runtime(&[4, 4, 4], RuntimeConfig::default().with_workers(8))
+            .run()
+            .unwrap();
+        assert!(r.verified);
+        assert_eq!(r.phases.len(), 5);
+        assert_eq!(r.total_steps(), 3 * (4 / 4 + 1));
+    }
+
+    #[test]
+    fn padded_6x6_runs_real_pairs_only() {
+        let r = runtime(&[6, 6], RuntimeConfig::default().with_workers(3))
+            .run()
+            .unwrap();
+        assert!(r.verified);
+        assert!(r.padded);
+        assert_eq!(r.executed_dims, vec![8, 8]);
+        assert_eq!(r.nodes, 36);
+    }
+
+    #[test]
+    fn wire_volume_accounts_exactly() {
+        // Every block is block_bytes long, so total wire bytes must equal
+        // message framing + per-block framing + payloads.
+        let r = runtime(&[8, 8], RuntimeConfig::default().with_block_bytes(32))
+            .run()
+            .unwrap();
+        let total_blocks: u64 = r
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| p.steps.iter())
+            .map(|s| s.total_blocks)
+            .sum();
+        let expected = r.messages * MESSAGE_HEADER_BYTES as u64
+            + total_blocks * (BLOCK_HEADER_BYTES as u64 + 32);
+        assert_eq!(r.wire_bytes, expected);
+    }
+
+    #[test]
+    fn worker_counts_change_nothing_observable() {
+        let mk = |workers| {
+            let rt = runtime(&[8, 8], RuntimeConfig::default().with_workers(workers));
+            let (r, deliveries) = rt
+                .run_with_payloads(|s, d| pattern_payload(s, d, 48))
+                .unwrap();
+            (r, deliveries)
+        };
+        let (r1, d1) = mk(1);
+        let (r5, d5) = mk(5);
+        let (r64, d64) = mk(64);
+        assert_eq!(d1, d5);
+        assert_eq!(d1, d64);
+        assert_eq!(r1.wire_bytes, r5.wire_bytes);
+        assert_eq!(r1.wire_bytes, r64.wire_bytes);
+        assert_eq!(r1.messages, r64.messages);
+        assert_eq!(r1.workers, 1);
+        assert_eq!(r64.workers, 64);
+    }
+
+    #[test]
+    fn custom_payloads_deliver_sorted_by_source() {
+        let rt = runtime(&[4, 8], RuntimeConfig::default());
+        let (r, deliveries) = rt
+            .run_with_payloads(|s, d| {
+                // Variable lengths: pair-dependent.
+                pattern_payload(s, d, ((s + 2 * d) % 7) as usize * 9)
+            })
+            .unwrap();
+        assert!(r.verified);
+        let n = 32u32;
+        assert_eq!(deliveries.len(), n as usize);
+        for (d, got) in deliveries.iter().enumerate() {
+            let d = d as u32;
+            assert_eq!(got.len(), n as usize - 1);
+            let srcs: Vec<NodeId> = got.iter().map(|(s, _)| *s).collect();
+            let expected_srcs: Vec<NodeId> = (0..n).filter(|&s| s != d).collect();
+            assert_eq!(srcs, expected_srcs);
+            for (s, p) in got {
+                assert_eq!(*p, pattern_payload(*s, d, ((s + 2 * d) % 7) as usize * 9));
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_step_and_rearrangement() {
+        struct Counting {
+            starts: usize,
+            steps: Vec<(PhaseKind, usize)>,
+            rearranges: Vec<PhaseKind>,
+            blocks_constant: bool,
+            expect: u64,
+        }
+        impl Observer<Bytes> for Counting {
+            fn on_start(&mut self, bufs: &Buffers<Bytes>) {
+                self.starts += 1;
+                self.expect = bufs.total_blocks();
+            }
+            fn on_step(&mut self, phase: PhaseKind, step: usize, bufs: &Buffers<Bytes>) {
+                self.steps.push((phase, step));
+                self.blocks_constant &= bufs.total_blocks() == self.expect;
+            }
+            fn on_rearrange(&mut self, phase: PhaseKind, bufs: &Buffers<Bytes>) {
+                self.rearranges.push(phase);
+                self.blocks_constant &= bufs.total_blocks() == self.expect;
+            }
+        }
+        let mut obs = Counting {
+            starts: 0,
+            steps: Vec::new(),
+            rearranges: Vec::new(),
+            blocks_constant: true,
+            expect: 0,
+        };
+        let rt = runtime(&[8, 8], RuntimeConfig::default().with_workers(4));
+        let r = rt.run_observed(&mut obs).unwrap();
+        assert!(r.verified);
+        assert_eq!(obs.starts, 1);
+        assert_eq!(obs.steps.len(), r.total_steps());
+        // n + 1 rearrangements for n + 2 phases.
+        assert_eq!(obs.rearranges.len(), 3);
+        assert_eq!(
+            obs.rearranges,
+            vec![
+                PhaseKind::Scatter { index: 0 },
+                PhaseKind::Scatter { index: 1 },
+                PhaseKind::Distance2,
+            ]
+        );
+        assert!(
+            obs.blocks_constant,
+            "blocks must be conserved at every step"
+        );
+        // Step numbering matches the analytic executor: 1-based per phase.
+        assert_eq!(obs.steps[0], (PhaseKind::Scatter { index: 0 }, 1));
+    }
+
+    #[test]
+    fn matches_analytic_executor_delivery() {
+        // Byte-moving runtime and counting executor agree block-for-block.
+        let shape = TorusShape::new(&[8, 8]).unwrap();
+        let rt = Runtime::new(&shape, RuntimeConfig::default().with_workers(4)).unwrap();
+        let (_, rt_deliveries) = rt
+            .run_with_payloads(|s, d| pattern_payload(s, d, 16))
+            .unwrap();
+        let (report, ex_deliveries) = alltoall_core::Exchange::new(&shape)
+            .unwrap()
+            .run_with_payloads(&CommParams::unit(), |s, d| pattern_payload(s, d, 16))
+            .unwrap();
+        assert!(report.verified);
+        assert_eq!(rt_deliveries, ex_deliveries);
+    }
+
+    #[test]
+    fn effective_workers_resolution() {
+        let rt = runtime(&[4, 4], RuntimeConfig::default().with_workers(99));
+        assert_eq!(rt.effective_workers(), 16); // clamped to node count
+        let rt = runtime(&[4, 4], RuntimeConfig::default().with_workers(3));
+        assert_eq!(rt.effective_workers(), 3);
+    }
+
+    #[test]
+    fn analytic_prediction_uses_configured_block_size() {
+        let small = runtime(&[8, 8], RuntimeConfig::default().with_block_bytes(16))
+            .run()
+            .unwrap();
+        let large = runtime(&[8, 8], RuntimeConfig::default().with_block_bytes(256))
+            .run()
+            .unwrap();
+        assert!(large.analytic.transmission > small.analytic.transmission);
+        assert_eq!(small.analytic.startup, large.analytic.startup);
+    }
+}

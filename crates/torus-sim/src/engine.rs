@@ -9,7 +9,7 @@ use crate::trace::Trace;
 use crate::transmission::Transmission;
 
 /// Statistics of one executed step.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize)]
 pub struct StepStat {
     /// Number of messages in the step.
     pub messages: u32,
@@ -313,14 +313,20 @@ mod tests {
         bad.src = 9;
         assert!(matches!(
             e.execute_step(&[bad]).unwrap_err(),
-            SimError::MalformedPath { reason: "path does not start at the source", .. }
+            SimError::MalformedPath {
+                reason: "path does not start at the source",
+                ..
+            }
         ));
         // wrong end
         let mut bad = good.clone();
         bad.dst = 9;
         assert!(matches!(
             e.execute_step(&[bad]).unwrap_err(),
-            SimError::MalformedPath { reason: "path does not end at the destination", .. }
+            SimError::MalformedPath {
+                reason: "path does not end at the destination",
+                ..
+            }
         ));
         // gap in the middle
         let mut bad = good.clone();
@@ -328,7 +334,10 @@ mod tests {
         bad.dst = 6;
         assert!(matches!(
             e.execute_step(&[bad]).unwrap_err(),
-            SimError::MalformedPath { reason: "path is not link-contiguous", .. }
+            SimError::MalformedPath {
+                reason: "path is not link-contiguous",
+                ..
+            }
         ));
     }
 

@@ -71,7 +71,10 @@ impl fmt::Display for SimError {
                 write!(f, "node {node} attempted two sends in one step (one-port)")
             }
             SimError::ReceivePortBusy { node } => {
-                write!(f, "node {node} receives two messages in one step (one-port)")
+                write!(
+                    f,
+                    "node {node} receives two messages in one step (one-port)"
+                )
             }
             SimError::MalformedPath { src, dst, reason } => {
                 write!(f, "malformed path for message {src}->{dst}: {reason}")
@@ -107,6 +110,8 @@ mod tests {
         assert!(s.contains("2->6"));
 
         assert!(SimError::SendPortBusy { node: 7 }.to_string().contains("7"));
-        assert!(SimError::ReceivePortBusy { node: 9 }.to_string().contains("9"));
+        assert!(SimError::ReceivePortBusy { node: 9 }
+            .to_string()
+            .contains("9"));
     }
 }

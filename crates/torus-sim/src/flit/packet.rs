@@ -112,7 +112,10 @@ impl std::fmt::Display for FlitError {
                 write!(f, "bad route from node {src}: {reason}")
             }
             FlitError::Deadlock { cycle, stalled } => {
-                write!(f, "wormhole deadlock at cycle {cycle}: {stalled} packets stalled")
+                write!(
+                    f,
+                    "wormhole deadlock at cycle {cycle}: {stalled} packets stalled"
+                )
             }
             FlitError::CycleLimit { limit } => write!(f, "cycle limit {limit} exceeded"),
         }
@@ -147,7 +150,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = FlitError::Deadlock { cycle: 99, stalled: 3 };
+        let e = FlitError::Deadlock {
+            cycle: 99,
+            stalled: 3,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("3"));
     }

@@ -386,14 +386,20 @@ mod tests {
         p.dst = 10;
         assert!(matches!(
             sim.try_add_packet(p),
-            Err(FlitError::BadRoute { reason: "route is not link-contiguous", .. })
+            Err(FlitError::BadRoute {
+                reason: "route is not link-contiguous",
+                ..
+            })
         ));
         // wrong endpoints
         let mut p = Packet::from_transmission(&good, 4);
         p.src = 5;
         assert!(matches!(
             sim.try_add_packet(p),
-            Err(FlitError::BadRoute { reason: "route endpoints do not match src/dst", .. })
+            Err(FlitError::BadRoute {
+                reason: "route endpoints do not match src/dst",
+                ..
+            })
         ));
     }
 
@@ -404,7 +410,10 @@ mod tests {
         let t = Transmission::along_ring(&shape, &Coord::new(&[0, 0]), Direction::plus(1), 3, 1);
         sim.add_packet(Packet::from_transmission(&t, 8));
         sim.run().unwrap();
-        assert!(sim.owner.iter().all(|o| o.is_none()), "all channels released");
+        assert!(
+            sim.owner.iter().all(|o| o.is_none()),
+            "all channels released"
+        );
         assert!(sim.buffers.iter().all(|b| b.is_empty()), "no flits left");
     }
 

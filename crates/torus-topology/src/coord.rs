@@ -34,7 +34,10 @@ impl Coord {
     /// Panics if `xs.len() > MAX_DIMS` or `xs` is empty.
     #[inline]
     pub fn new(xs: &[u32]) -> Self {
-        assert!(!xs.is_empty(), "coordinate must have at least one dimension");
+        assert!(
+            !xs.is_empty(),
+            "coordinate must have at least one dimension"
+        );
         assert!(
             xs.len() <= MAX_DIMS,
             "coordinate has {} dimensions, max is {MAX_DIMS}",

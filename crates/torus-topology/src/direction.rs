@@ -140,10 +140,12 @@ mod tests {
 
     #[test]
     fn ordering_groups_by_dim() {
-        let mut v = [Direction::minus(1),
+        let mut v = [
+            Direction::minus(1),
             Direction::plus(0),
             Direction::plus(1),
-            Direction::minus(0)];
+            Direction::minus(0),
+        ];
         v.sort();
         assert_eq!(v[0].dim(), 0);
         assert_eq!(v[1].dim(), 0);

@@ -178,7 +178,15 @@ mod tests {
         let g = GroupId(Coord::new(&[0, 0]));
         let members: Vec<Coord> = gi.group_members(g).collect();
         let expected: Vec<Coord> = [
-            [0, 0], [0, 4], [0, 8], [4, 0], [4, 4], [4, 8], [8, 0], [8, 4], [8, 8],
+            [0, 0],
+            [0, 4],
+            [0, 8],
+            [4, 0],
+            [4, 4],
+            [4, 8],
+            [8, 0],
+            [8, 4],
+            [8, 8],
         ]
         .iter()
         .map(|p| Coord::new(p))
@@ -254,6 +262,8 @@ mod tests {
         let g = GroupId(Coord::new(&[1, 2, 3]));
         let members: Vec<Coord> = gi.group_members(g).collect();
         assert_eq!(members.len(), 27);
-        assert!(members.iter().all(|m| m.mod_each(4) == Coord::new(&[1, 2, 3])));
+        assert!(members
+            .iter()
+            .all(|m| m.mod_each(4) == Coord::new(&[1, 2, 3])));
     }
 }

@@ -255,7 +255,13 @@ mod tests {
         assert_eq!(TorusShape::new(&[]), Err(ShapeError::Empty));
         assert_eq!(TorusShape::new(&[4, 0]), Err(ShapeError::ZeroExtent(1)));
         assert!(matches!(
-            TorusShape::new(&[0; MAX_DIMS + 1][..].to_vec().iter().map(|_| 2).collect::<Vec<_>>()),
+            TorusShape::new(
+                &[0; MAX_DIMS + 1][..]
+                    .to_vec()
+                    .iter()
+                    .map(|_| 2)
+                    .collect::<Vec<_>>()
+            ),
             Err(ShapeError::TooManyDims(_))
         ));
         assert!(matches!(
@@ -299,14 +305,8 @@ mod tests {
     fn neighbor_wraps() {
         let s = TorusShape::new_2d(4, 8).unwrap();
         let c = Coord::new(&[3, 7]);
-        assert_eq!(
-            s.neighbor(&c, Direction::plus(0)),
-            Coord::new(&[0, 7])
-        );
-        assert_eq!(
-            s.neighbor(&c, Direction::plus(1)),
-            Coord::new(&[3, 0])
-        );
+        assert_eq!(s.neighbor(&c, Direction::plus(0)), Coord::new(&[0, 7]));
+        assert_eq!(s.neighbor(&c, Direction::plus(1)), Coord::new(&[3, 0]));
         assert_eq!(
             s.neighbor(&Coord::new(&[0, 0]), Direction::minus(0)),
             Coord::new(&[3, 0])

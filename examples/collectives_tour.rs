@@ -10,7 +10,10 @@ use torus_alltoall::prelude::*;
 fn main() {
     let shape = TorusShape::new_2d(8, 8).unwrap();
     let params = CommParams::cray_t3d_like();
-    println!("collectives on a {shape} torus (T3D-like parameters, m = {} B)\n", params.block_bytes);
+    println!(
+        "collectives on a {shape} torus (T3D-like parameters, m = {} B)\n",
+        params.block_bytes
+    );
     println!(
         "{:<12} {:>7} {:>12} {:>8} {:>12}  verified",
         "operation", "steps", "crit blocks", "hops", "time (µs)"
@@ -46,7 +49,10 @@ fn main() {
 
     // The centerpiece: all-to-all personalized exchange, the most
     // demanding collective — same substrate, same accounting.
-    let rep = Exchange::new(&shape).unwrap().run_counting(&params).unwrap();
+    let rep = Exchange::new(&shape)
+        .unwrap()
+        .run_counting(&params)
+        .unwrap();
     show("alltoall", rep.counts, rep.total_time(), rep.verified);
 
     println!("\nall collectives run on the same contention-verified wormhole model;");

@@ -68,7 +68,8 @@ fn main() {
         .map(|node| {
             (0..ROWS_PER_NODE)
                 .map(|r| {
-                    let row: Vec<Cpx> = (0..m).map(|c| input(node * ROWS_PER_NODE + r, c)).collect();
+                    let row: Vec<Cpx> =
+                        (0..m).map(|c| input(node * ROWS_PER_NODE + r, c)).collect();
                     dft_row(&row)
                 })
                 .collect()
@@ -153,6 +154,9 @@ fn main() {
         }
     }
     println!("max |distributed - direct| = {max_err:.3e}");
-    assert!(max_err < 1e-6, "distributed FFT must match the direct 2D DFT");
+    assert!(
+        max_err < 1e-6,
+        "distributed FFT must match the direct 2D DFT"
+    );
     println!("distributed 2D DFT verified against the direct computation");
 }

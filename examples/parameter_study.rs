@@ -28,7 +28,11 @@ fn main() {
         .counts;
     let algos: Vec<(&str, CostCounts)> = {
         let mut v = vec![("proposed", proposed_counts)];
-        for algo in [&DirectExchange as &dyn ExchangeAlgorithm, &RingExchange, &RowColumnExchange] {
+        for algo in [
+            &DirectExchange as &dyn ExchangeAlgorithm,
+            &RingExchange,
+            &RowColumnExchange,
+        ] {
             let r = algo.run(&shape, &base).unwrap();
             assert!(r.verified, "{} must deliver", r.name);
             v.push((r.name, r.counts));

@@ -19,7 +19,10 @@ struct Lcg(u64);
 
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -38,8 +41,10 @@ fn main() {
     for s in 0..n {
         let c = shape.coord_of(s as u32);
         for dim in 0..2 {
-            for dir in [torus_alltoall::topology::Direction::plus(dim),
-                        torus_alltoall::topology::Direction::minus(dim)] {
+            for dir in [
+                torus_alltoall::topology::Direction::plus(dim),
+                torus_alltoall::topology::Direction::minus(dim),
+            ] {
                 let nb = shape.index_of(&shape.neighbor(&c, dir)) as usize;
                 counts[s][nb] = 20 + rng.next() % 30; // 20..50 particles
             }
@@ -74,15 +79,17 @@ fn main() {
     // exactly the same number of steps.
     let uniform = exchange.run_counting(&params).unwrap();
     assert_eq!(
-        report.counts.startup_steps,
-        uniform.counts.startup_steps,
+        report.counts.startup_steps, uniform.counts.startup_steps,
         "combining keeps the schedule length workload-independent"
     );
     println!(
         "uniform all-to-all on the same torus: {} steps ({} critical blocks)",
         uniform.counts.startup_steps, uniform.counts.trans_blocks
     );
-    println!("=> schedule length is workload-independent: {} steps either way", uniform.counts.startup_steps);
+    println!(
+        "=> schedule length is workload-independent: {} steps either way",
+        uniform.counts.startup_steps
+    );
 
     // Spot-check a few deliveries.
     let (s, d) = (0usize, 1usize);

@@ -9,19 +9,34 @@ use torus_alltoall::prelude::*;
 
 fn main() {
     let params = CommParams::cray_t3d_like();
-    println!("parameters: t_s={} µs, t_c={} µs/B, t_l={} µs/hop, rho={} µs/B, m={} B",
-        params.t_s, params.t_c, params.t_l, params.rho, params.block_bytes);
+    println!(
+        "parameters: t_s={} µs, t_c={} µs/B, t_l={} µs/hop, rho={} µs/B, m={} B",
+        params.t_s, params.t_c, params.t_l, params.rho, params.block_bytes
+    );
     println!();
 
     // The paper's running example: a 12×12 torus (144 nodes, 16 node
     // groups forming 3×3 subtori).
-    for dims in [&[12u32, 12][..], &[8, 16], &[8, 8, 8], &[6, 10], &[8, 8, 4, 4]] {
+    for dims in [
+        &[12u32, 12][..],
+        &[8, 16],
+        &[8, 8, 8],
+        &[6, 10],
+        &[8, 8, 4, 4],
+    ] {
         let shape = TorusShape::new(dims).unwrap();
         let exchange = Exchange::new(&shape).unwrap();
         let report = exchange.run_counting(&params).unwrap();
 
-        println!("torus {shape} ({} nodes){}", shape.num_nodes(),
-            if report.padded { format!(" -> padded to {}", report.executed_shape) } else { String::new() });
+        println!(
+            "torus {shape} ({} nodes){}",
+            shape.num_nodes(),
+            if report.padded {
+                format!(" -> padded to {}", report.executed_shape)
+            } else {
+                String::new()
+            }
+        );
         println!("  {}", report.summary());
         println!(
             "  startup {:.1} + transmission {:.1} + rearrangement {:.1} + propagation {:.1} µs",
@@ -44,17 +59,30 @@ fn main() {
     // Against the baselines on a small torus.
     let shape = TorusShape::new_2d(8, 8).unwrap();
     println!("8x8 torus, proposed vs executable baselines (measured):");
-    let proposed = Exchange::new(&shape).unwrap().run_counting(&params).unwrap();
+    let proposed = Exchange::new(&shape)
+        .unwrap()
+        .run_counting(&params)
+        .unwrap();
     println!(
         "  {:<12} steps={:<5} blocks={:<7} time={:>10.1} µs",
-        "proposed", proposed.counts.startup_steps, proposed.counts.trans_blocks, proposed.total_time()
+        "proposed",
+        proposed.counts.startup_steps,
+        proposed.counts.trans_blocks,
+        proposed.total_time()
     );
-    for algo in [&DirectExchange as &dyn ExchangeAlgorithm, &RingExchange, &RowColumnExchange] {
+    for algo in [
+        &DirectExchange as &dyn ExchangeAlgorithm,
+        &RingExchange,
+        &RowColumnExchange,
+    ] {
         let r = algo.run(&shape, &params).unwrap();
         assert!(r.verified);
         println!(
             "  {:<12} steps={:<5} blocks={:<7} time={:>10.1} µs",
-            r.name, r.counts.startup_steps, r.counts.trans_blocks, r.total_time()
+            r.name,
+            r.counts.startup_steps,
+            r.counts.trans_blocks,
+            r.total_time()
         );
     }
 }

@@ -20,6 +20,7 @@
 //! | [`core`] | the paper's `n + 2`-phase exchange algorithms |
 //! | [`baselines`] | direct, ring, and row-column exchanges; analytic \[13\]/\[9\] |
 //! | [`collectives`] | broadcast, scatter, gather, allgather, reduce, allreduce |
+//! | [`runtime`] | in-process byte-moving runtime: executes schedules with real payloads over worker threads |
 //!
 //! ## Quick start
 //!
@@ -42,6 +43,7 @@ pub use alltoall_baselines as baselines;
 pub use alltoall_core as core;
 pub use collectives;
 pub use cost_model as cost;
+pub use torus_runtime as runtime;
 pub use torus_sim as sim;
 pub use torus_topology as topology;
 
@@ -52,8 +54,9 @@ pub mod prelude {
         SUH_YALAMANCHILI_9, TSENG_13,
     };
     pub use alltoall_core::{Exchange, ExchangeError, ExchangeReport};
-    pub use cost_model::{CommParams, CompletionTime, CostCounts, SwitchingMode};
     pub use collectives::{allgather, allreduce, broadcast, gather, reduce, scatter};
+    pub use cost_model::{CommParams, CompletionTime, CostCounts, SwitchingMode};
+    pub use torus_runtime::{Runtime, RuntimeConfig, RuntimeReport};
     pub use torus_topology::{Coord, TorusShape};
 }
 
@@ -69,5 +72,16 @@ mod tests {
             .run_counting(&CommParams::unit())
             .unwrap();
         assert!(report.verified);
+    }
+
+    #[test]
+    fn runtime_via_prelude() {
+        let shape = TorusShape::new_2d(4, 4).unwrap();
+        let report = Runtime::new(&shape, RuntimeConfig::default().with_workers(2))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.verified);
+        assert!(report.wire_bytes > 0);
     }
 }

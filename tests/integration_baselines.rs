@@ -31,8 +31,18 @@ fn every_algorithm_delivers_on_common_shapes() {
 #[test]
 fn ring_and_direct_work_in_3d() {
     let shape = TorusShape::new_3d(4, 4, 4).unwrap();
-    assert!(DirectExchange.run(&shape, &CommParams::unit()).unwrap().verified);
-    assert!(RingExchange.run(&shape, &CommParams::unit()).unwrap().verified);
+    assert!(
+        DirectExchange
+            .run(&shape, &CommParams::unit())
+            .unwrap()
+            .verified
+    );
+    assert!(
+        RingExchange
+            .run(&shape, &CommParams::unit())
+            .unwrap()
+            .verified
+    );
 }
 
 #[test]
@@ -76,7 +86,10 @@ fn direct_gap_shrinks_as_startup_vanishes_but_contention_still_loses() {
         let prop = CompletionTime::from_counts(&prop_counts, &params).total();
         let direct = CompletionTime::from_counts(&direct_counts, &params).total();
         let ratio = direct / prop;
-        assert!(ratio > 1.0, "direct never wins under one-port wormhole contention");
+        assert!(
+            ratio > 1.0,
+            "direct never wins under one-port wormhole contention"
+        );
         assert!(ratio < last_ratio, "gap must shrink as t_s falls");
         last_ratio = ratio;
     }

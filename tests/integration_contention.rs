@@ -17,11 +17,20 @@ fn sabotaged_direction_assignment_is_caught() {
         let gamma = (c[0] + c[1]) % 4;
         if gamma == 0 || gamma == 2 {
             // sabotage: both use +dim1
-            txs.push(Transmission::along_ring(&shape, &c, Direction::plus(1), 4, 1));
+            txs.push(Transmission::along_ring(
+                &shape,
+                &c,
+                Direction::plus(1),
+                4,
+                1,
+            ));
         }
     }
     let err = engine.execute_step(&txs).unwrap_err();
-    assert!(matches!(err, SimError::ChannelContention { .. }), "got {err}");
+    assert!(
+        matches!(err, SimError::ChannelContention { .. }),
+        "got {err}"
+    );
 }
 
 #[test]
@@ -35,7 +44,9 @@ fn correct_phase_1_assignment_passes() {
         .iter_coords()
         .map(|c| Transmission::along_ring(&shape, &c, sched.scatter_dirs(&c)[0], 4, 1))
         .collect();
-    engine.execute_step(&txs).expect("the paper's assignment is contention-free");
+    engine
+        .execute_step(&txs)
+        .expect("the paper's assignment is contention-free");
 }
 
 #[test]

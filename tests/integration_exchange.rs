@@ -58,8 +58,16 @@ fn trace_has_n_plus_2_phases_with_correct_step_counts() {
             p + 1
         );
     }
-    assert_eq!(report.trace.phases[n].num_steps(), n, "phase n+1 has n steps");
-    assert_eq!(report.trace.phases[n + 1].num_steps(), n, "phase n+2 has n steps");
+    assert_eq!(
+        report.trace.phases[n].num_steps(),
+        n,
+        "phase n+1 has n steps"
+    );
+    assert_eq!(
+        report.trace.phases[n + 1].num_steps(),
+        n,
+        "phase n+2 has n steps"
+    );
 }
 
 #[test]
@@ -73,8 +81,7 @@ fn padded_shapes_still_deliver() {
         assert!(report.padded);
         // Step counts follow the *padded* shape's closed form.
         assert_eq!(
-            report.counts.startup_steps,
-            report.formula.startup_steps,
+            report.counts.startup_steps, report.formula.startup_steps,
             "{shape}"
         );
     }
@@ -84,7 +91,10 @@ fn padded_shapes_still_deliver() {
 fn completion_time_components_consistent() {
     let shape = TorusShape::new_2d(8, 12).unwrap();
     let params = CommParams::cray_t3d_like();
-    let report = Exchange::new(&shape).unwrap().run_counting(&params).unwrap();
+    let report = Exchange::new(&shape)
+        .unwrap()
+        .run_counting(&params)
+        .unwrap();
     let recomputed = CompletionTime::from_counts(&report.counts, &params);
     assert!((report.elapsed.startup - recomputed.startup).abs() < 1e-9);
     assert!((report.elapsed.transmission - recomputed.transmission).abs() < 1e-9);
@@ -100,7 +110,9 @@ fn payloads_roundtrip_on_rectangular_3d() {
     let shape = TorusShape::new(&[8, 4, 4]).unwrap();
     let (report, deliveries) = Exchange::new(&shape)
         .unwrap()
-        .run_with_payloads(&CommParams::unit(), |s, d| (s as u64) * 1_000_003 + d as u64)
+        .run_with_payloads(&CommParams::unit(), |s, d| {
+            (s as u64) * 1_000_003 + d as u64
+        })
         .unwrap();
     assert!(report.verified);
     let n = shape.num_nodes();
@@ -121,13 +133,31 @@ fn switching_modes_affect_time_not_counts() {
         mode: SwitchingMode::PacketSwitched,
         ..wormhole
     };
-    let r1 = Exchange::new(&shape).unwrap().run_counting(&wormhole).unwrap();
-    let r2 = Exchange::new(&shape).unwrap().run_counting(&packet).unwrap();
+    let r1 = Exchange::new(&shape)
+        .unwrap()
+        .run_counting(&wormhole)
+        .unwrap();
+    let r2 = Exchange::new(&shape)
+        .unwrap()
+        .run_counting(&packet)
+        .unwrap();
     assert_eq!(r1.counts, r2.counts, "counts are switching-independent");
     // The accounted components use the same linear decomposition; per-step
     // times in the trace differ (store-and-forward pays per hop).
-    let t1: f64 = r1.trace.phases.iter().flat_map(|p| &p.steps).map(|s| s.time_us).sum();
-    let t2: f64 = r2.trace.phases.iter().flat_map(|p| &p.steps).map(|s| s.time_us).sum();
+    let t1: f64 = r1
+        .trace
+        .phases
+        .iter()
+        .flat_map(|p| &p.steps)
+        .map(|s| s.time_us)
+        .sum();
+    let t2: f64 = r2
+        .trace
+        .phases
+        .iter()
+        .flat_map(|p| &p.steps)
+        .map(|s| s.time_us)
+        .sum();
     assert!(t2 > t1, "packet switching must be slower per step");
 }
 
@@ -201,7 +231,10 @@ fn all_switching_modes_deliver() {
             mode,
             ..CommParams::cray_t3d_like()
         };
-        let r = Exchange::new(&shape).unwrap().run_counting(&params).unwrap();
+        let r = Exchange::new(&shape)
+            .unwrap()
+            .run_counting(&params)
+            .unwrap();
         assert!(r.verified, "{mode:?}");
         assert!(r.matches_formula(), "{mode:?}");
     }
