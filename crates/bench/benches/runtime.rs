@@ -8,8 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
-use torus_runtime::{Runtime, RuntimeConfig};
+use torus_runtime::{FaultPlan, RetryPolicy, Runtime, RuntimeConfig};
 use torus_topology::TorusShape;
 
 fn bench_runtime_shapes(c: &mut Criterion) {
@@ -67,10 +68,45 @@ fn bench_runtime_block_sizes(c: &mut Criterion) {
     g.finish();
 }
 
+/// Recovery-path cost on an 8x8: fault-free baseline vs seeded drop rates
+/// healed via deadline + NACK/resend. The delta is the end-to-end price of
+/// integrity checking plus retransmission at each fault density.
+fn bench_runtime_fault_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime-8x8-fault-recovery");
+    g.sample_size(10);
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    let workers = torus_sim::default_threads();
+    for (label, drop_rate) in [("clean", 0.0f64), ("drop-1pct", 0.01), ("drop-5pct", 0.05)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &drop_rate,
+            |b, &rate| {
+                let mut config = RuntimeConfig::default().with_workers(workers);
+                if rate > 0.0 {
+                    config = config
+                        .with_faults(FaultPlan::seeded(1998).with_drop_rate(rate))
+                        .with_retry(
+                            RetryPolicy::default()
+                                .with_deadline(Duration::from_millis(10))
+                                .with_backoff(Duration::from_micros(500)),
+                        );
+                }
+                let rt = Runtime::new(&shape, config).unwrap();
+                b.iter(|| {
+                    let r = rt.run().unwrap();
+                    black_box((r.wall, r.faults.recovered))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_runtime_shapes,
     bench_runtime_workers,
-    bench_runtime_block_sizes
+    bench_runtime_block_sizes,
+    bench_runtime_fault_recovery
 );
 criterion_main!(benches);

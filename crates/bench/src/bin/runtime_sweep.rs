@@ -1,9 +1,14 @@
 //! Runtime sweep (experiment R1): measured byte-moving execution across
 //! shapes and block sizes, with the analytic Table 1 prediction alongside.
 //!
-//! Prints a table and exports every full [`RuntimeReport`] (per-phase
+//! Each case runs twice — fault-free, then under a seeded 1% frame-drop
+//! plan — so the table's last columns show what CRC checking plus
+//! NACK/resend recovery costs on top of a clean run.
+//!
+//! Prints a table and exports every full [`RuntimeReport`] pair (per-phase
 //! walls, assembly/transport/rearrange split, wire bytes, peak residency,
-//! per-step trace) to `results/runtime_sweep.json`.
+//! fault/recovery counters, per-step trace) to
+//! `results/runtime_sweep.json`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin runtime_sweep
@@ -12,14 +17,31 @@
 
 use bench::{fnum, Table};
 use std::io::Write as _;
-use torus_runtime::{Runtime, RuntimeConfig, RuntimeReport};
+use std::time::Duration;
+use torus_runtime::{FaultPlan, RetryPolicy, Runtime, RuntimeConfig, RuntimeReport};
 use torus_topology::TorusShape;
+
+/// Seeded 1% frame-drop plan: every dropped frame must be detected by a
+/// receive deadline and healed from the sender's retained copy.
+const DROP_RATE: f64 = 0.01;
+const DROP_SEED: u64 = 1998; // ICPP '98
+
+/// One sweep case executed under both configurations.
+#[derive(serde::Serialize)]
+struct CasePair {
+    clean: RuntimeReport,
+    faulty: RuntimeReport,
+}
 
 fn main() {
     let workers = torus_sim::default_threads();
-    let mut reports: Vec<RuntimeReport> = Vec::new();
+    let mut reports: Vec<CasePair> = Vec::new();
 
-    println!("R1: byte-moving runtime, {workers} workers (override with TORUS_THREADS)\n");
+    println!(
+        "R1: byte-moving runtime, {workers} workers (override with TORUS_THREADS); \
+         fault column = {DROP_RATE:.0}% seeded frame drops\n",
+        DROP_RATE = DROP_RATE * 100.0
+    );
     let mut t = Table::new(&[
         "torus",
         "nodes",
@@ -32,6 +54,9 @@ fn main() {
         "wire (KiB)",
         "peak node (KiB)",
         "model (µs)",
+        "1%-drop wall (ms)",
+        "recovered",
+        "overhead",
     ]);
     let cases: &[(&[u32], usize)] = &[
         (&[4, 4], 64),
@@ -43,29 +68,51 @@ fn main() {
     ];
     for &(dims, m) in cases {
         let shape = TorusShape::new(dims).unwrap();
-        let rt = Runtime::new(
+        let base = RuntimeConfig::default()
+            .with_block_bytes(m)
+            .with_workers(workers);
+        let clean = Runtime::new(&shape, base.clone())
+            .expect("shape accepted")
+            .run()
+            .expect("verified run");
+        // Tight deadline so each dropped frame is re-requested quickly;
+        // the overhead column then measures CRC + resend cost, not idle
+        // waiting on the default half-second deadline.
+        let faulty = Runtime::new(
             &shape,
-            RuntimeConfig::default()
-                .with_block_bytes(m)
-                .with_workers(workers),
+            base.with_faults(FaultPlan::seeded(DROP_SEED).with_drop_rate(DROP_RATE))
+                .with_retry(
+                    RetryPolicy::default()
+                        .with_deadline(Duration::from_millis(25))
+                        .with_backoff(Duration::from_millis(1)),
+                ),
         )
-        .expect("shape accepted");
-        let r = rt.run().expect("verified run");
+        .expect("shape accepted")
+        .run()
+        .expect("recoverable faults heal");
         let ms = |d: std::time::Duration| fnum(d.as_secs_f64() * 1e3);
+        let overhead =
+            (faulty.wall.as_secs_f64() / clean.wall.as_secs_f64().max(f64::EPSILON) - 1.0) * 100.0;
         t.row(&[
             format!("{shape}"),
-            r.nodes.to_string(),
+            clean.nodes.to_string(),
             m.to_string(),
-            r.total_steps().to_string(),
-            ms(r.wall),
-            ms(r.assembly()),
-            ms(r.transport()),
-            ms(r.rearrange()),
-            fnum(r.wire_bytes as f64 / 1024.0),
-            fnum(r.peak_node_bytes as f64 / 1024.0),
-            fnum(r.analytic.total()),
+            clean.total_steps().to_string(),
+            ms(clean.wall),
+            ms(clean.assembly()),
+            ms(clean.transport()),
+            ms(clean.rearrange()),
+            fnum(clean.wire_bytes as f64 / 1024.0),
+            fnum(clean.peak_node_bytes as f64 / 1024.0),
+            fnum(clean.analytic.total()),
+            ms(faulty.wall),
+            format!(
+                "{}/{}",
+                faulty.faults.recovered, faulty.faults.injected_drops
+            ),
+            format!("{overhead:+.1}%"),
         ]);
-        reports.push(r);
+        reports.push(CasePair { clean, faulty });
     }
     t.print();
     println!();
@@ -83,5 +130,8 @@ fn main() {
             Err(e) => eprintln!("json export failed: {e}"),
         }
     }
-    println!("all runs bit-exactly verified; wall excludes seeding/verification.");
+    println!(
+        "all runs bit-exactly verified (including under injected drops); \
+         wall excludes seeding/verification."
+    );
 }

@@ -38,6 +38,13 @@ pub enum Command {
         threads: Option<usize>,
         /// Emit the full report as JSON instead of a summary.
         json: bool,
+        /// Fault-injection spec (see [`torus_runtime::FaultPlan::parse`]),
+        /// e.g. `drop=0.01,seed=42` or `kill=2:5`.
+        faults: Option<String>,
+        /// Retry budget override for the recovery path.
+        retries: Option<u32>,
+        /// Receive-deadline override (milliseconds) for the recovery path.
+        deadline_ms: Option<u64>,
     },
     /// `compare --shape RxC [...params]` — all algorithms side by side.
     Compare {
@@ -87,6 +94,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut json = false;
     let mut threads: Option<usize> = None;
     let mut params = CommParams::cray_t3d_like();
+    let mut faults: Option<String> = None;
+    let mut retries: Option<u32> = None;
+    let mut deadline_ms: Option<u64> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -116,6 +126,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "-m" | "--block-bytes" => {
                 params.block_bytes = val(&mut i)?.parse().map_err(|e| format!("-m: {e}"))?
             }
+            "--faults" => faults = Some(val(&mut i)?),
+            "--retries" => {
+                retries = Some(
+                    val(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                )
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    val(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag '{other}' (try 'torus-xchg help')")),
         }
         i += 1;
@@ -134,6 +159,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             params,
             threads,
             json,
+            faults,
+            retries,
+            deadline_ms,
         }),
         "compare" => Ok(Command::Compare {
             shape: need_shape(shape)?,
@@ -164,7 +192,8 @@ torus-xchg — all-to-all personalized exchange on torus networks (Suh & Shin, I
 
 USAGE:
   torus-xchg run        --shape 8x12 [--algo proposed|direct|ring|rowcol|mesh] [params]
-  torus-xchg run-real   --shape 8x8 [--json] [params]   (moves real bytes, verifies bit-exactly)
+  torus-xchg run-real   --shape 8x8 [--json] [--faults SPEC] [--retries N] [--deadline-ms MS] [params]
+                        (moves real bytes, verifies bit-exactly; optional fault injection)
   torus-xchg compare    --shape 8x8 [params]
   torus-xchg collective --op broadcast|scatter|gather|allgather|reduce|allreduce|alltoall --shape 8x8
   torus-xchg schedule   --shape 8x8 [--json]
@@ -174,6 +203,11 @@ PARAMS (defaults are Cray-T3D-like):
   --ts µs   startup per message        --tc µs/B  per-byte transmission
   --tl µs   per-hop propagation        --rho µs/B rearrangement
   -m bytes  block size                 --threads N executor threads
+
+FAULT SPEC (run-real): comma-separated key=value pairs —
+  seed=N  drop=R  corrupt=R  truncate=R  duplicate=R  delay=R  delay-us=N
+  kill=STEP:NODE  stall=STEP:NODE:MICROS     (rates R in [0, 1])
+  e.g. --faults drop=0.01,corrupt=0.005,seed=42
 ";
 
 /// Executes a command, returning its stdout text.
@@ -241,6 +275,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             params,
             threads,
             json,
+            faults,
+            retries,
+            deadline_ms,
         } => {
             let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
             let mut config = torus_runtime::RuntimeConfig::default()
@@ -249,14 +286,41 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             if let Some(t) = threads {
                 config = config.with_workers(t);
             }
+            if let Some(spec) = &faults {
+                let plan =
+                    torus_runtime::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+                config = config.with_faults(plan);
+            }
+            let mut retry = torus_runtime::RetryPolicy::default();
+            if let Some(r) = retries {
+                retry = retry.with_max_retries(r);
+            }
+            if let Some(ms) = deadline_ms {
+                retry = retry.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            config = config.with_retry(retry);
             let runtime = torus_runtime::Runtime::new(&shape, config).map_err(|e| e.to_string())?;
-            let report = runtime.run().map_err(|e| e.to_string())?;
-            if json {
-                out.push_str(&serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+            let emit = |out: &mut String,
+                        report: &torus_runtime::RuntimeReport|
+             -> Result<(), String> {
+                if json {
+                    out.push_str(&serde_json::to_string_pretty(report).map_err(|e| e.to_string())?);
+                } else {
+                    out.push_str(&report.summary());
+                }
                 out.push('\n');
-            } else {
-                out.push_str(&report.summary());
-                out.push('\n');
+                Ok(())
+            };
+            match runtime.run() {
+                Ok(report) => emit(&mut out, &report)?,
+                // An injected unrecoverable fault is a legitimate outcome
+                // of `--faults`: show the partial report, not a bare
+                // error.
+                Err(torus_runtime::RuntimeError::Aborted { failure, report }) => {
+                    emit(&mut out, &report)?;
+                    writeln!(out, "run aborted: {failure}").unwrap();
+                }
+                Err(e) => return Err(e.to_string()),
             }
         }
         Command::Compare { shape, params } => {
@@ -442,11 +506,17 @@ mod tests {
                 params,
                 threads,
                 json,
+                faults,
+                retries,
+                deadline_ms,
             } => {
                 assert_eq!(shape, vec![4, 4]);
                 assert_eq!(params.block_bytes, 32);
                 assert_eq!(threads, None, "threads default to auto");
                 assert!(!json);
+                assert!(faults.is_none());
+                assert!(retries.is_none());
+                assert!(deadline_ms.is_none());
             }
             other => panic!("{other:?}"),
         }
@@ -455,6 +525,27 @@ mod tests {
             Command::RunReal { threads, json, .. } => {
                 assert_eq!(threads, Some(2));
                 assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_run_real_fault_flags() {
+        let cmd = parse_args(&argv(
+            "run-real --shape 4x4 --faults drop=0.01,seed=7 --retries 2 --deadline-ms 50",
+        ))
+        .unwrap();
+        match cmd {
+            Command::RunReal {
+                faults,
+                retries,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(faults.as_deref(), Some("drop=0.01,seed=7"));
+                assert_eq!(retries, Some(2));
+                assert_eq!(deadline_ms, Some(50));
             }
             other => panic!("{other:?}"),
         }
@@ -478,6 +569,42 @@ mod tests {
         // Round-trips as JSON.
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["nodes"], 16);
+    }
+
+    #[test]
+    fn execute_run_real_with_recoverable_faults() {
+        let out = execute(
+            parse_args(&argv(
+                "run-real --shape 4x4 --threads 2 -m 16 \
+                 --faults drop=1.0,seed=9 --deadline-ms 20",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("verified=true"), "{out}");
+        assert!(out.contains("faults:"), "{out}");
+        assert!(!out.contains("ABORTED"), "{out}");
+    }
+
+    #[test]
+    fn execute_run_real_kill_prints_partial_report() {
+        let out = execute(
+            parse_args(&argv(
+                "run-real --shape 4x4 --threads 2 -m 16 --faults kill=0:1",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("ABORTED"), "{out}");
+        assert!(out.contains("run aborted:"), "{out}");
+        assert!(out.contains("verified=false"), "{out}");
+    }
+
+    #[test]
+    fn execute_run_real_rejects_bad_fault_spec() {
+        let err = execute(parse_args(&argv("run-real --shape 4x4 --faults bogus=1")).unwrap())
+            .unwrap_err();
+        assert!(err.contains("--faults"), "{err}");
     }
 
     #[test]

@@ -22,12 +22,24 @@
 //!   executors use ([`alltoall_core::verify_delivery`]) *plus* bit-exact
 //!   payload comparison against the seeded contents.
 //!
+//! The paper's schedules assume every link and node survives all
+//! `n(a1/4 + 1)` steps; a deployment cannot. The runtime therefore adds a
+//! **fault-tolerance layer**: wire frames carry sequence numbers and a
+//! CRC32 ([`message`]), a deterministic seedable [`FaultPlan`] can drop,
+//! delay, duplicate, corrupt, or truncate transmissions and kill or stall
+//! workers ([`fault`]), and the step loop heals recoverable faults by
+//! deadline + bounded retry from the sender's retained send buffer
+//! ([`recovery`]). Unrecoverable faults abort cleanly with a typed
+//! [`RuntimeError`] and a partial [`RuntimeReport`] instead of a panic or
+//! a hang.
+//!
 //! The result of a run is a [`RuntimeReport`]: wall time per phase split
 //! into assembly / transport / rearrangement, bytes moved on the wire and
-//! in rearrangements, peak buffer residency, a per-step
-//! [`Trace`](torus_sim::Trace) compatible with the figure harness, and
-//! the analytic [`CompletionTime`](cost_model::CompletionTime) prediction
-//! alongside for comparison.
+//! in rearrangements, peak buffer residency, fault/retry/integrity
+//! counters, a per-step [`Trace`](torus_sim::Trace) compatible with the
+//! figure harness, and the analytic
+//! [`CompletionTime`](cost_model::CompletionTime) prediction alongside
+//! for comparison.
 //!
 //! ```
 //! use torus_runtime::{Runtime, RuntimeConfig};
@@ -37,16 +49,23 @@
 //! let runtime = Runtime::new(&shape, RuntimeConfig::default().with_workers(4)).unwrap();
 //! let report = runtime.run().unwrap();
 //! assert!(report.verified);
+//! assert!(report.faults.is_clean());
 //! println!("{}", report.summary());
 //! ```
 
+pub mod fault;
 pub mod message;
 pub mod payload;
+pub mod recovery;
 pub mod report;
 pub mod runtime;
 
-pub use message::{decode_message, encode_message, BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES};
+pub use fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
+pub use message::{
+    crc32, decode_message, encode_message, WireError, BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES,
+};
 pub use payload::{pattern_payload, pattern_seed};
+pub use recovery::{FailureReason, NodeFailure, RecoveryStats, RetryPolicy};
 pub use report::{PhaseReport, RuntimeReport};
 pub use runtime::{Runtime, RuntimeConfig};
 
@@ -57,19 +76,48 @@ use alltoall_core::ExchangeError;
 pub enum RuntimeError {
     /// Schedule preparation or shape handling failed.
     Exchange(ExchangeError),
-    /// A wire message failed to decode (framing corruption).
-    Wire(String),
+    /// A wire frame failed to decode (framing or CRC corruption) in a
+    /// context where recovery was impossible.
+    Wire(WireError),
     /// Post-run verification failed: wrong delivery set or corrupted
     /// payload bytes.
     Verification(String),
+    /// A channel endpoint disconnected mid-run; names the node whose
+    /// send/receive failed and where in the schedule it happened.
+    ChannelClosed {
+        /// Canonical node whose channel operation failed.
+        node: torus_topology::NodeId,
+        /// Phase label the failure occurred in.
+        phase: String,
+        /// 1-based step within the phase.
+        step: usize,
+    },
+    /// An unrecoverable fault (killed worker, exhausted retry budget)
+    /// aborted the run. Carries the failure context and the partial
+    /// report measured up to the abort (`verified = false`, counters
+    /// populated).
+    Aborted {
+        /// The first unrecoverable failure.
+        failure: NodeFailure,
+        /// Partial measurements up to the abort.
+        report: Box<RuntimeReport>,
+    },
+    /// A worker thread panicked (a bug, not an injected fault); the
+    /// panic payload is stringified.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RuntimeError::Exchange(e) => write!(f, "exchange setup failed: {e}"),
-            RuntimeError::Wire(s) => write!(f, "wire decode failed: {s}"),
+            RuntimeError::Wire(e) => write!(f, "wire decode failed: {e}"),
             RuntimeError::Verification(s) => write!(f, "runtime verification failed: {s}"),
+            RuntimeError::ChannelClosed { node, phase, step } => {
+                write!(f, "channel closed at node {node} in {phase} step {step}")
+            }
+            RuntimeError::Aborted { failure, .. } => write!(f, "run aborted: {failure}"),
+            RuntimeError::WorkerPanicked(s) => write!(f, "worker thread panicked: {s}"),
         }
     }
 }
@@ -78,6 +126,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Exchange(e) => Some(e),
+            RuntimeError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -86,5 +135,11 @@ impl std::error::Error for RuntimeError {
 impl From<ExchangeError> for RuntimeError {
     fn from(e: ExchangeError) -> Self {
         RuntimeError::Exchange(e)
+    }
+}
+
+impl From<WireError> for RuntimeError {
+    fn from(e: WireError) -> Self {
+        RuntimeError::Wire(e)
     }
 }

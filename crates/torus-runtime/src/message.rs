@@ -1,4 +1,4 @@
-//! Wire format for combined messages.
+//! Wire format for combined messages: framing, sequencing, integrity.
 //!
 //! The paper's message combining means that everything a node forwards in
 //! one step travels as **one** message. Here that is literal: the blocks
@@ -8,35 +8,148 @@
 //! around. Decoding is zero-copy: each block's payload is a
 //! [`Bytes::slice`] view into the received buffer.
 //!
+//! Since the fault-tolerance layer (see [`crate::fault`]) the frame header
+//! also carries a **sequence number** (the global step the frame belongs
+//! to, so receivers can discard stale or duplicated frames) and a
+//! **CRC32** over the rest of the frame (so corruption in flight is
+//! *detected* rather than silently delivered — detection is what turns a
+//! corrupted wire into a recoverable retry).
+//!
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! message := count:u32 , block*count
+//! frame   := seq:u32 , crc:u32 , count:u32 , block*count
 //! block   := src:u32 , dst:u32 , shifts:[u8; MAX_DIMS] , len:u32 , payload:[u8; len]
+//! crc     := CRC32/IEEE over seq , count , block*count   (everything but the crc field)
 //! ```
 //!
-//! Empty messages (`count = 0`) are legal — the paper explicitly allows
+//! Empty frames (`count = 0`) are legal — the paper explicitly allows
 //! idle nodes to "send empty messages" in short-dimension scatter steps.
 
 use alltoall_core::Block;
 use bytes::{BufMut, Bytes, BytesMut};
 use torus_topology::MAX_DIMS;
 
-use crate::RuntimeError;
-
-/// Fixed bytes of framing per message (the block count).
-pub const MESSAGE_HEADER_BYTES: usize = 4;
+/// Fixed bytes of framing per message (`seq + crc + count`).
+pub const MESSAGE_HEADER_BYTES: usize = 4 + 4 + 4;
 
 /// Fixed bytes of framing per block (`src + dst + shifts + len`).
 pub const BLOCK_HEADER_BYTES: usize = 4 + 4 + MAX_DIMS + 4;
 
-/// Assembles one combined wire message from the blocks a node forwards in
-/// one step. Block order is preserved.
-pub fn encode_message(blocks: &[Block<Bytes>]) -> Bytes {
+/// Byte offset of the `crc` field inside a frame.
+const CRC_OFFSET: usize = 4;
+
+/// A wire-integrity failure, precise enough to drive recovery decisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ends before its framing says it should.
+    Truncated {
+        /// Actual frame length in bytes.
+        len: usize,
+        /// Bytes the framing requires.
+        need: usize,
+    },
+    /// The stored CRC32 does not match the frame contents.
+    Crc {
+        /// Checksum carried in the frame header.
+        stored: u32,
+        /// Checksum recomputed over the received bytes.
+        computed: u32,
+    },
+    /// Bytes remain after the last framed block.
+    Trailing {
+        /// Number of unclaimed trailing bytes.
+        extra: usize,
+        /// Block count the header declared.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { len, need } => {
+                write!(f, "frame truncated: {len} bytes, need {need}")
+            }
+            WireError::Crc { stored, computed } => write!(
+                f,
+                "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            WireError::Trailing { extra, count } => {
+                write!(f, "frame has {extra} trailing bytes after {count} blocks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Folds `data` into a running CRC32 state (start from `!0`, finish by
+/// inverting). Exposed so multi-slice frames can be checksummed without
+/// concatenating.
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC32/IEEE of `data` (the classic zlib `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(!0, data)
+}
+
+/// CRC a frame carries: over the `seq` field and everything after the
+/// `crc` field.
+fn frame_crc(seq: u32, tail: &[u8]) -> u32 {
+    let crc = crc32_update(!0, &seq.to_le_bytes());
+    !crc32_update(crc, tail)
+}
+
+/// Assembles one combined wire frame from the blocks a node forwards in
+/// one step. `seq` is the global step number; block order is preserved.
+///
+/// The CRC is computed in a streaming pass over the logical frame
+/// contents *before* assembly, so the frame is written exactly once.
+pub fn encode_message(seq: u32, blocks: &[Block<Bytes>]) -> Bytes {
+    let mut crc = crc32_update(!0, &seq.to_le_bytes());
+    crc = crc32_update(crc, &(blocks.len() as u32).to_le_bytes());
+    for b in blocks {
+        crc = crc32_update(crc, &b.src.to_le_bytes());
+        crc = crc32_update(crc, &b.dst.to_le_bytes());
+        crc = crc32_update(crc, &b.shifts);
+        crc = crc32_update(crc, &(b.payload.len() as u32).to_le_bytes());
+        crc = crc32_update(crc, &b.payload);
+    }
+    let crc = !crc;
+
     let payload_total: usize = blocks.iter().map(|b| b.payload.len()).sum();
     let mut buf = BytesMut::with_capacity(
         MESSAGE_HEADER_BYTES + blocks.len() * BLOCK_HEADER_BYTES + payload_total,
     );
+    buf.put_u32_le(seq);
+    buf.put_u32_le(crc);
     buf.put_u32_le(blocks.len() as u32);
     for b in blocks {
         buf.put_u32_le(b.src);
@@ -48,23 +161,30 @@ pub fn encode_message(blocks: &[Block<Bytes>]) -> Bytes {
     buf.freeze()
 }
 
-fn read_u32(msg: &Bytes, off: usize) -> Result<u32, RuntimeError> {
+fn read_u32(msg: &Bytes, off: usize) -> Result<u32, WireError> {
     let end = off + 4;
-    let raw: [u8; 4] = msg
-        .get(off..end)
-        .and_then(|s| s.try_into().ok())
-        .ok_or_else(|| truncated(msg.len(), end))?;
+    let raw: [u8; 4] =
+        msg.get(off..end)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(WireError::Truncated {
+                len: msg.len(),
+                need: end,
+            })?;
     Ok(u32::from_le_bytes(raw))
 }
 
-fn truncated(len: usize, need: usize) -> RuntimeError {
-    RuntimeError::Wire(format!("message truncated: {len} bytes, need {need}"))
-}
-
-/// Splits a combined wire message back into blocks. Payloads are zero-copy
-/// slices of `msg`. Rejects truncated and over-long framing.
-pub fn decode_message(msg: &Bytes) -> Result<Vec<Block<Bytes>>, RuntimeError> {
-    let count = read_u32(msg, 0)? as usize;
+/// Splits a combined wire frame back into `(seq, blocks)`. Payloads are
+/// zero-copy slices of `msg`. Rejects truncated frames, CRC mismatches,
+/// and over-long framing — every corruption mode the fault layer can
+/// inject is *detected* here, never silently delivered.
+pub fn decode_message(msg: &Bytes) -> Result<(u32, Vec<Block<Bytes>>), WireError> {
+    let seq = read_u32(msg, 0)?;
+    let stored = read_u32(msg, CRC_OFFSET)?;
+    let count = read_u32(msg, CRC_OFFSET + 4)? as usize;
+    let computed = frame_crc(seq, &msg[CRC_OFFSET + 4..]);
+    if stored != computed {
+        return Err(WireError::Crc { stored, computed });
+    }
     let mut off = MESSAGE_HEADER_BYTES;
     let mut blocks = Vec::with_capacity(count);
     for _ in 0..count {
@@ -74,12 +194,18 @@ pub fn decode_message(msg: &Bytes) -> Result<Vec<Block<Bytes>>, RuntimeError> {
         let shifts: [u8; MAX_DIMS] = msg
             .get(off + 8..shifts_end)
             .and_then(|s| s.try_into().ok())
-            .ok_or_else(|| truncated(msg.len(), shifts_end))?;
+            .ok_or(WireError::Truncated {
+                len: msg.len(),
+                need: shifts_end,
+            })?;
         let len = read_u32(msg, shifts_end)? as usize;
         let start = shifts_end + 4;
         let end = start + len;
         if end > msg.len() {
-            return Err(truncated(msg.len(), end));
+            return Err(WireError::Truncated {
+                len: msg.len(),
+                need: end,
+            });
         }
         let mut b = Block::with_payload(src, dst, msg.slice(start..end));
         b.shifts = shifts;
@@ -87,12 +213,12 @@ pub fn decode_message(msg: &Bytes) -> Result<Vec<Block<Bytes>>, RuntimeError> {
         off = end;
     }
     if off != msg.len() {
-        return Err(RuntimeError::Wire(format!(
-            "message has {} trailing bytes after {count} blocks",
-            msg.len() - off
-        )));
+        return Err(WireError::Trailing {
+            extra: msg.len() - off,
+            count,
+        });
     }
-    Ok(blocks)
+    Ok((seq, blocks))
 }
 
 #[cfg(test)]
@@ -112,29 +238,32 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip_preserves_blocks() {
+    fn roundtrip_preserves_blocks_and_seq() {
         let blocks = sample_blocks();
-        let msg = encode_message(&blocks);
+        let msg = encode_message(7, &blocks);
         let expected_len = MESSAGE_HEADER_BYTES
             + blocks.len() * BLOCK_HEADER_BYTES
             + blocks.iter().map(|b| b.payload.len()).sum::<usize>();
         assert_eq!(msg.len(), expected_len);
-        let back = decode_message(&msg).unwrap();
+        let (seq, back) = decode_message(&msg).unwrap();
+        assert_eq!(seq, 7);
         assert_eq!(back, blocks);
     }
 
     #[test]
     fn empty_message_roundtrips() {
-        let msg = encode_message(&[]);
+        let msg = encode_message(0, &[]);
         assert_eq!(msg.len(), MESSAGE_HEADER_BYTES);
-        assert!(decode_message(&msg).unwrap().is_empty());
+        let (seq, blocks) = decode_message(&msg).unwrap();
+        assert_eq!(seq, 0);
+        assert!(blocks.is_empty());
     }
 
     #[test]
     fn decoded_payloads_are_zero_copy() {
         let blocks = sample_blocks();
-        let msg = encode_message(&blocks);
-        let back = decode_message(&msg).unwrap();
+        let msg = encode_message(3, &blocks);
+        let (_, back) = decode_message(&msg).unwrap();
         // A Bytes slice of `msg` shares its allocation: the slice's
         // pointer lies inside the message buffer.
         let msg_range = msg.as_ptr() as usize..msg.as_ptr() as usize + msg.len();
@@ -147,22 +276,76 @@ mod tests {
 
     #[test]
     fn truncated_messages_are_rejected() {
-        let msg = encode_message(&sample_blocks());
+        let msg = encode_message(1, &sample_blocks());
         for cut in [0, 2, MESSAGE_HEADER_BYTES + 3, msg.len() - 1] {
             let short = msg.slice(..cut);
             assert!(
-                matches!(decode_message(&short), Err(RuntimeError::Wire(_))),
+                matches!(
+                    decode_message(&short),
+                    Err(WireError::Truncated { .. } | WireError::Crc { .. })
+                ),
                 "cut at {cut} must fail"
             );
         }
     }
 
     #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let msg = encode_message(5, &sample_blocks());
+        for i in 0..msg.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = msg.to_vec();
+                bad[i] ^= flip;
+                let bad = Bytes::from(bad);
+                assert!(
+                    decode_message(&bad).is_err(),
+                    "corrupting byte {i} with {flip:#x} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_names_both_checksums() {
+        let msg = encode_message(2, &sample_blocks());
+        let mut bad = msg.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        match decode_message(&Bytes::from(bad)) {
+            Err(WireError::Crc { stored, computed }) => assert_ne!(stored, computed),
+            other => panic!("expected Crc error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn trailing_bytes_are_rejected() {
-        let msg = encode_message(&sample_blocks());
-        let mut long = bytes::BytesMut::from(&msg[..]);
-        long.put_u8(0xAB);
-        let err = decode_message(&long.freeze()).unwrap_err();
-        assert!(err.to_string().contains("trailing"));
+        // Extend the frame and re-stamp a valid CRC so the trailing check
+        // itself (not the CRC) is what fires.
+        let msg = encode_message(4, &sample_blocks());
+        let mut long = msg.to_vec();
+        long.push(0xAB);
+        let crc = {
+            let tail = &long[CRC_OFFSET + 4..];
+            frame_crc(4, tail)
+        };
+        long[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+        let err = decode_message(&Bytes::from(long)).unwrap_err();
+        assert!(matches!(err, WireError::Trailing { extra: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic zlib check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn stale_seq_is_distinguishable() {
+        let a = encode_message(1, &[]);
+        let b = encode_message(2, &[]);
+        assert_ne!(a, b);
+        assert_eq!(decode_message(&a).unwrap().0, 1);
+        assert_eq!(decode_message(&b).unwrap().0, 2);
     }
 }

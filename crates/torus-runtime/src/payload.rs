@@ -10,7 +10,10 @@
 use bytes::Bytes;
 use torus_topology::NodeId;
 
-fn splitmix64(mut z: u64) -> u64 {
+/// One splitmix64 mixing round. Shared with the fault layer, whose
+/// deterministic sampling and corruption-offset choices are derived from
+/// the same mixer so a `FaultPlan` seed fully determines every decision.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

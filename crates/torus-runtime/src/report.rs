@@ -17,6 +17,9 @@ use cost_model::CompletionTime;
 use serde::Serialize;
 use torus_sim::Trace;
 
+use crate::fault::FaultEvent;
+use crate::recovery::{NodeFailure, RecoveryStats};
+
 /// Measured totals for one of the `n + 2` phases.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct PhaseReport {
@@ -74,8 +77,21 @@ pub struct RuntimeReport {
     pub messages: u64,
     /// Whether delivery verified (correct block set at every node *and*
     /// bit-exact payloads). [`Runtime::run`](crate::Runtime::run) returns
-    /// an error instead of a report with `verified = false`.
+    /// an error instead of a report with `verified = false`; partial
+    /// reports carried by
+    /// [`RuntimeError::Aborted`](crate::RuntimeError::Aborted) have
+    /// `verified = false`.
     pub verified: bool,
+    /// Fault, integrity, and recovery counters. All-zero
+    /// ([`RecoveryStats::is_clean`]) on a fault-free run.
+    pub faults: RecoveryStats,
+    /// Every injected fault, in deterministic `(step, src, dst, attempt)`
+    /// order — two runs with the same seed and config produce identical
+    /// lists.
+    pub fault_events: Vec<FaultEvent>,
+    /// The first unrecoverable failure, if the run aborted (always
+    /// `None` on a successful run).
+    pub failure: Option<NodeFailure>,
     /// The Table 1 closed-form prediction for the executed shape under the
     /// configured [`CommParams`](cost_model::CommParams).
     pub analytic: CompletionTime,
@@ -149,6 +165,32 @@ impl RuntimeReport {
                 p.rearranged_bytes,
             );
         }
+        if !self.faults.is_clean() {
+            let _ = writeln!(
+                s,
+                "  faults: {} injected ({} drop, {} corrupt, {} truncate, {} dup, {} delay, \
+                 {} stall, {} kill); detected: {} crc, {} framing; recovery: {} timeouts, \
+                 {} retries, {} resends, {} stale discarded, {} recovered",
+                self.faults.total_injected(),
+                self.faults.injected_drops,
+                self.faults.injected_corruptions,
+                self.faults.injected_truncations,
+                self.faults.injected_duplicates,
+                self.faults.injected_delays,
+                self.faults.injected_stalls,
+                self.faults.injected_kills,
+                self.faults.crc_failures,
+                self.faults.decode_failures,
+                self.faults.timeouts,
+                self.faults.retries,
+                self.faults.resends,
+                self.faults.stale_discarded,
+                self.faults.recovered,
+            );
+        }
+        if let Some(failure) = &self.failure {
+            let _ = writeln!(s, "  ABORTED: {failure}");
+        }
         let _ = write!(
             s,
             "  peak node residency {} B; analytic model: {:.1} us total ({} dominant)",
@@ -202,6 +244,9 @@ mod tests {
             peak_node_bytes: 8192,
             messages: 128,
             verified: true,
+            faults: RecoveryStats::default(),
+            fault_events: Vec::new(),
+            failure: None,
             analytic: CompletionTime::default(),
             trace: Trace::default(),
         }
@@ -231,5 +276,35 @@ mod tests {
         r.dims = vec![6, 6];
         r.padded = true;
         assert!(r.summary().contains("executed as 8x8"));
+    }
+
+    #[test]
+    fn summary_reports_faults_only_when_present() {
+        let mut r = sample();
+        assert!(!r.summary().contains("faults:"));
+        r.faults.injected_drops = 2;
+        r.faults.retries = 3;
+        r.faults.recovered = 2;
+        let s = r.summary();
+        assert!(s.contains("faults: 2 injected"));
+        assert!(s.contains("3 retries"));
+        assert!(!s.contains("ABORTED"));
+    }
+
+    #[test]
+    fn summary_names_abort_context() {
+        let mut r = sample();
+        r.verified = false;
+        r.failure = Some(crate::recovery::NodeFailure {
+            node: 5,
+            phase: "phase 2".into(),
+            step: 1,
+            global_step: 3,
+            reason: crate::recovery::FailureReason::WorkerKilled,
+        });
+        let s = r.summary();
+        assert!(s.contains("ABORTED"));
+        assert!(s.contains("node 5"));
+        assert!(s.contains("phase 2"));
     }
 }

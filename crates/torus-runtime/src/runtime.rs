@@ -13,7 +13,8 @@
 //!
 //! 1. **assemble** — for every owned node scheduled to send, select the
 //!    step's blocks (the paper's per-phase selection rules), frame them
-//!    into one combined wire message;
+//!    into one combined wire message (sequence-numbered and
+//!    CRC32-protected);
 //! 2. **transport** — push the message into the destination's inbox
 //!    (never blocks: channels are unbounded), then receive exactly the
 //!    messages the static schedule says each owned node is due (possibly
@@ -31,13 +32,28 @@
 //! contiguous arena (the measured analogue of the `ρ`-term the cost model
 //! charges per byte), again bracketed by the two-barrier rendezvous.
 //!
-//! Sends never block and every receive is matched to a scheduled send, so
-//! the protocol is deadlock-free by construction; determinism across
-//! worker counts follows from the per-step barriers plus the fixed
-//! ownership partition.
+//! # Fault tolerance
+//!
+//! When the configured [`FaultPlan`] is non-empty the runtime switches
+//! the receive path from a blocking wait to a deadline + bounded-retry
+//! loop: every sender retains its pristine frame for the step, a receiver
+//! whose deadline expires (or whose frame fails the CRC/framing/sequence
+//! checks) pulls the retained copy — a modeled NACK + retransmission —
+//! with exponential backoff between attempts. Exhausting the retry
+//! budget, losing a channel endpoint, or an injected worker kill flips a
+//! shared abort flag; every worker then falls through its remaining
+//! barriers doing no work, so an aborted run still joins cleanly, leaks
+//! no threads, and yields a partial [`RuntimeReport`] inside
+//! [`RuntimeError::Aborted`] naming the faulty node, phase, and step.
+//!
+//! Fault-free runs keep the original semantics: sends never block and
+//! every receive is matched to a scheduled send, so the protocol is
+//! deadlock-free by construction; determinism across worker counts
+//! follows from the per-step barriers plus the fixed ownership partition.
 
 use std::collections::HashMap;
-use std::sync::{Barrier, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use alltoall_core::block::Buffers;
@@ -45,18 +61,20 @@ use alltoall_core::steps::StepPlan;
 use alltoall_core::{verify_delivery, Block, NullObserver, Observer, PreparedExchange};
 use bytes::{Bytes, BytesMut};
 use cost_model::{CommParams, CompletionTime};
-use crossbeam::channel::{unbounded, Receiver};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use crossbeam::thread as cb_thread;
 use torus_sim::{StepStat, Trace};
 use torus_topology::{NodeId, TorusShape};
 
-use crate::message::{decode_message, encode_message};
+use crate::fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
+use crate::message::{decode_message, encode_message, WireError};
 use crate::payload::pattern_payload;
+use crate::recovery::{merge_events, FailureReason, NodeFailure, RecoveryStats, RetryPolicy};
 use crate::report::{PhaseReport, RuntimeReport};
 use crate::RuntimeError;
 
 /// Configuration for a [`Runtime`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Payload bytes per block (the paper's `m`). Used for the default
     /// pattern payloads and the analytic prediction. Default: 64.
@@ -69,6 +87,12 @@ pub struct RuntimeConfig {
     /// Machine parameters for the analytic [`CompletionTime`] that rides
     /// along in the report. Default: [`CommParams::cray_t3d_like`].
     pub params: CommParams,
+    /// Fault schedule to inject. Default: empty (no faults, and the
+    /// recovery bookkeeping is skipped entirely on the hot path).
+    pub faults: FaultPlan,
+    /// Receive deadline and retry budget used whenever `faults` is
+    /// non-empty.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -77,6 +101,8 @@ impl Default for RuntimeConfig {
             block_bytes: 64,
             workers: None,
             params: CommParams::cray_t3d_like(),
+            faults: FaultPlan::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -99,6 +125,41 @@ impl RuntimeConfig {
         self.params = params;
         self
     }
+
+    /// Installs a fault schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the receive deadline / retry budget.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Locks a mutex, tolerating poisoning: an aborting run must still be
+/// able to collect partial state even if some worker panicked while
+/// holding a lock.
+fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One flipped byte at a deterministic offset — the payload of
+/// [`FaultKind::CorruptByte`].
+fn corrupt_frame(frame: &Bytes, offset: usize) -> Bytes {
+    let mut v = frame.to_vec();
+    if !v.is_empty() {
+        let at = offset % v.len();
+        v[at] ^= 0x01;
+    }
+    Bytes::from(v)
+}
+
+/// Keeps only the first half of the frame — [`FaultKind::Truncate`].
+fn truncate_frame(frame: &Bytes) -> Bytes {
+    frame.slice(..frame.len() / 2)
 }
 
 /// A reusable byte-moving executor for one torus shape.
@@ -120,6 +181,7 @@ struct StepSide {
     blocks: u64,
     max_blocks: u64,
     wire_bytes: u64,
+    retries: u64,
 }
 
 /// Per-worker, per-phase measurement.
@@ -139,15 +201,12 @@ struct WorkerStats {
     phase: Vec<PhaseSide>,
     steps: Vec<StepSide>,
     peak_bytes: u64,
+    faults: RecoveryStats,
+    events: Vec<FaultEvent>,
 }
 
 fn snapshot_buffers(slots: &[Mutex<Vec<Block<Bytes>>>]) -> Buffers<Bytes> {
-    Buffers::from_vecs(
-        slots
-            .iter()
-            .map(|m| m.lock().expect("snapshot lock").clone())
-            .collect(),
-    )
+    Buffers::from_vecs(slots.iter().map(|m| lk(m).clone()).collect())
 }
 
 impl Runtime {
@@ -246,6 +305,8 @@ impl Runtime {
         let plan = &self.plan;
         let phases = plan.phases();
         let total_steps = plan.total_steps();
+        let faults = &self.config.faults;
+        let no_faults = faults.is_empty();
 
         // Seed data-carrying buffers from the cached counting state; keep
         // every pair's bytes for the post-run bit-exact comparison.
@@ -272,16 +333,22 @@ impl Runtime {
             observer.on_start(&Buffers::from_vecs(node_bufs.clone()));
         }
 
-        // Static receive expectations: node `d` receives in global step
-        // `g` iff some node is scheduled to send to it then.
-        let mut expect_recv = vec![vec![false; nn]; total_steps];
+        // Static receive expectations: in global step `g`, node `d`
+        // receives from `expect_from[g][d]` (the schedule has at most one
+        // sender per destination per step).
+        let mut expect_from: Vec<Vec<Option<NodeId>>> = vec![vec![None; nn]; total_steps];
+        // Failure context: global step -> (phase label, 1-based step).
+        let mut step_ctx: Vec<(String, usize)> = Vec::with_capacity(total_steps);
         {
             let mut g = 0;
             for ph in phases {
-                for st in &ph.steps {
-                    for send in st.sends.iter().flatten() {
-                        expect_recv[g][send.dst as usize] = true;
+                for (si, st) in ph.steps.iter().enumerate() {
+                    for (node, send) in st.sends.iter().enumerate() {
+                        if let Some(s) = send {
+                            expect_from[g][s.dst as usize] = Some(node as NodeId);
+                        }
                     }
+                    step_ctx.push((ph.name.clone(), si + 1));
                     g += 1;
                 }
             }
@@ -296,6 +363,27 @@ impl Runtime {
             senders.push(tx);
             receivers.push(rx);
         }
+
+        // Recovery state: per-destination retained frame for the current
+        // step (the sender's resend buffer), the shared abort flag, and
+        // the first-wins failure record.
+        let retained: Vec<Mutex<Option<Bytes>>> = (0..nn).map(|_| Mutex::new(None)).collect();
+        let abort = AtomicBool::new(false);
+        let failure_slot: Mutex<Option<NodeFailure>> = Mutex::new(None);
+        let fail = |node: NodeId, g: usize, reason: FailureReason| {
+            let mut slot = lk(&failure_slot);
+            if slot.is_none() {
+                let (phase, step) = step_ctx[g].clone();
+                *slot = Some(NodeFailure {
+                    node,
+                    phase,
+                    step,
+                    global_step: g,
+                    reason,
+                });
+            }
+            abort.store(true, Ordering::SeqCst);
+        };
 
         let chunk = nn.div_ceil(workers);
         let n_chunks = nn.div_ceil(chunk);
@@ -318,6 +406,10 @@ impl Runtime {
         }
 
         let senders = &senders[..];
+        let expect_from = &expect_from;
+        let retained = &retained;
+        let abort = &abort;
+        let fail = &fail;
         let worker = |base: usize,
                       mut bufs: Vec<Vec<Block<Bytes>>>,
                       rxs: Vec<Receiver<Bytes>>|
@@ -326,68 +418,206 @@ impl Runtime {
                 phase: vec![PhaseSide::default(); phases.len()],
                 steps: vec![StepSide::default(); total_steps],
                 peak_bytes: 0,
+                faults: RecoveryStats::default(),
+                events: Vec::new(),
             };
+            // A killed worker turns into a zombie: it does no work but
+            // keeps crossing barriers so nothing deadlocks.
+            let mut dead = false;
             let mut g = 0usize;
             for (pi, ph) in phases.iter().enumerate() {
                 for st in &ph.steps {
-                    let pstats = &mut stats.phase[pi];
-                    let sstats = &mut stats.steps[g];
-
-                    // Assemble and send for every owned scheduled sender.
-                    for (li, buf) in bufs.iter_mut().enumerate() {
-                        let node = (base + li) as NodeId;
-                        let Some(send) = st.sends[node as usize] else {
-                            continue;
-                        };
-                        let t0 = Instant::now();
-                        let mut kept = Vec::with_capacity(buf.len());
-                        let mut outgoing = Vec::new();
-                        for mut b in buf.drain(..) {
-                            if plan.selects(st, node, &b) {
-                                if let Some(p) = StepPlan::shift_decrement(st) {
-                                    b.shifts[p] -= 1;
+                    if !no_faults && !dead {
+                        for li in 0..bufs.len() {
+                            let node = (base + li) as NodeId;
+                            let Some(wf) = faults.worker_fault(g, node) else {
+                                continue;
+                            };
+                            stats.events.push(FaultEvent {
+                                step: g,
+                                src: node,
+                                dst: node,
+                                attempt: 0,
+                                kind: FaultEventKind::Worker(wf),
+                            });
+                            match wf {
+                                WorkerFaultKind::Kill => {
+                                    stats.faults.injected_kills += 1;
+                                    fail(node, g, FailureReason::WorkerKilled);
+                                    dead = true;
                                 }
-                                outgoing.push(b);
-                            } else {
-                                kept.push(b);
+                                WorkerFaultKind::StallMicros(us) => {
+                                    stats.faults.injected_stalls += 1;
+                                    if !abort.load(Ordering::Acquire) {
+                                        std::thread::sleep(Duration::from_micros(us));
+                                    }
+                                }
                             }
                         }
-                        *buf = kept;
-                        let msg = encode_message(&outgoing);
-                        let assembled = Instant::now();
-                        pstats.assembly += assembled - t0;
-                        sstats.messages += 1;
-                        sstats.blocks += outgoing.len() as u64;
-                        sstats.max_blocks = sstats.max_blocks.max(outgoing.len() as u64);
-                        sstats.wire_bytes += msg.len() as u64;
-                        pstats.wire_bytes += msg.len() as u64;
-                        pstats.messages += 1;
-                        senders[send.dst as usize]
-                            .send(msg)
-                            .expect("inbox receiver lives for the whole run");
-                        pstats.transport += assembled.elapsed();
                     }
+                    let skip = dead || abort.load(Ordering::Acquire);
+                    if !skip {
+                        let pstats = &mut stats.phase[pi];
+                        let sstats = &mut stats.steps[g];
 
-                    // Receive exactly the scheduled traffic, split it
-                    // zero-copy, and track residency.
-                    for (li, buf) in bufs.iter_mut().enumerate() {
-                        if expect_recv[g][base + li] {
+                        // Assemble and send for every owned scheduled
+                        // sender.
+                        for (li, buf) in bufs.iter_mut().enumerate() {
+                            let node = (base + li) as NodeId;
+                            let Some(send) = st.sends[node as usize] else {
+                                continue;
+                            };
                             let t0 = Instant::now();
-                            let msg = rxs[li].recv().expect("a scheduled message is always sent");
-                            let received = Instant::now();
-                            pstats.transport += received - t0;
-                            let mut blocks =
-                                decode_message(&msg).expect("self-produced framing is valid");
-                            buf.append(&mut blocks);
-                            pstats.assembly += received.elapsed();
+                            let mut kept = Vec::with_capacity(buf.len());
+                            let mut outgoing = Vec::new();
+                            for mut b in buf.drain(..) {
+                                if plan.selects(st, node, &b) {
+                                    if let Some(p) = StepPlan::shift_decrement(st) {
+                                        b.shifts[p] -= 1;
+                                    }
+                                    outgoing.push(b);
+                                } else {
+                                    kept.push(b);
+                                }
+                            }
+                            *buf = kept;
+                            let msg = encode_message(g as u32, &outgoing);
+                            let assembled = Instant::now();
+                            pstats.assembly += assembled - t0;
+                            sstats.messages += 1;
+                            sstats.blocks += outgoing.len() as u64;
+                            sstats.max_blocks = sstats.max_blocks.max(outgoing.len() as u64);
+                            // Wire accounting is for the pristine frame;
+                            // injected mutations don't change the
+                            // schedule's cost.
+                            sstats.wire_bytes += msg.len() as u64;
+                            pstats.wire_bytes += msg.len() as u64;
+                            pstats.messages += 1;
+                            if no_faults {
+                                if senders[send.dst as usize].send(msg).is_err() {
+                                    fail(node, g, FailureReason::ChannelClosed);
+                                }
+                            } else {
+                                // Retain the pristine frame so the
+                                // receiver can recover it; then mutate
+                                // what actually goes on the wire.
+                                *lk(&retained[send.dst as usize]) = Some(msg.clone());
+                                let mut deliver = vec![msg];
+                                for kind in faults.message_faults(g, node, send.dst, 0) {
+                                    stats.events.push(FaultEvent {
+                                        step: g,
+                                        src: node,
+                                        dst: send.dst,
+                                        attempt: 0,
+                                        kind: FaultEventKind::Message(kind),
+                                    });
+                                    match kind {
+                                        FaultKind::Drop => {
+                                            stats.faults.injected_drops += 1;
+                                            deliver.clear();
+                                        }
+                                        FaultKind::DelayMicros(us) => {
+                                            stats.faults.injected_delays += 1;
+                                            std::thread::sleep(Duration::from_micros(us));
+                                        }
+                                        FaultKind::Duplicate => {
+                                            stats.faults.injected_duplicates += 1;
+                                            if let Some(f) = deliver.first().cloned() {
+                                                deliver.push(f);
+                                            }
+                                        }
+                                        FaultKind::CorruptByte => {
+                                            stats.faults.injected_corruptions += 1;
+                                            let off = faults.corrupt_offset(
+                                                g,
+                                                node,
+                                                send.dst,
+                                                deliver.first().map_or(0, Bytes::len),
+                                            );
+                                            deliver = deliver
+                                                .iter()
+                                                .map(|f| corrupt_frame(f, off))
+                                                .collect();
+                                        }
+                                        FaultKind::Truncate => {
+                                            stats.faults.injected_truncations += 1;
+                                            deliver = deliver.iter().map(truncate_frame).collect();
+                                        }
+                                    }
+                                }
+                                for f in deliver {
+                                    if senders[send.dst as usize].send(f).is_err() {
+                                        fail(node, g, FailureReason::ChannelClosed);
+                                        break;
+                                    }
+                                }
+                            }
+                            pstats.transport += assembled.elapsed();
                         }
-                        let resident: u64 = buf.iter().map(|b| b.payload.len() as u64).sum();
-                        stats.peak_bytes = stats.peak_bytes.max(resident);
-                    }
 
-                    if observe {
-                        for (li, buf) in bufs.iter().enumerate() {
-                            *snapshots[base + li].lock().expect("snapshot lock") = buf.clone();
+                        // Receive exactly the scheduled traffic, split it
+                        // zero-copy, and track residency.
+                        for (li, buf) in bufs.iter_mut().enumerate() {
+                            let me = (base + li) as NodeId;
+                            if let Some(src) = expect_from[g][base + li] {
+                                let t0 = Instant::now();
+                                let blocks = if no_faults {
+                                    // Fast path: a scheduled frame is
+                                    // always sent, so a blocking receive
+                                    // cannot deadlock.
+                                    match rxs[li].recv() {
+                                        Ok(raw) => match decode_message(&raw) {
+                                            Ok((_, blocks)) => Some(blocks),
+                                            Err(e) => {
+                                                // Self-produced frames
+                                                // never fail to decode;
+                                                // without a fault plan
+                                                // there is no retained
+                                                // copy to retry from.
+                                                match e {
+                                                    WireError::Crc { .. } => {
+                                                        stats.faults.crc_failures += 1
+                                                    }
+                                                    _ => stats.faults.decode_failures += 1,
+                                                }
+                                                fail(me, g, FailureReason::RetryExhausted { src });
+                                                None
+                                            }
+                                        },
+                                        Err(_) => {
+                                            fail(me, g, FailureReason::ChannelClosed);
+                                            None
+                                        }
+                                    }
+                                } else {
+                                    self.recover_recv(
+                                        &rxs[li],
+                                        &retained[base + li],
+                                        me,
+                                        src,
+                                        g,
+                                        abort,
+                                        fail,
+                                        &mut stats.faults,
+                                        &mut stats.events,
+                                        &mut sstats.retries,
+                                    )
+                                };
+                                let received = Instant::now();
+                                pstats.transport += received - t0;
+                                if let Some(mut blocks) = blocks {
+                                    buf.append(&mut blocks);
+                                    pstats.assembly += received.elapsed();
+                                }
+                            }
+                            let resident: u64 = buf.iter().map(|b| b.payload.len() as u64).sum();
+                            stats.peak_bytes = stats.peak_bytes.max(resident);
+                        }
+
+                        if observe {
+                            for (li, buf) in bufs.iter().enumerate() {
+                                *lk(&snapshots[base + li]) = buf.clone();
+                            }
                         }
                     }
                     g += 1;
@@ -396,32 +626,34 @@ impl Runtime {
                 }
 
                 if ph.rearrange_after {
-                    let pstats = &mut stats.phase[pi];
-                    for buf in bufs.iter_mut() {
-                        let t0 = Instant::now();
-                        // The paper's inter-phase rearrangement: compact
-                        // the node's data array into delivery order with
-                        // one contiguous copy pass.
-                        buf.sort_by_key(|b| (b.dst, b.src));
-                        let total: usize = buf.iter().map(|b| b.payload.len()).sum();
-                        let mut arena = BytesMut::with_capacity(total);
-                        for b in buf.iter() {
-                            arena.extend_from_slice(&b.payload);
+                    if !(dead || abort.load(Ordering::Acquire)) {
+                        let pstats = &mut stats.phase[pi];
+                        for buf in bufs.iter_mut() {
+                            let t0 = Instant::now();
+                            // The paper's inter-phase rearrangement:
+                            // compact the node's data array into delivery
+                            // order with one contiguous copy pass.
+                            buf.sort_by_key(|b| (b.dst, b.src));
+                            let total: usize = buf.iter().map(|b| b.payload.len()).sum();
+                            let mut arena = BytesMut::with_capacity(total);
+                            for b in buf.iter() {
+                                arena.extend_from_slice(&b.payload);
+                            }
+                            let arena = arena.freeze();
+                            let mut off = 0usize;
+                            for b in buf.iter_mut() {
+                                let len = b.payload.len();
+                                b.payload = arena.slice(off..off + len);
+                                off += len;
+                            }
+                            pstats.rearrange += t0.elapsed();
+                            pstats.rearranged_bytes += total as u64;
+                            pstats.rearr_blocks_max = pstats.rearr_blocks_max.max(buf.len() as u64);
                         }
-                        let arena = arena.freeze();
-                        let mut off = 0usize;
-                        for b in buf.iter_mut() {
-                            let len = b.payload.len();
-                            b.payload = arena.slice(off..off + len);
-                            off += len;
-                        }
-                        pstats.rearrange += t0.elapsed();
-                        pstats.rearranged_bytes += total as u64;
-                        pstats.rearr_blocks_max = pstats.rearr_blocks_max.max(buf.len() as u64);
-                    }
-                    if observe {
-                        for (li, buf) in bufs.iter().enumerate() {
-                            *snapshots[base + li].lock().expect("snapshot lock") = buf.clone();
+                        if observe {
+                            for (li, buf) in bufs.iter().enumerate() {
+                                *lk(&snapshots[base + li]) = buf.clone();
+                            }
                         }
                     }
                     barrier.wait(); // rearrangement complete
@@ -429,14 +661,16 @@ impl Runtime {
                 }
             }
             for (li, buf) in bufs.iter_mut().enumerate() {
-                *finals[base + li].lock().expect("finals lock") = std::mem::take(buf);
+                *lk(&finals[base + li]) = std::mem::take(buf);
             }
             stats
         };
 
         // Execute: workers run the plan, the main thread mirrors the
-        // barrier sequence to measure walls and drive the observer.
-        let (stats, phase_walls, step_walls, wall) = cb_thread::scope(|s| {
+        // barrier sequence to measure walls and drive the observer. The
+        // main thread crosses every barrier unconditionally, so it never
+        // hangs even when workers are skipping an aborted run.
+        let joined = cb_thread::scope(|s| {
             let mut handles = Vec::with_capacity(n_chunks);
             for (ci, (bufs, rxs)) in buf_chunks.drain(..).zip(rx_chunks.drain(..)).enumerate() {
                 let worker = &worker;
@@ -467,62 +701,33 @@ impl Runtime {
                 phase_walls.push(t_phase.elapsed());
             }
             let wall = t_run.elapsed();
-            let stats: Vec<WorkerStats> = handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
-                .collect();
-            (stats, phase_walls, step_walls, wall)
-        })
-        .expect("runtime worker panicked");
-
-        // Reassemble final buffers and verify: right delivery set, and
-        // every payload bit-exactly as seeded.
-        let buffers = Buffers::from_vecs(
-            finals
-                .iter()
-                .map(|m| std::mem::take(&mut *m.lock().expect("finals lock")))
-                .collect(),
-        );
-        verify_delivery(&buffers, self.prepared.expected_delivery())
-            .map_err(|e| RuntimeError::Verification(e.to_string()))?;
-        for node in 0..nn as NodeId {
-            for b in buffers.node(node) {
-                match expected_payloads.get(&(b.src, b.dst)) {
-                    Some(expected) if *expected == b.payload => {}
-                    Some(_) => {
-                        return Err(RuntimeError::Verification(format!(
-                            "payload corruption: block ({} -> {}) differs from seeded bytes",
-                            b.src, b.dst
-                        )))
-                    }
-                    None => {
-                        return Err(RuntimeError::Verification(format!(
-                            "unseeded block ({} -> {}) delivered",
-                            b.src, b.dst
-                        )))
+            let mut stats: Vec<WorkerStats> = Vec::with_capacity(handles.len());
+            let mut panic_msg: Option<String> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(ws) => stats.push(ws),
+                    Err(p) => {
+                        let msg = p
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "opaque panic payload".to_string());
+                        panic_msg.get_or_insert(msg);
                     }
                 }
             }
-        }
-
-        // Deliveries in original ids, sorted by source (same contract as
-        // `Exchange::run_with_payloads`).
-        let real_n = exchange.shape_ref().num_nodes();
-        let mut deliveries: Vec<Vec<(NodeId, Bytes)>> = vec![Vec::new(); real_n as usize];
-        for d in 0..real_n {
-            let cd = exchange.to_canonical(d);
-            let mut got: Vec<(NodeId, Bytes)> = buffers
-                .node(cd)
-                .iter()
-                .map(|b| {
-                    let os = exchange
-                        .from_canonical(b.src)
-                        .expect("delivered blocks originate from real nodes");
-                    (os, b.payload.clone())
-                })
-                .collect();
-            got.sort_by_key(|(s, _)| *s);
-            deliveries[d as usize] = got;
+            (stats, phase_walls, step_walls, wall, panic_msg)
+        });
+        let (stats, phase_walls, step_walls, wall, panic_msg) = match joined {
+            Ok(v) => v,
+            Err(_) => {
+                return Err(RuntimeError::WorkerPanicked(
+                    "runtime scope panicked".to_string(),
+                ))
+            }
+        };
+        if let Some(msg) = panic_msg {
+            return Err(RuntimeError::WorkerPanicked(msg));
         }
 
         // Aggregate worker measurements into the report and trace.
@@ -536,16 +741,19 @@ impl Runtime {
                 let mut messages = 0u64;
                 let mut blocks = 0u64;
                 let mut max_blocks = 0u64;
+                let mut retries = 0u64;
                 for w in &stats {
                     messages += w.steps[g].messages;
                     blocks += w.steps[g].blocks;
                     max_blocks = max_blocks.max(w.steps[g].max_blocks);
+                    retries += w.steps[g].retries;
                 }
                 trace.record_step(StepStat {
                     messages: messages as u32,
                     total_blocks: blocks,
                     max_blocks,
                     max_hops: st.hops,
+                    retries,
                     time_us: step_walls[g].as_secs_f64() * 1e6,
                 });
             }
@@ -574,11 +782,19 @@ impl Runtime {
             phase_reports.push(pr);
         }
 
+        let mut fault_totals = RecoveryStats::default();
+        for w in &stats {
+            fault_totals.merge(&w.faults);
+        }
+        let fault_events = merge_events(stats.iter().map(|w| w.events.clone()).collect());
+        let failure_taken = lk(&failure_slot).take();
+
         let params = self
             .config
             .params
             .with_block_bytes(self.config.block_bytes as u32);
-        let report = RuntimeReport {
+        let real_n = exchange.shape_ref().num_nodes();
+        let mut report = RuntimeReport {
             dims: exchange.shape_ref().dims().to_vec(),
             executed_dims: canon.dims().to_vec(),
             padded: exchange.is_padded(),
@@ -591,11 +807,227 @@ impl Runtime {
             peak_node_bytes: stats.iter().map(|w| w.peak_bytes).max().unwrap_or(0),
             messages: phase_reports.iter().map(|p| p.messages).sum(),
             phases: phase_reports,
-            verified: true,
+            verified: false,
+            faults: fault_totals,
+            fault_events,
+            failure: failure_taken.clone(),
             analytic: CompletionTime::from_counts(&cost_model::proposed_nd(canon.dims()), &params),
             trace,
         };
+
+        // An unrecoverable failure aborts cleanly: typed error + the
+        // partial report measured up to the abort.
+        if let Some(fi) = failure_taken {
+            return Err(match fi.reason {
+                FailureReason::ChannelClosed => RuntimeError::ChannelClosed {
+                    node: fi.node,
+                    phase: fi.phase,
+                    step: fi.step,
+                },
+                _ => RuntimeError::Aborted {
+                    failure: fi,
+                    report: Box::new(report),
+                },
+            });
+        }
+
+        // Reassemble final buffers and verify: right delivery set, and
+        // every payload bit-exactly as seeded.
+        let buffers =
+            Buffers::from_vecs(finals.iter().map(|m| std::mem::take(&mut *lk(m))).collect());
+        verify_delivery(&buffers, self.prepared.expected_delivery())
+            .map_err(|e| RuntimeError::Verification(e.to_string()))?;
+        for node in 0..nn as NodeId {
+            for b in buffers.node(node) {
+                match expected_payloads.get(&(b.src, b.dst)) {
+                    Some(expected) if *expected == b.payload => {}
+                    Some(_) => {
+                        return Err(RuntimeError::Verification(format!(
+                            "payload corruption: block ({} -> {}) differs from seeded bytes",
+                            b.src, b.dst
+                        )))
+                    }
+                    None => {
+                        return Err(RuntimeError::Verification(format!(
+                            "unseeded block ({} -> {}) delivered",
+                            b.src, b.dst
+                        )))
+                    }
+                }
+            }
+        }
+        report.verified = true;
+
+        // Deliveries in original ids, sorted by source (same contract as
+        // `Exchange::run_with_payloads`).
+        let mut deliveries: Vec<Vec<(NodeId, Bytes)>> = vec![Vec::new(); real_n as usize];
+        for d in 0..real_n {
+            let cd = exchange.to_canonical(d);
+            let mut got: Vec<(NodeId, Bytes)> = buffers
+                .node(cd)
+                .iter()
+                .map(|b| {
+                    let os = exchange
+                        .from_canonical(b.src)
+                        .expect("delivered blocks originate from real nodes");
+                    (os, b.payload.clone())
+                })
+                .collect();
+            got.sort_by_key(|(s, _)| *s);
+            deliveries[d as usize] = got;
+        }
         Ok((report, deliveries))
+    }
+
+    /// The deadline + bounded-retry receive loop (fault plans only).
+    ///
+    /// Waits on the inbox with a deadline; on timeout, CRC/framing
+    /// failure, or a stale sequence from a resend, pulls the sender's
+    /// retained pristine frame (a modeled NACK + retransmission) with
+    /// exponential backoff. Returns the step's blocks, or `None` if the
+    /// run aborted (this receive's own budget exhausting is one way that
+    /// happens).
+    #[allow(clippy::too_many_arguments)]
+    fn recover_recv(
+        &self,
+        rx: &Receiver<Bytes>,
+        retained: &Mutex<Option<Bytes>>,
+        me: NodeId,
+        src: NodeId,
+        g: usize,
+        abort: &AtomicBool,
+        fail: &dyn Fn(NodeId, usize, FailureReason),
+        counters: &mut RecoveryStats,
+        events: &mut Vec<FaultEvent>,
+        step_retries: &mut u64,
+    ) -> Option<Vec<Block<Bytes>>> {
+        let faults = &self.config.faults;
+        let policy = self.config.retry;
+        // `cycles` counts *failed* recovery cycles: it charges the retry
+        // budget only when a recovery attempt itself came up empty or
+        // invalid, so a single drop healed by the first resend costs
+        // nothing. `fetches` numbers retained-buffer fetches 1-based —
+        // the "attempt" coordinate resend faults are pinned to.
+        let mut cycles = 0u32;
+        let mut fetches = 0u32;
+        let mut needed_recovery = false;
+        let blocks = loop {
+            if abort.load(Ordering::Acquire) {
+                break None;
+            }
+            if cycles > policy.max_retries {
+                fail(me, g, FailureReason::RetryExhausted { src });
+                break None;
+            }
+            let wait = if cycles == 0 {
+                policy.deadline
+            } else {
+                policy.backoff_for(cycles)
+            };
+            let mut via_resend = false;
+            let raw = match rx.recv_timeout(wait) {
+                Ok(raw) => Some(raw),
+                Err(RecvTimeoutError::Disconnected) => {
+                    fail(me, g, FailureReason::ChannelClosed);
+                    break None;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    counters.timeouts += 1;
+                    needed_recovery = true;
+                    via_resend = true;
+                    let frame = lk(retained).clone();
+                    match frame {
+                        // The sender may not have retained this step's
+                        // frame yet (stalled peer); retry after backoff.
+                        None => None,
+                        Some(mut frame) => {
+                            fetches += 1;
+                            counters.resends += 1;
+                            // The retransmission itself can be faulted
+                            // (explicitly pinned attempts >= 1 — how the
+                            // tests provoke budget exhaustion).
+                            let mut dropped = false;
+                            for kind in faults.message_faults(g, src, me, fetches) {
+                                events.push(FaultEvent {
+                                    step: g,
+                                    src,
+                                    dst: me,
+                                    attempt: fetches,
+                                    kind: FaultEventKind::Message(kind),
+                                });
+                                match kind {
+                                    FaultKind::Drop => {
+                                        counters.injected_drops += 1;
+                                        dropped = true;
+                                    }
+                                    FaultKind::DelayMicros(us) => {
+                                        counters.injected_delays += 1;
+                                        std::thread::sleep(Duration::from_micros(us));
+                                    }
+                                    FaultKind::Duplicate => {
+                                        counters.injected_duplicates += 1;
+                                    }
+                                    FaultKind::CorruptByte => {
+                                        counters.injected_corruptions += 1;
+                                        frame = corrupt_frame(
+                                            &frame,
+                                            faults.corrupt_offset(g, src, me, frame.len()),
+                                        );
+                                    }
+                                    FaultKind::Truncate => {
+                                        counters.injected_truncations += 1;
+                                        frame = truncate_frame(&frame);
+                                    }
+                                }
+                            }
+                            if dropped {
+                                None
+                            } else {
+                                Some(frame)
+                            }
+                        }
+                    }
+                }
+            };
+            let Some(raw) = raw else {
+                cycles += 1;
+                counters.retries += 1;
+                *step_retries += 1;
+                continue;
+            };
+            match decode_message(&raw) {
+                Ok((seq, blocks)) if seq as usize == g => break Some(blocks),
+                Ok(_) => {
+                    // Wrong sequence number: a duplicate or over-deadline
+                    // straggler from an earlier step (drain it free — the
+                    // inbox backlog is finite), or a stale retained frame
+                    // from a dead sender (charge the budget, or this
+                    // could spin forever).
+                    counters.stale_discarded += 1;
+                    if via_resend {
+                        cycles += 1;
+                        counters.retries += 1;
+                        *step_retries += 1;
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    match e {
+                        WireError::Crc { .. } => counters.crc_failures += 1,
+                        _ => counters.decode_failures += 1,
+                    }
+                    needed_recovery = true;
+                    cycles += 1;
+                    counters.retries += 1;
+                    *step_retries += 1;
+                    continue;
+                }
+            }
+        };
+        if blocks.is_some() && needed_recovery {
+            counters.recovered += 1;
+        }
+        blocks
     }
 }
 
@@ -607,6 +1039,12 @@ mod tests {
 
     fn runtime(dims: &[u32], config: RuntimeConfig) -> Runtime {
         Runtime::new(&TorusShape::new(dims).unwrap(), config).unwrap()
+    }
+
+    fn quick_retry() -> RetryPolicy {
+        RetryPolicy::default()
+            .with_deadline(Duration::from_millis(20))
+            .with_backoff(Duration::from_micros(200))
     }
 
     #[test]
@@ -811,5 +1249,90 @@ mod tests {
             .unwrap();
         assert!(large.analytic.transmission > small.analytic.transmission);
         assert_eq!(small.analytic.startup, large.analytic.startup);
+    }
+
+    #[test]
+    fn zero_fault_run_is_clean() {
+        let r = runtime(&[4, 4], RuntimeConfig::default()).run().unwrap();
+        assert!(r.faults.is_clean());
+        assert!(r.fault_events.is_empty());
+        assert!(r.failure.is_none());
+    }
+
+    #[test]
+    fn every_transmission_dropped_still_delivers_bit_exact() {
+        let cfg = RuntimeConfig::default()
+            .with_workers(4)
+            .with_faults(FaultPlan::seeded(1).with_drop_rate(1.0))
+            .with_retry(quick_retry());
+        let r = runtime(&[4, 4], cfg).run().unwrap();
+        assert!(r.verified);
+        assert!(r.failure.is_none());
+        // Every scheduled transmission was dropped, and every scheduled
+        // receive was healed from the sender's retained frame.
+        assert_eq!(r.faults.injected_drops, r.messages);
+        assert_eq!(r.faults.recovered, r.messages);
+        assert!(r.faults.timeouts >= r.messages);
+        assert!(r.faults.resends >= r.messages);
+        assert_eq!(r.fault_events.len() as u64, r.messages);
+    }
+
+    #[test]
+    fn corrupted_frames_are_detected_and_recovered() {
+        let cfg = RuntimeConfig::default()
+            .with_workers(4)
+            .with_faults(FaultPlan::seeded(2).with_corrupt_rate(1.0))
+            .with_retry(quick_retry());
+        let r = runtime(&[4, 4], cfg).run().unwrap();
+        assert!(r.verified);
+        assert_eq!(r.faults.injected_corruptions, r.messages);
+        // Every corruption tripped an integrity check, never delivery.
+        assert!(r.faults.crc_failures + r.faults.decode_failures >= r.messages);
+        assert_eq!(r.faults.recovered, r.messages);
+    }
+
+    #[test]
+    fn seeded_fault_runs_reproduce_identical_counters_and_events() {
+        let mk = || {
+            let cfg = RuntimeConfig::default()
+                .with_workers(4)
+                .with_faults(
+                    FaultPlan::seeded(42)
+                        .with_drop_rate(0.2)
+                        .with_corrupt_rate(0.1),
+                )
+                .with_retry(quick_retry());
+            runtime(&[4, 8], cfg).run().unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert!(a.faults.total_injected() > 0, "plan must actually fire");
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.fault_events, b.fault_events);
+        assert!(a.verified && b.verified);
+    }
+
+    #[test]
+    fn killed_worker_aborts_with_typed_error_and_partial_report() {
+        let cfg = RuntimeConfig::default()
+            .with_workers(4)
+            .with_faults(FaultPlan::default().with_worker_fault(1, 3, WorkerFaultKind::Kill))
+            .with_retry(
+                quick_retry()
+                    .with_deadline(Duration::from_millis(10))
+                    .with_max_retries(1),
+            );
+        let err = runtime(&[4, 4], cfg).run().unwrap_err();
+        match err {
+            RuntimeError::Aborted { failure, report } => {
+                assert_eq!(failure.node, 3);
+                assert_eq!(failure.reason, FailureReason::WorkerKilled);
+                assert_eq!(failure.global_step, 1);
+                assert!(!report.verified);
+                assert_eq!(report.faults.injected_kills, 1);
+                assert_eq!(report.failure.as_ref().unwrap().node, 3);
+            }
+            other => panic!("expected Aborted, got {other}"),
+        }
     }
 }

@@ -1,0 +1,120 @@
+//! Chaos suite (feature `chaos`): random torus shapes under random
+//! seeded *recoverable* fault plans must still deliver exactly what the
+//! verified counting executor delivers, block-for-block, bit-exact — the
+//! wire can lie, the collective cannot.
+//!
+//! Run with `cargo test -p torus-runtime --features chaos`.
+
+#![cfg(feature = "chaos")]
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use torus_runtime::{pattern_payload, FaultPlan, RetryPolicy, Runtime, RuntimeConfig};
+use torus_topology::{NodeId, TorusShape};
+
+/// Random 2D/3D shapes: extents 2..=8 (canonical forms stay ≤ 512 nodes
+/// after padding, keeping thread fan-out reasonable).
+fn arb_shape() -> impl Strategy<Value = TorusShape> {
+    prop::collection::vec(2u32..=8, 2..=3).prop_map(|dims| TorusShape::new(&dims).expect("valid"))
+}
+
+/// Random recoverable fault plans: a seed plus modest rates of every
+/// message-level fault. Worker kills are excluded — those are
+/// *unrecoverable* by design and covered by the abort matrix in
+/// `fault_recovery.rs`.
+fn arb_recoverable_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0.0f64..=0.3,
+        0.0f64..=0.2,
+        0.0f64..=0.2,
+        0.0f64..=0.2,
+    )
+        .prop_map(|(seed, drop, corrupt, truncate, duplicate)| {
+            FaultPlan::seeded(seed)
+                .with_drop_rate(drop)
+                .with_corrupt_rate(corrupt)
+                .with_truncate_rate(truncate)
+                .with_duplicate_rate(duplicate)
+        })
+}
+
+/// Tight deadlines: chaos cases inject hundreds of timeouts, so the
+/// production half-second default would take minutes per case.
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy::default()
+        .with_deadline(Duration::from_millis(20))
+        .with_backoff(Duration::from_micros(200))
+}
+
+/// The counting executor's verified delivery map for `shape` under the
+/// pattern payload: `map[d]` = `(src, payload)` sorted by source.
+fn executor_deliveries(shape: &TorusShape, len: usize) -> Vec<Vec<(NodeId, Bytes)>> {
+    let (report, deliveries) = alltoall_core::Exchange::new(shape)
+        .expect("shape accepted")
+        .run_with_payloads(&cost_model::CommParams::unit(), |s, d| {
+            pattern_payload(s, d, len)
+        })
+        .expect("executor run succeeds");
+    assert!(report.verified);
+    deliveries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn chaotic_runtime_matches_counting_executor(
+        shape in arb_shape(),
+        plan in arb_recoverable_plan(),
+        len in 1usize..=64,
+    ) {
+        let runtime = Runtime::new(
+            &shape,
+            RuntimeConfig::default()
+                .with_workers(4)
+                .with_block_bytes(len)
+                .with_faults(plan)
+                .with_retry(quick_retry()),
+        )
+        .unwrap();
+        let (report, got) = runtime
+            .run_with_payloads(|s, d| pattern_payload(s, d, len))
+            .unwrap();
+        prop_assert!(report.verified, "{shape}");
+        prop_assert!(report.failure.is_none());
+        let want = executor_deliveries(&shape, len);
+        prop_assert_eq!(got, want, "deliveries diverge on {}", shape);
+    }
+
+    #[test]
+    fn chaos_counters_are_seed_reproducible(
+        shape in arb_shape(),
+        seed in any::<u64>(),
+    ) {
+        let mk = || {
+            Runtime::new(
+                &shape,
+                RuntimeConfig::default()
+                    .with_workers(4)
+                    .with_block_bytes(16)
+                    .with_faults(
+                        FaultPlan::seeded(seed)
+                            .with_drop_rate(0.25)
+                            .with_corrupt_rate(0.15),
+                    )
+                    .with_retry(quick_retry()),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert!(a.verified && b.verified);
+        prop_assert_eq!(a.faults, b.faults, "counters diverged on {}", shape);
+        prop_assert_eq!(a.fault_events, b.fault_events);
+    }
+}

@@ -20,6 +20,10 @@ pub struct StepStat {
     pub max_blocks: u64,
     /// Hops of the longest message.
     pub max_hops: u32,
+    /// Recovery retry cycles charged against the step. Always zero for
+    /// the analytic engine; the byte-moving runtime fills it in when a
+    /// fault plan forces retransmissions.
+    pub retries: u64,
     /// Completion time of the step under the engine's parameters (µs).
     pub time_us: f64,
 }

@@ -94,6 +94,7 @@ mod tests {
             total_blocks: total,
             max_blocks: max,
             max_hops: 4,
+            retries: 0,
             time_us: 1.0,
         }
     }
