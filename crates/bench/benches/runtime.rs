@@ -6,11 +6,16 @@
 //! and inter-phase rearrangement passes. Every timed run is also
 //! bit-exactly verified, so these numbers are end-to-end costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 
-use torus_runtime::{FaultPlan, RetryPolicy, Runtime, RuntimeConfig};
+use alltoall_core::Block;
+use torus_runtime::{
+    encode_gathered, encode_message, pattern_payload, FaultPlan, FramePool, RetryPolicy, Runtime,
+    RuntimeConfig,
+};
 use torus_topology::TorusShape;
 
 fn bench_runtime_shapes(c: &mut Criterion) {
@@ -102,11 +107,44 @@ fn bench_runtime_fault_recovery(c: &mut Criterion) {
     g.finish();
 }
 
+/// Frame assembly micro-bench: the legacy contiguous encoder (one memcpy
+/// per payload byte) against the scatter-gather encoder with a warm
+/// `FramePool` (header writes plus `Bytes` handle clones, no payload
+/// copies). Eight blocks per frame — the widest combine an 8-ary phase
+/// produces — at payload sizes from cache-resident to well past it; the
+/// gap should widen with the block size.
+fn bench_encode_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode-8-blocks");
+    for m in [64usize, 4096, 65536] {
+        let blocks: Vec<Block<Bytes>> = (0..8u32)
+            .map(|i| Block::with_payload(i, i + 8, pattern_payload(i, i + 8, m)))
+            .collect();
+        g.throughput(Throughput::Bytes((m * blocks.len()) as u64));
+        g.bench_with_input(BenchmarkId::new("contiguous", m), &blocks, |b, blocks| {
+            b.iter(|| black_box(encode_message(7, blocks)))
+        });
+        g.bench_with_input(BenchmarkId::new("gathered", m), &blocks, |b, blocks| {
+            let mut pool = FramePool::new();
+            b.iter(|| {
+                let frame = encode_gathered(7, blocks, pool.take_buf(0), pool.take_vec());
+                let len = black_box(frame.wire_len());
+                if let torus_runtime::WireFrame::Gathered { framing, payloads } = frame {
+                    pool.put_buf(framing);
+                    pool.put_vec(payloads);
+                }
+                len
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_runtime_shapes,
     bench_runtime_workers,
     bench_runtime_block_sizes,
-    bench_runtime_fault_recovery
+    bench_runtime_fault_recovery,
+    bench_encode_paths
 );
 criterion_main!(benches);

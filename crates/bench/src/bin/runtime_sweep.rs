@@ -8,7 +8,9 @@
 //! Prints a table and exports every full [`RuntimeReport`] pair (per-phase
 //! walls, assembly/transport/rearrange split, wire bytes, peak residency,
 //! fault/recovery counters, per-step trace) to
-//! `results/runtime_sweep.json`.
+//! `results/runtime_sweep.json`. The `copied` column is the send path's
+//! `bytes_copied`: headers only on the clean runs, independent of block
+//! size — the visible effect of the scatter-gather zero-copy encoder.
 //!
 //! ```text
 //! cargo run --release -p bench --bin runtime_sweep
@@ -52,6 +54,7 @@ fn main() {
         "transport (ms)",
         "rearrange (ms)",
         "wire (KiB)",
+        "copied (KiB)",
         "peak node (KiB)",
         "model (µs)",
         "1%-drop wall (ms)",
@@ -103,6 +106,7 @@ fn main() {
             ms(clean.transport()),
             ms(clean.rearrange()),
             fnum(clean.wire_bytes as f64 / 1024.0),
+            fnum(clean.bytes_copied as f64 / 1024.0),
             fnum(clean.peak_node_bytes as f64 / 1024.0),
             fnum(clean.analytic.total()),
             ms(faulty.wall),

@@ -229,22 +229,20 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                         .with_threads(threads)
                         .run_counting(&params)
                         .map_err(|e| e.to_string())?;
-                    writeln!(out, "{}", report.summary()).unwrap();
-                    writeln!(
+                    let _ = writeln!(out, "{}", report.summary());
+                    let _ = writeln!(
                         out,
                         "components: startup {:.1} + transmission {:.1} + rearrangement {:.1} + propagation {:.1} µs",
                         report.elapsed.startup,
                         report.elapsed.transmission,
                         report.elapsed.rearrangement,
                         report.elapsed.propagation
-                    )
-                    .unwrap();
-                    writeln!(
+                    );
+                    let _ = writeln!(
                         out,
                         "matches Table 1 closed form: {}",
                         report.matches_formula()
-                    )
-                    .unwrap();
+                    );
                 }
                 name => {
                     let algo: &dyn ExchangeAlgorithm = match name {
@@ -255,7 +253,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                         other => return Err(format!("unknown algorithm '{other}'")),
                     };
                     let r = algo.run(&shape, &params)?;
-                    writeln!(
+                    let _ = writeln!(
                         out,
                         "{} on {}: {} steps, {} blocks (critical), {} hops, {:.1} µs, verified: {}",
                         r.name,
@@ -265,8 +263,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                         r.counts.prop_hops,
                         r.total_time(),
                         r.verified
-                    )
-                    .unwrap();
+                    );
                 }
             }
         }
@@ -318,24 +315,23 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 // error.
                 Err(torus_runtime::RuntimeError::Aborted { failure, report }) => {
                     emit(&mut out, &report)?;
-                    writeln!(out, "run aborted: {failure}").unwrap();
+                    let _ = writeln!(out, "run aborted: {failure}");
                 }
                 Err(e) => return Err(e.to_string()),
             }
         }
         Command::Compare { shape, params } => {
             let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{:<16} {:>8} {:>12} {:>8} {:>12}",
                 "algorithm", "steps", "crit blocks", "hops", "time (µs)"
-            )
-            .unwrap();
+            );
             let report = Exchange::new(&shape)
                 .map_err(|e| e.to_string())?
                 .run_counting(&params)
                 .map_err(|e| e.to_string())?;
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{:<16} {:>8} {:>12} {:>8} {:>12.1}",
                 "proposed",
@@ -343,8 +339,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 report.counts.trans_blocks,
                 report.counts.prop_hops,
                 report.total_time()
-            )
-            .unwrap();
+            );
             for algo in [
                 &DirectExchange as &dyn ExchangeAlgorithm,
                 &RingExchange,
@@ -352,17 +347,20 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 &MeshExchange,
             ] {
                 match algo.run(&shape, &params) {
-                    Ok(r) => writeln!(
-                        out,
-                        "{:<16} {:>8} {:>12} {:>8} {:>12.1}",
-                        r.name,
-                        r.counts.startup_steps,
-                        r.counts.trans_blocks,
-                        r.counts.prop_hops,
-                        r.total_time()
-                    )
-                    .unwrap(),
-                    Err(e) => writeln!(out, "{:<16} (skipped: {e})", algo.name()).unwrap(),
+                    Ok(r) => {
+                        let _ = writeln!(
+                            out,
+                            "{:<16} {:>8} {:>12} {:>8} {:>12.1}",
+                            r.name,
+                            r.counts.startup_steps,
+                            r.counts.trans_blocks,
+                            r.counts.prop_hops,
+                            r.total_time()
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "{:<16} (skipped: {e})", algo.name());
+                    }
                 }
             }
         }
@@ -406,12 +404,11 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 }
                 other => return Err(format!("unknown collective '{other}'")),
             };
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{name} on {shape}: {} steps, {} blocks (critical), {} hops, {time:.1} µs, verified: {verified}",
                 counts.startup_steps, counts.trans_blocks, counts.prop_hops,
-            )
-            .unwrap();
+            );
         }
         Command::Schedule { shape, json } => {
             let shape_dims = shape;
@@ -428,30 +425,27 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 out.push_str(&serde_json::to_string_pretty(&sched).map_err(|e| e.to_string())?);
                 out.push('\n');
             } else {
-                writeln!(
+                let _ = writeln!(
                     out,
                     "static schedule for {canon} (canonicalized from {shape}):"
-                )
-                .unwrap();
-                writeln!(
+                );
+                let _ = writeln!(
                     out,
                     "  {} phases, {} total steps, contention-free: yes, destinations fixed per scatter phase: {}",
                     sched.phases.len(),
                     sched.total_steps(),
                     sched.destinations_fixed_within_phases()
-                )
-                .unwrap();
+                );
                 for p in &sched.phases {
-                    writeln!(
+                    let _ = writeln!(
                         out,
                         "  {}: {} steps x {} sends",
                         p.name,
                         p.steps.len(),
                         p.steps.first().map(|s| s.sends.len()).unwrap_or(0)
-                    )
-                    .unwrap();
+                    );
                 }
-                writeln!(out, "  (use --json for the full machine-readable schedule)").unwrap();
+                let _ = writeln!(out, "  (use --json for the full machine-readable schedule)");
             }
         }
     }

@@ -1,9 +1,25 @@
 //! `torus-xchg` — command-line driver for the torus-alltoall library.
 
+use std::io::Write;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match torus_xchg_cli::parse_args(&args).and_then(torus_xchg_cli::execute) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            // `print!` panics if stdout goes away; piping into `head` must
+            // be a clean exit, and any other write failure a plain error.
+            let mut stdout = std::io::stdout().lock();
+            if let Err(e) = stdout
+                .write_all(out.as_bytes())
+                .and_then(|()| stdout.flush())
+            {
+                if e.kind() == std::io::ErrorKind::BrokenPipe {
+                    std::process::exit(0);
+                }
+                eprintln!("error: cannot write output: {e}");
+                std::process::exit(1);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

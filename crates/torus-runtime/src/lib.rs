@@ -56,15 +56,18 @@
 pub mod fault;
 pub mod message;
 pub mod payload;
+pub mod pool;
 pub mod recovery;
 pub mod report;
 pub mod runtime;
 
 pub use fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
 pub use message::{
-    crc32, decode_message, encode_message, WireError, BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES,
+    crc32, decode_gathered, decode_message, encode_gathered, encode_message, WireError, WireFrame,
+    BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES,
 };
 pub use payload::{pattern_payload, pattern_seed};
+pub use pool::FramePool;
 pub use recovery::{FailureReason, NodeFailure, RecoveryStats, RetryPolicy};
 pub use report::{PhaseReport, RuntimeReport};
 pub use runtime::{Runtime, RuntimeConfig};

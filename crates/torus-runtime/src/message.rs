@@ -1,12 +1,29 @@
 //! Wire format for combined messages: framing, sequencing, integrity.
 //!
 //! The paper's message combining means that everything a node forwards in
-//! one step travels as **one** message. Here that is literal: the blocks
-//! are framed back to back into a single contiguous [`Bytes`] buffer, so
-//! a step costs one channel send regardless of how many logical blocks it
-//! carries — exactly the `t_s`-amortization the algorithms are built
-//! around. Decoding is zero-copy: each block's payload is a
-//! [`Bytes::slice`] view into the received buffer.
+//! one step travels as **one** message. A frame has one canonical byte
+//! layout (below), but two in-memory representations, both carried by
+//! [`WireFrame`]:
+//!
+//! * **contiguous** — the canonical layout materialized into a single
+//!   [`Bytes`] buffer ([`encode_message`]). Fault injection (corrupt /
+//!   truncate) and the recovery layer's retained resend copies operate on
+//!   this form, because mutating "the frame's bytes" only makes sense
+//!   when the frame *is* bytes;
+//! * **gathered** — scatter-gather: all framing (message header plus the
+//!   block headers, back to back) in one small reused [`BytesMut`], and
+//!   the blocks' payloads as shared [`Bytes`] segments
+//!   ([`encode_gathered`]). Combining then costs a header write per
+//!   block, never a payload copy — the payload bytes seeded at the start
+//!   of a run travel every hop by reference count.
+//!
+//! The two forms are interchangeable: a gathered frame's CRC is computed
+//! over the canonical layout (streamed across the segments without
+//! concatenating), so [`WireFrame::to_bytes`] materializes a frame that
+//! [`decode_message`] round-trips exactly. Decoding is zero-copy in both
+//! directions: contiguous frames are split into [`Bytes::slice`] views,
+//! gathered frames hand their payload segments straight to the receiver
+//! ([`decode_gathered`]).
 //!
 //! Since the fault-tolerance layer (see [`crate::fault`]) the frame header
 //! also carries a **sequence number** (the global step the frame belongs
@@ -40,7 +57,7 @@ pub const BLOCK_HEADER_BYTES: usize = 4 + 4 + MAX_DIMS + 4;
 const CRC_OFFSET: usize = 4;
 
 /// A wire-integrity failure, precise enough to drive recovery decisions.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize)]
 pub enum WireError {
     /// The frame ends before its framing says it should.
     Truncated {
@@ -63,6 +80,14 @@ pub enum WireError {
         /// Block count the header declared.
         count: usize,
     },
+    /// A gathered frame's payload segment count does not match the block
+    /// count its framing declares.
+    Segments {
+        /// Payload segments actually present.
+        got: usize,
+        /// Block count the framing declared.
+        want: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -77,6 +102,12 @@ impl std::fmt::Display for WireError {
             ),
             WireError::Trailing { extra, count } => {
                 write!(f, "frame has {extra} trailing bytes after {count} blocks")
+            }
+            WireError::Segments { got, want } => {
+                write!(
+                    f,
+                    "gathered frame has {got} payload segments, framing declares {want}"
+                )
             }
         }
     }
@@ -127,29 +158,22 @@ fn frame_crc(seq: u32, tail: &[u8]) -> u32 {
     !crc32_update(crc, tail)
 }
 
-/// Assembles one combined wire frame from the blocks a node forwards in
-/// one step. `seq` is the global step number; block order is preserved.
+/// Assembles one combined wire frame, materialized into the canonical
+/// contiguous layout. `seq` is the global step number; block order is
+/// preserved.
 ///
-/// The CRC is computed in a streaming pass over the logical frame
-/// contents *before* assembly, so the frame is written exactly once.
+/// The frame is written once with a CRC placeholder, checksummed in a
+/// single sequential pass over the assembled buffer, and patched — each
+/// payload byte is touched exactly once per concern (one copy, one CRC
+/// read of the contiguous buffer) instead of the old scattered
+/// pre-assembly CRC walk followed by the copy pass.
 pub fn encode_message(seq: u32, blocks: &[Block<Bytes>]) -> Bytes {
-    let mut crc = crc32_update(!0, &seq.to_le_bytes());
-    crc = crc32_update(crc, &(blocks.len() as u32).to_le_bytes());
-    for b in blocks {
-        crc = crc32_update(crc, &b.src.to_le_bytes());
-        crc = crc32_update(crc, &b.dst.to_le_bytes());
-        crc = crc32_update(crc, &b.shifts);
-        crc = crc32_update(crc, &(b.payload.len() as u32).to_le_bytes());
-        crc = crc32_update(crc, &b.payload);
-    }
-    let crc = !crc;
-
     let payload_total: usize = blocks.iter().map(|b| b.payload.len()).sum();
     let mut buf = BytesMut::with_capacity(
         MESSAGE_HEADER_BYTES + blocks.len() * BLOCK_HEADER_BYTES + payload_total,
     );
     buf.put_u32_le(seq);
-    buf.put_u32_le(crc);
+    buf.put_u32_le(0); // CRC placeholder, patched below.
     buf.put_u32_le(blocks.len() as u32);
     for b in blocks {
         buf.put_u32_le(b.src);
@@ -158,7 +182,213 @@ pub fn encode_message(seq: u32, blocks: &[Block<Bytes>]) -> Bytes {
         buf.put_u32_le(b.payload.len() as u32);
         buf.put_slice(&b.payload);
     }
+    let crc = frame_crc(seq, &buf[MESSAGE_HEADER_BYTES - 4..]);
+    buf[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
     buf.freeze()
+}
+
+/// A frame as handed to the transport: one canonical byte layout, two
+/// in-memory shapes (see the module docs for when each is used).
+#[derive(Clone, Debug)]
+pub enum WireFrame {
+    /// The canonical layout in a single buffer.
+    Contiguous(Bytes),
+    /// Scatter-gather: all framing packed into one small buffer, payloads
+    /// shared.
+    Gathered {
+        /// `seq, crc, count` plus `count` block headers, back to back.
+        framing: BytesMut,
+        /// One shared payload segment per block, in header order.
+        payloads: Vec<Bytes>,
+    },
+}
+
+impl WireFrame {
+    /// Bytes this frame occupies on the wire (identical for both shapes
+    /// of the same logical frame).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            WireFrame::Contiguous(b) => b.len(),
+            WireFrame::Gathered { framing, payloads } => {
+                framing.len() + payloads.iter().map(Bytes::len).sum::<usize>()
+            }
+        }
+    }
+
+    /// Materializes the canonical contiguous layout. For gathered frames
+    /// this is the one place payload bytes are copied — the fault layer
+    /// and recovery path call it to get mutable, well-defined frame
+    /// bytes; the fault-free hot path never does.
+    pub fn to_bytes(&self) -> Bytes {
+        match self {
+            WireFrame::Contiguous(b) => b.clone(),
+            WireFrame::Gathered { framing, payloads } => {
+                let mut buf = BytesMut::with_capacity(self.wire_len());
+                buf.put_slice(&framing[..MESSAGE_HEADER_BYTES]);
+                let mut off = MESSAGE_HEADER_BYTES;
+                for p in payloads {
+                    buf.put_slice(&framing[off..off + BLOCK_HEADER_BYTES]);
+                    buf.put_slice(p);
+                    off += BLOCK_HEADER_BYTES;
+                }
+                buf.freeze()
+            }
+        }
+    }
+
+    /// Decodes either shape into `(seq, blocks)`.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn decode(&self) -> Result<(u32, Vec<Block<Bytes>>), WireError> {
+        match self {
+            WireFrame::Contiguous(b) => decode_message(b),
+            WireFrame::Gathered { framing, payloads } => {
+                let mut segments = payloads.clone();
+                let mut blocks = Vec::new();
+                let seq = decode_gathered(framing, &mut segments, &mut blocks)?;
+                Ok((seq, blocks))
+            }
+        }
+    }
+}
+
+/// CRC of the canonical layout, streamed across the framing buffer and
+/// the payload segments without materializing the frame. `framing` must
+/// hold exactly `payloads.len()` block headers.
+fn gathered_crc(framing: &[u8], payloads: &[Bytes]) -> u32 {
+    let mut crc = crc32_update(!0, &framing[..CRC_OFFSET]);
+    crc = crc32_update(crc, &framing[CRC_OFFSET + 4..MESSAGE_HEADER_BYTES]);
+    let mut off = MESSAGE_HEADER_BYTES;
+    for p in payloads {
+        crc = crc32_update(crc, &framing[off..off + BLOCK_HEADER_BYTES]);
+        crc = crc32_update(crc, p);
+        off += BLOCK_HEADER_BYTES;
+    }
+    !crc
+}
+
+/// Assembles one combined wire frame in scatter-gather form: headers are
+/// written into `framing` (recycled: cleared and reused), payloads are
+/// shared by cloning each block's [`Bytes`] handle into `payloads`. No
+/// payload byte is copied; the CRC (identical to the one
+/// [`encode_message`] would stamp) is streamed across the segments.
+pub fn encode_gathered(
+    seq: u32,
+    blocks: &[Block<Bytes>],
+    mut framing: BytesMut,
+    mut payloads: Vec<Bytes>,
+) -> WireFrame {
+    framing.clear();
+    payloads.clear();
+    framing.reserve(MESSAGE_HEADER_BYTES + blocks.len() * BLOCK_HEADER_BYTES);
+    payloads.reserve(blocks.len());
+    framing.put_u32_le(seq);
+    framing.put_u32_le(0); // CRC placeholder, patched below.
+    framing.put_u32_le(blocks.len() as u32);
+    for b in blocks {
+        framing.put_u32_le(b.src);
+        framing.put_u32_le(b.dst);
+        framing.put_slice(&b.shifts);
+        framing.put_u32_le(b.payload.len() as u32);
+        payloads.push(b.payload.clone());
+    }
+    let crc = gathered_crc(&framing, &payloads);
+    framing[CRC_OFFSET..CRC_OFFSET + 4].copy_from_slice(&crc.to_le_bytes());
+    WireFrame::Gathered { framing, payloads }
+}
+
+/// Reads a `u32` from a slice already known to be long enough.
+fn read_u32_at(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("length checked"))
+}
+
+/// Validates and splits a gathered frame: framing structure first, then
+/// segment count and per-segment lengths, then the CRC over the
+/// canonical layout — only a fully validated frame appends anything.
+/// On success the segments are drained into `out` as blocks (zero-copy)
+/// and the (now empty) `payloads` vec is left for recycling; returns the
+/// frame's sequence number.
+///
+/// Errors mirror [`decode_message`]: `len`/`need` in [`WireError::Truncated`]
+/// are total wire lengths, so a truncated gathered frame reports the same
+/// coordinates its contiguous materialization would.
+#[allow(clippy::missing_errors_doc)]
+pub fn decode_gathered(
+    framing: &[u8],
+    payloads: &mut Vec<Bytes>,
+    out: &mut Vec<Block<Bytes>>,
+) -> Result<u32, WireError> {
+    let segment_total: usize = payloads.iter().map(Bytes::len).sum();
+    let wire_len = framing.len() + segment_total;
+    if framing.len() < MESSAGE_HEADER_BYTES {
+        return Err(WireError::Truncated {
+            len: wire_len,
+            need: MESSAGE_HEADER_BYTES,
+        });
+    }
+    let seq = read_u32_at(framing, 0);
+    let stored = read_u32_at(framing, CRC_OFFSET);
+    let count = read_u32_at(framing, CRC_OFFSET + 4) as usize;
+    let Some(framing_need) = count
+        .checked_mul(BLOCK_HEADER_BYTES)
+        .and_then(|n| n.checked_add(MESSAGE_HEADER_BYTES))
+    else {
+        return Err(WireError::Truncated {
+            len: wire_len,
+            need: usize::MAX,
+        });
+    };
+    if framing.len() < framing_need {
+        return Err(WireError::Truncated {
+            len: wire_len,
+            need: framing_need + segment_total,
+        });
+    }
+    if framing.len() > framing_need {
+        return Err(WireError::Trailing {
+            extra: framing.len() - framing_need,
+            count,
+        });
+    }
+    if payloads.len() != count {
+        return Err(WireError::Segments {
+            got: payloads.len(),
+            want: count,
+        });
+    }
+    let mut declared_total = 0usize;
+    let mut mismatch = false;
+    for (i, p) in payloads.iter().enumerate() {
+        let declared = read_u32_at(
+            framing,
+            MESSAGE_HEADER_BYTES + i * BLOCK_HEADER_BYTES + 8 + MAX_DIMS,
+        ) as usize;
+        declared_total += declared;
+        mismatch |= declared != p.len();
+    }
+    if mismatch {
+        return Err(WireError::Truncated {
+            len: wire_len,
+            need: framing.len() + declared_total,
+        });
+    }
+    let computed = gathered_crc(framing, payloads);
+    if stored != computed {
+        return Err(WireError::Crc { stored, computed });
+    }
+    out.reserve(payloads.len());
+    let mut off = MESSAGE_HEADER_BYTES;
+    for p in payloads.drain(..) {
+        let src = read_u32_at(framing, off);
+        let dst = read_u32_at(framing, off + 4);
+        let shifts: [u8; MAX_DIMS] = framing[off + 8..off + 8 + MAX_DIMS]
+            .try_into()
+            .expect("length checked");
+        let mut b = Block::with_payload(src, dst, p);
+        b.shifts = shifts;
+        out.push(b);
+        off += BLOCK_HEADER_BYTES;
+    }
+    Ok(seq)
 }
 
 fn read_u32(msg: &Bytes, off: usize) -> Result<u32, WireError> {
@@ -338,6 +568,135 @@ mod tests {
         // The classic zlib check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    fn gather(seq: u32, blocks: &[Block<Bytes>]) -> WireFrame {
+        encode_gathered(seq, blocks, BytesMut::new(), Vec::new())
+    }
+
+    #[test]
+    fn gathered_materializes_to_identical_canonical_bytes() {
+        let blocks = sample_blocks();
+        let contiguous = encode_message(9, &blocks);
+        let gathered = gather(9, &blocks);
+        assert_eq!(gathered.wire_len(), contiguous.len());
+        assert_eq!(gathered.to_bytes(), contiguous);
+        // And the materialization decodes through the contiguous path.
+        let (seq, back) = decode_message(&gathered.to_bytes()).unwrap();
+        assert_eq!(seq, 9);
+        assert_eq!(back, blocks);
+    }
+
+    #[test]
+    fn gathered_shares_payloads_without_copying() {
+        let blocks = sample_blocks();
+        let WireFrame::Gathered { framing, payloads } = gather(1, &blocks) else {
+            panic!("encode_gathered must produce a gathered frame");
+        };
+        assert_eq!(
+            framing.len(),
+            MESSAGE_HEADER_BYTES + blocks.len() * BLOCK_HEADER_BYTES
+        );
+        for (p, b) in payloads.iter().zip(&blocks) {
+            // Same allocation, not a copy.
+            assert_eq!(p.as_ptr(), b.payload.as_ptr());
+            assert_eq!(p.len(), b.payload.len());
+        }
+    }
+
+    #[test]
+    fn decode_gathered_round_trips_and_recycles_the_vec() {
+        let blocks = sample_blocks();
+        let WireFrame::Gathered {
+            framing,
+            mut payloads,
+        } = gather(6, &blocks)
+        else {
+            panic!("expected gathered");
+        };
+        let mut out = Vec::new();
+        let seq = decode_gathered(&framing, &mut payloads, &mut out).unwrap();
+        assert_eq!(seq, 6);
+        assert_eq!(out, blocks);
+        assert!(payloads.is_empty(), "segments are drained for recycling");
+    }
+
+    #[test]
+    fn gathered_buffers_are_recycled_across_encodes() {
+        let blocks = sample_blocks();
+        let WireFrame::Gathered { framing, payloads } = gather(1, &blocks) else {
+            panic!("expected gathered");
+        };
+        let cap_before = framing.capacity();
+        // Re-encoding into the recycled buffers must not grow them.
+        let WireFrame::Gathered { framing, .. } = encode_gathered(2, &blocks, framing, payloads)
+        else {
+            panic!("expected gathered");
+        };
+        assert_eq!(framing.capacity(), cap_before);
+    }
+
+    #[test]
+    fn gathered_structural_damage_is_rejected_not_panicking() {
+        let blocks = sample_blocks();
+        let frame = gather(3, &blocks);
+        let WireFrame::Gathered { framing, payloads } = frame else {
+            panic!("expected gathered");
+        };
+
+        // Truncated framing at every cut point.
+        for cut in 0..framing.len() {
+            let mut segs = payloads.clone();
+            let mut out = Vec::new();
+            let r = decode_gathered(&framing[..cut], &mut segs, &mut out);
+            assert!(r.is_err(), "framing cut at {cut} must fail");
+            assert!(out.is_empty(), "nothing may be delivered on error");
+        }
+
+        // A dropped payload segment.
+        let mut segs = payloads.clone();
+        segs.pop();
+        let mut out = Vec::new();
+        assert_eq!(
+            decode_gathered(&framing, &mut segs, &mut out),
+            Err(WireError::Segments {
+                got: payloads.len() - 1,
+                want: payloads.len(),
+            })
+        );
+
+        // A shrunken segment (declared length no longer matches).
+        let mut segs = payloads.clone();
+        let full = segs[0].clone();
+        segs[0] = full.slice(..full.len() - 1);
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_gathered(&framing, &mut segs, &mut out),
+            Err(WireError::Truncated { .. })
+        ));
+
+        // A corrupted payload byte trips the CRC.
+        let mut segs = payloads.clone();
+        let mut bad = segs[0].to_vec();
+        bad[0] ^= 0x01;
+        segs[0] = Bytes::from(bad);
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_gathered(&framing, &mut segs, &mut out),
+            Err(WireError::Crc { .. })
+        ));
+    }
+
+    #[test]
+    fn wireframe_decode_handles_both_shapes() {
+        let blocks = sample_blocks();
+        let g = gather(4, &blocks);
+        let c = WireFrame::Contiguous(encode_message(4, &blocks));
+        let (gs, gb) = g.decode().unwrap();
+        let (cs, cb) = c.decode().unwrap();
+        assert_eq!(gs, cs);
+        assert_eq!(gb, cb);
+        assert_eq!(g.wire_len(), c.wire_len());
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub fn pattern_seed(src: NodeId, dst: NodeId) -> u64 {
 
 /// `len` pattern bytes for pair `(src, dst)`: the splitmix64 stream seeded
 /// by [`pattern_seed`].
+///
+/// Returned as [`Bytes`] so the buffer seeded here is the *same*
+/// refcounted storage every fault-free hop shares — the zero-copy send
+/// path ([`encode_gathered`](crate::message::encode_gathered)) clones
+/// handles to it rather than copying it.
 pub fn pattern_payload(src: NodeId, dst: NodeId, len: usize) -> Bytes {
     let mut out = Vec::with_capacity(len);
     let mut state = pattern_seed(src, dst);

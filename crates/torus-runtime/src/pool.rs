@@ -1,0 +1,142 @@
+//! Per-worker recycling pool for frame buffers.
+//!
+//! The gathered send path ([`crate::message::encode_gathered`]) needs one
+//! small framing [`BytesMut`] and one payload-segment `Vec` per message.
+//! Allocating those per step would put an allocator round-trip on the hot
+//! path for every send; instead each worker keeps a [`FramePool`] and the
+//! *receiving* worker returns a frame's buffers to its own pool after
+//! splitting it. Workers send and receive in near-equal measure every
+//! step, so the pools stay warm: after the first few steps, steady-state
+//! assembly performs no heap allocation at all.
+//!
+//! The pool also keeps score: [`FramePool::allocations`] counts every
+//! acquisition it could not serve from a recycled buffer (pool miss, or a
+//! recycled framing buffer that had to grow). The runtime threads this
+//! into [`RuntimeReport::allocations`](crate::RuntimeReport::allocations),
+//! which is how the report proves the steady state is allocation-free.
+
+use bytes::{Bytes, BytesMut};
+
+/// Buffers retained per pool. Bounds worst-case retention when ownership
+/// of nodes is skewed and one worker receives far more than it sends.
+const POOL_CAP: usize = 64;
+
+/// A per-worker pool of reusable framing buffers and payload-segment
+/// vectors. Not thread-safe by design — each worker owns one.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    bufs: Vec<BytesMut>,
+    vecs: Vec<Vec<Bytes>>,
+    allocations: u64,
+}
+
+impl FramePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared framing buffer with at least `capacity` bytes.
+    /// Counts as an allocation when the pool is empty or the recycled
+    /// buffer has to grow.
+    pub fn take_buf(&mut self, capacity: usize) -> BytesMut {
+        match self.bufs.pop() {
+            Some(mut b) => {
+                b.clear();
+                if b.capacity() < capacity {
+                    self.allocations += 1;
+                    b.reserve(capacity);
+                }
+                b
+            }
+            None => {
+                self.allocations += 1;
+                BytesMut::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a framing buffer for reuse (dropped if the pool is full).
+    pub fn put_buf(&mut self, buf: BytesMut) {
+        if self.bufs.len() < POOL_CAP {
+            self.bufs.push(buf);
+        }
+    }
+
+    /// Takes a cleared payload-segment vector. Counts as an allocation
+    /// when the pool is empty.
+    pub fn take_vec(&mut self) -> Vec<Bytes> {
+        match self.vecs.pop() {
+            Some(mut v) => {
+                v.clear();
+                v
+            }
+            None => {
+                self.allocations += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns a payload-segment vector for reuse (dropped if the pool is
+    /// full). Any leftover segments are released.
+    pub fn put_vec(&mut self, mut vec: Vec<Bytes>) {
+        if self.vecs.len() < POOL_CAP {
+            vec.clear();
+            self.vecs.push(vec);
+        }
+    }
+
+    /// Acquisitions that could not be served from a recycled buffer.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_take_allocates_recycled_take_does_not() {
+        let mut pool = FramePool::new();
+        let buf = pool.take_buf(128);
+        let vec = pool.take_vec();
+        assert_eq!(pool.allocations(), 2);
+        pool.put_buf(buf);
+        pool.put_vec(vec);
+        let buf = pool.take_buf(128);
+        let _vec = pool.take_vec();
+        assert_eq!(pool.allocations(), 2, "warm pool must not allocate");
+        assert!(buf.capacity() >= 128);
+        assert!(buf.is_empty(), "recycled buffers come back cleared");
+    }
+
+    #[test]
+    fn growing_a_recycled_buffer_counts_as_allocation() {
+        let mut pool = FramePool::new();
+        let buf = pool.take_buf(16);
+        pool.put_buf(buf);
+        let big = pool.take_buf(4096);
+        assert!(big.capacity() >= 4096);
+        assert_eq!(pool.allocations(), 2);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = FramePool::new();
+        for _ in 0..(POOL_CAP + 10) {
+            pool.put_buf(BytesMut::new());
+            pool.put_vec(Vec::new());
+        }
+        assert_eq!(pool.bufs.len(), POOL_CAP);
+        assert_eq!(pool.vecs.len(), POOL_CAP);
+    }
+
+    #[test]
+    fn returned_vec_is_cleared_of_segments() {
+        let mut pool = FramePool::new();
+        pool.put_vec(vec![Bytes::from(vec![1u8, 2, 3])]);
+        assert!(pool.take_vec().is_empty());
+    }
+}

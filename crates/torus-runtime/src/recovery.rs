@@ -158,6 +158,16 @@ pub enum FailureReason {
         /// The peer whose frame never validated.
         src: NodeId,
     },
+    /// A frame from `src` failed its integrity checks in a context where
+    /// no retry was possible (the fault-free fast path has no retained
+    /// resend copy to recover from). Names the exact wire error so the
+    /// abort distinguishes "never arrived" from "arrived damaged".
+    Integrity {
+        /// The peer whose frame failed to validate.
+        src: NodeId,
+        /// The framing or checksum error the decoder reported.
+        error: crate::message::WireError,
+    },
     /// The worker hosting the node was killed by the fault plan.
     WorkerKilled,
     /// A channel endpoint disappeared mid-run.
@@ -169,6 +179,9 @@ impl std::fmt::Display for FailureReason {
         match self {
             FailureReason::RetryExhausted { src } => {
                 write!(f, "retry budget exhausted waiting on node {src}")
+            }
+            FailureReason::Integrity { src, error } => {
+                write!(f, "frame from node {src} failed integrity check: {error}")
             }
             FailureReason::WorkerKilled => write!(f, "worker killed"),
             FailureReason::ChannelClosed => write!(f, "channel closed"),
@@ -267,6 +280,26 @@ mod tests {
         assert!(s.contains("step 2"));
         assert!(s.contains("global step 7"));
         assert!(s.contains("node 4"));
+    }
+
+    #[test]
+    fn integrity_failure_names_peer_and_wire_error() {
+        let reason = FailureReason::Integrity {
+            src: 7,
+            error: crate::message::WireError::Crc {
+                stored: 0xDEAD_BEEF,
+                computed: 0x0BAD_F00D,
+            },
+        };
+        let s = reason.to_string();
+        assert!(s.contains("node 7"));
+        assert!(s.contains("integrity"));
+        assert!(s.contains("crc mismatch"));
+        assert_ne!(
+            reason,
+            FailureReason::RetryExhausted { src: 7 },
+            "integrity failures are not retry exhaustion"
+        );
     }
 
     #[test]

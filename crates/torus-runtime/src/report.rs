@@ -43,6 +43,14 @@ pub struct PhaseReport {
     pub wire_bytes: u64,
     /// Payload bytes copied by the rearrangement pass.
     pub rearranged_bytes: u64,
+    /// Bytes the send path actually copied while assembling frames.
+    /// Fault-free this is framing only (headers); under a fault plan
+    /// frames are materialized contiguously and it equals `wire_bytes`.
+    pub bytes_copied: u64,
+    /// Send-path buffer acquisitions that missed the worker's frame pool,
+    /// plus the always-allocating contiguous encodes and rearrangement
+    /// arenas. Stops growing once the pools are warm.
+    pub allocations: u64,
     /// Combined messages sent.
     pub messages: u64,
 }
@@ -71,6 +79,14 @@ pub struct RuntimeReport {
     pub wire_bytes: u64,
     /// Total payload bytes copied by rearrangement passes.
     pub rearranged_bytes: u64,
+    /// Total bytes the send path copied assembling frames. Fault-free
+    /// the scatter-gather encoder copies only headers
+    /// (`messages * MESSAGE_HEADER_BYTES + blocks * BLOCK_HEADER_BYTES`),
+    /// never payloads — the visible form of the zero-copy send path.
+    pub bytes_copied: u64,
+    /// Total send-path buffer acquisitions that hit the allocator (frame
+    /// pool misses, contiguous encodes, rearrangement arenas).
+    pub allocations: u64,
     /// Peak bytes resident in any single node's buffer at a step boundary.
     pub peak_node_bytes: u64,
     /// Total combined messages sent.
@@ -134,7 +150,8 @@ impl RuntimeReport {
         let _ = writeln!(
             s,
             "runtime exchange on {} ({} nodes{}, {} workers, {} B blocks): \
-             {:.3} ms wall, {} steps, {} messages, {} wire bytes, verified={}",
+             {:.3} ms wall, {} steps, {} messages, {} wire bytes, {} copied, \
+             {} allocations, verified={}",
             dims(&self.dims),
             self.nodes,
             if self.padded {
@@ -148,13 +165,16 @@ impl RuntimeReport {
             self.total_steps(),
             self.messages,
             self.wire_bytes,
+            self.bytes_copied,
+            self.allocations,
             self.verified,
         );
         for p in &self.phases {
             let _ = writeln!(
                 s,
                 "  {:<9} {:>2} steps  wall {:>9.3} ms  assembly {:>9.3} ms  \
-                 transport {:>9.3} ms  rearrange {:>9.3} ms  {:>12} wire B  {:>12} rearr B",
+                 transport {:>9.3} ms  rearrange {:>9.3} ms  {:>12} wire B  {:>12} rearr B  \
+                 {:>10} copied B",
                 p.name,
                 p.steps,
                 p.wall.as_secs_f64() * 1e3,
@@ -163,6 +183,7 @@ impl RuntimeReport {
                 p.rearrange.as_secs_f64() * 1e3,
                 p.wire_bytes,
                 p.rearranged_bytes,
+                p.bytes_copied,
             );
         }
         if !self.faults.is_clean() {
@@ -224,6 +245,8 @@ mod tests {
                     rearrange: Duration::from_micros(50),
                     wire_bytes: 4096,
                     rearranged_bytes: 2048,
+                    bytes_copied: 1024,
+                    allocations: 80,
                     messages: 64,
                 },
                 PhaseReport {
@@ -235,12 +258,16 @@ mod tests {
                     rearrange: Duration::default(),
                     wire_bytes: 2048,
                     rearranged_bytes: 0,
+                    bytes_copied: 512,
+                    allocations: 0,
                     messages: 64,
                 },
             ],
             wall: Duration::from_micros(900),
             wire_bytes: 6144,
             rearranged_bytes: 2048,
+            bytes_copied: 1536,
+            allocations: 80,
             peak_node_bytes: 8192,
             messages: 128,
             verified: true,
@@ -268,6 +295,8 @@ mod tests {
         assert!(s.contains("verified=true"));
         assert!(s.contains("phase 1"));
         assert!(s.contains("peak node residency 8192 B"));
+        assert!(s.contains("1536 copied"));
+        assert!(s.contains("80 allocations"));
     }
 
     #[test]

@@ -12,14 +12,18 @@
 //! Each communication step of the [`StepPlan`] executes as:
 //!
 //! 1. **assemble** — for every owned node scheduled to send, select the
-//!    step's blocks (the paper's per-phase selection rules), frame them
-//!    into one combined wire message (sequence-numbered and
-//!    CRC32-protected);
+//!    step's blocks (the paper's per-phase selection rules) and frame
+//!    them into one combined wire message (sequence-numbered and
+//!    CRC32-protected). Fault-free, the frame is **scatter-gather**
+//!    ([`WireFrame::Gathered`]): only the headers are written (into a
+//!    pooled buffer — see [`FramePool`]), the payloads travel as shared
+//!    [`Bytes`] handles, so combining never copies a payload byte;
 //! 2. **transport** — push the message into the destination's inbox
 //!    (never blocks: channels are unbounded), then receive exactly the
 //!    messages the static schedule says each owned node is due (possibly
 //!    empty ones — the paper's idle senders), splitting them zero-copy
-//!    into the receiving buffer;
+//!    into the receiving buffer and returning the frame's buffers to the
+//!    receiving worker's pool;
 //! 3. **synchronize** — a two-phase [`Barrier`] rendezvous with the main
 //!    thread. The first crossing marks "all step traffic delivered" (the
 //!    main thread timestamps the step and snapshots buffers for
@@ -35,7 +39,10 @@
 //! # Fault tolerance
 //!
 //! When the configured [`FaultPlan`] is non-empty the runtime switches
-//! the receive path from a blocking wait to a deadline + bounded-retry
+//! the send path to the canonical contiguous encoding (injected
+//! corruption and truncation need well-defined frame bytes to mutate,
+//! and the retained resend copy must be immutable) and the receive path
+//! from a blocking wait to a deadline + bounded-retry
 //! loop: every sender retains its pristine frame for the step, a receiver
 //! whose deadline expires (or whose frame fails the CRC/framing/sequence
 //! checks) pulls the retained copy — a modeled NACK + retransmission —
@@ -67,8 +74,12 @@ use torus_sim::{StepStat, Trace};
 use torus_topology::{NodeId, TorusShape};
 
 use crate::fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
-use crate::message::{decode_message, encode_message, WireError};
+use crate::message::{
+    decode_gathered, decode_message, encode_gathered, encode_message, WireError, WireFrame,
+    BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES,
+};
 use crate::payload::pattern_payload;
+use crate::pool::FramePool;
 use crate::recovery::{merge_events, FailureReason, NodeFailure, RecoveryStats, RetryPolicy};
 use crate::report::{PhaseReport, RuntimeReport};
 use crate::RuntimeError;
@@ -192,6 +203,8 @@ struct PhaseSide {
     rearrange: Duration,
     wire_bytes: u64,
     rearranged_bytes: u64,
+    bytes_copied: u64,
+    allocations: u64,
     messages: u64,
     rearr_blocks_max: u64,
 }
@@ -359,7 +372,7 @@ impl Runtime {
         let mut senders = Vec::with_capacity(nn);
         let mut receivers = Vec::with_capacity(nn);
         for _ in 0..nn {
-            let (tx, rx) = unbounded::<Bytes>();
+            let (tx, rx) = unbounded::<WireFrame>();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -394,7 +407,7 @@ impl Runtime {
             (0..nn).map(|_| Mutex::new(Vec::new())).collect();
 
         let mut buf_chunks: Vec<Vec<Vec<Block<Bytes>>>> = Vec::with_capacity(n_chunks);
-        let mut rx_chunks: Vec<Vec<Receiver<Bytes>>> = Vec::with_capacity(n_chunks);
+        let mut rx_chunks: Vec<Vec<Receiver<WireFrame>>> = Vec::with_capacity(n_chunks);
         {
             let mut bi = node_bufs.into_iter();
             let mut ri = receivers.into_iter();
@@ -412,7 +425,7 @@ impl Runtime {
         let fail = &fail;
         let worker = |base: usize,
                       mut bufs: Vec<Vec<Block<Bytes>>>,
-                      rxs: Vec<Receiver<Bytes>>|
+                      rxs: Vec<Receiver<WireFrame>>|
          -> WorkerStats {
             let mut stats = WorkerStats {
                 phase: vec![PhaseSide::default(); phases.len()],
@@ -421,6 +434,11 @@ impl Runtime {
                 faults: RecoveryStats::default(),
                 events: Vec::new(),
             };
+            // Recycled send-side state: the frame-buffer pool and the
+            // per-step outgoing scratch vector. Both reach steady state
+            // after the first step or two and stop allocating.
+            let mut pool = FramePool::new();
+            let mut outgoing: Vec<Block<Bytes>> = Vec::new();
             // A killed worker turns into a zombie: it does no work but
             // keeps crossing barriers so nothing deadlocks.
             let mut dead = false;
@@ -468,20 +486,45 @@ impl Runtime {
                                 continue;
                             };
                             let t0 = Instant::now();
-                            let mut kept = Vec::with_capacity(buf.len());
-                            let mut outgoing = Vec::new();
-                            for mut b in buf.drain(..) {
-                                if plan.selects(st, node, &b) {
+                            outgoing.clear();
+                            buf.retain_mut(|b| {
+                                if plan.selects(st, node, b) {
                                     if let Some(p) = StepPlan::shift_decrement(st) {
                                         b.shifts[p] -= 1;
                                     }
-                                    outgoing.push(b);
+                                    outgoing.push(std::mem::replace(
+                                        b,
+                                        Block::with_payload(0, 0, Bytes::new()),
+                                    ));
+                                    false
                                 } else {
-                                    kept.push(b);
+                                    true
                                 }
-                            }
-                            *buf = kept;
-                            let msg = encode_message(g as u32, &outgoing);
+                            });
+                            let msg = if no_faults {
+                                // Zero-copy: headers into a pooled
+                                // buffer, payloads shared by handle.
+                                let framing_len =
+                                    MESSAGE_HEADER_BYTES + outgoing.len() * BLOCK_HEADER_BYTES;
+                                let allocs = pool.allocations();
+                                let frame = encode_gathered(
+                                    g as u32,
+                                    &outgoing,
+                                    pool.take_buf(framing_len),
+                                    pool.take_vec(),
+                                );
+                                pstats.allocations += pool.allocations() - allocs;
+                                pstats.bytes_copied += framing_len as u64;
+                                frame
+                            } else {
+                                // Fault plans need mutable frame bytes
+                                // (and an immutable retained copy), so
+                                // materialize the canonical layout.
+                                let bytes = encode_message(g as u32, &outgoing);
+                                pstats.allocations += 1;
+                                pstats.bytes_copied += bytes.len() as u64;
+                                WireFrame::Contiguous(bytes)
+                            };
                             let assembled = Instant::now();
                             pstats.assembly += assembled - t0;
                             sstats.messages += 1;
@@ -490,14 +533,15 @@ impl Runtime {
                             // Wire accounting is for the pristine frame;
                             // injected mutations don't change the
                             // schedule's cost.
-                            sstats.wire_bytes += msg.len() as u64;
-                            pstats.wire_bytes += msg.len() as u64;
+                            sstats.wire_bytes += msg.wire_len() as u64;
+                            pstats.wire_bytes += msg.wire_len() as u64;
                             pstats.messages += 1;
                             if no_faults {
                                 if senders[send.dst as usize].send(msg).is_err() {
                                     fail(node, g, FailureReason::ChannelClosed);
                                 }
                             } else {
+                                let msg = msg.to_bytes();
                                 // Retain the pristine frame so the
                                 // receiver can recover it; then mutate
                                 // what actually goes on the wire.
@@ -546,7 +590,10 @@ impl Runtime {
                                     }
                                 }
                                 for f in deliver {
-                                    if senders[send.dst as usize].send(f).is_err() {
+                                    if senders[send.dst as usize]
+                                        .send(WireFrame::Contiguous(f))
+                                        .is_err()
+                                    {
                                         fail(node, g, FailureReason::ChannelClosed);
                                         break;
                                     }
@@ -561,36 +608,65 @@ impl Runtime {
                             let me = (base + li) as NodeId;
                             if let Some(src) = expect_from[g][base + li] {
                                 let t0 = Instant::now();
-                                let blocks = if no_faults {
+                                if no_faults {
                                     // Fast path: a scheduled frame is
                                     // always sent, so a blocking receive
                                     // cannot deadlock.
-                                    match rxs[li].recv() {
-                                        Ok(raw) => match decode_message(&raw) {
-                                            Ok((_, blocks)) => Some(blocks),
+                                    let frame = match rxs[li].recv() {
+                                        Ok(frame) => Some(frame),
+                                        Err(_) => {
+                                            fail(me, g, FailureReason::ChannelClosed);
+                                            None
+                                        }
+                                    };
+                                    let received = Instant::now();
+                                    pstats.transport += received - t0;
+                                    if let Some(frame) = frame {
+                                        // Split the frame into the node
+                                        // buffer. Self-produced frames
+                                        // never fail to decode; without a
+                                        // fault plan there is no retained
+                                        // copy to retry from, so a wire
+                                        // error here is unrecoverable and
+                                        // named exactly.
+                                        let decoded = match frame {
+                                            WireFrame::Gathered {
+                                                framing,
+                                                mut payloads,
+                                            } => {
+                                                let r =
+                                                    decode_gathered(&framing, &mut payloads, buf);
+                                                if r.is_ok() {
+                                                    // Keep the pools warm:
+                                                    // the receiver recycles
+                                                    // the sender's buffers.
+                                                    pool.put_buf(framing);
+                                                    pool.put_vec(payloads);
+                                                }
+                                                r.map(|_| ())
+                                            }
+                                            WireFrame::Contiguous(raw) => decode_message(&raw)
+                                                .map(|(_, mut blocks)| buf.append(&mut blocks)),
+                                        };
+                                        match decoded {
+                                            Ok(()) => pstats.assembly += received.elapsed(),
                                             Err(e) => {
-                                                // Self-produced frames
-                                                // never fail to decode;
-                                                // without a fault plan
-                                                // there is no retained
-                                                // copy to retry from.
                                                 match e {
                                                     WireError::Crc { .. } => {
                                                         stats.faults.crc_failures += 1
                                                     }
                                                     _ => stats.faults.decode_failures += 1,
                                                 }
-                                                fail(me, g, FailureReason::RetryExhausted { src });
-                                                None
+                                                fail(
+                                                    me,
+                                                    g,
+                                                    FailureReason::Integrity { src, error: e },
+                                                );
                                             }
-                                        },
-                                        Err(_) => {
-                                            fail(me, g, FailureReason::ChannelClosed);
-                                            None
                                         }
                                     }
                                 } else {
-                                    self.recover_recv(
+                                    let blocks = self.recover_recv(
                                         &rxs[li],
                                         &retained[base + li],
                                         me,
@@ -601,16 +677,26 @@ impl Runtime {
                                         &mut stats.faults,
                                         &mut stats.events,
                                         &mut sstats.retries,
-                                    )
-                                };
-                                let received = Instant::now();
-                                pstats.transport += received - t0;
-                                if let Some(mut blocks) = blocks {
-                                    buf.append(&mut blocks);
-                                    pstats.assembly += received.elapsed();
+                                    );
+                                    let received = Instant::now();
+                                    pstats.transport += received - t0;
+                                    if let Some(mut blocks) = blocks {
+                                        buf.append(&mut blocks);
+                                        pstats.assembly += received.elapsed();
+                                    }
                                 }
                             }
-                            let resident: u64 = buf.iter().map(|b| b.payload.len() as u64).sum();
+                            let mut resident: u64 =
+                                buf.iter().map(|b| b.payload.len() as u64).sum();
+                            if !no_faults {
+                                // The frame retained for this node's
+                                // recovery is resident memory too (the
+                                // fault-free path retains nothing and
+                                // stays lock-free).
+                                resident += lk(&retained[base + li])
+                                    .as_ref()
+                                    .map_or(0, |f| f.len() as u64);
+                            }
                             stats.peak_bytes = stats.peak_bytes.max(resident);
                         }
 
@@ -635,6 +721,11 @@ impl Runtime {
                             // order with one contiguous copy pass.
                             buf.sort_by_key(|b| (b.dst, b.src));
                             let total: usize = buf.iter().map(|b| b.payload.len()).sum();
+                            // The arena is frozen and retained by the
+                            // blocks, so it can't be pooled; its copy
+                            // volume is `rearranged_bytes`, kept apart
+                            // from the send path's `bytes_copied`.
+                            pstats.allocations += 1;
                             let mut arena = BytesMut::with_capacity(total);
                             for b in buf.iter() {
                                 arena.extend_from_slice(&b.payload);
@@ -773,6 +864,8 @@ impl Runtime {
                 pr.rearrange += side.rearrange;
                 pr.wire_bytes += side.wire_bytes;
                 pr.rearranged_bytes += side.rearranged_bytes;
+                pr.bytes_copied += side.bytes_copied;
+                pr.allocations += side.allocations;
                 pr.messages += side.messages;
                 rearr_max = rearr_max.max(side.rearr_blocks_max);
             }
@@ -804,6 +897,8 @@ impl Runtime {
             wall,
             wire_bytes: phase_reports.iter().map(|p| p.wire_bytes).sum(),
             rearranged_bytes: phase_reports.iter().map(|p| p.rearranged_bytes).sum(),
+            bytes_copied: phase_reports.iter().map(|p| p.bytes_copied).sum(),
+            allocations: phase_reports.iter().map(|p| p.allocations).sum(),
             peak_node_bytes: stats.iter().map(|w| w.peak_bytes).max().unwrap_or(0),
             messages: phase_reports.iter().map(|p| p.messages).sum(),
             phases: phase_reports,
@@ -890,7 +985,7 @@ impl Runtime {
     #[allow(clippy::too_many_arguments)]
     fn recover_recv(
         &self,
-        rx: &Receiver<Bytes>,
+        rx: &Receiver<WireFrame>,
         retained: &Mutex<Option<Bytes>>,
         me: NodeId,
         src: NodeId,
@@ -926,7 +1021,10 @@ impl Runtime {
             };
             let mut via_resend = false;
             let raw = match rx.recv_timeout(wait) {
-                Ok(raw) => Some(raw),
+                // Under a fault plan senders always transmit contiguous
+                // frames; normalize defensively so validation below
+                // always sees canonical bytes.
+                Ok(frame) => Some(frame.to_bytes()),
                 Err(RecvTimeoutError::Disconnected) => {
                     fail(me, g, FailureReason::ChannelClosed);
                     break None;
@@ -1115,6 +1213,81 @@ mod tests {
         let expected = r.messages * MESSAGE_HEADER_BYTES as u64
             + total_blocks * (BLOCK_HEADER_BYTES as u64 + 32);
         assert_eq!(r.wire_bytes, expected);
+    }
+
+    #[test]
+    fn fault_free_copies_are_header_only() {
+        // The zero-copy acceptance invariant: on the fault-free path the
+        // send side copies framing only, never payload bytes.
+        let r = runtime(&[8, 8], RuntimeConfig::default().with_block_bytes(32))
+            .run()
+            .unwrap();
+        let total_blocks: u64 = r
+            .trace
+            .phases
+            .iter()
+            .flat_map(|p| p.steps.iter())
+            .map(|s| s.total_blocks)
+            .sum();
+        assert_eq!(
+            r.bytes_copied,
+            r.messages * MESSAGE_HEADER_BYTES as u64 + total_blocks * BLOCK_HEADER_BYTES as u64
+        );
+        assert!(r.bytes_copied < r.wire_bytes);
+    }
+
+    #[test]
+    fn fault_plans_materialize_full_frames() {
+        let cfg = RuntimeConfig::default()
+            .with_workers(4)
+            .with_faults(FaultPlan::seeded(1).with_drop_rate(1.0))
+            .with_retry(quick_retry());
+        let r = runtime(&[4, 4], cfg).run().unwrap();
+        // Contiguous encoding copies every frame byte exactly once.
+        assert_eq!(r.bytes_copied, r.wire_bytes);
+    }
+
+    #[test]
+    fn steady_state_allocations_are_payload_size_independent() {
+        // Pool misses depend on frame counts and framing capacity, never
+        // on payload bytes; a single worker makes the schedule (and so
+        // the pool traffic) deterministic.
+        let mk = |bytes| {
+            runtime(
+                &[4, 4],
+                RuntimeConfig::default()
+                    .with_workers(1)
+                    .with_block_bytes(bytes),
+            )
+            .run()
+            .unwrap()
+        };
+        let small = mk(16);
+        let large = mk(1024);
+        assert!(small.allocations > 0);
+        assert_eq!(small.allocations, large.allocations);
+        // Warm pools: far fewer allocator hits than one per message.
+        assert!(small.allocations < 2 * small.messages);
+    }
+
+    #[test]
+    fn retained_frames_count_toward_peak_residency() {
+        let clean = runtime(&[4, 4], RuntimeConfig::default().with_workers(2))
+            .run()
+            .unwrap();
+        let cfg = RuntimeConfig::default()
+            .with_workers(2)
+            .with_faults(FaultPlan::seeded(3).with_drop_rate(1.0))
+            .with_retry(quick_retry());
+        let faulty = runtime(&[4, 4], cfg).run().unwrap();
+        // Same schedule, same buffers — but the faulty run also holds
+        // every node's retained recovery frame in memory.
+        assert!(
+            faulty.peak_node_bytes > clean.peak_node_bytes,
+            "retained frames must be counted: faulty {} vs clean {}",
+            faulty.peak_node_bytes,
+            clean.peak_node_bytes
+        );
     }
 
     #[test]
