@@ -49,6 +49,7 @@ pub mod exchange;
 pub mod exec;
 pub mod observer;
 pub mod prepared;
+pub mod repair;
 pub mod report;
 pub mod schedule;
 pub mod steps;
@@ -62,7 +63,10 @@ pub use exchange::Exchange;
 pub use exec::{ExchangeError, Executor};
 pub use observer::{NullObserver, Observer, PhaseKind};
 pub use prepared::PreparedExchange;
+pub use repair::{
+    DroppedBlock, RepairError, RepairedPhase, RepairedSchedule, RepairedSend, RepairedStep,
+};
 pub use report::ExchangeReport;
 pub use schedule::StaticSchedule;
 pub use steps::{PlannedPhase, PlannedStep, StepKind, StepPlan};
-pub use verify::{verify_delivery, verify_full_exchange};
+pub use verify::{verify_delivery, verify_delivery_degraded, verify_full_exchange};

@@ -19,6 +19,9 @@ pub enum PhaseKind {
     Distance2,
     /// Distance-1 exchange in `2×…×2` submeshes (phase `n+2`).
     Distance1,
+    /// Degraded-mode direct pairwise exchange appended by schedule repair
+    /// (see [`crate::repair`]); never present in a fault-free plan.
+    Fallback,
 }
 
 /// Callback interface invoked by the executor.

@@ -80,6 +80,42 @@ pub fn verify_delivery<P: Clone>(
     Ok(())
 }
 
+/// Degraded-mode variant of [`verify_delivery`]: checks that every
+/// *survivor* holds exactly the blocks from its expected **live** sources
+/// and that quarantined nodes hold nothing. Survivor→survivor delivery
+/// stays bit-exact under degradation; blocks with a dead endpoint are the
+/// only permitted casualties.
+pub fn verify_delivery_degraded<P: Clone>(
+    buffers: &Buffers<P>,
+    expected: &[Vec<NodeId>],
+    dead: &[NodeId],
+) -> Result<(), ExchangeError> {
+    for &d in dead {
+        if (d as usize) < buffers.num_nodes() && !buffers.node(d).is_empty() {
+            return Err(ExchangeError::VerificationFailed(format!(
+                "quarantined node {d} still holds {} blocks",
+                buffers.node(d).len()
+            )));
+        }
+    }
+    let degraded: Vec<Vec<NodeId>> = expected
+        .iter()
+        .enumerate()
+        .map(|(node, sources)| {
+            if dead.contains(&(node as NodeId)) {
+                Vec::new()
+            } else {
+                sources
+                    .iter()
+                    .filter(|s| !dead.contains(s))
+                    .copied()
+                    .collect()
+            }
+        })
+        .collect();
+    verify_delivery(buffers, &degraded)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +167,44 @@ mod tests {
         let dup = bufs.node(1)[0].clone();
         bufs.node_mut(1).push(dup);
         assert!(verify_full_exchange(&shape, &bufs).is_err());
+    }
+
+    #[test]
+    fn degraded_accepts_survivor_completion() {
+        let n = 4u32;
+        let dead = [2u32];
+        let mut bufs = Buffers::empty(n as usize);
+        for d in 0..n {
+            if dead.contains(&d) {
+                continue;
+            }
+            for s in 0..n {
+                if s != d && !dead.contains(&s) {
+                    bufs.node_mut(d).push(Block::new(s, d));
+                }
+            }
+        }
+        let expected: Vec<Vec<NodeId>> = (0..n)
+            .map(|d| (0..n).filter(|&s| s != d).collect())
+            .collect();
+        verify_delivery_degraded(&bufs, &expected, &dead).unwrap();
+        // The full expectation must fail (dead sources are missing)…
+        assert!(verify_delivery(&bufs, &expected).is_err());
+        // …and a lingering block at the dead node is rejected.
+        bufs.node_mut(2).push(Block::new(0, 2));
+        let err = verify_delivery_degraded(&bufs, &expected, &dead).unwrap_err();
+        assert!(err.to_string().contains("quarantined node 2"));
+    }
+
+    #[test]
+    fn degraded_rejects_missing_survivor_block() {
+        let mut bufs: Buffers = Buffers::empty(3);
+        bufs.node_mut(0).push(Block::new(1, 0));
+        let expected = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        // Node 2 dead: node 0 should hold exactly {1} — ok.
+        verify_delivery_degraded(&bufs, &expected, &[2]).unwrap_err(); // node 1 empty
+        bufs.node_mut(1).push(Block::new(0, 1));
+        verify_delivery_degraded(&bufs, &expected, &[2]).unwrap();
     }
 
     #[test]

@@ -94,6 +94,9 @@ impl Observer<()> for Fig1Observer {
             PhaseKind::Distance1 => {
                 self.print_submesh(&format!("after phase 4 step {step} (Figure 1k/l)"), bufs);
             }
+            // Only reachable in degraded-mode runs, which the figure
+            // regeneration never performs.
+            PhaseKind::Fallback => {}
         }
         println!();
     }

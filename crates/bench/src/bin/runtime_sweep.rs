@@ -1,9 +1,11 @@
 //! Runtime sweep (experiment R1): measured byte-moving execution across
 //! shapes and block sizes, with the analytic Table 1 prediction alongside.
 //!
-//! Each case runs twice — fault-free, then under a seeded 1% frame-drop
-//! plan — so the table's last columns show what CRC checking plus
-//! NACK/resend recovery costs on top of a clean run.
+//! Each case runs three times — fault-free, under a seeded 1% frame-drop
+//! plan, and with one node killed mid-schedule under the degrade policy —
+//! so the table's last columns show what CRC checking plus NACK/resend
+//! recovery costs on top of a clean run, and what quarantining a dead
+//! node plus schedule repair costs in wire bytes versus fault-free.
 //!
 //! Prints a table and exports every full [`RuntimeReport`] pair (per-phase
 //! walls, assembly/transport/rearrange split, wire bytes, peak residency,
@@ -20,7 +22,9 @@
 use bench::{fnum, Table};
 use std::io::Write as _;
 use std::time::Duration;
-use torus_runtime::{FaultPlan, RetryPolicy, Runtime, RuntimeConfig, RuntimeReport};
+use torus_runtime::{
+    FaultPlan, OnFailure, RetryPolicy, Runtime, RuntimeConfig, RuntimeReport, WorkerFaultKind,
+};
 use torus_topology::TorusShape;
 
 /// Seeded 1% frame-drop plan: every dropped frame must be detected by a
@@ -28,11 +32,12 @@ use torus_topology::TorusShape;
 const DROP_RATE: f64 = 0.01;
 const DROP_SEED: u64 = 1998; // ICPP '98
 
-/// One sweep case executed under both configurations.
+/// One sweep case executed under all three configurations.
 #[derive(serde::Serialize)]
 struct CasePair {
     clean: RuntimeReport,
     faulty: RuntimeReport,
+    degraded: RuntimeReport,
 }
 
 fn main() {
@@ -60,6 +65,8 @@ fn main() {
         "1%-drop wall (ms)",
         "recovered",
         "overhead",
+        "degraded Δwire (KiB)",
+        "dropped",
     ]);
     let cases: &[(&[u32], usize)] = &[
         (&[4, 4], 64),
@@ -93,6 +100,33 @@ fn main() {
         .expect("shape accepted")
         .run()
         .expect("recoverable faults heal");
+        // Degraded run: kill one mid-schedule node, quarantine it, and
+        // complete for the survivors. Δwire prices the repair (contracted
+        // scatter hops, fallback sends) against the traffic the dead
+        // node no longer generates.
+        let kill_node = clean.nodes / 2;
+        let kill_step = clean.total_steps() / 2;
+        let base_deg = RuntimeConfig::default()
+            .with_block_bytes(m)
+            .with_workers(workers);
+        let degraded = Runtime::new(
+            &shape,
+            base_deg
+                .with_faults(FaultPlan::default().with_worker_fault(
+                    kill_step,
+                    kill_node,
+                    WorkerFaultKind::Kill,
+                ))
+                .with_on_failure(OnFailure::Degrade),
+        )
+        .expect("shape accepted")
+        .run()
+        .expect("degraded run completes for survivors");
+        let deg = degraded
+            .degraded
+            .as_ref()
+            .expect("kill under degrade yields a report");
+        assert!(deg.verified_degraded, "survivors must verify on {shape}");
         let ms = |d: std::time::Duration| fnum(d.as_secs_f64() * 1e3);
         let overhead =
             (faulty.wall.as_secs_f64() / clean.wall.as_secs_f64().max(f64::EPSILON) - 1.0) * 100.0;
@@ -115,8 +149,17 @@ fn main() {
                 faulty.faults.recovered, faulty.faults.injected_drops
             ),
             format!("{overhead:+.1}%"),
+            {
+                let dw = deg.extra_wire_bytes as f64 / 1024.0;
+                format!("{}{}", if dw >= 0.0 { "+" } else { "" }, fnum(dw))
+            },
+            deg.dropped_blocks.to_string(),
         ]);
-        reports.push(CasePair { clean, faulty });
+        reports.push(CasePair {
+            clean,
+            faulty,
+            degraded,
+        });
     }
     t.print();
     println!();
@@ -135,7 +178,7 @@ fn main() {
         }
     }
     println!(
-        "all runs bit-exactly verified (including under injected drops); \
-         wall excludes seeding/verification."
+        "all runs bit-exactly verified (clean and 1%-drop in full; degraded \
+         runs for every survivor pair); wall excludes seeding/verification."
     );
 }

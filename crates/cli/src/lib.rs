@@ -45,6 +45,9 @@ pub enum Command {
         retries: Option<u32>,
         /// Receive-deadline override (milliseconds) for the recovery path.
         deadline_ms: Option<u64>,
+        /// Unrecoverable-failure policy: abort (default) or quarantine
+        /// failed nodes and complete a repaired schedule for survivors.
+        on_failure: torus_runtime::OnFailure,
     },
     /// `compare --shape RxC [...params]` — all algorithms side by side.
     Compare {
@@ -97,6 +100,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut faults: Option<String> = None;
     let mut retries: Option<u32> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut on_failure = torus_runtime::OnFailure::default();
 
     let mut i = 1;
     while i < args.len() {
@@ -141,6 +145,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 )
             }
+            "--on-failure" => {
+                on_failure = torus_runtime::OnFailure::parse(&val(&mut i)?)
+                    .map_err(|e| format!("--on-failure: {e}"))?
+            }
             other => return Err(format!("unknown flag '{other}' (try 'torus-xchg help')")),
         }
         i += 1;
@@ -162,6 +170,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             faults,
             retries,
             deadline_ms,
+            on_failure,
         }),
         "compare" => Ok(Command::Compare {
             shape: need_shape(shape)?,
@@ -192,8 +201,10 @@ torus-xchg — all-to-all personalized exchange on torus networks (Suh & Shin, I
 
 USAGE:
   torus-xchg run        --shape 8x12 [--algo proposed|direct|ring|rowcol|mesh] [params]
-  torus-xchg run-real   --shape 8x8 [--json] [--faults SPEC] [--retries N] [--deadline-ms MS] [params]
-                        (moves real bytes, verifies bit-exactly; optional fault injection)
+  torus-xchg run-real   --shape 8x8 [--json] [--faults SPEC] [--retries N] [--deadline-ms MS]
+                        [--on-failure abort|degrade] [params]
+                        (moves real bytes, verifies bit-exactly; optional fault injection;
+                         'degrade' quarantines failed nodes and completes for survivors)
   torus-xchg compare    --shape 8x8 [params]
   torus-xchg collective --op broadcast|scatter|gather|allgather|reduce|allreduce|alltoall --shape 8x8
   torus-xchg schedule   --shape 8x8 [--json]
@@ -208,6 +219,7 @@ FAULT SPEC (run-real): comma-separated key=value pairs —
   seed=N  drop=R  corrupt=R  truncate=R  duplicate=R  delay=R  delay-us=N
   kill=STEP:NODE  stall=STEP:NODE:MICROS     (rates R in [0, 1])
   e.g. --faults drop=0.01,corrupt=0.005,seed=42
+  e.g. --faults kill=3:5 --on-failure degrade   (survivors still complete)
 ";
 
 /// Executes a command, returning its stdout text.
@@ -275,6 +287,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             faults,
             retries,
             deadline_ms,
+            on_failure,
         } => {
             let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
             let mut config = torus_runtime::RuntimeConfig::default()
@@ -295,7 +308,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             if let Some(ms) = deadline_ms {
                 retry = retry.with_deadline(std::time::Duration::from_millis(ms));
             }
-            config = config.with_retry(retry);
+            config = config.with_retry(retry).with_on_failure(on_failure);
             let runtime = torus_runtime::Runtime::new(&shape, config).map_err(|e| e.to_string())?;
             let emit = |out: &mut String,
                         report: &torus_runtime::RuntimeReport|
@@ -503,6 +516,7 @@ mod tests {
                 faults,
                 retries,
                 deadline_ms,
+                on_failure,
             } => {
                 assert_eq!(shape, vec![4, 4]);
                 assert_eq!(params.block_bytes, 32);
@@ -511,6 +525,7 @@ mod tests {
                 assert!(faults.is_none());
                 assert!(retries.is_none());
                 assert!(deadline_ms.is_none());
+                assert_eq!(on_failure, torus_runtime::OnFailure::Abort);
             }
             other => panic!("{other:?}"),
         }
@@ -592,6 +607,35 @@ mod tests {
         assert!(out.contains("ABORTED"), "{out}");
         assert!(out.contains("run aborted:"), "{out}");
         assert!(out.contains("verified=false"), "{out}");
+    }
+
+    #[test]
+    fn parse_on_failure_policy() {
+        let cmd = parse_args(&argv("run-real --shape 4x4 --on-failure degrade")).unwrap();
+        match cmd {
+            Command::RunReal { on_failure, .. } => {
+                assert_eq!(on_failure, torus_runtime::OnFailure::Degrade);
+            }
+            other => panic!("{other:?}"),
+        }
+        let err = parse_args(&argv("run-real --shape 4x4 --on-failure explode")).unwrap_err();
+        assert!(err.contains("--on-failure"), "{err}");
+    }
+
+    #[test]
+    fn execute_run_real_kill_degrades_and_completes() {
+        let out = execute(
+            parse_args(&argv(
+                "run-real --shape 4x4 --threads 2 -m 16 --faults kill=1:3 \
+                 --deadline-ms 20 --on-failure degrade",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("DEGRADED"), "{out}");
+        assert!(out.contains("survivors verified"), "{out}");
+        assert!(!out.contains("ABORTED"), "{out}");
+        assert!(!out.contains("run aborted"), "{out}");
     }
 
     #[test]

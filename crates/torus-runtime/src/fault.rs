@@ -267,6 +267,20 @@ impl FaultPlan {
         self.worker.get(&(step, node)).copied()
     }
 
+    /// All pinned kill faults as `(step, node)` pairs, sorted. Kills are
+    /// never rate-sampled, so this is the complete statically-known dead
+    /// set — what degraded-mode execution pre-seeds its quarantine from.
+    pub fn kills(&self) -> Vec<(usize, NodeId)> {
+        let mut out: Vec<(usize, NodeId)> = self
+            .worker
+            .iter()
+            .filter(|(_, kind)| matches!(kind, WorkerFaultKind::Kill))
+            .map(|(&(step, node), _)| (step, node))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Deterministic byte offset for a [`FaultKind::CorruptByte`] on a
     /// frame of `len` bytes.
     pub fn corrupt_offset(&self, step: usize, src: NodeId, dst: NodeId, len: usize) -> usize {
@@ -450,6 +464,17 @@ mod tests {
         assert!(FaultPlan::parse("drop").is_err());
         assert!(FaultPlan::parse("kill=x").is_err());
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn kills_lists_only_pinned_kills_sorted() {
+        let p = FaultPlan::seeded(1)
+            .with_drop_rate(1.0)
+            .with_worker_fault(5, 2, WorkerFaultKind::Kill)
+            .with_worker_fault(1, 9, WorkerFaultKind::Kill)
+            .with_worker_fault(2, 4, WorkerFaultKind::StallMicros(10));
+        assert_eq!(p.kills(), vec![(1, 9), (5, 2)]);
+        assert!(FaultPlan::default().kills().is_empty());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! println!("{}", report.summary());
 //! ```
 
+pub mod degrade;
 pub mod fault;
 pub mod message;
 pub mod payload;
@@ -61,6 +62,7 @@ pub mod recovery;
 pub mod report;
 pub mod runtime;
 
+pub use degrade::{DeadNode, DegradedReport, OnFailure};
 pub use fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
 pub use message::{
     crc32, decode_gathered, decode_message, encode_gathered, encode_message, WireError, WireFrame,
@@ -108,6 +110,21 @@ pub enum RuntimeError {
     /// A worker thread panicked (a bug, not an injected fault); the
     /// panic payload is stringified.
     WorkerPanicked(String),
+    /// A block referenced a canonical node with no real mapping — e.g. a
+    /// corrupt header that decoded to an out-of-range node id. Carries
+    /// the offending id and where in the schedule it surfaced
+    /// (`phase = "seeding"` when it predates the first step).
+    UnmappedNode {
+        /// The canonical node id that has no real counterpart.
+        node: torus_topology::NodeId,
+        /// Phase label (or `"seeding"` / `"delivery"` for the edges).
+        phase: String,
+        /// 1-based step within the phase (0 outside the step loop).
+        step: usize,
+    },
+    /// Degraded-mode schedule repair failed (e.g. the dead set
+    /// disconnects the survivors).
+    Repair(alltoall_core::RepairError),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -121,6 +138,11 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::Aborted { failure, .. } => write!(f, "run aborted: {failure}"),
             RuntimeError::WorkerPanicked(s) => write!(f, "worker thread panicked: {s}"),
+            RuntimeError::UnmappedNode { node, phase, step } => write!(
+                f,
+                "node id {node} has no real mapping (in {phase} step {step})"
+            ),
+            RuntimeError::Repair(e) => write!(f, "degraded-mode schedule repair failed: {e}"),
         }
     }
 }
@@ -130,6 +152,7 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Exchange(e) => Some(e),
             RuntimeError::Wire(e) => Some(e),
+            RuntimeError::Repair(e) => Some(e),
             _ => None,
         }
     }
@@ -144,5 +167,11 @@ impl From<ExchangeError> for RuntimeError {
 impl From<WireError> for RuntimeError {
     fn from(e: WireError) -> Self {
         RuntimeError::Wire(e)
+    }
+}
+
+impl From<alltoall_core::RepairError> for RuntimeError {
+    fn from(e: alltoall_core::RepairError) -> Self {
+        RuntimeError::Repair(e)
     }
 }

@@ -168,8 +168,17 @@ pub enum FailureReason {
         /// The framing or checksum error the decoder reported.
         error: crate::message::WireError,
     },
-    /// The worker hosting the node was killed by the fault plan.
-    WorkerKilled,
+    /// The worker hosting `node` was killed by the fault plan.
+    WorkerKilled {
+        /// The canonical node whose worker was killed.
+        node: NodeId,
+    },
+    /// A node was quarantined by degraded-mode execution: the repaired
+    /// schedule routes around it and the run completes for survivors.
+    NodeDead {
+        /// The quarantined canonical node.
+        node: NodeId,
+    },
     /// A channel endpoint disappeared mid-run.
     ChannelClosed,
 }
@@ -183,7 +192,8 @@ impl std::fmt::Display for FailureReason {
             FailureReason::Integrity { src, error } => {
                 write!(f, "frame from node {src} failed integrity check: {error}")
             }
-            FailureReason::WorkerKilled => write!(f, "worker killed"),
+            FailureReason::WorkerKilled { node } => write!(f, "worker for node {node} killed"),
+            FailureReason::NodeDead { node } => write!(f, "node {node} quarantined"),
             FailureReason::ChannelClosed => write!(f, "channel closed"),
         }
     }
@@ -299,6 +309,22 @@ mod tests {
             reason,
             FailureReason::RetryExhausted { src: 7 },
             "integrity failures are not retry exhaustion"
+        );
+    }
+
+    #[test]
+    fn kill_and_quarantine_reasons_name_the_node() {
+        assert_eq!(
+            FailureReason::WorkerKilled { node: 9 }.to_string(),
+            "worker for node 9 killed"
+        );
+        assert_eq!(
+            FailureReason::NodeDead { node: 3 }.to_string(),
+            "node 3 quarantined"
+        );
+        assert_ne!(
+            FailureReason::WorkerKilled { node: 3 },
+            FailureReason::NodeDead { node: 3 }
         );
     }
 

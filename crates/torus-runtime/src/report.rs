@@ -17,6 +17,7 @@ use cost_model::CompletionTime;
 use serde::Serialize;
 use torus_sim::Trace;
 
+use crate::degrade::DegradedReport;
 use crate::fault::FaultEvent;
 use crate::recovery::{NodeFailure, RecoveryStats};
 
@@ -108,6 +109,11 @@ pub struct RuntimeReport {
     /// The first unrecoverable failure, if the run aborted (always
     /// `None` on a successful run).
     pub failure: Option<NodeFailure>,
+    /// Degraded-mode accounting: present exactly when the run quarantined
+    /// at least one node under [`OnFailure::Degrade`](crate::OnFailure)
+    /// and completed for the survivors. `None` on fault-free runs, on
+    /// aborted runs, and on degrade-policy runs that never lost a node.
+    pub degraded: Option<DegradedReport>,
     /// The Table 1 closed-form prediction for the executed shape under the
     /// configured [`CommParams`](cost_model::CommParams).
     pub analytic: CompletionTime,
@@ -212,6 +218,9 @@ impl RuntimeReport {
         if let Some(failure) = &self.failure {
             let _ = writeln!(s, "  ABORTED: {failure}");
         }
+        if let Some(degraded) = &self.degraded {
+            let _ = writeln!(s, "  {}", degraded.summary_line());
+        }
         let _ = write!(
             s,
             "  peak node residency {} B; analytic model: {:.1} us total ({} dominant)",
@@ -274,6 +283,7 @@ mod tests {
             faults: RecoveryStats::default(),
             fault_events: Vec::new(),
             failure: None,
+            degraded: None,
             analytic: CompletionTime::default(),
             trace: Trace::default(),
         }
@@ -329,11 +339,37 @@ mod tests {
             phase: "phase 2".into(),
             step: 1,
             global_step: 3,
-            reason: crate::recovery::FailureReason::WorkerKilled,
+            reason: crate::recovery::FailureReason::WorkerKilled { node: 5 },
         });
         let s = r.summary();
         assert!(s.contains("ABORTED"));
         assert!(s.contains("node 5"));
         assert!(s.contains("phase 2"));
+    }
+
+    #[test]
+    fn summary_includes_degraded_line_when_present() {
+        let mut r = sample();
+        r.degraded = Some(crate::degrade::DegradedReport {
+            dead_nodes: vec![crate::degrade::DeadNode {
+                node: 7,
+                original: Some(7),
+                quarantine_step: 3,
+                reason: crate::recovery::FailureReason::WorkerKilled { node: 7 },
+            }],
+            dropped_blocks: 126,
+            dropped: Vec::new(),
+            contracted_rings: 2,
+            contracted_sends: 4,
+            fallback_steps: 3,
+            fallback_blocks: 11,
+            baseline_wire_bytes: 100_000,
+            extra_wire_bytes: -512,
+            restarts: 0,
+            verified_degraded: true,
+        });
+        let s = r.summary();
+        assert!(s.contains("DEGRADED: dead [7@3]"));
+        assert!(s.contains("126 blocks dropped"));
     }
 }

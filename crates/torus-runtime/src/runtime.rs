@@ -58,14 +58,17 @@
 //! deadlock-free by construction; determinism across worker counts
 //! follows from the per-step barriers plus the fixed ownership partition.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use alltoall_core::block::Buffers;
-use alltoall_core::steps::StepPlan;
-use alltoall_core::{verify_delivery, Block, NullObserver, Observer, PreparedExchange};
+use alltoall_core::steps::{PlannedStep, StepPlan};
+use alltoall_core::{
+    verify_delivery, verify_delivery_degraded, Block, NullObserver, Observer, PhaseKind,
+    PreparedExchange, RepairedSchedule, RepairedStep,
+};
 use bytes::{Bytes, BytesMut};
 use cost_model::{CommParams, CompletionTime};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
@@ -73,6 +76,7 @@ use crossbeam::thread as cb_thread;
 use torus_sim::{StepStat, Trace};
 use torus_topology::{NodeId, TorusShape};
 
+use crate::degrade::{DeadNode, DegradedReport, OnFailure};
 use crate::fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
 use crate::message::{
     decode_gathered, decode_message, encode_gathered, encode_message, WireError, WireFrame,
@@ -104,6 +108,10 @@ pub struct RuntimeConfig {
     /// Receive deadline and retry budget used whenever `faults` is
     /// non-empty.
     pub retry: RetryPolicy,
+    /// What to do when a node suffers an unrecoverable fault: abort the
+    /// run (default), or quarantine the node and complete a repaired
+    /// schedule for the survivors. See [`OnFailure`].
+    pub on_failure: OnFailure,
 }
 
 impl Default for RuntimeConfig {
@@ -114,6 +122,7 @@ impl Default for RuntimeConfig {
             params: CommParams::cray_t3d_like(),
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
+            on_failure: OnFailure::default(),
         }
     }
 }
@@ -146,6 +155,12 @@ impl RuntimeConfig {
     /// Sets the receive deadline / retry budget.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the unrecoverable-failure policy.
+    pub fn with_on_failure(mut self, on_failure: OnFailure) -> Self {
+        self.on_failure = on_failure;
         self
     }
 }
@@ -216,6 +231,54 @@ struct WorkerStats {
     peak_bytes: u64,
     faults: RecoveryStats,
     events: Vec<FaultEvent>,
+    /// Degraded mode: blocks this worker discarded executing drop lists.
+    dropped_found: u64,
+    /// Degraded mode: repaired sends whose drained block count did not
+    /// match the manifest (a planner/executor divergence — any nonzero
+    /// total fails verification after the join).
+    manifest_mismatches: u64,
+}
+
+/// A step as the workers execute it: either a base-plan step (block
+/// selection by the paper's per-phase rules) or a repaired step (block
+/// selection by explicit per-node manifests).
+#[derive(Clone, Copy)]
+enum ExecStep<'a> {
+    Base(&'a PlannedStep),
+    Repaired(&'a RepairedStep),
+}
+
+impl ExecStep<'_> {
+    fn hops(&self) -> u32 {
+        match self {
+            ExecStep::Base(st) => st.hops,
+            ExecStep::Repaired(st) => st.hops,
+        }
+    }
+
+    /// Where `node` sends this step, `None` if it idles.
+    fn dst_of(&self, node: usize) -> Option<NodeId> {
+        match self {
+            ExecStep::Base(st) => st.sends[node].map(|s| s.dst),
+            ExecStep::Repaired(st) => st.sends[node].as_ref().map(|s| s.dst),
+        }
+    }
+}
+
+/// A phase view unifying the base plan and a repaired schedule, so one
+/// worker loop executes both.
+struct ExecPhase<'a> {
+    name: &'a str,
+    kind: PhaseKind,
+    rearrange_after: bool,
+    steps: Vec<ExecStep<'a>>,
+}
+
+/// Everything a degraded-mode execution needs beyond the base plan.
+struct DegradeCtx {
+    repaired: RepairedSchedule,
+    dead_nodes: Vec<DeadNode>,
+    restarts: u32,
 }
 
 fn snapshot_buffers(slots: &[Mutex<Vec<Block<Bytes>>>]) -> Buffers<Bytes> {
@@ -268,7 +331,7 @@ impl Runtime {
     /// delivery bit-exactly. This is the standard measurement entry point.
     pub fn run(&self) -> Result<RuntimeReport, RuntimeError> {
         let m = self.config.block_bytes;
-        self.run_impl(&mut NullObserver, |s, d| pattern_payload(s, d, m), false)
+        self.run_policy(&mut NullObserver, |s, d| pattern_payload(s, d, m), false)
             .map(|(report, _)| report)
     }
 
@@ -285,7 +348,7 @@ impl Runtime {
     where
         F: FnMut(NodeId, NodeId) -> Bytes,
     {
-        self.run_impl(&mut NullObserver, payload, false)
+        self.run_policy(&mut NullObserver, payload, false)
     }
 
     /// Runs with pattern payloads and an [`Observer`] receiving per-step
@@ -296,8 +359,115 @@ impl Runtime {
         observer: &mut O,
     ) -> Result<RuntimeReport, RuntimeError> {
         let m = self.config.block_bytes;
-        self.run_impl(observer, |s, d| pattern_payload(s, d, m), true)
+        self.run_policy(observer, |s, d| pattern_payload(s, d, m), true)
             .map(|(report, _)| report)
+    }
+
+    /// Routes a run through the configured [`OnFailure`] policy.
+    #[allow(clippy::type_complexity)]
+    fn run_policy<F, O>(
+        &self,
+        observer: &mut O,
+        payload: F,
+        observe: bool,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+        O: Observer<Bytes>,
+    {
+        match self.config.on_failure {
+            OnFailure::Abort => self.run_impl(observer, payload, observe, None),
+            OnFailure::Degrade => self.run_degrade(observer, payload, observe),
+        }
+    }
+
+    /// Degraded-mode driver: quarantine failed nodes and execute a
+    /// repaired schedule that completes for the survivors.
+    ///
+    /// Pinned kills are known up front, so they seed the quarantine set
+    /// directly and the first execution already runs repaired. Dynamic
+    /// failures (an exhausted retry budget, an unrecoverable integrity
+    /// error) surface as an aborted run naming the culprit node; the
+    /// driver quarantines it from the step it failed at, replans, and
+    /// restarts from freshly seeded buffers. Each restart permanently
+    /// removes one node, and the restart budget bounds the loop.
+    #[allow(clippy::type_complexity)]
+    fn run_degrade<F, O>(
+        &self,
+        observer: &mut O,
+        mut payload: F,
+        observe: bool,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+        O: Observer<Bytes>,
+    {
+        const MAX_RESTARTS: u32 = 8;
+        let exchange = self.prepared.exchange();
+        let base_total = self.plan.total_steps();
+        let mut quarantine: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut reasons: BTreeMap<NodeId, FailureReason> = BTreeMap::new();
+        // Kills pinned at or past the end of the base plan would never
+        // fire in the base schedule; they are ignored rather than
+        // quarantined.
+        for (step, node) in self.config.faults.kills() {
+            if step < base_total {
+                quarantine.entry(node).or_insert(step);
+                reasons
+                    .entry(node)
+                    .or_insert(FailureReason::WorkerKilled { node });
+            }
+        }
+        let mut restarts = 0u32;
+        loop {
+            let result = if quarantine.is_empty() {
+                // Nothing dead (yet): the base plan as-is.
+                self.run_impl(observer, &mut payload, observe, None)
+            } else {
+                let repaired =
+                    RepairedSchedule::plan(&self.plan, self.prepared.seeded_blocks(), &quarantine)?;
+                let dead_nodes = repaired
+                    .dead
+                    .iter()
+                    .map(|&(node, quarantine_step)| DeadNode {
+                        node,
+                        original: exchange.from_canonical(node),
+                        quarantine_step,
+                        reason: reasons
+                            .get(&node)
+                            .copied()
+                            .unwrap_or(FailureReason::NodeDead { node }),
+                    })
+                    .collect();
+                let ctx = DegradeCtx {
+                    repaired,
+                    dead_nodes,
+                    restarts,
+                };
+                self.run_impl(observer, &mut payload, observe, Some(&ctx))
+            };
+            let (failure, report) = match result {
+                Err(RuntimeError::Aborted { failure, report }) => (failure, report),
+                other => return other,
+            };
+            // Quarantine can only repair failures that name a culprit
+            // node; anything else — and a repeat offender, which means
+            // quarantining it did not help — aborts for real.
+            let culprit = match failure.reason {
+                FailureReason::RetryExhausted { src } => Some(src),
+                FailureReason::Integrity { src, .. } => Some(src),
+                FailureReason::WorkerKilled { node } => Some(node),
+                FailureReason::NodeDead { .. } | FailureReason::ChannelClosed => None,
+            };
+            match culprit {
+                Some(node) if restarts < MAX_RESTARTS && !quarantine.contains_key(&node) => {
+                    quarantine.insert(node, failure.global_step.min(base_total));
+                    reasons.insert(node, failure.reason);
+                    restarts += 1;
+                }
+                _ => return Err(RuntimeError::Aborted { failure, report }),
+            }
+        }
     }
 
     #[allow(clippy::type_complexity)]
@@ -306,6 +476,7 @@ impl Runtime {
         observer: &mut O,
         mut payload: F,
         observe: bool,
+        degrade: Option<&DegradeCtx>,
     ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
     where
         F: FnMut(NodeId, NodeId) -> Bytes,
@@ -316,8 +487,35 @@ impl Runtime {
         let nn = canon.num_nodes() as usize;
         let workers = self.effective_workers();
         let plan = &self.plan;
-        let phases = plan.phases();
-        let total_steps = plan.total_steps();
+        // Unified execution view: base-plan phases, or the repaired
+        // phases (same step grid plus drops, manifests, and an optional
+        // trailing fallback phase) when running degraded.
+        let exec_phases: Vec<ExecPhase> = match degrade {
+            None => plan
+                .phases()
+                .iter()
+                .map(|ph| ExecPhase {
+                    name: &ph.name,
+                    kind: ph.kind,
+                    rearrange_after: ph.rearrange_after,
+                    steps: ph.steps.iter().map(ExecStep::Base).collect(),
+                })
+                .collect(),
+            Some(ctx) => ctx
+                .repaired
+                .phases
+                .iter()
+                .map(|ph| ExecPhase {
+                    name: &ph.name,
+                    kind: ph.kind,
+                    rearrange_after: ph.rearrange_after,
+                    steps: ph.steps.iter().map(ExecStep::Repaired).collect(),
+                })
+                .collect(),
+        };
+        let phases = &exec_phases;
+        let total_steps: usize = phases.iter().map(|p| p.steps.len()).sum();
+        let degrade_mode = degrade.is_some();
         let faults = &self.config.faults;
         let no_faults = faults.is_empty();
 
@@ -330,10 +528,18 @@ impl Runtime {
             for b in blocks {
                 let os = exchange
                     .from_canonical(b.src)
-                    .expect("seeded blocks originate from real nodes");
+                    .ok_or(RuntimeError::UnmappedNode {
+                        node: b.src,
+                        phase: String::from("seeding"),
+                        step: 0,
+                    })?;
                 let od = exchange
                     .from_canonical(b.dst)
-                    .expect("seeded blocks target real nodes");
+                    .ok_or(RuntimeError::UnmappedNode {
+                        node: b.dst,
+                        phase: String::from("seeding"),
+                        step: 0,
+                    })?;
                 let bytes = payload(os, od);
                 expected_payloads.insert((b.src, b.dst), bytes.clone());
                 let mut nb = Block::with_payload(b.src, b.dst, bytes);
@@ -356,12 +562,12 @@ impl Runtime {
             let mut g = 0;
             for ph in phases {
                 for (si, st) in ph.steps.iter().enumerate() {
-                    for (node, send) in st.sends.iter().enumerate() {
-                        if let Some(s) = send {
-                            expect_from[g][s.dst as usize] = Some(node as NodeId);
+                    for node in 0..nn {
+                        if let Some(dst) = st.dst_of(node) {
+                            expect_from[g][dst as usize] = Some(node as NodeId);
                         }
                     }
-                    step_ctx.push((ph.name.clone(), si + 1));
+                    step_ctx.push((ph.name.to_string(), si + 1));
                     g += 1;
                 }
             }
@@ -433,6 +639,8 @@ impl Runtime {
                 peak_bytes: 0,
                 faults: RecoveryStats::default(),
                 events: Vec::new(),
+                dropped_found: 0,
+                manifest_mismatches: 0,
             };
             // Recycled send-side state: the frame-buffer pool and the
             // per-step outgoing scratch vector. Both reach steady state
@@ -444,7 +652,8 @@ impl Runtime {
             let mut dead = false;
             let mut g = 0usize;
             for (pi, ph) in phases.iter().enumerate() {
-                for st in &ph.steps {
+                for est in &ph.steps {
+                    let est = *est;
                     if !no_faults && !dead {
                         for li in 0..bufs.len() {
                             let node = (base + li) as NodeId;
@@ -461,8 +670,16 @@ impl Runtime {
                             match wf {
                                 WorkerFaultKind::Kill => {
                                     stats.faults.injected_kills += 1;
-                                    fail(node, g, FailureReason::WorkerKilled);
-                                    dead = true;
+                                    if !degrade_mode {
+                                        fail(node, g, FailureReason::WorkerKilled { node });
+                                        dead = true;
+                                    }
+                                    // Degraded runs absorb the kill: the
+                                    // node is already quarantined in the
+                                    // repaired schedule (its sends and
+                                    // receives are gone), and its worker
+                                    // must stay alive to route salvaged
+                                    // survivor blocks out in fallback.
                                 }
                                 WorkerFaultKind::StallMicros(us) => {
                                     stats.faults.injected_stalls += 1;
@@ -478,29 +695,70 @@ impl Runtime {
                         let pstats = &mut stats.phase[pi];
                         let sstats = &mut stats.steps[g];
 
+                        // Degraded mode: quarantine drops take effect at
+                        // step entry, before any send — discard the
+                        // listed blocks from owned holders.
+                        if let ExecStep::Repaired(rst) = est {
+                            for (holder, pairs) in &rst.drops {
+                                let h = *holder as usize;
+                                if h < base || h >= base + bufs.len() {
+                                    continue;
+                                }
+                                let buf = &mut bufs[h - base];
+                                let before = buf.len();
+                                buf.retain(|b| pairs.binary_search(&(b.src, b.dst)).is_err());
+                                stats.dropped_found += (before - buf.len()) as u64;
+                            }
+                        }
+
                         // Assemble and send for every owned scheduled
                         // sender.
                         for (li, buf) in bufs.iter_mut().enumerate() {
                             let node = (base + li) as NodeId;
-                            let Some(send) = st.sends[node as usize] else {
+                            let Some(dst) = est.dst_of(node as usize) else {
                                 continue;
                             };
                             let t0 = Instant::now();
                             outgoing.clear();
-                            buf.retain_mut(|b| {
-                                if plan.selects(st, node, b) {
-                                    if let Some(p) = StepPlan::shift_decrement(st) {
-                                        b.shifts[p] -= 1;
+                            match est {
+                                ExecStep::Base(st) => buf.retain_mut(|b| {
+                                    if plan.selects(st, node, b) {
+                                        if let Some(p) = StepPlan::shift_decrement(st) {
+                                            b.shifts[p] -= 1;
+                                        }
+                                        outgoing.push(std::mem::replace(
+                                            b,
+                                            Block::with_payload(0, 0, Bytes::new()),
+                                        ));
+                                        false
+                                    } else {
+                                        true
                                     }
-                                    outgoing.push(std::mem::replace(
-                                        b,
-                                        Block::with_payload(0, 0, Bytes::new()),
-                                    ));
-                                    false
-                                } else {
-                                    true
+                                }),
+                                ExecStep::Repaired(st) => {
+                                    // Manifest-driven: the repaired plan
+                                    // lists the exact (src, dst) pairs to
+                                    // fold in. No shift bookkeeping —
+                                    // repaired selection never reads it.
+                                    let spec = st.sends[node as usize]
+                                        .as_ref()
+                                        .expect("dst_of returned Some");
+                                    buf.retain_mut(|b| {
+                                        if spec.pairs.binary_search(&(b.src, b.dst)).is_ok() {
+                                            outgoing.push(std::mem::replace(
+                                                b,
+                                                Block::with_payload(0, 0, Bytes::new()),
+                                            ));
+                                            false
+                                        } else {
+                                            true
+                                        }
+                                    });
+                                    if outgoing.len() != spec.pairs.len() {
+                                        stats.manifest_mismatches += 1;
+                                    }
                                 }
-                            });
+                            }
                             let msg = if no_faults {
                                 // Zero-copy: headers into a pooled
                                 // buffer, payloads shared by handle.
@@ -537,7 +795,7 @@ impl Runtime {
                             pstats.wire_bytes += msg.wire_len() as u64;
                             pstats.messages += 1;
                             if no_faults {
-                                if senders[send.dst as usize].send(msg).is_err() {
+                                if senders[dst as usize].send(msg).is_err() {
                                     fail(node, g, FailureReason::ChannelClosed);
                                 }
                             } else {
@@ -545,13 +803,13 @@ impl Runtime {
                                 // Retain the pristine frame so the
                                 // receiver can recover it; then mutate
                                 // what actually goes on the wire.
-                                *lk(&retained[send.dst as usize]) = Some(msg.clone());
+                                *lk(&retained[dst as usize]) = Some(msg.clone());
                                 let mut deliver = vec![msg];
-                                for kind in faults.message_faults(g, node, send.dst, 0) {
+                                for kind in faults.message_faults(g, node, dst, 0) {
                                     stats.events.push(FaultEvent {
                                         step: g,
                                         src: node,
-                                        dst: send.dst,
+                                        dst,
                                         attempt: 0,
                                         kind: FaultEventKind::Message(kind),
                                     });
@@ -575,7 +833,7 @@ impl Runtime {
                                             let off = faults.corrupt_offset(
                                                 g,
                                                 node,
-                                                send.dst,
+                                                dst,
                                                 deliver.first().map_or(0, Bytes::len),
                                             );
                                             deliver = deliver
@@ -590,7 +848,7 @@ impl Runtime {
                                     }
                                 }
                                 for f in deliver {
-                                    if senders[send.dst as usize]
+                                    if senders[dst as usize]
                                         .send(WireFrame::Contiguous(f))
                                         .is_err()
                                     {
@@ -826,7 +1084,7 @@ impl Runtime {
         let mut phase_reports = Vec::with_capacity(phases.len());
         let mut gbase = 0usize;
         for (pi, ph) in phases.iter().enumerate() {
-            trace.begin_phase(&ph.name);
+            trace.begin_phase(ph.name);
             for (si, st) in ph.steps.iter().enumerate() {
                 let g = gbase + si;
                 let mut messages = 0u64;
@@ -843,7 +1101,7 @@ impl Runtime {
                     messages: messages as u32,
                     total_blocks: blocks,
                     max_blocks,
-                    max_hops: st.hops,
+                    max_hops: st.hops(),
                     retries,
                     time_us: step_walls[g].as_secs_f64() * 1e6,
                 });
@@ -851,7 +1109,7 @@ impl Runtime {
             gbase += ph.steps.len();
 
             let mut pr = PhaseReport {
-                name: ph.name.clone(),
+                name: ph.name.to_string(),
                 steps: ph.steps.len(),
                 wall: phase_walls[pi],
                 ..Default::default()
@@ -906,6 +1164,7 @@ impl Runtime {
             faults: fault_totals,
             fault_events,
             failure: failure_taken.clone(),
+            degraded: None,
             analytic: CompletionTime::from_counts(&cost_model::proposed_nd(canon.dims()), &params),
             trace,
         };
@@ -927,11 +1186,36 @@ impl Runtime {
         }
 
         // Reassemble final buffers and verify: right delivery set, and
-        // every payload bit-exactly as seeded.
+        // every payload bit-exactly as seeded. Degraded runs check the
+        // survivor invariant instead (dead nodes empty, every
+        // survivor→survivor block delivered) and cross-check the
+        // executed drops against the repaired plan.
         let buffers =
             Buffers::from_vecs(finals.iter().map(|m| std::mem::take(&mut *lk(m))).collect());
-        verify_delivery(&buffers, self.prepared.expected_delivery())
-            .map_err(|e| RuntimeError::Verification(e.to_string()))?;
+        match degrade {
+            None => verify_delivery(&buffers, self.prepared.expected_delivery())
+                .map_err(|e| RuntimeError::Verification(e.to_string()))?,
+            Some(ctx) => {
+                let dead = ctx.repaired.dead_nodes();
+                verify_delivery_degraded(&buffers, self.prepared.expected_delivery(), &dead)
+                    .map_err(|e| RuntimeError::Verification(e.to_string()))?;
+                let found: u64 = stats.iter().map(|w| w.dropped_found).sum();
+                if found != ctx.repaired.dropped.len() as u64 {
+                    return Err(RuntimeError::Verification(format!(
+                        "degraded run discarded {found} blocks but the repaired schedule \
+                         planned {} drops",
+                        ctx.repaired.dropped.len()
+                    )));
+                }
+                let mismatches: u64 = stats.iter().map(|w| w.manifest_mismatches).sum();
+                if mismatches != 0 {
+                    return Err(RuntimeError::Verification(format!(
+                        "{mismatches} repaired sends drained a different block set than \
+                         their manifests list"
+                    )));
+                }
+            }
+        }
         for node in 0..nn as NodeId {
             for b in buffers.node(node) {
                 match expected_payloads.get(&(b.src, b.dst)) {
@@ -951,23 +1235,55 @@ impl Runtime {
                 }
             }
         }
-        report.verified = true;
+        // Full verification holds only for fault-free delivery; degraded
+        // runs record the survivor verification in the degraded report.
+        report.verified = degrade.is_none();
+        if let Some(ctx) = degrade {
+            // The fault-free baseline for the same payload set: one
+            // message header per scheduled send, and each block's framing
+            // + payload once per wire crossing the base plan gives it.
+            let baseline: u64 = ctx.repaired.base_messages * MESSAGE_HEADER_BYTES as u64
+                + ctx
+                    .repaired
+                    .base_tx
+                    .iter()
+                    .map(|&((s, d), n)| {
+                        let len = expected_payloads.get(&(s, d)).map_or(0, Bytes::len) as u64;
+                        n * (BLOCK_HEADER_BYTES as u64 + len)
+                    })
+                    .sum::<u64>();
+            report.degraded = Some(DegradedReport {
+                dead_nodes: ctx.dead_nodes.clone(),
+                dropped_blocks: ctx.repaired.dropped.len() as u64,
+                dropped: ctx.repaired.dropped.clone(),
+                contracted_rings: ctx.repaired.contracted_rings,
+                contracted_sends: ctx.repaired.contracted_sends,
+                fallback_steps: ctx.repaired.fallback_steps,
+                fallback_blocks: ctx.repaired.fallback_blocks,
+                baseline_wire_bytes: baseline,
+                extra_wire_bytes: report.wire_bytes as i64 - baseline as i64,
+                restarts: ctx.restarts,
+                verified_degraded: true,
+            });
+        }
 
         // Deliveries in original ids, sorted by source (same contract as
-        // `Exchange::run_with_payloads`).
+        // `Exchange::run_with_payloads`). Quarantined nodes end with
+        // empty buffers, so their delivery lists are empty.
         let mut deliveries: Vec<Vec<(NodeId, Bytes)>> = vec![Vec::new(); real_n as usize];
         for d in 0..real_n {
             let cd = exchange.to_canonical(d);
-            let mut got: Vec<(NodeId, Bytes)> = buffers
-                .node(cd)
-                .iter()
-                .map(|b| {
-                    let os = exchange
-                        .from_canonical(b.src)
-                        .expect("delivered blocks originate from real nodes");
-                    (os, b.payload.clone())
-                })
-                .collect();
+            let mut got: Vec<(NodeId, Bytes)> = Vec::with_capacity(buffers.node(cd).len());
+            for b in buffers.node(cd) {
+                let os = exchange
+                    .from_canonical(b.src)
+                    .ok_or(RuntimeError::UnmappedNode {
+                        node: b.src,
+                        phase: String::from("delivery"),
+                        step: 0,
+                    })?;
+                got.push((os, b.payload.clone()));
+            }
             got.sort_by_key(|(s, _)| *s);
             deliveries[d as usize] = got;
         }
@@ -1499,13 +1815,92 @@ mod tests {
         match err {
             RuntimeError::Aborted { failure, report } => {
                 assert_eq!(failure.node, 3);
-                assert_eq!(failure.reason, FailureReason::WorkerKilled);
+                assert_eq!(failure.reason, FailureReason::WorkerKilled { node: 3 });
                 assert_eq!(failure.global_step, 1);
                 assert!(!report.verified);
                 assert_eq!(report.faults.injected_kills, 1);
                 assert_eq!(report.failure.as_ref().unwrap().node, 3);
             }
             other => panic!("expected Aborted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn degrade_policy_completes_after_pinned_kill() {
+        let cfg = RuntimeConfig::default()
+            .with_workers(4)
+            .with_faults(FaultPlan::default().with_worker_fault(1, 3, WorkerFaultKind::Kill))
+            .with_retry(quick_retry())
+            .with_on_failure(OnFailure::Degrade);
+        let r = runtime(&[4, 4], cfg).run().unwrap();
+        // Full delivery can't verify (blocks were dropped); the survivor
+        // invariant does.
+        assert!(!r.verified);
+        assert!(r.failure.is_none());
+        assert_eq!(r.faults.injected_kills, 1);
+        let d = r.degraded.expect("degraded report present");
+        assert!(d.verified_degraded);
+        assert_eq!(d.restarts, 0, "pinned kills are quarantined up front");
+        assert_eq!(d.dead_nodes.len(), 1);
+        assert_eq!(d.dead_nodes[0].node, 3);
+        assert_eq!(d.dead_nodes[0].quarantine_step, 1);
+        assert_eq!(
+            d.dead_nodes[0].reason,
+            FailureReason::WorkerKilled { node: 3 }
+        );
+        // Every block with a dead endpoint is dropped, nothing else.
+        assert_eq!(d.dropped_blocks, 2 * 15);
+        assert_eq!(d.dropped.len() as u64, d.dropped_blocks);
+        assert!(d.dropped.iter().all(|b| (b.src == 3) ^ (b.dst == 3)));
+    }
+
+    #[test]
+    fn degrade_policy_without_failures_is_a_plain_run() {
+        let cfg = RuntimeConfig::default()
+            .with_workers(2)
+            .with_on_failure(OnFailure::Degrade);
+        let r = runtime(&[4, 4], cfg).run().unwrap();
+        assert!(r.verified);
+        assert!(r.degraded.is_none());
+    }
+
+    #[test]
+    fn degraded_deliveries_cover_survivors_only() {
+        let cfg = RuntimeConfig::default()
+            .with_workers(3)
+            .with_faults(FaultPlan::default().with_worker_fault(2, 5, WorkerFaultKind::Kill))
+            .with_retry(quick_retry())
+            .with_on_failure(OnFailure::Degrade);
+        let rt = runtime(&[4, 8], cfg);
+        // The fault plan pins the kill on *canonical* node 5; deliveries
+        // are indexed by original ids.
+        let orig = rt.prepared().exchange().from_canonical(5).unwrap();
+        let (r, deliveries) = rt
+            .run_with_payloads(|s, d| pattern_payload(s, d, 48))
+            .unwrap();
+        let d = r.degraded.unwrap();
+        assert!(d.verified_degraded);
+        assert_eq!(d.dead_nodes[0].original, Some(orig));
+        let n = 32u32;
+        assert!(
+            deliveries[orig as usize].is_empty(),
+            "dead node receives nothing"
+        );
+        for (dv, got) in deliveries.iter().enumerate() {
+            let dv = dv as u32;
+            if dv == orig {
+                continue;
+            }
+            let expected_srcs: Vec<NodeId> = (0..n).filter(|&s| s != dv && s != orig).collect();
+            let srcs: Vec<NodeId> = got.iter().map(|(s, _)| *s).collect();
+            assert_eq!(srcs, expected_srcs);
+            for (s, p) in got {
+                assert_eq!(
+                    *p,
+                    pattern_payload(*s, dv, 48),
+                    "bit-exact survivor payloads"
+                );
+            }
         }
     }
 }

@@ -33,11 +33,13 @@ pub mod direction;
 pub mod group;
 pub mod path;
 pub mod ring;
+pub mod route;
 pub mod shape;
 
 pub use coord::{Coord, MAX_DIMS};
 pub use direction::{Direction, Sign};
 pub use group::{GroupId, GroupInfo, SubmeshId};
 pub use path::{dor_path, ring_path, Channel};
-pub use ring::{ring_add, ring_distance, ring_hops, ring_sub};
+pub use ring::{next_alive, ring_add, ring_distance, ring_hops, ring_sub, stride_ring};
+pub use route::detour_hops;
 pub use shape::{NodeId, ShapeError, TorusShape};

@@ -44,6 +44,50 @@ pub fn ring_distance(a: u32, b: u32, k: u32) -> u32 {
     d.min(k - d)
 }
 
+/// The members of the stride ring through `start`: positions
+/// `start, start + stride, start + 2·stride, …` (mod `k`), in positive
+/// traversal order. The scatter phases walk exactly these rings with
+/// `stride = 4`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `k` is not a multiple of `stride` or
+/// `start >= k`.
+pub fn stride_ring(start: u32, stride: u32, k: u32) -> Vec<u32> {
+    debug_assert!(
+        stride > 0 && k.is_multiple_of(stride),
+        "ring {k} not divisible by stride {stride}"
+    );
+    debug_assert!(start < k);
+    (0..k / stride)
+        .map(|i| ring_add(start, (i * stride) as i64, k))
+        .collect()
+}
+
+/// Ring contraction: the next *alive* member of the stride ring after
+/// `from`, travelling in direction `sign`, skipping dead positions.
+///
+/// Returns `(position, strides_crossed)` where `strides_crossed >= 1` is
+/// the number of `stride`-hops the contracted link spans (1 when the
+/// immediate successor is alive — the uncontracted case). Returns `None`
+/// when every other ring member is dead (the ring has contracted to the
+/// single node `from`).
+pub fn next_alive<F>(from: u32, stride: u32, k: u32, sign: Sign, alive: F) -> Option<(u32, u32)>
+where
+    F: Fn(u32) -> bool,
+{
+    debug_assert!(stride > 0 && k.is_multiple_of(stride));
+    debug_assert!(from < k);
+    let members = k / stride;
+    for s in 1..members {
+        let pos = ring_add(from, sign.unit() * (s * stride) as i64, k);
+        if alive(pos) {
+            return Some((pos, s));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,6 +125,30 @@ mod tests {
         assert_eq!(ring_distance(8, 0, 12), 4);
         assert_eq!(ring_distance(3, 3, 12), 0);
         assert_eq!(ring_distance(0, 6, 12), 6);
+    }
+
+    #[test]
+    fn stride_ring_lists_members_in_order() {
+        assert_eq!(stride_ring(1, 4, 12), vec![1, 5, 9]);
+        assert_eq!(stride_ring(6, 4, 8), vec![6, 2]);
+        assert_eq!(stride_ring(3, 4, 4), vec![3]);
+    }
+
+    #[test]
+    fn next_alive_skips_dead_members() {
+        // Ring of positions {1, 5, 9, 13} (k = 16, stride 4).
+        let dead = [5u32, 9];
+        let alive = |p: u32| !dead.contains(&p);
+        // 1 -> 5 contracted past two dead members to 13 (3 strides).
+        assert_eq!(next_alive(1, 4, 16, Sign::Plus, alive), Some((13, 3)));
+        // 13 -> 1 is unaffected (1 stride).
+        assert_eq!(next_alive(13, 4, 16, Sign::Plus, alive), Some((1, 1)));
+        // Minus direction from 1 reaches 13 directly.
+        assert_eq!(next_alive(1, 4, 16, Sign::Minus, alive), Some((13, 1)));
+        // All peers dead: the ring contracted to a single node.
+        assert_eq!(next_alive(1, 4, 16, Sign::Plus, |p| p == 1), None);
+        // Trivial one-member ring has no successor at all.
+        assert_eq!(next_alive(2, 4, 4, Sign::Plus, |_| true), None);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Routing around failed nodes.
+//!
+//! The paper's schedules use fixed dimension-ordered paths on a healthy
+//! torus. A degraded torus (some nodes quarantined) still routes between
+//! any two live nodes as long as the survivor graph stays connected; these
+//! helpers answer "how far apart are two live nodes when the path must
+//! detour around the dead set" — the hop accounting the repaired
+//! schedule's direct-exchange fallback steps use.
+
+use std::collections::VecDeque;
+
+use crate::direction::{Direction, Sign};
+use crate::shape::{NodeId, TorusShape};
+
+/// Shortest hop count from `from` to `to` through live nodes only:
+/// breadth-first search over the torus adjacency, never entering a node
+/// listed in `dead` (the endpoints themselves must be live).
+///
+/// Returns `None` when no live path exists (the dead set disconnects the
+/// pair) or when either endpoint is dead. On an empty dead set this equals
+/// the torus's minimal (Lee) distance.
+pub fn detour_hops(shape: &TorusShape, from: NodeId, to: NodeId, dead: &[NodeId]) -> Option<u32> {
+    if dead.contains(&from) || dead.contains(&to) {
+        return None;
+    }
+    if from == to {
+        return Some(0);
+    }
+    let n = shape.num_nodes() as usize;
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    dist[from as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        let cu = shape.coord_of(u);
+        let du = dist[u as usize];
+        for dim in 0..shape.ndims() {
+            for sign in [Sign::Plus, Sign::Minus] {
+                let v = shape.index_of(&shape.neighbor(
+                    &cu,
+                    Direction {
+                        dim: dim as u8,
+                        sign,
+                    },
+                ));
+                if dead.contains(&v) || dist[v as usize] != u32::MAX {
+                    continue;
+                }
+                dist[v as usize] = du + 1;
+                if v == to {
+                    return Some(du + 1);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_dead_set_gives_lee_distance() {
+        let shape = TorusShape::new(&[4, 4]).unwrap();
+        // (0,0) -> (1,1): 2 hops; (0,0) -> (2,2): 4 hops (2 + 2, wrap
+        // indifferent on extent 4).
+        assert_eq!(detour_hops(&shape, 0, 5, &[]), Some(2));
+        assert_eq!(detour_hops(&shape, 0, 10, &[]), Some(4));
+        assert_eq!(detour_hops(&shape, 7, 7, &[]), Some(0));
+    }
+
+    #[test]
+    fn detours_around_dead_nodes() {
+        // 1D-ish probe on a 4x4: from 0 to 2 along a row is 2 hops; kill
+        // node 1 and the row detour via the neighboring row costs 4? No —
+        // the ring wraps: 0 -> 3 -> 2 is still 2 hops. Kill 3 as well and
+        // the path must leave the row.
+        let shape = TorusShape::new(&[4, 4]).unwrap();
+        assert_eq!(detour_hops(&shape, 0, 2, &[]), Some(2));
+        assert_eq!(detour_hops(&shape, 0, 2, &[1]), Some(2));
+        assert_eq!(detour_hops(&shape, 0, 2, &[1, 3]), Some(4));
+    }
+
+    #[test]
+    fn dead_endpoints_and_disconnection_are_none() {
+        let shape = TorusShape::new(&[4, 4]).unwrap();
+        assert_eq!(detour_hops(&shape, 0, 2, &[2]), None);
+        assert_eq!(detour_hops(&shape, 2, 0, &[2]), None);
+        // Wall off node 0 entirely (its four neighbors on a 4x4 torus).
+        assert_eq!(detour_hops(&shape, 0, 10, &[1, 3, 4, 12]), None);
+    }
+}
