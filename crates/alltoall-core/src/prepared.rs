@@ -14,6 +14,8 @@
 //! state instead of re-deriving it. The `prepared` Criterion bench
 //! measures the saving.
 
+use std::sync::{Arc, OnceLock};
+
 use cost_model::CommParams;
 use torus_topology::{NodeId, TorusShape};
 
@@ -44,6 +46,10 @@ pub struct PreparedExchange {
     /// Cached expected-delivery table for verification.
     expected: Vec<Vec<NodeId>>,
     threads: usize,
+    /// Lazily materialized step plan, shared by reference-count so many
+    /// concurrent runtimes (e.g. a service's job executors) reuse one
+    /// plan without recomputation. See [`step_plan_arc`](Self::step_plan_arc).
+    plan: OnceLock<Arc<crate::steps::StepPlan>>,
 }
 
 impl PreparedExchange {
@@ -86,6 +92,7 @@ impl PreparedExchange {
             seeded,
             expected,
             threads: threads.max(1),
+            plan: OnceLock::new(),
         })
     }
 
@@ -140,6 +147,18 @@ impl PreparedExchange {
     pub fn step_plan(&self) -> crate::steps::StepPlan {
         crate::steps::StepPlan::new(self.exchange.executed_shape())
     }
+
+    /// The step plan materialized once and cached, shared by
+    /// reference-count. Repeated callers (a plan cache serving many
+    /// concurrent jobs on the same shape) pay the `StepPlan::new` cost a
+    /// single time per prepared exchange.
+    pub fn step_plan_arc(&self) -> Arc<crate::steps::StepPlan> {
+        Arc::clone(
+            self.plan.get_or_init(|| {
+                Arc::new(crate::steps::StepPlan::new(self.exchange.executed_shape()))
+            }),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +198,16 @@ mod tests {
         let r = prepared.run(&CommParams::unit()).unwrap();
         assert!(r.verified);
         assert!(r.padded);
+    }
+
+    #[test]
+    fn step_plan_arc_is_cached_and_shared() {
+        let shape = TorusShape::new_2d(4, 4).unwrap();
+        let prepared = PreparedExchange::new(&shape).unwrap();
+        let a = prepared.step_plan_arc();
+        let b = prepared.step_plan_arc();
+        assert!(Arc::ptr_eq(&a, &b), "one materialization, shared after");
+        assert_eq!(a.total_steps(), prepared.step_plan().total_steps());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Service sweep (experiment S1): the persistent multi-job engine under
+//! increasing concurrency.
+//!
+//! One fixed batch of seeded jobs is pushed through a fresh
+//! [`torus_service::Engine`] at each concurrency level (1, 2, 4, 8
+//! drivers over one shared worker pool), so the table shows what job
+//! overlap buys once the plan cache is warm: wall time per batch,
+//! throughput, and the cache hit rate (first job per level misses, the
+//! rest hit).
+//!
+//! Prints a table and exports every level's [`ServiceStats`] to
+//! `results/service_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin service_sweep
+//! TORUS_THREADS=16 cargo run --release -p bench --bin service_sweep
+//! ```
+
+use bench::{fnum, Table};
+use std::io::Write as _;
+use torus_runtime::RuntimeConfig;
+use torus_service::{Engine, EngineConfig, PayloadSpec, ServiceStats};
+use torus_topology::TorusShape;
+
+const JOBS: usize = 16;
+const BLOCK_BYTES: usize = 64;
+
+/// One concurrency level's outcome, exported verbatim.
+#[derive(serde::Serialize)]
+// The fields exist for the JSON export; the offline serde stub's derive
+// elides the reads a real `Serialize` expansion performs.
+#[allow(dead_code)]
+struct LevelResult {
+    concurrency: usize,
+    workers_per_job: usize,
+    jobs: usize,
+    wall_ms: f64,
+    jobs_per_sec: f64,
+    stats: ServiceStats,
+}
+
+fn main() {
+    let pool = torus_sim::default_threads();
+    let shape = TorusShape::new_2d(8, 8).unwrap();
+    println!(
+        "S1: persistent engine, {JOBS} seeded jobs per level on {shape}, m = {BLOCK_BYTES} B, \
+         pool of {pool} workers (override with TORUS_THREADS)\n"
+    );
+
+    let mut t = Table::new(&[
+        "concurrency",
+        "workers/job",
+        "wall (ms)",
+        "jobs/s",
+        "cache hit",
+        "queue hwm",
+        "wire (KiB)",
+    ]);
+    let mut results: Vec<LevelResult> = Vec::new();
+    for concurrency in [1usize, 2, 4, 8] {
+        // Split the shared pool across the overlapping jobs so every
+        // level exercises the same total thread budget.
+        let workers = (pool / concurrency).max(1);
+        let engine = Engine::new(
+            EngineConfig::default()
+                .with_pool_size(pool)
+                .with_drivers(concurrency)
+                .with_queue_depth(JOBS),
+        );
+        let config = RuntimeConfig::default()
+            .with_block_bytes(BLOCK_BYTES)
+            .with_workers(workers);
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..JOBS as u64)
+            .map(|seed| {
+                engine
+                    .submit(shape.clone(), PayloadSpec::Seeded { seed }, config.clone())
+                    .expect("queue sized for the whole batch")
+            })
+            .collect();
+        for handle in &handles {
+            let result = handle.wait();
+            let report = result.report.as_ref().expect("clean jobs complete");
+            assert!(report.verified, "every job verifies bit-exactly");
+        }
+        let wall = start.elapsed();
+        let stats = engine.shutdown();
+        assert_eq!(stats.jobs_completed, JOBS as u64);
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let jobs_per_sec = JOBS as f64 / wall.as_secs_f64().max(f64::EPSILON);
+        t.row(&[
+            concurrency.to_string(),
+            workers.to_string(),
+            fnum(wall_ms),
+            fnum(jobs_per_sec),
+            match stats.cache_hit_rate() {
+                Some(r) => format!("{:.0}%", r * 100.0),
+                None => "-".into(),
+            },
+            stats.queue_high_water.to_string(),
+            fnum(stats.wire_bytes as f64 / 1024.0),
+        ]);
+        results.push(LevelResult {
+            concurrency,
+            workers_per_job: workers,
+            jobs: JOBS,
+            wall_ms,
+            jobs_per_sec,
+            stats,
+        });
+    }
+    t.print();
+    println!();
+
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join("service_sweep.json");
+        match serde_json::to_string_pretty(&results) {
+            Ok(json) => {
+                if let Ok(mut f) = std::fs::File::create(&path) {
+                    let _ = f.write_all(json.as_bytes());
+                    println!("(wrote {})", path.display());
+                }
+            }
+            Err(e) => eprintln!("json export failed: {e}"),
+        }
+    }
+    println!(
+        "every job verified bit-exactly; one plan build per level, all later \
+         jobs served from the cache."
+    );
+}

@@ -61,6 +61,7 @@ pub mod pool;
 pub mod recovery;
 pub mod report;
 pub mod runtime;
+pub mod workers;
 
 pub use degrade::{DeadNode, DegradedReport, OnFailure};
 pub use fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
@@ -68,11 +69,12 @@ pub use message::{
     crc32, decode_gathered, decode_message, encode_gathered, encode_message, WireError, WireFrame,
     BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES,
 };
-pub use payload::{pattern_payload, pattern_seed};
-pub use pool::FramePool;
+pub use payload::{pattern_payload, pattern_seed, seeded_payload};
+pub use pool::{FramePool, PoolBank};
 pub use recovery::{FailureReason, NodeFailure, RecoveryStats, RetryPolicy};
 pub use report::{PhaseReport, RuntimeReport};
 pub use runtime::{Runtime, RuntimeConfig};
+pub use workers::{Gang, WorkerPool};
 
 use alltoall_core::ExchangeError;
 

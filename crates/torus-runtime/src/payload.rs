@@ -43,6 +43,22 @@ pub fn pattern_payload(src: NodeId, dst: NodeId, len: usize) -> Bytes {
     Bytes::from(out)
 }
 
+/// [`pattern_payload`] re-keyed by a caller-chosen `seed`: the stream for
+/// pair `(src, dst)` under job seed `seed`. Two jobs with different seeds
+/// exchange fully distinct byte streams for every pair, which is how a
+/// multi-job service proves that concurrent runs (and cached-plan reuse)
+/// never alias each other's buffers.
+pub fn seeded_payload(seed: u64, src: NodeId, dst: NodeId, len: usize) -> Bytes {
+    let mut out = Vec::with_capacity(len);
+    let mut state = splitmix64(seed ^ pattern_seed(src, dst));
+    while out.len() < len {
+        state = splitmix64(state);
+        let take = (len - out.len()).min(8);
+        out.extend_from_slice(&state.to_le_bytes()[..take]);
+    }
+    Bytes::from(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,6 +76,14 @@ mod tests {
         for len in [0, 1, 7, 8, 9, 64, 1000] {
             assert_eq!(pattern_payload(5, 6, len).len(), len);
         }
+    }
+
+    #[test]
+    fn seeded_payloads_are_distinct_per_seed() {
+        assert_eq!(seeded_payload(1, 3, 7, 64), seeded_payload(1, 3, 7, 64));
+        assert_ne!(seeded_payload(1, 3, 7, 64), seeded_payload(2, 3, 7, 64));
+        assert_ne!(seeded_payload(9, 0, 1, 64), seeded_payload(9, 0, 2, 64));
+        assert_eq!(seeded_payload(5, 2, 9, 33).len(), 33);
     }
 
     #[test]

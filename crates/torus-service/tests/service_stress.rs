@@ -1,0 +1,172 @@
+//! Service stress suite (feature `chaos`): a high job count pushed
+//! through a deliberately shallow queue and small pool, with recoverable
+//! fault plans and degraded jobs mixed in. Every admitted job must
+//! finish, every clean job must verify bit-exactly, and the engine's
+//! books must balance at shutdown.
+//!
+//! Serialized (`#[ignore]` + `--test-threads=1` in CI) because it
+//! saturates the machine: `cargo test -p torus-service --features chaos
+//! -- --ignored --test-threads=1`.
+
+#![cfg(feature = "chaos")]
+
+use std::time::Duration;
+
+use torus_runtime::{
+    seeded_payload, FaultPlan, OnFailure, RetryPolicy, RuntimeConfig, WorkerFaultKind,
+};
+use torus_service::{Engine, EngineConfig, JobStatus, PayloadSpec, SubmitError};
+use torus_topology::TorusShape;
+
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy::default()
+        .with_deadline(Duration::from_millis(20))
+        .with_backoff(Duration::from_micros(200))
+}
+
+/// 60 jobs against a queue of depth 4 and a pool of 3 threads: a
+/// deterministic splitmix-style mix of clean, recoverable-fault,
+/// degraded, and doomed-abort jobs. Resubmission retries on `QueueFull`
+/// until every job is admitted, so the final books must account for all
+/// 60 completions/failures plus every rejection.
+#[ignore = "stress: saturates the queue and pool; run serialized via CI"]
+#[test]
+fn service_stress_every_admitted_job_finishes() {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_pool_size(3)
+            .with_drivers(3)
+            .with_queue_depth(4)
+            .with_cache_capacity(2),
+    );
+    let shapes = [
+        TorusShape::new_2d(4, 4).unwrap(),
+        TorusShape::new_2d(2, 4).unwrap(),
+        TorusShape::new_2d(4, 2).unwrap(),
+    ];
+    const JOBS: u64 = 60;
+    let mut handles = Vec::new();
+    let mut rejections = 0u64;
+    let mut doomed = Vec::new();
+    for i in 0..JOBS {
+        let kind = i % 10;
+        // Degraded jobs pin the 4x4: its post-quarantine repair is a
+        // known-connected case, so the job must complete (degraded),
+        // never fail.
+        let shape = if kind == 6 {
+            shapes[0].clone()
+        } else {
+            shapes[(i % 3) as usize].clone()
+        };
+        let cfg = RuntimeConfig::default()
+            .with_workers(1)
+            .with_block_bytes(48);
+        let (cfg, expect_failure) = match kind {
+            // Recoverable message faults: must still complete verified.
+            3 => (
+                cfg.with_faults(
+                    FaultPlan::seeded(i)
+                        .with_drop_rate(0.1)
+                        .with_corrupt_rate(0.05),
+                )
+                .with_retry(quick_retry()),
+                false,
+            ),
+            // Quarantine-and-continue: completes degraded.
+            6 => (
+                cfg.with_faults(FaultPlan::default().with_worker_fault(
+                    1,
+                    3,
+                    WorkerFaultKind::Kill,
+                ))
+                .with_retry(quick_retry())
+                .with_on_failure(OnFailure::Degrade),
+                false,
+            ),
+            // Unrecoverable kill under Abort: fails alone.
+            9 => (
+                cfg.with_faults(FaultPlan::default().with_worker_fault(
+                    1,
+                    3,
+                    WorkerFaultKind::Kill,
+                ))
+                .with_retry(quick_retry().with_max_retries(1))
+                .with_on_failure(OnFailure::Abort),
+                true,
+            ),
+            _ => (cfg, false),
+        };
+        // Admission-control backpressure: spin on QueueFull until the
+        // drivers drain room for this job.
+        let handle = loop {
+            match engine.submit(shape.clone(), PayloadSpec::Seeded { seed: i }, cfg.clone()) {
+                Ok(h) => break h,
+                Err(SubmitError::QueueFull { depth }) => {
+                    assert_eq!(depth, 4);
+                    rejections += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        };
+        if expect_failure {
+            doomed.push(handle.id());
+        }
+        handles.push((i, shape, handle));
+    }
+
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut degraded = 0u64;
+    for (seed, shape, handle) in &handles {
+        let result = handle.wait();
+        match handle.try_status() {
+            JobStatus::Completed => {
+                completed += 1;
+                let report = result.report.as_ref().unwrap();
+                if let Some(d) = &report.degraded {
+                    degraded += 1;
+                    assert!(d.verified_degraded, "job {seed}: survivors must verify");
+                } else {
+                    assert!(report.verified, "job {seed} must verify");
+                    let nn = shape.num_nodes();
+                    let deliveries = result.deliveries.as_ref().unwrap();
+                    for (dst, got) in deliveries.iter().enumerate() {
+                        for (src, payload) in got {
+                            assert_eq!(
+                                payload,
+                                &seeded_payload(*seed, *src, dst as u32, 48),
+                                "job {seed} pair ({src}, {dst})"
+                            );
+                        }
+                        assert_eq!(got.len() as u32, nn - 1);
+                    }
+                }
+            }
+            JobStatus::Failed => {
+                failed += 1;
+                assert!(
+                    doomed.contains(&handle.id()),
+                    "job {seed} failed unexpectedly: {:?}",
+                    result.error
+                );
+            }
+            other => panic!("job {seed} ended in {other:?}"),
+        }
+    }
+    assert_eq!(completed + failed, JOBS);
+    assert_eq!(failed, doomed.len() as u64, "exactly the doomed jobs fail");
+    assert_eq!(degraded, JOBS / 10, "every kind-6 job degrades");
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_accepted, JOBS);
+    assert_eq!(stats.jobs_completed, completed);
+    assert_eq!(stats.jobs_failed, failed);
+    assert_eq!(stats.jobs_degraded, degraded);
+    assert_eq!(stats.jobs_rejected, rejections);
+    assert!(stats.queue_high_water <= 4);
+    assert!(
+        stats.cache_hits + stats.cache_misses >= JOBS,
+        "every job consults the cache"
+    );
+}

@@ -1,0 +1,889 @@
+//! A small, dependency-free property-testing shim with the subset of the
+//! proptest 1.x API surface this workspace uses.
+//!
+//! The workspace's offline build environment stubs external crates, and
+//! `proptest` is too large to vendor wholesale; this crate implements the
+//! pieces the test suites actually exercise so `cargo test` builds and
+//! runs everywhere:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`];
+//! * the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//!   `prop_flat_map`, plus strategies for integer and float ranges,
+//!   tuples, [`Just`], [`any`], `prop::collection::vec`,
+//!   `prop::sample::Index`, and `prop::bool::ANY`;
+//! * a deterministic [`TestRunner`](test_runner::TestRunner) (seeded per
+//!   test name, so runs are reproducible without a persistence file).
+//!
+//! Differences from real proptest, by design: no shrinking (a failing
+//! case reports the original input), no failure persistence (the
+//! `.proptest-regressions` files are ignored), and the default case count
+//! is 64 rather than 256 to keep offline CI fast. Test code written
+//! against the real crate compiles unchanged against this shim.
+
+#![warn(missing_docs)]
+// The shim mirrors real-proptest idioms (`!(lo <= x)` range guards, a
+// `clone` that reseeds); keep them rather than contort the API.
+#![allow(clippy::neg_cmp_op_on_partial_ord, clippy::non_canonical_clone_impl)]
+
+use std::fmt;
+
+/// One splitmix64 mixing round — the engine behind every random choice.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The deterministic pseudo-random source handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn seeded(seed: u64) -> Self {
+        Self {
+            state: splitmix64(seed ^ 0x5bf0_3635_aef6_37c1),
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift reduction; bias is irrelevant for test sampling.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod test_runner {
+    //! The case-driving runner and its configuration.
+
+    use super::{fmt, splitmix64, strategy::Strategy, TestRng};
+
+    /// Why a generated value (or a whole case) was rejected.
+    pub type Reason = String;
+
+    /// Configuration for a [`TestRunner`]. Re-exported from the prelude
+    /// as `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    #[non_exhaustive]
+    pub struct Config {
+        /// Successful cases required for the test to pass.
+        pub cases: u32,
+        /// Cap on rejected cases (filters + `prop_assume!`) before the
+        /// run fails as under-constrained.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 64,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// A non-passing outcome of one test case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(Reason),
+        /// The case asked to be discarded (`prop_assume!`).
+        Reject(Reason),
+    }
+
+    impl TestCaseError {
+        /// A failing outcome.
+        pub fn fail(reason: impl Into<Reason>) -> Self {
+            Self::Fail(reason.into())
+        }
+
+        /// A discarded-case outcome.
+        pub fn reject(reason: impl Into<Reason>) -> Self {
+            Self::Reject(reason.into())
+        }
+    }
+
+    /// Shorthand for a test-case body's return type.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// A whole-run failure: one failing input, or too many rejects.
+    #[derive(Clone, Debug)]
+    pub enum TestError {
+        /// A case failed; carries the reason and the input's debug form.
+        Fail(Reason, String),
+        /// The reject cap was exceeded before `cases` successes.
+        TooManyRejects(Reason),
+    }
+
+    impl fmt::Display for TestError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestError::Fail(reason, input) => {
+                    write!(f, "test failed: {reason}; input: {input}")
+                }
+                TestError::TooManyRejects(reason) => {
+                    write!(f, "too many rejected cases: {reason}")
+                }
+            }
+        }
+    }
+
+    /// Drives strategies through test closures.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        rng: TestRng,
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed default seed.
+        pub fn new(config: Config) -> Self {
+            Self {
+                rng: TestRng::seeded(0x7072_6f70_7465_7374),
+                config,
+            }
+        }
+
+        /// A runner seeded deterministically from a test's name, so each
+        /// test explores its own reproducible sequence.
+        pub fn new_for(name: &str, config: Config) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed = splitmix64(seed ^ b as u64);
+            }
+            Self {
+                rng: TestRng::seeded(seed),
+                config,
+            }
+        }
+
+        /// The fixed-seed runner (API parity with real proptest).
+        pub fn deterministic() -> Self {
+            Self::new(Config::default())
+        }
+
+        /// The random source strategies draw from.
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+
+        /// Runs `config.cases` successful cases of `test` over values
+        /// drawn from `strategy`. No shrinking: the first failing input
+        /// is reported as-is.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            let mut passed = 0u32;
+            let mut rejects = 0u32;
+            while passed < self.config.cases {
+                let value = match strategy.sample(&mut self.rng) {
+                    Ok(v) => v,
+                    Err(reason) => {
+                        rejects += 1;
+                        if rejects > self.config.max_global_rejects {
+                            return Err(TestError::TooManyRejects(reason));
+                        }
+                        continue;
+                    }
+                };
+                let repr = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(reason)) => {
+                        rejects += 1;
+                        if rejects > self.config.max_global_rejects {
+                            return Err(TestError::TooManyRejects(reason));
+                        }
+                    }
+                    Err(TestCaseError::Fail(reason)) => {
+                        return Err(TestError::Fail(reason, repr));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait, its combinators, and [`ValueTree`].
+
+    use super::{fmt, test_runner::Reason, test_runner::TestRunner, TestRng};
+
+    /// A generator of test values.
+    ///
+    /// Unlike real proptest there is no shrinking machinery: a strategy
+    /// simply samples a value (or rejects, for filters).
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value: Clone + fmt::Debug;
+
+        /// Draws one value. `Err` means the draw was filtered out.
+        fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reason>;
+
+        /// Draws a [`ValueTree`] (a sampled value; no shrink lattice).
+        /// Retries filtered draws a bounded number of times.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, Reason> {
+            let mut last = Reason::new();
+            for _ in 0..64 {
+                match self.sample(runner.rng()) {
+                    Ok(v) => return Ok(SampledTree(v)),
+                    Err(reason) => last = reason,
+                }
+            }
+            Err(format!("strategy rejected 64 consecutive draws: {last}"))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Clone + fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keeps only values satisfying `f`; `whence` names the filter
+        /// in reject diagnostics.
+        fn prop_filter<F>(self, whence: impl Into<Reason>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Derives a second strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// A sampled value (real proptest's shrinkable tree, minus shrinking).
+    pub trait ValueTree {
+        /// The value type.
+        type Value;
+        /// The current value.
+        fn current(&self) -> Self::Value;
+        /// Shrinking is not implemented; always `false`.
+        fn simplify(&mut self) -> bool {
+            false
+        }
+        /// Shrinking is not implemented; always `false`.
+        fn complicate(&mut self) -> bool {
+            false
+        }
+    }
+
+    /// The concrete tree every strategy here produces.
+    #[derive(Clone, Debug)]
+    pub struct SampledTree<T>(pub(crate) T);
+
+    impl<T: Clone + fmt::Debug> ValueTree for SampledTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> Result<T, Reason> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Clone + fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> Result<O, Reason> {
+            self.source.sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone, Debug)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: Reason,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Result<S::Value, Reason> {
+            let v = self.source.sample(rng)?;
+            if (self.f)(&v) {
+                Ok(v)
+            } else {
+                Err(self.whence.clone())
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> Result<S2::Value, Reason> {
+            (self.f)(self.source.sample(rng)?).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Result<$t, Reason> {
+                    if self.start >= self.end {
+                        return Err(format!("empty range {:?}", self));
+                    }
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 * span) >> 64;
+                    Ok((self.start as i128 + off as i128) as $t)
+                }
+            }
+
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Result<$t, Reason> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo > hi {
+                        return Err(format!("empty range {:?}", self));
+                    }
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                    Ok((lo as i128 + off as i128) as $t)
+                }
+            }
+
+            impl Strategy for ::core::ops::RangeFrom<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Result<$t, Reason> {
+                    (self.start..=<$t>::MAX).sample(rng)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Result<$t, Reason> {
+                    if !(self.start < self.end) {
+                        return Err(format!("empty range {:?}", self));
+                    }
+                    Ok(self.start + (rng.unit_f64() as $t) * (self.end - self.start))
+                }
+            }
+
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> Result<$t, Reason> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if !(lo <= hi) {
+                        return Err(format!("empty range {:?}", self));
+                    }
+                    Ok(lo + (rng.unit_f64() as $t) * (hi - lo))
+                }
+            }
+        )*};
+    }
+
+    float_range_strategies!(f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reason> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Ok(($($name.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and the [`any`] strategy constructor.
+
+    use super::{fmt, strategy::Strategy, test_runner::Reason, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Clone + fmt::Debug {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A> Clone for Any<A> {
+        fn clone(&self) -> Self {
+            Self(PhantomData)
+        }
+    }
+
+    impl<A> Copy for Any<A> {}
+
+    impl<A> fmt::Debug for Any<A> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("any::<_>()")
+        }
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn sample(&self, rng: &mut TestRng) -> Result<A, Reason> {
+            Ok(A::arbitrary(rng))
+        }
+    }
+
+    /// The whole-domain strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64() as f32
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            core::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{strategy::Strategy, test_runner::Reason, TestRng};
+
+    /// An inclusive length range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<::core::ops::Range<usize>> for SizeRange {
+        fn from(r: ::core::ops::Range<usize>) -> Self {
+            Self {
+                min: r.start,
+                max: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<::core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reason> {
+            let SizeRange { min, max } = self.size;
+            if min > max {
+                return Err(format!("empty size range {min}..={max}"));
+            }
+            let len = min + rng.below((max - min) as u64 + 1) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec`s of `element` draws with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`Index`).
+
+    use super::arbitrary::Arbitrary;
+    use super::TestRng;
+
+    /// A position drawn independently of any particular collection
+    /// length; resolve it against a length with [`index`](Self::index).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// This index resolved against a collection of `size` elements
+        /// (`size > 0`), uniformly distributed.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "cannot index an empty collection");
+            self.0 % size
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Self(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{strategy::Strategy, test_runner::Reason, TestRng};
+
+    /// The strategy type of [`ANY`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` and `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> Result<bool, Reason> {
+            Ok(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace the prelude exposes.
+
+    pub use super::bool;
+    pub use super::collection;
+    pub use super::sample;
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::prop;
+    pub use super::strategy::{Just, Strategy, ValueTree};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::test_runner::{TestCaseError, TestCaseResult};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: zero or more `#[test] fn name(pat in strategy, ...) { ... }`
+/// items, optionally preceded by `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new_for(stringify!($name), config.clone());
+            let strategy = ($($strat,)+);
+            let outcome = runner.run(
+                &strategy,
+                |($($pat,)+)| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+            if let ::core::result::Result::Err(e) = outcome {
+                ::core::panic!("{}", e);
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (not panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{}` == `{}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two expressions differ inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{}` != `{}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Discards the current case (without failing) when the assumption does
+/// not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..200 {
+            let v = (3u32..17).sample(runner.rng()).unwrap();
+            assert!((3..17).contains(&v));
+            let v = (5i64..=5).sample(runner.rng()).unwrap();
+            assert_eq!(v, 5);
+            let v = (1u8..).sample(runner.rng()).unwrap();
+            assert!(v >= 1);
+            let f = (0.25f64..=0.75).sample(runner.rng()).unwrap();
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_width_integer_ranges_do_not_overflow() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..64 {
+            let _ = (0u64..=u64::MAX).sample(runner.rng()).unwrap();
+            let _ = (i64::MIN..=i64::MAX).sample(runner.rng()).unwrap();
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = prop::collection::vec(0u8..=255, 2..=5)
+                .sample(runner.rng())
+                .unwrap();
+            assert!((2..=5).contains(&v.len()));
+            let v = prop::collection::vec(any::<u8>(), 0..3)
+                .sample(runner.rng())
+                .unwrap();
+            assert!(v.len() < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::TestRunner::new_for("x", ProptestConfig::default());
+        let mut b = crate::test_runner::TestRunner::new_for("x", ProptestConfig::default());
+        let s = prop::collection::vec(any::<u64>(), 4..=8);
+        assert_eq!(s.sample(a.rng()).unwrap(), s.sample(b.rng()).unwrap());
+    }
+
+    #[test]
+    fn filters_reject_and_runner_reports() {
+        let strat = (0u32..10).prop_filter("never", |_| false);
+        let mut runner = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4));
+        assert!(runner.run(&strat, |_| Ok(())).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(x in 1u32..100, v in prop::collection::vec(0u8..=9, 1..=4)) {
+            prop_assert!(x >= 1);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.len(), v.iter().filter(|b| **b <= 9).count());
+        }
+
+        #[test]
+        fn flat_map_and_index(
+            (len, pick) in (1usize..=8).prop_flat_map(|n| (Just(n), any::<prop::sample::Index>())),
+        ) {
+            prop_assert!(pick.index(len) < len);
+        }
+    }
+}
