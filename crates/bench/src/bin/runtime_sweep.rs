@@ -7,10 +7,12 @@
 //! recovery costs on top of a clean run, and what quarantining a dead
 //! node plus schedule repair costs in wire bytes versus fault-free.
 //!
-//! Prints a table and exports every full [`RuntimeReport`] pair (per-phase
-//! walls, assembly/transport/rearrange split, wire bytes, peak residency,
-//! fault/recovery counters, per-step trace) to
-//! `results/runtime_sweep.json`. The `copied` column is the send path's
+//! Prints a table and exports the headline numbers of every case
+//! (per-phase walls, assembly/transport/rearrange split, wire bytes,
+//! peak residency, fault/recovery counters) to
+//! `results/runtime_sweep.json` and, as the committed perf-trajectory
+//! snapshot, `BENCH_runtime_sweep.json` at the repo root. The `copied`
+//! column is the send path's
 //! `bytes_copied`: headers only on the clean runs, independent of block
 //! size — the visible effect of the scatter-gather zero-copy encoder.
 //!
@@ -20,11 +22,11 @@
 //! ```
 
 use bench::{fnum, Table};
-use std::io::Write as _;
 use std::time::Duration;
 use torus_runtime::{
     FaultPlan, OnFailure, RetryPolicy, Runtime, RuntimeConfig, RuntimeReport, WorkerFaultKind,
 };
+use torus_serviced::json::Json;
 use torus_topology::TorusShape;
 
 /// Seeded 1% frame-drop plan: every dropped frame must be detected by a
@@ -32,20 +34,28 @@ use torus_topology::TorusShape;
 const DROP_RATE: f64 = 0.01;
 const DROP_SEED: u64 = 1998; // ICPP '98
 
-/// One sweep case executed under all three configurations.
-#[derive(serde::Serialize)]
-// The fields exist for the JSON export; the offline serde stub's derive
-// elides the reads a real `Serialize` expansion performs.
-#[allow(dead_code)]
-struct CasePair {
-    clean: RuntimeReport,
-    faulty: RuntimeReport,
-    degraded: RuntimeReport,
+/// The JSON headline for one configuration of one case — hand-rolled
+/// (the offline serde_json stub prints `{}`; these exports exist to be
+/// populated).
+fn report_json(r: &RuntimeReport) -> Json {
+    Json::obj([
+        ("wall_ms", Json::num(r.wall.as_secs_f64() * 1e3)),
+        ("assembly_ms", Json::num(r.assembly().as_secs_f64() * 1e3)),
+        ("transport_ms", Json::num(r.transport().as_secs_f64() * 1e3)),
+        ("rearrange_ms", Json::num(r.rearrange().as_secs_f64() * 1e3)),
+        ("wire_bytes", Json::u64(r.wire_bytes)),
+        ("bytes_copied", Json::u64(r.bytes_copied)),
+        ("peak_node_bytes", Json::u64(r.peak_node_bytes)),
+        ("model_us", Json::num(r.analytic.total())),
+        ("verified", Json::Bool(r.verified)),
+        ("recovered", Json::u64(r.faults.recovered)),
+        ("injected_drops", Json::u64(r.faults.injected_drops)),
+    ])
 }
 
 fn main() {
     let workers = torus_sim::default_threads();
-    let mut reports: Vec<CasePair> = Vec::new();
+    let mut cases_json: Vec<Json> = Vec::new();
 
     println!(
         "R1: byte-moving runtime, {workers} workers (override with TORUS_THREADS); \
@@ -158,27 +168,36 @@ fn main() {
             },
             deg.dropped_blocks.to_string(),
         ]);
-        reports.push(CasePair {
-            clean,
-            faulty,
-            degraded,
-        });
+        cases_json.push(Json::obj([
+            ("shape", Json::str(format!("{shape}"))),
+            ("nodes", Json::u64(clean.nodes as u64)),
+            ("block_bytes", Json::u64(m as u64)),
+            ("steps", Json::u64(clean.total_steps() as u64)),
+            ("clean", report_json(&clean)),
+            ("faulty", report_json(&faulty)),
+            (
+                "degraded",
+                Json::obj([
+                    ("wall_ms", Json::num(degraded.wall.as_secs_f64() * 1e3)),
+                    ("extra_wire_bytes", Json::num(deg.extra_wire_bytes as f64)),
+                    ("dropped_blocks", Json::u64(deg.dropped_blocks as u64)),
+                    ("verified_degraded", Json::Bool(deg.verified_degraded)),
+                ]),
+            ),
+        ]));
     }
     t.print();
     println!();
 
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("runtime_sweep.json");
-        match serde_json::to_string_pretty(&reports) {
-            Ok(json) => {
-                if let Ok(mut f) = std::fs::File::create(&path) {
-                    let _ = f.write_all(json.as_bytes());
-                    println!("(wrote {})", path.display());
-                }
-            }
-            Err(e) => eprintln!("json export failed: {e}"),
-        }
+    let export = Json::obj([
+        ("experiment", Json::str("runtime_sweep")),
+        ("workers", Json::u64(workers as u64)),
+        ("drop_rate", Json::num(DROP_RATE)),
+        ("drop_seed", Json::u64(DROP_SEED)),
+        ("cases", Json::Arr(cases_json)),
+    ]);
+    for path in bench::export_json("runtime_sweep", &export) {
+        println!("(wrote {})", path.display());
     }
     println!(
         "all runs bit-exactly verified (clean and 1%-drop in full; degraded \

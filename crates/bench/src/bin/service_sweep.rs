@@ -8,8 +8,10 @@
 //! throughput, and the cache hit rate (first job per level misses, the
 //! rest hit).
 //!
-//! Prints a table and exports every level's [`ServiceStats`] to
-//! `results/service_sweep.json`.
+//! Prints a table and exports every level's [`ServiceStats`] headline
+//! (throughput, cache behavior, queue-wait and run-time percentiles) to
+//! `results/service_sweep.json` and, as the committed perf-trajectory
+//! snapshot, `BENCH_service_sweep.json` at the repo root.
 //!
 //! ```text
 //! cargo run --release -p bench --bin service_sweep
@@ -17,26 +19,24 @@
 //! ```
 
 use bench::{fnum, Table};
-use std::io::Write as _;
 use torus_runtime::RuntimeConfig;
-use torus_service::{Engine, EngineConfig, PayloadSpec, ServiceStats};
+use torus_service::{Engine, EngineConfig, LatencyStats, PayloadSpec};
+use torus_serviced::json::Json;
 use torus_topology::TorusShape;
 
 const JOBS: usize = 16;
 const BLOCK_BYTES: usize = 64;
 
-/// One concurrency level's outcome, exported verbatim.
-#[derive(serde::Serialize)]
-// The fields exist for the JSON export; the offline serde stub's derive
-// elides the reads a real `Serialize` expansion performs.
-#[allow(dead_code)]
-struct LevelResult {
-    concurrency: usize,
-    workers_per_job: usize,
-    jobs: usize,
-    wall_ms: f64,
-    jobs_per_sec: f64,
-    stats: ServiceStats,
+/// Latency percentiles in the JSON export — hand-rolled (the offline
+/// serde_json stub prints `{}`; these exports exist to be populated).
+fn latency_json(lat: &LatencyStats) -> Json {
+    Json::obj([
+        ("count", Json::u64(lat.count)),
+        ("p50_us", Json::u64(lat.p50)),
+        ("p95_us", Json::u64(lat.p95)),
+        ("p99_us", Json::u64(lat.p99)),
+        ("max_us", Json::u64(lat.max)),
+    ])
 }
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
         "queue hwm",
         "wire (KiB)",
     ]);
-    let mut results: Vec<LevelResult> = Vec::new();
+    let mut levels_json: Vec<Json> = Vec::new();
     for concurrency in [1usize, 2, 4, 8] {
         // Split the shared pool across the overlapping jobs so every
         // level exercises the same total thread budget.
@@ -100,30 +100,34 @@ fn main() {
             stats.queue_high_water.to_string(),
             fnum(stats.wire_bytes as f64 / 1024.0),
         ]);
-        results.push(LevelResult {
-            concurrency,
-            workers_per_job: workers,
-            jobs: JOBS,
-            wall_ms,
-            jobs_per_sec,
-            stats,
-        });
+        levels_json.push(Json::obj([
+            ("concurrency", Json::u64(concurrency as u64)),
+            ("workers_per_job", Json::u64(workers as u64)),
+            ("jobs", Json::u64(JOBS as u64)),
+            ("wall_ms", Json::num(wall_ms)),
+            ("jobs_per_sec", Json::num(jobs_per_sec)),
+            ("jobs_completed", Json::u64(stats.jobs_completed)),
+            ("cache_hits", Json::u64(stats.cache_hits)),
+            ("cache_misses", Json::u64(stats.cache_misses)),
+            ("queue_high_water", Json::u64(stats.queue_high_water as u64)),
+            ("wire_bytes", Json::u64(stats.wire_bytes)),
+            ("queue_wait", latency_json(&stats.queue_wait)),
+            ("run_time", latency_json(&stats.run_time)),
+        ]));
     }
     t.print();
     println!();
 
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("service_sweep.json");
-        match serde_json::to_string_pretty(&results) {
-            Ok(json) => {
-                if let Ok(mut f) = std::fs::File::create(&path) {
-                    let _ = f.write_all(json.as_bytes());
-                    println!("(wrote {})", path.display());
-                }
-            }
-            Err(e) => eprintln!("json export failed: {e}"),
-        }
+    let export = Json::obj([
+        ("experiment", Json::str("service_sweep")),
+        ("shape", Json::str(format!("{shape}"))),
+        ("jobs_per_level", Json::u64(JOBS as u64)),
+        ("block_bytes", Json::u64(BLOCK_BYTES as u64)),
+        ("pool", Json::u64(pool as u64)),
+        ("levels", Json::Arr(levels_json)),
+    ]);
+    for path in bench::export_json("service_sweep", &export) {
+        println!("(wrote {})", path.display());
     }
     println!(
         "every job verified bit-exactly; one plan build per level, all later \

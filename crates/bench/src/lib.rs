@@ -90,6 +90,42 @@ pub fn fnum(x: f64) -> String {
     }
 }
 
+/// Writes one experiment's JSON export twice: the full form to
+/// `results/<name>.json` under the current directory (gitignored,
+/// per-run), and the same content to `BENCH_<name>.json` at the repo
+/// root — the committed headline snapshot the perf trajectory tracks.
+///
+/// The value is a hand-rolled [`torus_serviced::json::Json`], not a
+/// serde tree: the offline build links a stub `serde_json` that prints
+/// `{}` for everything, and these exports exist precisely to be
+/// populated.
+///
+/// Returns the paths written (for the "(wrote …)" trailer lines).
+pub fn export_json(name: &str, value: &torus_serviced::json::Json) -> Vec<std::path::PathBuf> {
+    let mut written = Vec::new();
+    let payload = {
+        let mut s = value.dump();
+        s.push('\n');
+        s
+    };
+    let results = std::path::Path::new("results");
+    if std::fs::create_dir_all(results).is_ok() {
+        let path = results.join(format!("{name}.json"));
+        if std::fs::write(&path, &payload).is_ok() {
+            written.push(path);
+        }
+    }
+    // `CARGO_MANIFEST_DIR` is crates/bench at compile time; the repo
+    // root is two levels up regardless of the invocation cwd.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    if std::fs::write(&root, &payload).is_ok() {
+        written.push(root);
+    }
+    written
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

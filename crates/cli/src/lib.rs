@@ -65,9 +65,11 @@ pub enum Command {
         /// Machine parameters.
         params: CommParams,
     },
-    /// `service-bench --shape RxC [--jobs N] [--concurrency K] [--json]`
-    /// — push a batch of jobs through a persistent [`torus_service::Engine`]
-    /// and report the aggregate [`torus_service::ServiceStats`].
+    /// `service-bench --shape RxC [--jobs N] [--concurrency K]
+    /// [--tenants T] [--json]` — push a batch of jobs through a
+    /// persistent [`torus_service::Engine`] and report the aggregate
+    /// [`torus_service::ServiceStats`], plus per-tenant latency
+    /// percentiles when the batch is spread across tenants.
     ServiceBench {
         /// Torus shape every job exchanges over.
         shape: Vec<u32>,
@@ -75,6 +77,8 @@ pub enum Command {
         jobs: usize,
         /// Jobs executing concurrently (engine driver threads).
         concurrency: usize,
+        /// Tenants the batch round-robins across (1 = single-tenant).
+        tenants: usize,
         /// Worker threads per job; `None` = auto.
         threads: Option<usize>,
         /// Machine parameters (block size doubles as payload size).
@@ -82,6 +86,46 @@ pub enum Command {
         /// Emit the final stats as JSON instead of a summary.
         json: bool,
     },
+    /// `serve [--addr HOST:PORT] [--concurrency K] [--queue-depth N]
+    /// [--port-file PATH]` — run the torus-serviced daemon until a
+    /// `drain` request or SIGTERM, then print the final stats.
+    Serve {
+        /// Bind address (port 0 picks a free port).
+        addr: String,
+        /// Engine driver threads.
+        concurrency: usize,
+        /// Global admission queue depth.
+        queue_depth: usize,
+        /// When set, the actually-bound `host:port` is written here
+        /// once listening — lets scripts race-free discover port 0.
+        port_file: Option<String>,
+    },
+    /// `submit --spec JSON [--addr HOST:PORT] [--tenant NAME]` — send
+    /// one job to a running daemon and wait for its `done` event.
+    Submit {
+        /// Daemon address.
+        addr: String,
+        /// Tenant to authenticate as.
+        tenant: String,
+        /// The job spec, inline JSON.
+        spec: String,
+        /// Emit the raw `done` event JSON instead of a summary line.
+        json: bool,
+    },
+    /// `stats [--addr HOST:PORT]` — fetch a running daemon's service
+    /// and per-tenant statistics (always JSON: it is the wire form).
+    DaemonStats {
+        /// Daemon address.
+        addr: String,
+    },
+    /// `validate --spec JSON` — check and normalize a job spec locally
+    /// (no daemon needed); prints the normalized spec.
+    Validate {
+        /// The job spec, inline JSON.
+        spec: String,
+    },
+    /// `schema` — print the job-spec schema.
+    Schema,
     /// `schedule --shape RxC [--json]` — static schedule export.
     Schedule {
         /// Torus shape.
@@ -120,6 +164,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut on_failure = torus_runtime::OnFailure::default();
     let mut jobs: usize = 8;
     let mut concurrency: usize = 4;
+    let mut tenants: usize = 1;
+    let mut addr = "127.0.0.1:7077".to_string();
+    let mut tenant = "default".to_string();
+    let mut spec: Option<String> = None;
+    let mut queue_depth: usize = 64;
+    let mut port_file: Option<String> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -170,6 +220,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|e| format!("--concurrency: {e}"))?
             }
+            "--tenants" => {
+                tenants = val(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?
+            }
+            "--addr" => addr = val(&mut i)?,
+            "--tenant" => tenant = val(&mut i)?,
+            "--spec" => spec = Some(val(&mut i)?),
+            "--queue-depth" => {
+                queue_depth = val(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--port-file" => port_file = Some(val(&mut i)?),
             "--on-failure" => {
                 on_failure = torus_runtime::OnFailure::parse(&val(&mut i)?)
                     .map_err(|e| format!("--on-failure: {e}"))?
@@ -215,10 +279,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             shape: need_shape(shape)?,
             jobs: jobs.max(1),
             concurrency: concurrency.max(1),
+            tenants: tenants.max(1),
             threads,
             params,
             json,
         }),
+        "serve" => Ok(Command::Serve {
+            addr,
+            concurrency: concurrency.max(1),
+            queue_depth: queue_depth.max(1),
+            port_file,
+        }),
+        "submit" => Ok(Command::Submit {
+            addr,
+            tenant,
+            spec: spec.ok_or_else(|| "--spec is required for 'submit'".to_string())?,
+            json,
+        }),
+        "stats" => Ok(Command::DaemonStats { addr }),
+        "validate" => Ok(Command::Validate {
+            spec: spec.ok_or_else(|| "--spec is required for 'validate'".to_string())?,
+        }),
+        "schema" => Ok(Command::Schema),
         "schedule" => Ok(Command::Schedule {
             shape: need_shape(shape)?,
             json,
@@ -240,10 +322,19 @@ USAGE:
                          'degrade' quarantines failed nodes and completes for survivors)
   torus-xchg compare    --shape 8x8 [params]
   torus-xchg collective --op broadcast|scatter|gather|allgather|reduce|allreduce|alltoall --shape 8x8
-  torus-xchg service-bench --shape 8x8 [--jobs N] [--concurrency K] [--json] [params]
+  torus-xchg service-bench --shape 8x8 [--jobs N] [--concurrency K] [--tenants T] [--json] [params]
                         (persistent engine: N seeded jobs through a shared pool with
-                         plan caching; prints aggregate service stats)
+                         plan caching; prints aggregate service stats, and per-tenant
+                         wait/run latency percentiles when --tenants > 1)
   torus-xchg schedule   --shape 8x8 [--json]
+  torus-xchg serve      [--addr 127.0.0.1:7077] [--concurrency K] [--queue-depth N]
+                        [--port-file PATH]
+                        (torus-serviced daemon: newline-delimited JSON over TCP with
+                         multi-tenant admission; drains cleanly on SIGTERM or 'drain')
+  torus-xchg submit     --spec '{\"shape\":[4,4],\"seed\":7}' [--addr HOST:PORT] [--tenant NAME] [--json]
+  torus-xchg stats      [--addr HOST:PORT]      (daemon service + per-tenant stats, JSON)
+  torus-xchg validate   --spec JSON             (local spec check; prints normalized form)
+  torus-xchg schema                             (job-spec schema, JSON)
   torus-xchg help
 
 PARAMS (defaults are Cray-T3D-like):
@@ -463,6 +554,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             shape,
             jobs,
             concurrency,
+            tenants,
             threads,
             params,
             json,
@@ -485,7 +577,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             let mut handles = Vec::with_capacity(jobs);
             for seed in 0..jobs as u64 {
                 let handle = engine
-                    .submit(
+                    .submit_as(
+                        &format!("tenant-{:02}", seed % tenants as u64),
                         shape.clone(),
                         torus_service::PayloadSpec::Seeded { seed },
                         config.clone(),
@@ -504,6 +597,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 }
             }
             let elapsed = start.elapsed();
+            let per_tenant = engine.tenant_stats();
             let stats = engine.shutdown();
             if json {
                 out.push_str(&serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?);
@@ -511,13 +605,114 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             } else {
                 let _ = writeln!(
                     out,
-                    "service-bench on {shape}: {jobs} jobs ({concurrency} concurrent, {} B blocks), \
-                     {verified} verified, {:.1} ms wall",
+                    "service-bench on {shape}: {jobs} jobs ({concurrency} concurrent, \
+                     {tenants} tenants, {} B blocks), {verified} verified, {:.1} ms wall",
                     config.block_bytes,
                     elapsed.as_secs_f64() * 1e3,
                 );
                 let _ = writeln!(out, "{}", stats.summary());
+                if tenants > 1 {
+                    for t in &per_tenant {
+                        let _ = writeln!(
+                            out,
+                            "  {}: {} jobs | wait p50/p95/p99 {}/{}/{} µs | run p50/p95/p99 {}/{}/{} µs",
+                            t.tenant,
+                            t.jobs_completed,
+                            t.queue_wait.p50,
+                            t.queue_wait.p95,
+                            t.queue_wait.p99,
+                            t.run_time.p50,
+                            t.run_time.p95,
+                            t.run_time.p99,
+                        );
+                    }
+                }
             }
+        }
+        Command::Serve {
+            addr,
+            concurrency,
+            queue_depth,
+            port_file,
+        } => {
+            let daemon = torus_serviced::Daemon::bind(torus_serviced::DaemonConfig {
+                addr,
+                engine: torus_service::EngineConfig::default()
+                    .with_drivers(concurrency)
+                    .with_queue_depth(queue_depth),
+                ..torus_serviced::DaemonConfig::default()
+            })
+            .map_err(|e| format!("serve: {e}"))?;
+            let bound = daemon.local_addr().map_err(|e| e.to_string())?;
+            // Announce readiness on stderr (stdout is for the final
+            // stats) and, for scripts, in the port file.
+            eprintln!("torus-serviced listening on {bound}");
+            if let Some(path) = port_file {
+                std::fs::write(&path, format!("{bound}\n"))
+                    .map_err(|e| format!("--port-file {path}: {e}"))?;
+            }
+            let stats = daemon.run();
+            let _ = writeln!(out, "drained: {}", stats.summary());
+        }
+        Command::Submit {
+            addr,
+            tenant,
+            spec,
+            json,
+        } => {
+            let spec = torus_serviced::json::parse(&spec).map_err(|e| format!("--spec: {e}"))?;
+            let mut client =
+                torus_serviced::Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            client.hello(&tenant).map_err(|e| e.to_string())?;
+            let job_id = client.submit_raw(spec).map_err(|e| e.to_string())?;
+            let done = client.wait_done(job_id).map_err(|e| e.to_string())?;
+            if json {
+                let _ = writeln!(
+                    out,
+                    "{{\"job_id\":{job_id},\"ok\":{},\"degraded\":{},\"cache_hit\":{},\
+                     \"wire_bytes\":{},\"checksum\":{}}}",
+                    done.ok,
+                    done.degraded,
+                    done.cache_hit,
+                    done.wire_bytes,
+                    match &done.checksum {
+                        Some(c) => format!("\"{c}\""),
+                        None => "null".to_string(),
+                    },
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "job {job_id}: {}{}{}, {} wire bytes{}",
+                    if done.ok { "ok" } else { "FAILED" },
+                    if done.degraded { " (degraded)" } else { "" },
+                    if done.cache_hit { " (cached plan)" } else { "" },
+                    done.wire_bytes,
+                    match (&done.checksum, &done.error) {
+                        (Some(c), _) => format!(", checksum {c}"),
+                        (None, Some(e)) => format!(": {e}"),
+                        _ => String::new(),
+                    },
+                );
+            }
+            if !done.ok {
+                return Err(done.error.unwrap_or_else(|| format!("job {job_id} failed")));
+            }
+        }
+        Command::DaemonStats { addr } => {
+            let mut client =
+                torus_serviced::Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{}", stats.dump());
+        }
+        Command::Validate { spec } => {
+            let value = torus_serviced::json::parse(&spec).map_err(|e| format!("--spec: {e}"))?;
+            let normalized = torus_serviced::JobSpec::from_json(&value)
+                .map_err(|e| format!("invalid spec: {e}"))?;
+            let _ = writeln!(out, "{}", normalized.to_json().dump());
+        }
+        Command::Schema => {
+            let _ = writeln!(out, "{}", torus_serviced::JobSpec::schema().dump());
         }
         Command::Schedule { shape, json } => {
             let shape_dims = shape;
@@ -763,6 +958,7 @@ mod tests {
                 shape,
                 jobs,
                 concurrency,
+                tenants,
                 threads,
                 params,
                 json,
@@ -770,6 +966,7 @@ mod tests {
                 assert_eq!(shape, vec![4, 8]);
                 assert_eq!(jobs, 12);
                 assert_eq!(concurrency, 3);
+                assert_eq!(tenants, 1, "single-tenant by default");
                 assert_eq!(threads, None);
                 assert_eq!(params.block_bytes, 32);
                 assert!(json);
@@ -821,6 +1018,159 @@ mod tests {
             trimmed.starts_with('{') && trimmed.ends_with('}'),
             "stats emit as a JSON object: {out}"
         );
+    }
+
+    #[test]
+    fn execute_service_bench_multi_tenant() {
+        let out = execute(
+            parse_args(&argv(
+                "service-bench --shape 4x4 --jobs 8 --concurrency 2 --tenants 4 --threads 1 -m 16",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("4 tenants"), "{out}");
+        for t in ["tenant-00", "tenant-01", "tenant-02", "tenant-03"] {
+            assert!(out.contains(t), "missing {t}: {out}");
+        }
+        assert!(out.contains("wait p50/p95/p99"), "{out}");
+        assert!(out.contains("run p50/p95/p99"), "{out}");
+    }
+
+    #[test]
+    fn parse_serviced_commands() {
+        match parse_args(&argv(
+            "serve --addr 127.0.0.1:0 --concurrency 3 --queue-depth 9",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                concurrency,
+                queue_depth,
+                port_file,
+            } => {
+                assert_eq!(addr, "127.0.0.1:0");
+                assert_eq!(concurrency, 3);
+                assert_eq!(queue_depth, 9);
+                assert!(port_file.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv(
+            "submit --spec {} --addr 127.0.0.1:9 --tenant acme --json",
+        ))
+        .unwrap()
+        {
+            Command::Submit {
+                addr,
+                tenant,
+                spec,
+                json,
+            } => {
+                assert_eq!(addr, "127.0.0.1:9");
+                assert_eq!(tenant, "acme");
+                assert_eq!(spec, "{}");
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("submit")).is_err(), "--spec required");
+        assert!(parse_args(&argv("validate")).is_err(), "--spec required");
+        assert!(matches!(
+            parse_args(&argv("stats")).unwrap(),
+            Command::DaemonStats { .. }
+        ));
+        assert_eq!(parse_args(&argv("schema")).unwrap(), Command::Schema);
+    }
+
+    #[test]
+    fn execute_validate_and_schema_locally() {
+        let out = execute(
+            parse_args(&[
+                "validate".into(),
+                "--spec".into(),
+                r#"{"shape":[2,3]}"#.into(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("\"block_bytes\":64"), "defaults filled: {out}");
+
+        let err = execute(
+            parse_args(&[
+                "validate".into(),
+                "--spec".into(),
+                r#"{"shape":[0]}"#.into(),
+            ])
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+
+        let out = execute(parse_args(&argv("schema")).unwrap()).unwrap();
+        assert!(out.contains("\"shape\""), "{out}");
+        assert!(out.contains("\"fault\""), "{out}");
+    }
+
+    #[test]
+    fn execute_serve_submit_stats_round_trip() {
+        // `serve` blocks until drained, so run it on a thread and
+        // discover the port through --port-file.
+        let dir = std::env::temp_dir().join(format!("torus-xchg-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let serve = {
+            let args = vec![
+                "serve".to_string(),
+                "--addr".to_string(),
+                "127.0.0.1:0".to_string(),
+                "--concurrency".to_string(),
+                "2".to_string(),
+                "--port-file".to_string(),
+                port_file.display().to_string(),
+            ];
+            std::thread::spawn(move || execute(parse_args(&args).unwrap()))
+        };
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                if s.ends_with('\n') {
+                    break s.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let out = execute(
+            parse_args(&[
+                "submit".to_string(),
+                "--spec".to_string(),
+                r#"{"shape":[4,4],"seed":3}"#.to_string(),
+                "--addr".to_string(),
+                addr.clone(),
+                "--tenant".to_string(),
+                "cli-test".to_string(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("ok"), "{out}");
+        assert!(out.contains("checksum"), "{out}");
+
+        let out = execute(
+            parse_args(&["stats".to_string(), "--addr".to_string(), addr.clone()]).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("\"jobs_completed\":1"), "{out}");
+        assert!(out.contains("cli-test"), "{out}");
+
+        // Drain: serve returns and prints the final books.
+        let mut admin = torus_serviced::Client::connect(addr.as_str()).unwrap();
+        admin.drain().unwrap();
+        let served = serve.join().unwrap().unwrap();
+        assert!(served.contains("drained:"), "{served}");
+        assert!(served.contains("jobs 1/1 ok"), "{served}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! The engine: admission queue, driver threads, and the shared pool.
+//! The engine: tenant-aware admission, driver threads, and the shared
+//! pool.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use alltoall_core::PreparedExchange;
 use torus_runtime::{Runtime, RuntimeConfig, RuntimeError, WorkerPool};
@@ -12,6 +14,7 @@ use torus_topology::TorusShape;
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::job::{JobHandle, JobResult, JobState, JobStatus, PayloadSpec, SubmitError};
 use crate::stats::{ServiceStats, StatCells};
+use crate::tenant::{TenantCells, TenantQuota, TenantStats, DEFAULT_TENANT};
 
 fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -23,14 +26,17 @@ pub struct EngineConfig {
     /// Worker threads in the shared pool (every job's gang is carved
     /// from these). Default: [`torus_sim::default_threads`].
     pub pool_size: usize,
-    /// Maximum queued (admitted but not yet running) jobs; submissions
-    /// beyond this are rejected. Default 64.
+    /// Maximum queued (admitted but not yet running) jobs across all
+    /// tenants; submissions beyond this are rejected. Default 64.
     pub queue_depth: usize,
     /// Driver threads, i.e. how many jobs execute concurrently
     /// (time-sharing the pool). Default 4.
     pub drivers: usize,
     /// Plans retained by the LRU cache. Default 8.
     pub cache_capacity: usize,
+    /// Quota applied to tenants that have no explicit override.
+    /// Default: unlimited (the global `queue_depth` still bounds them).
+    pub default_quota: TenantQuota,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +46,7 @@ impl Default for EngineConfig {
             queue_depth: 64,
             drivers: 4,
             cache_capacity: 8,
+            default_quota: TenantQuota::default(),
         }
     }
 }
@@ -68,6 +75,12 @@ impl EngineConfig {
         self.cache_capacity = capacity.max(1);
         self
     }
+
+    /// Sets the quota for tenants without an explicit override.
+    pub fn with_default_quota(mut self, quota: TenantQuota) -> Self {
+        self.default_quota = quota;
+        self
+    }
 }
 
 /// A job sitting in the admission queue.
@@ -77,13 +90,70 @@ struct QueuedJob {
     payload: PayloadSpec,
     config: RuntimeConfig,
     state: Arc<JobState>,
+    tenant: Arc<str>,
+    tenant_cells: Arc<TenantCells>,
+    submitted_at: Instant,
 }
 
-/// Queue state guarded by one mutex: the FIFO plus the accepting flag,
-/// so admission control and shutdown observe a consistent view.
-struct QueueState {
+/// One tenant's slice of the queue.
+struct TenantEntry {
     jobs: VecDeque<QueuedJob>,
+    in_flight: usize,
+    quota: TenantQuota,
+    cells: Arc<TenantCells>,
+}
+
+/// Queue state guarded by one mutex: every tenant's FIFO, the
+/// round-robin cursor, and the accepting flag, so admission control,
+/// fair dispatch, and shutdown observe a consistent view.
+struct QueueState {
+    tenants: HashMap<Arc<str>, TenantEntry>,
+    /// Tenants in first-seen order; the dispatch cursor walks this.
+    order: Vec<Arc<str>>,
+    cursor: usize,
+    total_queued: usize,
     accepting: bool,
+}
+
+impl QueueState {
+    /// The tenant's entry, created with `default_quota` on first sight.
+    fn entry(&mut self, tenant: &str, default_quota: TenantQuota) -> &mut TenantEntry {
+        if !self.tenants.contains_key(tenant) {
+            let name: Arc<str> = Arc::from(tenant);
+            self.order.push(Arc::clone(&name));
+            self.tenants.insert(
+                name,
+                TenantEntry {
+                    jobs: VecDeque::new(),
+                    in_flight: 0,
+                    quota: default_quota,
+                    cells: Arc::new(TenantCells::default()),
+                },
+            );
+        }
+        self.tenants.get_mut(tenant).expect("entry just ensured")
+    }
+
+    /// Claims the next job round-robin: the first tenant at or after the
+    /// cursor with queued work and spare in-flight budget. Advancing the
+    /// cursor past the chosen tenant is what makes bursts interleave —
+    /// a tenant that just dispatched goes to the back of the rotation.
+    fn claim_next(&mut self) -> Option<QueuedJob> {
+        let n = self.order.len();
+        for k in 0..n {
+            let i = (self.cursor + k) % n;
+            let name = Arc::clone(&self.order[i]);
+            let entry = self.tenants.get_mut(&name).expect("ordered tenant exists");
+            if !entry.jobs.is_empty() && entry.in_flight < entry.quota.max_in_flight {
+                let job = entry.jobs.pop_front().expect("checked non-empty");
+                entry.in_flight += 1;
+                self.total_queued -= 1;
+                self.cursor = (i + 1) % n;
+                return Some(job);
+            }
+        }
+        None
+    }
 }
 
 struct Shared {
@@ -93,6 +163,7 @@ struct Shared {
     cache: Mutex<PlanCache>,
     cells: StatCells,
     queue_depth: usize,
+    default_quota: TenantQuota,
 }
 
 /// A persistent multi-job exchange engine.
@@ -104,6 +175,11 @@ pub struct Engine {
     shared: Arc<Shared>,
     drivers: Mutex<Vec<JoinHandle<()>>>,
     next_id: AtomicU64,
+    /// The final stats snapshot, taken exactly once after every driver
+    /// has joined. Serializes concurrent `shutdown` callers: the first
+    /// does the teardown under this lock, later callers (and re-calls)
+    /// get the same frozen snapshot instead of racing the join.
+    final_stats: Mutex<Option<ServiceStats>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -121,13 +197,17 @@ impl Engine {
         let shared = Arc::new(Shared {
             pool: WorkerPool::new(config.pool_size.max(1)),
             queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
+                tenants: HashMap::new(),
+                order: Vec::new(),
+                cursor: 0,
+                total_queued: 0,
                 accepting: true,
             }),
             work: Condvar::new(),
             cache: Mutex::new(PlanCache::new(config.cache_capacity)),
             cells: StatCells::default(),
             queue_depth: config.queue_depth.max(1),
+            default_quota: config.default_quota,
         });
         let drivers = (0..config.drivers.max(1))
             .map(|i| {
@@ -142,15 +222,30 @@ impl Engine {
             shared,
             drivers: Mutex::new(drivers),
             next_id: AtomicU64::new(0),
+            final_stats: Mutex::new(None),
         }
     }
 
-    /// Submits a job: an exchange over `shape` carrying `payload` bytes,
-    /// executed under `config` (worker count, block size, fault plan,
-    /// failure policy — all per-job). Returns immediately with a handle;
-    /// rejects instead of queueing unboundedly.
+    /// Submits a job under the [`DEFAULT_TENANT`]. See
+    /// [`submit_as`](Engine::submit_as).
     pub fn submit(
         &self,
+        shape: TorusShape,
+        payload: PayloadSpec,
+        config: RuntimeConfig,
+    ) -> Result<JobHandle, SubmitError> {
+        self.submit_as(DEFAULT_TENANT, shape, payload, config)
+    }
+
+    /// Submits a job on behalf of `tenant`: an exchange over `shape`
+    /// carrying `payload` bytes, executed under `config` (worker count,
+    /// block size, fault plan, failure policy — all per-job). Returns
+    /// immediately with a handle; rejects (typed) instead of queueing
+    /// unboundedly — globally at `queue_depth`, per tenant at the
+    /// tenant's `max_queued`.
+    pub fn submit_as(
+        &self,
+        tenant: &str,
         shape: TorusShape,
         payload: PayloadSpec,
         config: RuntimeConfig,
@@ -160,32 +255,71 @@ impl Engine {
             self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::ShuttingDown);
         }
-        if q.jobs.len() >= self.shared.queue_depth {
+        let global_full = q.total_queued >= self.shared.queue_depth;
+        let entry = q.entry(tenant, self.shared.default_quota);
+        if global_full {
+            entry.cells.rejected.fetch_add(1, Ordering::Relaxed);
             self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull {
                 depth: self.shared.queue_depth,
             });
         }
+        if entry.jobs.len() >= entry.quota.max_queued {
+            let max_queued = entry.quota.max_queued;
+            entry.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::TenantQueueFull {
+                tenant: tenant.to_string(),
+                max_queued,
+            });
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let state = Arc::new(JobState::new());
-        q.jobs.push_back(QueuedJob {
+        let tenant_name: Arc<str> = Arc::from(tenant);
+        entry.cells.accepted.fetch_add(1, Ordering::Relaxed);
+        let tenant_cells = Arc::clone(&entry.cells);
+        entry.jobs.push_back(QueuedJob {
             id,
             shape,
             payload,
             config,
             state: Arc::clone(&state),
+            tenant: tenant_name,
+            tenant_cells,
+            submitted_at: Instant::now(),
         });
+        q.total_queued += 1;
         self.shared.cells.accepted.fetch_add(1, Ordering::Relaxed);
-        self.shared.cells.observe_depth(q.jobs.len());
+        self.shared.cells.observe_depth(q.total_queued);
         drop(q);
         self.shared.work.notify_one();
         Ok(JobHandle { id, state })
+    }
+
+    /// Overrides `tenant`'s quota (creating the tenant if new). Takes
+    /// effect for subsequent admission and dispatch decisions; already
+    /// queued jobs stay queued even if the new cap is lower.
+    pub fn set_tenant_quota(&self, tenant: &str, quota: TenantQuota) {
+        let mut q = lk(&self.shared.queue);
+        q.entry(tenant, self.shared.default_quota).quota = quota;
+        drop(q);
+        // A raised in-flight cap can make blocked work dispatchable.
+        self.shared.work.notify_all();
     }
 
     /// A point-in-time snapshot of the aggregate counters.
     pub fn stats(&self) -> ServiceStats {
         let cache = lk(&self.shared.cache);
         self.shared.cells.snapshot(cache.hits(), cache.misses())
+    }
+
+    /// Per-tenant snapshots, in first-submission order.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let q = lk(&self.shared.queue);
+        q.order
+            .iter()
+            .map(|name| q.tenants[name].cells.snapshot(name))
+            .collect()
     }
 
     /// The shared pool's thread count.
@@ -195,13 +329,20 @@ impl Engine {
 
     /// Jobs currently admitted but not yet claimed by a driver.
     pub fn queue_len(&self) -> usize {
-        lk(&self.shared.queue).jobs.len()
+        lk(&self.shared.queue).total_queued
     }
 
     /// Graceful shutdown: stops admission, lets the drivers drain every
     /// queued job, joins them, tears down the pool, and returns the
-    /// final stats. Idempotent; also invoked by `Drop`.
+    /// final stats. Idempotent, and safe to race: concurrent callers all
+    /// receive the same post-drain snapshot — the teardown and the final
+    /// stats read are serialized through one lock, so no caller can
+    /// observe counters from before the last job finished.
     pub fn shutdown(&self) -> ServiceStats {
+        let mut done = lk(&self.final_stats);
+        if let Some(stats) = done.as_ref() {
+            return stats.clone();
+        }
         {
             let mut q = lk(&self.shared.queue);
             q.accepting = false;
@@ -212,7 +353,9 @@ impl Engine {
             let _ = handle.join();
         }
         self.shared.pool.shutdown();
-        self.stats()
+        let stats = self.stats();
+        *done = Some(stats.clone());
+        stats
     }
 }
 
@@ -222,24 +365,41 @@ impl Drop for Engine {
     }
 }
 
-/// Driver loop: claim jobs FIFO until the queue is drained *and*
-/// admission has stopped.
+/// Driver loop: claim jobs round-robin across tenants until the queue
+/// is drained *and* admission has stopped.
 fn drive(shared: &Shared) {
     loop {
         let job = {
             let mut q = lk(&shared.queue);
             loop {
-                if let Some(job) = q.jobs.pop_front() {
+                if let Some(job) = q.claim_next() {
                     break Some(job);
                 }
-                if !q.accepting {
+                // `claim_next` returning None with jobs still queued
+                // means every tenant with work is at its in-flight cap;
+                // wait for a finishing job's notify even mid-shutdown.
+                if !q.accepting && q.total_queued == 0 {
                     break None;
                 }
                 q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         match job {
-            Some(job) => run_job(shared, job),
+            Some(job) => {
+                let wait_us = job.submitted_at.elapsed().as_micros() as u64;
+                shared.cells.queue_wait.record(wait_us);
+                job.tenant_cells.queue_wait.record(wait_us);
+                let tenant = Arc::clone(&job.tenant);
+                run_job(shared, job);
+                let mut q = lk(&shared.queue);
+                if let Some(entry) = q.tenants.get_mut(&tenant) {
+                    entry.in_flight -= 1;
+                }
+                drop(q);
+                // The finished slot may unblock a capped tenant, and
+                // shutdown waiters must recheck the drain condition.
+                shared.work.notify_all();
+            }
             None => return,
         }
     }
@@ -250,6 +410,19 @@ fn drive(shared: &Shared) {
 /// panic) escapes to the driver or the engine.
 fn run_job(shared: &Shared, job: QueuedJob) {
     job.state.set_running();
+    let started = Instant::now();
+    let finish_run = |failed: bool| {
+        let run_us = started.elapsed().as_micros() as u64;
+        shared.cells.run_time.record(run_us);
+        job.tenant_cells.run_time.record(run_us);
+        if failed {
+            shared.cells.failed.fetch_add(1, Ordering::Relaxed);
+            job.tenant_cells.failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.cells.completed.fetch_add(1, Ordering::Relaxed);
+            job.tenant_cells.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    };
     let nn = job.shape.num_nodes() as usize;
     let workers = job
         .config
@@ -275,7 +448,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             let prepared = match PreparedExchange::new(&job.shape) {
                 Ok(p) => Arc::new(p),
                 Err(e) => {
-                    shared.cells.failed.fetch_add(1, Ordering::Relaxed);
+                    finish_run(true);
                     job.state.finish(
                         JobStatus::Failed,
                         JobResult {
@@ -305,14 +478,14 @@ fn run_job(shared: &Shared, job: QueuedJob) {
     let runtime = Runtime::from_shared(
         Arc::clone(&entry.prepared),
         Arc::clone(&entry.plan),
-        job.config,
+        job.config.clone(),
     );
     let outcome = runtime.run_pooled(&shared.pool, Some(&entry.bank), |s, d| {
         payload.payload(s, d, block_bytes)
     });
     match outcome {
         Ok((report, deliveries)) => {
-            shared.cells.completed.fetch_add(1, Ordering::Relaxed);
+            finish_run(false);
             if report.degraded.is_some() {
                 shared.cells.degraded.fetch_add(1, Ordering::Relaxed);
             }
@@ -336,7 +509,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             );
         }
         Err(e) => {
-            shared.cells.failed.fetch_add(1, Ordering::Relaxed);
+            finish_run(true);
             // A fault abort still carries partial measurements worth
             // surfacing; count its wire traffic too.
             let (error, report) = match e {

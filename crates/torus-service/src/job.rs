@@ -41,6 +41,15 @@ pub enum SubmitError {
         /// The queue depth at rejection time (== the configured bound).
         depth: usize,
     },
+    /// The submitting tenant alone is at its queued-jobs quota, even
+    /// though the global queue may have room. Resubmit after this
+    /// tenant's jobs drain.
+    TenantQueueFull {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// The tenant's configured cap at rejection time.
+        max_queued: usize,
+    },
     /// [`Engine::shutdown`](crate::Engine::shutdown) has begun; no new
     /// jobs are accepted.
     ShuttingDown,
@@ -51,6 +60,12 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { depth } => {
                 write!(f, "job rejected: queue full at depth {depth}")
+            }
+            SubmitError::TenantQueueFull { tenant, max_queued } => {
+                write!(
+                    f,
+                    "job rejected: tenant {tenant:?} is at its queued-jobs quota ({max_queued})"
+                )
             }
             SubmitError::ShuttingDown => write!(f, "job rejected: engine is shutting down"),
         }
@@ -209,6 +224,12 @@ mod tests {
         assert!(SubmitError::QueueFull { depth: 4 }
             .to_string()
             .contains("4"));
+        let tenant_full = SubmitError::TenantQueueFull {
+            tenant: "acme".to_string(),
+            max_queued: 2,
+        };
+        assert!(tenant_full.to_string().contains("acme"));
+        assert!(tenant_full.to_string().contains("2"));
         assert!(SubmitError::ShuttingDown
             .to_string()
             .contains("shutting down"));

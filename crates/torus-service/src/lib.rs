@@ -53,8 +53,10 @@ mod cache;
 mod engine;
 mod job;
 mod stats;
+mod tenant;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use engine::{Engine, EngineConfig};
 pub use job::{JobHandle, JobResult, JobStatus, PayloadSpec, SubmitError};
-pub use stats::ServiceStats;
+pub use stats::{Histogram, LatencyStats, ServiceStats, HISTOGRAM_BUCKETS};
+pub use tenant::{TenantQuota, TenantStats, DEFAULT_TENANT};

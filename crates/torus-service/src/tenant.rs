@@ -1,0 +1,130 @@
+//! Multi-tenant admission: quotas and per-tenant accounting.
+//!
+//! Every submission names a tenant (the engine's bare
+//! [`submit`](crate::Engine::submit) uses [`DEFAULT_TENANT`]). Tenants
+//! share the engine's bounded queue and worker pool but are isolated at
+//! admission and dispatch:
+//!
+//! * a per-tenant **queued cap** rejects a tenant's submissions once it
+//!   alone holds `max_queued` slots, before the global bound is reached
+//!   — one chatty tenant cannot fill the queue for everyone;
+//! * a per-tenant **in-flight cap** holds a tenant's queued jobs back
+//!   while `max_in_flight` of its jobs are executing, so dispatch
+//!   bandwidth is shared even when only one tenant has work queued;
+//! * dequeue is **round-robin across tenants**, not global FIFO, so two
+//!   tenants submitting in bursts interleave fairly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::stats::{Histogram, LatencyStats};
+
+/// The tenant used by [`Engine::submit`](crate::Engine::submit) when no
+/// tenant is named.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Per-tenant admission limits. The defaults are unlimited — the
+/// engine's global queue depth is then the only bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Most jobs this tenant may hold in the queue at once; further
+    /// submissions get [`SubmitError::TenantQueueFull`](crate::SubmitError::TenantQueueFull).
+    pub max_queued: usize,
+    /// Most of this tenant's jobs that may execute concurrently; queued
+    /// jobs beyond it wait (they are not rejected).
+    pub max_in_flight: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self {
+            max_queued: usize::MAX,
+            max_in_flight: usize::MAX,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// Sets the queued-jobs cap (clamped to at least 1).
+    pub fn with_max_queued(mut self, max: usize) -> Self {
+        self.max_queued = max.max(1);
+        self
+    }
+
+    /// Sets the concurrent-execution cap (clamped to at least 1).
+    pub fn with_max_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = max.max(1);
+        self
+    }
+}
+
+/// A point-in-time snapshot of one tenant's counters and latencies.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's id.
+    pub tenant: String,
+    /// Jobs admitted to the queue.
+    pub jobs_accepted: u64,
+    /// Jobs refused (tenant quota or global bound).
+    pub jobs_rejected: u64,
+    /// Jobs finished with a verified report.
+    pub jobs_completed: u64,
+    /// Jobs finished with an error.
+    pub jobs_failed: u64,
+    /// Submit-to-dispatch wait, in microseconds.
+    pub queue_wait: LatencyStats,
+    /// Dispatch-to-finish run time, in microseconds.
+    pub run_time: LatencyStats,
+}
+
+/// Lock-free per-tenant cells, bumped by submitters and drivers.
+#[derive(Debug, Default)]
+pub(crate) struct TenantCells {
+    pub accepted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub queue_wait: Histogram,
+    pub run_time: Histogram,
+}
+
+impl TenantCells {
+    pub fn snapshot(&self, tenant: &str) -> TenantStats {
+        TenantStats {
+            tenant: tenant.to_string(),
+            jobs_accepted: self.accepted.load(Ordering::Relaxed),
+            jobs_rejected: self.rejected.load(Ordering::Relaxed),
+            jobs_completed: self.completed.load(Ordering::Relaxed),
+            jobs_failed: self.failed.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.stats(),
+            run_time: self.run_time.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_builders_clamp_to_one() {
+        let q = TenantQuota::default()
+            .with_max_queued(0)
+            .with_max_in_flight(0);
+        assert_eq!(q.max_queued, 1);
+        assert_eq!(q.max_in_flight, 1);
+        assert_eq!(TenantQuota::default().max_queued, usize::MAX);
+    }
+
+    #[test]
+    fn cells_snapshot_carries_latencies() {
+        let cells = TenantCells::default();
+        cells.accepted.fetch_add(2, Ordering::Relaxed);
+        cells.queue_wait.record(100);
+        cells.run_time.record(1000);
+        let snap = cells.snapshot("acme");
+        assert_eq!(snap.tenant, "acme");
+        assert_eq!(snap.jobs_accepted, 2);
+        assert_eq!(snap.queue_wait.count, 1);
+        assert!(snap.run_time.p50 >= 1000);
+    }
+}

@@ -1,0 +1,337 @@
+//! Client library for the daemon's wire protocol.
+//!
+//! One [`Client`] owns one connection. Because `submit` streams
+//! (`accepted` now, `status`/`done` later) while other requests are
+//! strict request/response, events for in-flight jobs can interleave
+//! with the reply the caller is waiting for. The client routes instead
+//! of assuming order: `status` events accumulate in a per-job trace,
+//! `done` events park in a buffer until [`Client::wait_done`] claims
+//! them, and everything else is handed to whichever call is pending.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::spec::JobSpec;
+
+/// How long a read may block before the client gives up on the daemon.
+/// Generous — drains of deep queues legitimately take a while — but
+/// finite, so a wedged daemon fails a test instead of hanging it.
+const READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The final `done` event for one job, decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DoneEvent {
+    /// Engine-assigned job id.
+    pub job_id: u64,
+    /// `true` when the job finished without error.
+    pub ok: bool,
+    /// `true` when the job completed in degraded mode (dead nodes
+    /// quarantined, survivors exchanged).
+    pub degraded: bool,
+    /// The runtime's own end-to-end verification verdict.
+    pub verified: bool,
+    /// Whether the exchange plan came from the engine's cache.
+    pub cache_hit: bool,
+    /// Bytes the exchange put on the (simulated) wire.
+    pub wire_bytes: u64,
+    /// FNV-1a 64 digest of the delivered blocks, hex; `None` for
+    /// degraded or failed runs.
+    pub checksum: Option<String>,
+    /// Failure description when `ok` is false.
+    pub error: Option<String>,
+}
+
+impl DoneEvent {
+    fn from_json(event: &Json) -> Result<Self, ClientError> {
+        let field = |k: &str| {
+            event
+                .get(k)
+                .ok_or_else(|| ClientError::Protocol(format!("done event missing {k:?}")))
+        };
+        Ok(Self {
+            job_id: field("job_id")?
+                .as_u64()
+                .ok_or_else(|| ClientError::Protocol("done.job_id not a u64".into()))?,
+            ok: field("ok")?.as_bool().unwrap_or(false),
+            degraded: field("degraded")?.as_bool().unwrap_or(false),
+            verified: field("verified")?.as_bool().unwrap_or(false),
+            cache_hit: field("cache_hit")?.as_bool().unwrap_or(false),
+            wire_bytes: field("wire_bytes")?.as_u64().unwrap_or(0),
+            checksum: field("checksum")?.as_str().map(str::to_string),
+            error: field("error")?.as_str().map(str::to_string),
+        })
+    }
+}
+
+/// Everything that can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (includes read timeouts).
+    Io(io::Error),
+    /// The daemon sent something the client could not interpret, or
+    /// closed the connection mid-conversation.
+    Protocol(String),
+    /// The daemon refused the request with a typed reason
+    /// (`queue_full`, `tenant_queue_full`, `invalid_spec`,
+    /// `draining`, `unauthenticated`).
+    Rejected {
+        /// Stable machine-readable reason token.
+        reason: String,
+        /// Human-readable elaboration.
+        detail: String,
+    },
+    /// The daemon answered with an `error` event (malformed request).
+    Daemon(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Protocol(m) => write!(f, "protocol error: {m}"),
+            Self::Rejected { reason, detail } => {
+                write!(f, "rejected ({reason}): {detail}")
+            }
+            Self::Daemon(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One connection to a running daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    /// `done` events read while waiting for something else, keyed by
+    /// job id, until `wait_done` collects them.
+    parked_done: HashMap<u64, DoneEvent>,
+    /// Every `status` state seen per job, in arrival order (duplicates
+    /// from heartbeats collapsed).
+    status_trace: HashMap<u64, Vec<String>>,
+}
+
+impl Client {
+    /// Connects; does not authenticate (see [`Client::hello`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream),
+            parked_done: HashMap::new(),
+            status_trace: HashMap::new(),
+        })
+    }
+
+    fn send_line(&mut self, request: &Json) -> Result<(), ClientError> {
+        let mut line = request.dump();
+        line.push('\n');
+        self.reader.get_mut().write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads the next event of any kind.
+    fn read_event(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("daemon closed the connection".into()));
+        }
+        crate::json::parse(line.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable event: {e}")))
+    }
+
+    /// Reads until a non-streaming event arrives, parking `status` and
+    /// `done` events for their jobs along the way.
+    fn next_reply(&mut self) -> Result<Json, ClientError> {
+        loop {
+            let event = self.read_event()?;
+            match event.get("ev").and_then(Json::as_str) {
+                Some("status") => self.record_status(&event),
+                Some("done") => {
+                    let done = DoneEvent::from_json(&event)?;
+                    self.parked_done.insert(done.job_id, done);
+                }
+                Some(_) => return Ok(event),
+                None => {
+                    return Err(ClientError::Protocol(format!(
+                        "event without 'ev': {}",
+                        event.dump()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn record_status(&mut self, event: &Json) {
+        let (Some(id), Some(state)) = (
+            event.get("job_id").and_then(Json::as_u64),
+            event.get("state").and_then(Json::as_str),
+        ) else {
+            return;
+        };
+        let trace = self.status_trace.entry(id).or_default();
+        if trace.last().map(String::as_str) != Some(state) {
+            trace.push(state.to_string());
+        }
+    }
+
+    /// Converts a reply into `Err` when it is `rejected` or `error`.
+    fn expect_ev(&mut self, want: &str) -> Result<Json, ClientError> {
+        let event = self.next_reply()?;
+        match event.get("ev").and_then(Json::as_str) {
+            Some(ev) if ev == want => Ok(event),
+            Some("rejected") => Err(ClientError::Rejected {
+                reason: event
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                detail: event
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            Some("error") => Err(ClientError::Daemon(
+                event
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            )),
+            _ => Err(ClientError::Protocol(format!(
+                "expected {want:?}, got {}",
+                event.dump()
+            ))),
+        }
+    }
+
+    /// Authenticates the connection as `tenant`. Must precede submits.
+    pub fn hello(&mut self, tenant: &str) -> Result<(), ClientError> {
+        self.send_line(&Json::obj([
+            ("op", Json::str("hello")),
+            ("tenant", Json::str(tenant)),
+        ]))?;
+        self.expect_ev("hello_ok").map(|_| ())
+    }
+
+    /// Submits a job, returning its id once the daemon accepts it. The
+    /// job then runs asynchronously; collect it with
+    /// [`Client::wait_done`].
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
+        self.submit_raw(spec.to_json())
+    }
+
+    /// Submits a raw spec object verbatim — lets tests send invalid
+    /// specs through the real admission path.
+    pub fn submit_raw(&mut self, spec: Json) -> Result<u64, ClientError> {
+        self.send_line(&Json::obj([("op", Json::str("submit")), ("spec", spec)]))?;
+        let event = self.expect_ev("accepted")?;
+        event
+            .get("job_id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("accepted without job_id".into()))
+    }
+
+    /// Blocks until `job_id`'s `done` event arrives (tolerating any
+    /// interleaved events for other jobs) and returns it.
+    pub fn wait_done(&mut self, job_id: u64) -> Result<DoneEvent, ClientError> {
+        loop {
+            if let Some(done) = self.parked_done.remove(&job_id) {
+                return Ok(done);
+            }
+            let event = self.read_event()?;
+            match event.get("ev").and_then(Json::as_str) {
+                Some("status") => self.record_status(&event),
+                Some("done") => {
+                    let done = DoneEvent::from_json(&event)?;
+                    self.parked_done.insert(done.job_id, done);
+                }
+                Some(other) => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected {other:?} event while waiting for job {job_id}"
+                    )))
+                }
+                None => {
+                    return Err(ClientError::Protocol(format!(
+                        "event without 'ev': {}",
+                        event.dump()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// The distinct status states seen for `job_id`, in order.
+    pub fn status_trace(&self, job_id: u64) -> &[String] {
+        self.status_trace.get(&job_id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Fetches the `stats` event (service aggregate + per-tenant).
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.send_line(&Json::obj([("op", Json::str("stats"))]))?;
+        self.expect_ev("stats")
+    }
+
+    /// Validates a spec server-side; returns the normalized form.
+    pub fn validate(&mut self, spec: Json) -> Result<Json, ClientError> {
+        self.send_line(&Json::obj([("op", Json::str("validate")), ("spec", spec)]))?;
+        let event = self.expect_ev("valid")?;
+        event
+            .get("spec")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("valid without spec".into()))
+    }
+
+    /// Fetches the daemon's job-spec schema.
+    pub fn schema(&mut self) -> Result<Json, ClientError> {
+        self.send_line(&Json::obj([("op", Json::str("schema"))]))?;
+        let event = self.expect_ev("schema")?;
+        event
+            .get("spec")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("schema without spec".into()))
+    }
+
+    /// Asks the daemon to drain and shut down; blocks until every
+    /// admitted job finishes, then returns the final service stats
+    /// object. Jobs submitted on this connection get their `done`
+    /// events parked as usual, so `wait_done` still works afterwards.
+    pub fn drain(&mut self) -> Result<Json, ClientError> {
+        self.send_line(&Json::obj([("op", Json::str("drain"))]))?;
+        let event = self.expect_ev("drained")?;
+        event
+            .get("service")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("drained without service".into()))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send_line(&Json::obj([("op", Json::str("ping"))]))?;
+        self.expect_ev("pong").map(|_| ())
+    }
+
+    /// Sends raw bytes down the socket — for protocol-robustness tests
+    /// that need to speak garbage.
+    pub fn send_raw_bytes(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.reader.get_mut().write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Reads one event without interpretation — paired with
+    /// [`Client::send_raw_bytes`] in robustness tests.
+    pub fn read_raw_event(&mut self) -> Result<Json, ClientError> {
+        self.read_event()
+    }
+}

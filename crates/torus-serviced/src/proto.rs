@@ -1,0 +1,331 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every line a client sends is one JSON object with an `"op"` field;
+//! every line the daemon sends is one JSON object with an `"ev"` field.
+//! A connection is a plain request/response channel except for
+//! `submit`, which streams: `accepted` immediately, `status` heartbeats
+//! while the job is queued/running, and a final `done`.
+//!
+//! ```text
+//! → {"op":"hello","tenant":"acme"}
+//! ← {"ev":"hello_ok","tenant":"acme"}
+//! → {"op":"submit","spec":{"shape":[4,4],"seed":7}}
+//! ← {"ev":"accepted","job_id":1}
+//! ← {"ev":"status","job_id":1,"state":"queued"}
+//! ← {"ev":"status","job_id":1,"state":"running"}
+//! ← {"ev":"done","job_id":1,"ok":true,"degraded":false,"cache_hit":false,
+//!    "wire_bytes":61440,"checksum":"92c5…","error":null}
+//! ```
+//!
+//! Requests never exceed [`MAX_LINE_BYTES`]; a longer line is a
+//! protocol error and the daemon closes the connection after replying.
+
+use torus_service::{LatencyStats, ServiceStats, TenantStats};
+
+use crate::json::Json;
+
+/// Longest accepted request line, including the newline. Specs are a
+/// few hundred bytes; the cap keeps a hostile client from ballooning
+/// the reader's buffer.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Authenticate the connection as `tenant`.
+    Hello {
+        /// The tenant id for every later submit on this connection.
+        tenant: String,
+    },
+    /// Submit a job; `spec` is validated at dispatch so rejection
+    /// responses can carry the typed cause.
+    Submit {
+        /// The raw spec object.
+        spec: Json,
+    },
+    /// Validate a spec without running it.
+    Validate {
+        /// The raw spec object.
+        spec: Json,
+    },
+    /// Fetch service-wide and per-tenant statistics.
+    Stats,
+    /// Fetch the job-spec schema.
+    Schema,
+    /// Stop admission, drain every in-flight job, reply with final
+    /// stats, and shut the daemon down.
+    Drain,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Why a request line could not be turned into a [`Request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Human-readable cause, echoed to the client in an `error` event.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Validates a tenant id: short, non-empty, shell-safe.
+pub fn valid_tenant(tenant: &str) -> bool {
+    !tenant.is_empty()
+        && tenant.len() <= 64
+        && tenant
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let value = crate::json::parse(line).map_err(|e| ProtoError::new(e.to_string()))?;
+    if value.as_obj().is_none() {
+        return Err(ProtoError::new("request must be a JSON object"));
+    }
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtoError::new("missing string field 'op'"))?;
+    match op {
+        "hello" => {
+            let tenant = value
+                .get("tenant")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtoError::new("hello requires a string 'tenant'"))?;
+            if !valid_tenant(tenant) {
+                return Err(ProtoError::new(
+                    "tenant must be 1..=64 chars of [A-Za-z0-9._-]",
+                ));
+            }
+            Ok(Request::Hello {
+                tenant: tenant.to_string(),
+            })
+        }
+        "submit" | "validate" => {
+            let spec = value
+                .get("spec")
+                .cloned()
+                .ok_or_else(|| ProtoError::new(format!("{op} requires a 'spec' object")))?;
+            if op == "submit" {
+                Ok(Request::Submit { spec })
+            } else {
+                Ok(Request::Validate { spec })
+            }
+        }
+        "stats" => Ok(Request::Stats),
+        "schema" => Ok(Request::Schema),
+        "drain" => Ok(Request::Drain),
+        "ping" => Ok(Request::Ping),
+        other => Err(ProtoError::new(format!("unknown op {other:?}"))),
+    }
+}
+
+fn latency_json(lat: &LatencyStats) -> Json {
+    Json::obj([
+        ("count", Json::u64(lat.count)),
+        ("p50", Json::u64(lat.p50)),
+        ("p95", Json::u64(lat.p95)),
+        ("p99", Json::u64(lat.p99)),
+        ("max", Json::u64(lat.max)),
+    ])
+}
+
+/// The full JSON form of the engine's aggregate stats.
+pub fn service_stats_json(stats: &ServiceStats) -> Json {
+    Json::obj([
+        ("jobs_accepted", Json::u64(stats.jobs_accepted)),
+        ("jobs_rejected", Json::u64(stats.jobs_rejected)),
+        ("jobs_completed", Json::u64(stats.jobs_completed)),
+        ("jobs_failed", Json::u64(stats.jobs_failed)),
+        ("jobs_degraded", Json::u64(stats.jobs_degraded)),
+        ("queue_high_water", Json::u64(stats.queue_high_water as u64)),
+        ("cache_hits", Json::u64(stats.cache_hits)),
+        ("cache_misses", Json::u64(stats.cache_misses)),
+        ("wire_bytes", Json::u64(stats.wire_bytes)),
+        ("bytes_copied", Json::u64(stats.bytes_copied)),
+        ("queue_wait_us", latency_json(&stats.queue_wait)),
+        ("run_time_us", latency_json(&stats.run_time)),
+    ])
+}
+
+/// The JSON form of one tenant's stats.
+pub fn tenant_stats_json(stats: &TenantStats) -> Json {
+    Json::obj([
+        ("tenant", Json::str(stats.tenant.clone())),
+        ("jobs_accepted", Json::u64(stats.jobs_accepted)),
+        ("jobs_rejected", Json::u64(stats.jobs_rejected)),
+        ("jobs_completed", Json::u64(stats.jobs_completed)),
+        ("jobs_failed", Json::u64(stats.jobs_failed)),
+        ("queue_wait_us", latency_json(&stats.queue_wait)),
+        ("run_time_us", latency_json(&stats.run_time)),
+    ])
+}
+
+/// `{"ev":"hello_ok","tenant":…}`
+pub fn hello_ok(tenant: &str) -> Json {
+    Json::obj([("ev", Json::str("hello_ok")), ("tenant", Json::str(tenant))])
+}
+
+/// `{"ev":"accepted","job_id":…}`
+pub fn accepted(job_id: u64) -> Json {
+    Json::obj([("ev", Json::str("accepted")), ("job_id", Json::u64(job_id))])
+}
+
+/// `{"ev":"status","job_id":…,"state":…}`
+pub fn status(job_id: u64, state: &str) -> Json {
+    Json::obj([
+        ("ev", Json::str("status")),
+        ("job_id", Json::u64(job_id)),
+        ("state", Json::str(state)),
+    ])
+}
+
+/// `{"ev":"rejected","reason":…,"detail":…}` — `reason` is a stable
+/// machine-readable token, `detail` is for humans.
+pub fn rejected(reason: &str, detail: &str) -> Json {
+    Json::obj([
+        ("ev", Json::str("rejected")),
+        ("reason", Json::str(reason)),
+        ("detail", Json::str(detail)),
+    ])
+}
+
+/// `{"ev":"error","message":…}` — a malformed request (not a job
+/// outcome).
+pub fn error_event(message: &str) -> Json {
+    Json::obj([("ev", Json::str("error")), ("message", Json::str(message))])
+}
+
+/// `{"ev":"pong"}`
+pub fn pong() -> Json {
+    Json::obj([("ev", Json::str("pong"))])
+}
+
+/// `{"ev":"valid","spec":…}` — the normalized (defaults filled) form.
+pub fn valid(normalized: Json) -> Json {
+    Json::obj([("ev", Json::str("valid")), ("spec", normalized)])
+}
+
+/// `{"ev":"schema","spec":…}`
+pub fn schema(spec_schema: Json) -> Json {
+    Json::obj([("ev", Json::str("schema")), ("spec", spec_schema)])
+}
+
+/// `{"ev":"stats","service":…,"tenants":[…]}`
+pub fn stats(service: &ServiceStats, tenants: &[TenantStats]) -> Json {
+    Json::obj([
+        ("ev", Json::str("stats")),
+        ("service", service_stats_json(service)),
+        (
+            "tenants",
+            Json::Arr(tenants.iter().map(tenant_stats_json).collect()),
+        ),
+    ])
+}
+
+/// `{"ev":"drained","service":…}` — the final aggregate snapshot.
+pub fn drained(service: &ServiceStats) -> Json {
+    Json::obj([
+        ("ev", Json::str("drained")),
+        ("service", service_stats_json(service)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(
+            parse_request(r#"{"op":"hello","tenant":"a-1.b_c"}"#).unwrap(),
+            Request::Hello {
+                tenant: "a-1.b_c".to_string()
+            }
+        );
+        assert!(matches!(
+            parse_request(r#"{"op":"submit","spec":{"shape":[2,2]}}"#).unwrap(),
+            Request::Submit { .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"validate","spec":{}}"#).unwrap(),
+            Request::Validate { .. }
+        ));
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"schema"}"#).unwrap(),
+            Request::Schema
+        );
+        assert_eq!(parse_request(r#"{"op":"drain"}"#).unwrap(), Request::Drain);
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_reasons() {
+        for (line, needle) in [
+            ("", "invalid JSON"),
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"noop":1}"#, "missing string field 'op'"),
+            (r#"{"op":"levitate"}"#, "unknown op"),
+            (r#"{"op":"hello"}"#, "tenant"),
+            (r#"{"op":"hello","tenant":""}"#, "tenant"),
+            (r#"{"op":"hello","tenant":"sp ace"}"#, "tenant"),
+            (r#"{"op":"submit"}"#, "'spec'"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "line {line:?} produced {:?}, wanted {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_validation_bounds() {
+        assert!(valid_tenant("a"));
+        assert!(valid_tenant(&"x".repeat(64)));
+        assert!(!valid_tenant(&"x".repeat(65)));
+        assert!(!valid_tenant("has/slash"));
+        assert!(!valid_tenant("new\nline"));
+    }
+
+    #[test]
+    fn stats_event_nests_latencies() {
+        let mut service = ServiceStats {
+            jobs_accepted: 3,
+            ..Default::default()
+        };
+        service.queue_wait.p99 = 250;
+        let event = stats(&service, &[]);
+        assert_eq!(event.get("ev").unwrap().as_str(), Some("stats"));
+        let svc = event.get("service").unwrap();
+        assert_eq!(svc.get("jobs_accepted").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            svc.get("queue_wait_us")
+                .unwrap()
+                .get("p99")
+                .unwrap()
+                .as_u64(),
+            Some(250)
+        );
+        // The whole event round-trips through the wire form.
+        assert_eq!(crate::json::parse(&event.dump()).unwrap(), event);
+    }
+}

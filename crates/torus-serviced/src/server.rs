@@ -1,0 +1,427 @@
+//! The daemon: a blocking TCP accept loop, per-connection reader
+//! threads, and per-job status pumps. No async runtime — the
+//! concurrency story is the same hand-rolled threads-and-locks the rest
+//! of the workspace uses.
+//!
+//! ## Threading model
+//!
+//! * **Accept loop** (the thread calling [`Daemon::run`]): nonblocking
+//!   accept + short sleep, so it can poll the drain/SIGTERM flags.
+//! * **One reader thread per connection**: parses request lines and
+//!   answers everything except job completion inline. Responses go
+//!   through a mutex-guarded writer clone of the stream, because…
+//! * **One pump thread per submitted job** shares that writer: it
+//!   streams `status` heartbeats while the job is queued/running and
+//!   the final `done` event, concurrently with the reader answering new
+//!   requests on the same connection.
+//!
+//! ## Drain
+//!
+//! A `drain` request (or SIGTERM, via [`crate::signal`]) stops
+//! admission and lets every admitted job finish: the engine's own
+//! shutdown drains the queue, the pumps deliver each job's `done`, the
+//! drain caller gets the final aggregate stats, and [`Daemon::run`]
+//! returns them. New submissions during the drain are rejected with
+//! reason `"draining"`. Concurrent drains are safe — the engine's
+//! shutdown snapshot is taken exactly once.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use torus_service::{
+    Engine, EngineConfig, JobHandle, JobResult, JobStatus, ServiceStats, SubmitError,
+};
+
+use crate::checksum;
+use crate::json::Json;
+use crate::proto::{self, Request, MAX_LINE_BYTES};
+use crate::signal;
+use crate::spec::JobSpec;
+
+/// Daemon sizing and behavior knobs.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Daemon::local_addr`]). Default `127.0.0.1:0`.
+    pub addr: String,
+    /// The engine the daemon fronts.
+    pub engine: EngineConfig,
+    /// How often pumps poll job status (and readers poll shutdown).
+    pub status_poll: Duration,
+    /// Resend the current status every this many polls, so a client
+    /// watching a long-queued job sees liveness, not silence.
+    pub heartbeat_polls: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::default(),
+            status_poll: Duration::from_millis(2),
+            heartbeat_polls: 250,
+        }
+    }
+}
+
+struct DaemonShared {
+    engine: Engine,
+    /// Admission stopped (drain op or SIGTERM); accept loop exits.
+    draining: AtomicBool,
+    /// Engine fully drained; connection readers must exit.
+    closed: AtomicBool,
+    status_poll: Duration,
+    heartbeat_polls: u32,
+}
+
+fn lk<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    shared: Arc<DaemonShared>,
+}
+
+impl Daemon {
+    /// Binds the listener and starts the engine (drivers spawn now;
+    /// they idle until jobs arrive).
+    pub fn bind(config: DaemonConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Self {
+            listener,
+            shared: Arc::new(DaemonShared {
+                engine: Engine::new(config.engine),
+                draining: AtomicBool::new(false),
+                closed: AtomicBool::new(false),
+                status_poll: config.status_poll,
+                heartbeat_polls: config.heartbeat_polls.max(1),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Requests a drain as if a client had sent `drain` — used to stop
+    /// a daemon from the thread that owns it.
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Serves until drained (by a `drain` request, [`request_drain`],
+    /// or SIGTERM), then returns the final aggregate stats. Installs
+    /// the SIGTERM flag handler.
+    ///
+    /// [`request_drain`]: Daemon::request_drain
+    pub fn run(self) -> ServiceStats {
+        signal::install();
+        self.listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if signal::triggered() {
+                self.shared.draining.store(true, Ordering::SeqCst);
+            }
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    conns.push(
+                        std::thread::Builder::new()
+                            .name("serviced-conn".to_string())
+                            .spawn(move || handle_connection(stream, &shared))
+                            .expect("spawn connection thread"),
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.shared.status_poll.max(Duration::from_millis(2)));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Idempotent: if a drain request already shut the engine down,
+        // this returns the same frozen snapshot.
+        let stats = self.shared.engine.shutdown();
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for conn in conns {
+            let _ = conn.join();
+        }
+        stats
+    }
+
+    /// Convenience for tests and embedders: run on a background thread,
+    /// returning the bound address and the join handle for the final
+    /// stats.
+    pub fn spawn(config: DaemonConfig) -> io::Result<(SocketAddr, JoinHandle<ServiceStats>)> {
+        let daemon = Self::bind(config)?;
+        let addr = daemon.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name("serviced-accept".to_string())
+            .spawn(move || daemon.run())
+            .expect("spawn daemon thread");
+        Ok((addr, handle))
+    }
+}
+
+/// One line read from the connection.
+enum Line {
+    Ok(String),
+    /// Peer closed (EOF).
+    Eof,
+    /// The daemon finished draining; stop serving.
+    Closed,
+    /// The peer exceeded [`MAX_LINE_BYTES`] without a newline.
+    TooLong,
+    /// Hard I/O failure.
+    Err,
+}
+
+/// A bounded, shutdown-aware line reader over the raw stream. BufReader
+/// would work for the happy path but makes the length cap and the
+/// periodic closed-flag check awkward; this is ~30 lines of explicit
+/// state instead.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn read_line(&mut self, closed: &AtomicBool) -> Line {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Line::Ok(String::from_utf8_lossy(&line[..pos]).into_owned());
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Line::TooLong;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Line::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if closed.load(Ordering::SeqCst) {
+                        return Line::Closed;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return Line::Err,
+            }
+        }
+    }
+}
+
+/// Writes one response line; `false` means the client is gone.
+fn send(writer: &Mutex<TcpStream>, event: &Json) -> bool {
+    let mut line = event.dump();
+    line.push('\n');
+    let mut stream = lk(writer);
+    stream.write_all(line.as_bytes()).is_ok()
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<DaemonShared>) {
+    // The read timeout doubles as the shutdown poll interval.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = LineReader::new(stream);
+    let mut tenant: Option<String> = None;
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match reader.read_line(&shared.closed) {
+            Line::Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if !dispatch(&line, &writer, &mut tenant, &mut pumps, shared) {
+                    break;
+                }
+            }
+            Line::TooLong => {
+                let _ = send(
+                    &writer,
+                    &proto::error_event(&format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+                );
+                break;
+            }
+            Line::Eof | Line::Closed | Line::Err => break,
+        }
+    }
+    // A mid-job disconnect lands here with pumps still streaming; their
+    // writes fail and they exit — the jobs themselves run to completion
+    // in the engine, so no queue or in-flight slot leaks.
+    for pump in pumps {
+        let _ = pump.join();
+    }
+}
+
+/// Handles one request; `false` ends the connection.
+fn dispatch(
+    line: &str,
+    writer: &Arc<Mutex<TcpStream>>,
+    tenant: &mut Option<String>,
+    pumps: &mut Vec<JoinHandle<()>>,
+    shared: &Arc<DaemonShared>,
+) -> bool {
+    let request = match proto::parse_request(line) {
+        Ok(r) => r,
+        // Malformed lines get a reply but keep the connection: a
+        // client with one buggy request shouldn't lose its jobs.
+        Err(e) => return send(writer, &proto::error_event(&e.message)),
+    };
+    match request {
+        Request::Hello { tenant: t } => {
+            let event = proto::hello_ok(&t);
+            *tenant = Some(t);
+            send(writer, &event)
+        }
+        Request::Ping => send(writer, &proto::pong()),
+        Request::Schema => send(writer, &proto::schema(JobSpec::schema())),
+        Request::Validate { spec } => match JobSpec::from_json(&spec) {
+            Ok(s) => send(writer, &proto::valid(s.to_json())),
+            Err(e) => send(writer, &proto::rejected("invalid_spec", &e.to_string())),
+        },
+        Request::Stats => send(
+            writer,
+            &proto::stats(&shared.engine.stats(), &shared.engine.tenant_stats()),
+        ),
+        Request::Drain => {
+            shared.draining.store(true, Ordering::SeqCst);
+            // Blocks until every admitted job has finished; pumps send
+            // their `done` events before this returns the final books.
+            let stats = shared.engine.shutdown();
+            send(writer, &proto::drained(&stats))
+        }
+        Request::Submit { spec } => {
+            if shared.draining.load(Ordering::SeqCst) {
+                return send(
+                    writer,
+                    &proto::rejected("draining", "daemon is draining; no new jobs"),
+                );
+            }
+            let Some(tenant) = tenant.as_deref() else {
+                return send(
+                    writer,
+                    &proto::rejected("unauthenticated", "send hello with a tenant first"),
+                );
+            };
+            let spec = match JobSpec::from_json(&spec) {
+                Ok(s) => s,
+                Err(e) => return send(writer, &proto::rejected("invalid_spec", &e.to_string())),
+            };
+            let submitted = shared.engine.submit_as(
+                tenant,
+                spec.torus_shape(),
+                spec.payload,
+                spec.runtime_config(),
+            );
+            match submitted {
+                Ok(handle) => {
+                    if !send(writer, &proto::accepted(handle.id())) {
+                        return false;
+                    }
+                    let writer = Arc::clone(writer);
+                    let shared = Arc::clone(shared);
+                    pumps.push(
+                        std::thread::Builder::new()
+                            .name("serviced-pump".to_string())
+                            .spawn(move || pump_job(handle, &writer, &shared))
+                            .expect("spawn pump thread"),
+                    );
+                    true
+                }
+                Err(SubmitError::QueueFull { depth }) => send(
+                    writer,
+                    &proto::rejected("queue_full", &format!("global queue at depth {depth}")),
+                ),
+                Err(SubmitError::TenantQueueFull { tenant, max_queued }) => send(
+                    writer,
+                    &proto::rejected(
+                        "tenant_queue_full",
+                        &format!("tenant {tenant:?} at its queued-jobs quota ({max_queued})"),
+                    ),
+                ),
+                Err(SubmitError::ShuttingDown) => send(
+                    writer,
+                    &proto::rejected("draining", "daemon is draining; no new jobs"),
+                ),
+            }
+        }
+    }
+}
+
+/// Streams one job's lifecycle to the client: `status` on every
+/// transition (plus periodic heartbeats), then the final `done`.
+fn pump_job(handle: JobHandle, writer: &Mutex<TcpStream>, shared: &DaemonShared) {
+    let id = handle.id();
+    let mut last_state = "";
+    let mut polls = 0u32;
+    loop {
+        let state = match handle.try_status() {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed | JobStatus::Failed => break,
+        };
+        if state != last_state || polls.is_multiple_of(shared.heartbeat_polls) {
+            if !send(writer, &proto::status(id, state)) {
+                return; // client gone; the job still finishes engine-side
+            }
+            last_state = state;
+        }
+        polls += 1;
+        std::thread::sleep(shared.status_poll);
+    }
+    let result = handle.wait();
+    let _ = send(writer, &done_event(&result));
+}
+
+/// The `done` event: a compact job summary plus the delivery checksum
+/// (clean completions only — degraded runs drop dead-node blocks, so
+/// their digest intentionally stays null rather than faking a match).
+fn done_event(result: &JobResult) -> Json {
+    let report = result.report.as_ref();
+    let degraded = report.is_some_and(|r| r.degraded.is_some());
+    let checksum = match (&result.deliveries, degraded) {
+        (Some(deliveries), false) => {
+            Json::str(checksum::to_hex(checksum::delivery_checksum(deliveries)))
+        }
+        _ => Json::Null,
+    };
+    Json::obj([
+        ("ev", Json::str("done")),
+        ("job_id", Json::u64(result.job_id)),
+        ("ok", Json::Bool(result.error.is_none())),
+        ("degraded", Json::Bool(degraded)),
+        ("verified", Json::Bool(report.is_some_and(|r| r.verified))),
+        ("cache_hit", Json::Bool(result.cache_hit)),
+        ("wire_bytes", Json::u64(report.map_or(0, |r| r.wire_bytes))),
+        ("checksum", checksum),
+        (
+            "error",
+            match &result.error {
+                Some(e) => Json::str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}

@@ -1,0 +1,526 @@
+//! Validated job specifications: the wire form of one exchange request.
+//!
+//! A [`JobSpec`] is what a client puts in a `submit` request's `spec`
+//! field. Parsing is *strict* — unknown fields, wrong types, and
+//! out-of-range values are all typed [`SpecError`]s naming the offending
+//! field — so a daemon never silently runs something other than what the
+//! client meant, and `validate`/`schema` give clients a way to check
+//! specs without submitting them.
+
+use std::time::Duration;
+
+use torus_runtime::{FaultPlan, OnFailure, RetryPolicy, RuntimeConfig, WorkerFaultKind};
+use torus_service::PayloadSpec;
+use torus_topology::TorusShape;
+
+use crate::json::Json;
+
+/// Largest accepted per-pair block, matching the CLI's sanity bound.
+pub const MAX_BLOCK_BYTES: usize = 1 << 20;
+
+/// Largest accepted per-job worker request.
+pub const MAX_WORKERS: usize = 4096;
+
+/// A spec rejected by validation: which field, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (e.g. `fault.drop_rate`).
+    pub field: String,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl SpecError {
+    fn new(field: &str, message: impl Into<String>) -> Self {
+        Self {
+            field: field.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid spec field '{}': {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// An optional injected fault plan, mirroring the runtime's
+/// [`FaultPlan`] knobs the service exposes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Per-message drop probability in `[0, 1)`.
+    pub drop_rate: f64,
+    /// Per-message corruption probability in `[0, 1)`.
+    pub corrupt_rate: f64,
+    /// Seed for the fault RNG.
+    pub seed: u64,
+    /// Kill the worker hosting node `.0` when it reaches step `.1`.
+    pub worker_kill: Option<(u32, usize)>,
+}
+
+/// An optional retry-policy override.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetrySpec {
+    /// Receive deadline, milliseconds (1..=60000).
+    pub deadline_ms: u64,
+    /// Recovery attempts after the first failed wait.
+    pub max_retries: u32,
+    /// Base backoff, microseconds.
+    pub backoff_us: u64,
+}
+
+/// One validated exchange request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Torus extents, e.g. `[4, 4]`.
+    pub shape: Vec<u32>,
+    /// Bytes each node sends every other node. Default 64.
+    pub block_bytes: usize,
+    /// What the blocks carry. Default [`PayloadSpec::Pattern`].
+    pub payload: PayloadSpec,
+    /// Worker-thread override; `None` uses the engine's sizing.
+    pub workers: Option<usize>,
+    /// Failure policy. Default [`OnFailure::Abort`].
+    pub on_failure: OnFailure,
+    /// Injected faults, if any.
+    pub fault: Option<FaultSpec>,
+    /// Retry override, if any.
+    pub retry: Option<RetrySpec>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            shape: vec![4, 4],
+            block_bytes: 64,
+            payload: PayloadSpec::Pattern,
+            workers: None,
+            on_failure: OnFailure::Abort,
+            fault: None,
+            retry: None,
+        }
+    }
+}
+
+/// Reads `obj[key]` as a bounded uint; errors blame `label` (the
+/// dotted path, which differs from `key` inside nested objects).
+fn field_u64(obj: &Json, key: &str, label: &str, max: u64) -> Result<Option<u64>, SpecError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| SpecError::new(label, "must be a non-negative integer"))?;
+            if n > max {
+                return Err(SpecError::new(label, format!("must be at most {max}")));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
+fn field_rate(obj: &Json, key: &str, label: &str) -> Result<f64, SpecError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(0.0),
+        Some(v) => {
+            let r = v
+                .as_f64()
+                .ok_or_else(|| SpecError::new(label, "must be a number"))?;
+            if !(0.0..1.0).contains(&r) {
+                return Err(SpecError::new(label, "must be in [0, 1)"));
+            }
+            Ok(r)
+        }
+    }
+}
+
+fn check_known_fields(obj: &Json, scope: &str, known: &[&str]) -> Result<(), SpecError> {
+    let pairs = obj
+        .as_obj()
+        .ok_or_else(|| SpecError::new(scope, "must be a JSON object"))?;
+    for (key, _) in pairs {
+        if !known.contains(&key.as_str()) {
+            let field = if scope.is_empty() {
+                key.clone()
+            } else {
+                format!("{scope}.{key}")
+            };
+            return Err(SpecError::new(&field, "unknown field"));
+        }
+    }
+    Ok(())
+}
+
+impl JobSpec {
+    /// Parses and validates a spec from its wire form.
+    pub fn from_json(value: &Json) -> Result<Self, SpecError> {
+        check_known_fields(
+            value,
+            "",
+            &[
+                "shape",
+                "block_bytes",
+                "seed",
+                "payload",
+                "workers",
+                "on_failure",
+                "fault",
+                "retry",
+            ],
+        )?;
+
+        let shape_json = value
+            .get("shape")
+            .ok_or_else(|| SpecError::new("shape", "required"))?;
+        let dims = shape_json
+            .as_arr()
+            .ok_or_else(|| SpecError::new("shape", "must be an array of extents"))?;
+        let mut shape = Vec::with_capacity(dims.len());
+        for d in dims {
+            let extent = d
+                .as_u64()
+                .filter(|&e| e <= u32::MAX as u64)
+                .ok_or_else(|| SpecError::new("shape", "extents must be positive integers"))?;
+            shape.push(extent as u32);
+        }
+        // Reuse the topology crate's validation (dimension count, zero
+        // extents, node-count cap) so the daemon and the library agree.
+        TorusShape::new(&shape).map_err(|e| SpecError::new("shape", e.to_string()))?;
+
+        let block_bytes = field_u64(value, "block_bytes", "block_bytes", MAX_BLOCK_BYTES as u64)?
+            .unwrap_or(64) as usize;
+        if block_bytes == 0 {
+            return Err(SpecError::new("block_bytes", "must be at least 1"));
+        }
+
+        let payload = match (value.get("seed"), value.get("payload")) {
+            (Some(_), Some(_)) => {
+                return Err(SpecError::new(
+                    "seed",
+                    "give either 'seed' or 'payload', not both",
+                ))
+            }
+            (Some(s), None) => PayloadSpec::Seeded {
+                seed: s
+                    .as_u64()
+                    .ok_or_else(|| SpecError::new("seed", "must be a non-negative integer"))?,
+            },
+            (None, Some(p)) => match p.as_str() {
+                Some("pattern") => PayloadSpec::Pattern,
+                _ => return Err(SpecError::new("payload", "must be the string \"pattern\"")),
+            },
+            (None, None) => PayloadSpec::Pattern,
+        };
+
+        let workers =
+            field_u64(value, "workers", "workers", MAX_WORKERS as u64)?.map(|w| w as usize);
+        if workers == Some(0) {
+            return Err(SpecError::new("workers", "must be at least 1"));
+        }
+
+        let on_failure = match value.get("on_failure") {
+            None | Some(Json::Null) => OnFailure::Abort,
+            Some(v) => {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| SpecError::new("on_failure", "must be a string"))?;
+                OnFailure::parse(s).map_err(|e| SpecError::new("on_failure", e))?
+            }
+        };
+
+        let fault = match value.get("fault") {
+            None | Some(Json::Null) => None,
+            Some(f) => {
+                check_known_fields(
+                    f,
+                    "fault",
+                    &["drop_rate", "corrupt_rate", "seed", "worker_kill"],
+                )?;
+                let worker_kill = match f.get("worker_kill") {
+                    None | Some(Json::Null) => None,
+                    Some(wk) => {
+                        let pair = wk.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                            SpecError::new("fault.worker_kill", "must be [node, step]")
+                        })?;
+                        let node = pair[0]
+                            .as_u64()
+                            .filter(|&n| n <= u32::MAX as u64)
+                            .ok_or_else(|| {
+                                SpecError::new("fault.worker_kill", "node must be a u32")
+                            })?;
+                        let step = pair[1].as_u64().ok_or_else(|| {
+                            SpecError::new("fault.worker_kill", "step must be an integer")
+                        })?;
+                        Some((node as u32, step as usize))
+                    }
+                };
+                Some(FaultSpec {
+                    drop_rate: field_rate(f, "drop_rate", "fault.drop_rate")?,
+                    corrupt_rate: field_rate(f, "corrupt_rate", "fault.corrupt_rate")?,
+                    seed: field_u64(f, "seed", "fault.seed", u64::MAX - 1)?.unwrap_or(0),
+                    worker_kill,
+                })
+            }
+        };
+
+        let retry = match value.get("retry") {
+            None | Some(Json::Null) => None,
+            Some(r) => {
+                check_known_fields(r, "retry", &["deadline_ms", "max_retries", "backoff_us"])?;
+                let deadline_ms =
+                    field_u64(r, "deadline_ms", "retry.deadline_ms", 60_000)?.unwrap_or(500);
+                if deadline_ms == 0 {
+                    return Err(SpecError::new("retry.deadline_ms", "must be at least 1"));
+                }
+                Some(RetrySpec {
+                    deadline_ms,
+                    max_retries: field_u64(r, "max_retries", "retry.max_retries", 64)?.unwrap_or(4)
+                        as u32,
+                    backoff_us: field_u64(r, "backoff_us", "retry.backoff_us", 1_000_000)?
+                        .unwrap_or(500),
+                })
+            }
+        };
+
+        Ok(Self {
+            shape,
+            block_bytes,
+            payload,
+            workers,
+            on_failure,
+            fault,
+            retry,
+        })
+    }
+
+    /// The spec's wire form (inverse of [`from_json`](Self::from_json)).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            (
+                "shape".to_string(),
+                Json::Arr(self.shape.iter().map(|&d| Json::u64(d as u64)).collect()),
+            ),
+            (
+                "block_bytes".to_string(),
+                Json::u64(self.block_bytes as u64),
+            ),
+        ];
+        match self.payload {
+            PayloadSpec::Pattern => pairs.push(("payload".to_string(), Json::str("pattern"))),
+            PayloadSpec::Seeded { seed } => pairs.push(("seed".to_string(), Json::u64(seed))),
+        }
+        if let Some(w) = self.workers {
+            pairs.push(("workers".to_string(), Json::u64(w as u64)));
+        }
+        if self.on_failure != OnFailure::Abort {
+            pairs.push((
+                "on_failure".to_string(),
+                Json::str(self.on_failure.to_string()),
+            ));
+        }
+        if let Some(f) = &self.fault {
+            let mut fp: Vec<(String, Json)> = vec![
+                ("drop_rate".to_string(), Json::Num(f.drop_rate)),
+                ("corrupt_rate".to_string(), Json::Num(f.corrupt_rate)),
+                ("seed".to_string(), Json::u64(f.seed)),
+            ];
+            if let Some((node, step)) = f.worker_kill {
+                fp.push((
+                    "worker_kill".to_string(),
+                    Json::Arr(vec![Json::u64(node as u64), Json::u64(step as u64)]),
+                ));
+            }
+            pairs.push(("fault".to_string(), Json::Obj(fp)));
+        }
+        if let Some(r) = &self.retry {
+            pairs.push((
+                "retry".to_string(),
+                Json::Obj(vec![
+                    ("deadline_ms".to_string(), Json::u64(r.deadline_ms)),
+                    ("max_retries".to_string(), Json::u64(r.max_retries as u64)),
+                    ("backoff_us".to_string(), Json::u64(r.backoff_us)),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// The validated torus shape.
+    pub fn torus_shape(&self) -> TorusShape {
+        TorusShape::new(&self.shape).expect("validated at parse time")
+    }
+
+    /// Lowers the spec into the runtime knobs the engine executes.
+    pub fn runtime_config(&self) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::default()
+            .with_block_bytes(self.block_bytes)
+            .with_on_failure(self.on_failure);
+        if let Some(w) = self.workers {
+            cfg = cfg.with_workers(w);
+        }
+        if let Some(f) = &self.fault {
+            let mut plan = FaultPlan::seeded(f.seed)
+                .with_drop_rate(f.drop_rate)
+                .with_corrupt_rate(f.corrupt_rate);
+            if let Some((node, step)) = f.worker_kill {
+                plan = plan.with_worker_fault(step, node, WorkerFaultKind::Kill);
+            }
+            cfg = cfg.with_faults(plan);
+        }
+        if let Some(r) = &self.retry {
+            cfg = cfg.with_retry(
+                RetryPolicy::default()
+                    .with_deadline(Duration::from_millis(r.deadline_ms))
+                    .with_max_retries(r.max_retries)
+                    .with_backoff(Duration::from_micros(r.backoff_us)),
+            );
+        }
+        cfg
+    }
+
+    /// A machine-readable description of every accepted field, served by
+    /// the daemon's `schema` op so clients can discover the contract.
+    pub fn schema() -> Json {
+        Json::obj([
+            (
+                "shape",
+                Json::str("required: array of torus extents, e.g. [4,4]; product bounded by the topology crate"),
+            ),
+            (
+                "block_bytes",
+                Json::str(format!(
+                    "optional uint, default 64, range 1..={MAX_BLOCK_BYTES}: bytes per (src,dst) block"
+                )),
+            ),
+            (
+                "seed",
+                Json::str("optional uint: per-job seeded payload stream (exclusive with 'payload')"),
+            ),
+            (
+                "payload",
+                Json::str("optional, only \"pattern\": the shared deterministic pattern stream"),
+            ),
+            (
+                "workers",
+                Json::str(format!("optional uint 1..={MAX_WORKERS}: worker-thread override")),
+            ),
+            (
+                "on_failure",
+                Json::str("optional, \"abort\" (default) or \"degrade\""),
+            ),
+            (
+                "fault",
+                Json::str("optional object {drop_rate, corrupt_rate in [0,1); seed uint; worker_kill [node, step]}"),
+            ),
+            (
+                "retry",
+                Json::str("optional object {deadline_ms 1..=60000, max_retries 0..=64, backoff_us 0..=1000000}"),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn spec(text: &str) -> Result<JobSpec, SpecError> {
+        JobSpec::from_json(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn minimal_spec_uses_defaults() {
+        let s = spec(r#"{"shape":[4,4]}"#).unwrap();
+        assert_eq!(s.block_bytes, 64);
+        assert_eq!(s.payload, PayloadSpec::Pattern);
+        assert_eq!(s.on_failure, OnFailure::Abort);
+        assert_eq!(s.torus_shape().num_nodes(), 16);
+    }
+
+    #[test]
+    fn full_spec_round_trips_through_json() {
+        let s = spec(
+            r#"{"shape":[2,3,4],"block_bytes":96,"seed":9,"workers":3,
+                "on_failure":"degrade",
+                "fault":{"drop_rate":0.1,"corrupt_rate":0.05,"seed":7,"worker_kill":[1,3]},
+                "retry":{"deadline_ms":50,"max_retries":2,"backoff_us":300}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.payload, PayloadSpec::Seeded { seed: 9 });
+        assert_eq!(s.fault.as_ref().unwrap().worker_kill, Some((1, 3)));
+        let round = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(round, s);
+    }
+
+    #[test]
+    fn rejections_name_the_field() {
+        for (text, field) in [
+            (r#"{}"#, "shape"),
+            (r#"{"shape":"4x4"}"#, "shape"),
+            (r#"{"shape":[4,0]}"#, "shape"),
+            (r#"{"shape":[4,4],"block_bytes":0}"#, "block_bytes"),
+            (r#"{"shape":[4,4],"block_bytes":99999999}"#, "block_bytes"),
+            (r#"{"shape":[4,4],"seed":-1}"#, "seed"),
+            (r#"{"shape":[4,4],"seed":1,"payload":"pattern"}"#, "seed"),
+            (r#"{"shape":[4,4],"payload":"noise"}"#, "payload"),
+            (r#"{"shape":[4,4],"workers":0}"#, "workers"),
+            (r#"{"shape":[4,4],"on_failure":"explode"}"#, "on_failure"),
+            (r#"{"shape":[4,4],"turbo":true}"#, "turbo"),
+            (
+                r#"{"shape":[4,4],"fault":{"drop_rate":1.5}}"#,
+                "fault.drop_rate",
+            ),
+            (r#"{"shape":[4,4],"fault":{"zap":1}}"#, "fault.zap"),
+            (
+                r#"{"shape":[4,4],"fault":{"worker_kill":[1]}}"#,
+                "fault.worker_kill",
+            ),
+            (
+                r#"{"shape":[4,4],"retry":{"deadline_ms":0}}"#,
+                "retry.deadline_ms",
+            ),
+            (
+                r#"{"shape":[4,4],"retry":{"deadline_ms":600000}}"#,
+                "retry.deadline_ms",
+            ),
+        ] {
+            let err = spec(text).unwrap_err();
+            assert_eq!(err.field, field, "spec {text} blamed {:?}", err.field);
+        }
+    }
+
+    #[test]
+    fn runtime_config_carries_the_knobs() {
+        let s = spec(
+            r#"{"shape":[4,4],"block_bytes":32,"workers":2,"on_failure":"degrade",
+                "fault":{"worker_kill":[1,3]},"retry":{"deadline_ms":20}}"#,
+        )
+        .unwrap();
+        let cfg = s.runtime_config();
+        assert_eq!(cfg.block_bytes, 32);
+        assert_eq!(cfg.workers, Some(2));
+        assert_eq!(cfg.on_failure, OnFailure::Degrade);
+        assert_eq!(cfg.retry.deadline, std::time::Duration::from_millis(20));
+    }
+
+    #[test]
+    fn schema_mentions_every_field() {
+        let schema = JobSpec::schema();
+        for field in [
+            "shape",
+            "block_bytes",
+            "seed",
+            "payload",
+            "workers",
+            "on_failure",
+            "fault",
+            "retry",
+        ] {
+            assert!(schema.get(field).is_some(), "schema missing {field}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! End-to-end daemon tests over real sockets: submit/status/done
+//! streaming, checksummed bit-exactness, typed rejections, tenant
+//! quotas over the wire, and drain semantics.
+//!
+//! SIGTERM-driven drain lives in its own test binary (`sigterm.rs`) —
+//! the flag is process-global, so raising the signal here would drain
+//! every daemon these parallel tests are running.
+
+use std::time::Duration;
+
+use torus_service::{EngineConfig, TenantQuota};
+use torus_serviced::{checksum, json::Json, Client, ClientError, Daemon, DaemonConfig, JobSpec};
+
+fn quick_config() -> DaemonConfig {
+    DaemonConfig {
+        engine: EngineConfig::default().with_pool_size(4).with_drivers(2),
+        status_poll: Duration::from_millis(1),
+        ..DaemonConfig::default()
+    }
+}
+
+fn seeded_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        shape: vec![4, 4],
+        block_bytes: 32,
+        payload: torus_service::PayloadSpec::Seeded { seed },
+        ..JobSpec::default()
+    }
+}
+
+/// A spec whose job holds its driver for several hundred ms before
+/// completing: a seeded 75% drop rate forces round after round of
+/// 10ms receive-deadline waits plus retransmits, all through the
+/// recoverable-fault path, so the run eventually succeeds but occupies
+/// the driver for the whole recovery dance.
+fn blocker_spec() -> Json {
+    torus_serviced::json::parse(
+        r#"{"shape":[4,4],"fault":{"drop_rate":0.75,"seed":1},
+            "retry":{"deadline_ms":10,"max_retries":64,"backoff_us":200},
+            "on_failure":"abort"}"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn submit_streams_status_and_done_with_matching_checksum() {
+    let (addr, daemon) = Daemon::spawn(quick_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.hello("acme").unwrap();
+
+    let spec = seeded_spec(42);
+    let job = client.submit(&spec).unwrap();
+    let done = client.wait_done(job).unwrap();
+
+    assert!(done.ok, "clean job must succeed: {:?}", done.error);
+    assert!(done.verified && !done.degraded);
+    assert!(done.wire_bytes > 0);
+    assert_eq!(
+        done.checksum.as_deref(),
+        Some(checksum::to_hex(checksum::expected_checksum(&spec)).as_str()),
+        "wire checksum must match the spec-side expectation"
+    );
+    // The pump streamed at least one status before completion.
+    assert!(
+        !client.status_trace(job).is_empty(),
+        "no status events seen"
+    );
+
+    client.drain().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn submit_without_hello_is_rejected_unauthenticated() {
+    let (addr, daemon) = Daemon::spawn(quick_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+
+    let err = client.submit(&seeded_spec(1)).unwrap_err();
+    match err {
+        ClientError::Rejected { reason, .. } => assert_eq!(reason, "unauthenticated"),
+        other => panic!("expected rejection, got {other}"),
+    }
+    // The connection survives; hello unlocks it.
+    client.hello("acme").unwrap();
+    let job = client.submit(&seeded_spec(1)).unwrap();
+    assert!(client.wait_done(job).unwrap().ok);
+
+    client.drain().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn invalid_specs_are_rejected_with_the_field() {
+    let (addr, daemon) = Daemon::spawn(quick_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.hello("acme").unwrap();
+
+    for (raw, field) in [
+        (r#"{}"#, "shape"),
+        (r#"{"shape":[0,4]}"#, "shape"),
+        (r#"{"shape":[4,4],"block_bytes":0}"#, "block_bytes"),
+        (r#"{"shape":[4,4],"frobnicate":1}"#, "frobnicate"),
+    ] {
+        let err = client
+            .submit_raw(torus_serviced::json::parse(raw).unwrap())
+            .unwrap_err();
+        match err {
+            ClientError::Rejected { reason, detail } => {
+                assert_eq!(reason, "invalid_spec", "for {raw}");
+                assert!(detail.contains(field), "{detail:?} should name {field:?}");
+            }
+            other => panic!("expected invalid_spec for {raw}, got {other}"),
+        }
+    }
+
+    client.drain().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn validate_normalizes_and_schema_lists_fields() {
+    let (addr, daemon) = Daemon::spawn(quick_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+
+    // validate/schema need no hello — they run nothing.
+    let normalized = client
+        .validate(torus_serviced::json::parse(r#"{"shape":[2,3]}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        normalized.get("block_bytes").unwrap().as_u64(),
+        Some(64),
+        "defaults must be filled in"
+    );
+
+    let schema = client.schema().unwrap();
+    for field in ["shape", "block_bytes", "payload", "fault", "retry"] {
+        assert!(schema.get(field).is_some(), "schema missing {field}");
+    }
+
+    client.drain().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn tenant_quota_rejections_are_typed_over_the_wire() {
+    let config = DaemonConfig {
+        engine: EngineConfig::default()
+            .with_pool_size(4)
+            .with_drivers(1)
+            .with_queue_depth(64)
+            .with_default_quota(TenantQuota::default().with_max_queued(1)),
+        status_poll: Duration::from_millis(1),
+        ..DaemonConfig::default()
+    };
+    let (addr, daemon) = Daemon::spawn(config).unwrap();
+
+    // Pin the single driver so queued jobs stay queued.
+    let mut pinner = Client::connect(addr).unwrap();
+    pinner.hello("pinner").unwrap();
+    let blocker = pinner.submit_raw(blocker_spec()).unwrap();
+
+    let mut acme = Client::connect(addr).unwrap();
+    acme.hello("acme").unwrap();
+    let first = acme.submit(&seeded_spec(7)).unwrap();
+    let err = acme.submit(&seeded_spec(8)).unwrap_err();
+    match err {
+        ClientError::Rejected { reason, detail } => {
+            assert_eq!(reason, "tenant_queue_full");
+            assert!(detail.contains("acme"), "{detail:?}");
+        }
+        other => panic!("expected tenant_queue_full, got {other}"),
+    }
+    // Another tenant still has room — per-tenant isolation.
+    let mut zeta = Client::connect(addr).unwrap();
+    zeta.hello("zeta").unwrap();
+    let z = zeta.submit(&seeded_spec(9)).unwrap();
+
+    assert!(pinner.wait_done(blocker).unwrap().ok);
+    assert!(acme.wait_done(first).unwrap().ok);
+    assert!(zeta.wait_done(z).unwrap().ok);
+
+    // Per-tenant books over the wire: acme saw exactly one rejection.
+    let stats = acme.stats().unwrap();
+    let tenants = stats.get("tenants").unwrap().as_arr().unwrap();
+    let acme_row = tenants
+        .iter()
+        .find(|t| t.get("tenant").unwrap().as_str() == Some("acme"))
+        .expect("acme row");
+    assert_eq!(acme_row.get("jobs_rejected").unwrap().as_u64(), Some(1));
+    assert_eq!(acme_row.get("jobs_completed").unwrap().as_u64(), Some(1));
+
+    acme.drain().unwrap();
+    daemon.join().unwrap();
+}
+
+#[test]
+fn drain_rejects_new_work_and_returns_consistent_final_stats() {
+    let (addr, daemon) = Daemon::spawn(quick_config()).unwrap();
+    let mut worker = Client::connect(addr).unwrap();
+    worker.hello("acme").unwrap();
+    let jobs: Vec<u64> = (0..6)
+        .map(|i| worker.submit(&seeded_spec(i)).unwrap())
+        .collect();
+
+    let mut admin = Client::connect(addr).unwrap();
+    let service = admin.drain().unwrap();
+    assert_eq!(
+        service.get("jobs_completed").unwrap().as_u64(),
+        Some(6),
+        "drain must wait for every admitted job"
+    );
+
+    // The worker's jobs all completed and their done events arrived.
+    for job in jobs {
+        assert!(worker.wait_done(job).unwrap().ok);
+    }
+    // Submitting into the drained daemon is refused, not dropped.
+    let err = worker.submit(&seeded_spec(99)).unwrap_err();
+    match err {
+        ClientError::Rejected { reason, .. } => assert_eq!(reason, "draining"),
+        // The daemon may already have torn the connection down.
+        ClientError::Io(_) | ClientError::Protocol(_) => {}
+        other => panic!("unexpected {other}"),
+    }
+
+    // run() returns the same frozen snapshot the drain reply carried.
+    let final_stats = daemon.join().unwrap();
+    assert_eq!(final_stats.jobs_completed, 6);
+    assert_eq!(
+        service.get("jobs_accepted").unwrap().as_u64(),
+        Some(final_stats.jobs_accepted)
+    );
+}
+
+#[test]
+fn degraded_jobs_report_degraded_with_null_checksum() {
+    let (addr, daemon) = Daemon::spawn(quick_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.hello("acme").unwrap();
+
+    let spec = torus_serviced::json::parse(
+        r#"{"shape":[4,4],"fault":{"worker_kill":[5,1]},
+            "retry":{"deadline_ms":10,"max_retries":1,"backoff_us":500},
+            "on_failure":"degrade"}"#,
+    )
+    .unwrap();
+    let job = client.submit_raw(spec).unwrap();
+    let done = client.wait_done(job).unwrap();
+    assert!(done.ok, "degrade-policy run completes: {:?}", done.error);
+    assert!(done.degraded);
+    assert_eq!(done.checksum, None, "degraded runs carry no checksum");
+
+    client.drain().unwrap();
+    daemon.join().unwrap();
+}

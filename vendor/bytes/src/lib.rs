@@ -1,0 +1,474 @@
+//! Offline functional shim of the `bytes` crate.
+//!
+//! Unlike the serde stubs, this one must actually *work*: the torus
+//! runtime's zero-copy hot path stores every payload in [`Bytes`] and
+//! assembles wire frames in recycled [`BytesMut`] buffers, and the test
+//! suites verify deliveries bit-exactly. The shim therefore implements
+//! real semantics for the subset of the 1.x API the workspace uses:
+//!
+//! * [`Bytes`]: a cheaply cloneable, refcounted, immutable view
+//!   (`Arc<[u8]>` plus an offset/length window). `clone` and
+//!   [`slice`](Bytes::slice) are O(1) and share the underlying
+//!   allocation — the property the gathered-frame encoder relies on.
+//! * [`BytesMut`]: a growable buffer (a thin `Vec<u8>` wrapper) with the
+//!   [`BufMut`] put-APIs and O(n) [`freeze`](BytesMut::freeze) into
+//!   `Bytes`. Capacity survives [`clear`](BytesMut::clear), which is
+//!   what makes the frame pool's buffer recycling allocation-free in
+//!   steady state.
+//!
+//! Differences from the real crate, by design: `freeze` copies (the real
+//! crate transfers ownership); there is no `split_to`/`unsplit` buffer
+//! surgery; and `Buf`/`BufMut` carry only the methods this workspace
+//! calls. Code written against real `bytes` 1.x compiles unchanged.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, refcounted contiguous byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Option<Arc<[u8]>>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer; does not allocate.
+    pub const fn new() -> Self {
+        Self {
+            data: None,
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// A buffer viewing a static slice. The shim copies it into a
+    /// refcounted allocation once (the real crate points directly at the
+    /// static data).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::copy_from_slice(bytes)
+    }
+
+    /// Copies `data` into a new refcounted buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let len = data.len();
+        Self {
+            data: Some(Arc::from(data)),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// An O(1) sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    /// Panics when the range falls outside `0..=len`, matching the real
+    /// crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "range out of bounds: {start}..{end} of {}",
+            self.len
+        );
+        Self {
+            data: self.data.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.data {
+            Some(d) => &d[self.off..self.off + self.len],
+            None => &[],
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Self {
+            data: Some(Arc::from(v)),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::copy_from_slice(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::copy_from_slice(s.as_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        Self::from(b.into_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Self::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+/// A growable, uniquely owned byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer; does not allocate.
+    pub const fn new() -> Self {
+        Self { vec: Vec::new() }
+    }
+
+    /// An empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Reserves room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Empties the buffer, keeping its allocation (the frame pool's
+    /// recycling depends on this).
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op when already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Converts into an immutable [`Bytes`]. The shim copies into a
+    /// refcounted allocation (the real crate transfers ownership).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut(len={}, cap={})", self.len(), self.capacity())
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        Self { vec }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        Self { vec: s.to_vec() }
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<T: IntoIterator<Item = u8>>(&mut self, iter: T) {
+        self.vec.extend(iter);
+    }
+}
+
+/// Read-side cursor trait (subset).
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// The current contiguous chunk.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor.
+    fn advance(&mut self, cnt: usize);
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side trait (subset): the `put_*` family the frame encoders use.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+
+    /// Appends a little-endian u16.
+    fn put_u16_le(&mut self, n: u16) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, n: u32) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, n: u32) {
+        self.put_slice(&n.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, n: u64) {
+        self.put_slice(&n.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_share_allocation_on_clone_and_slice() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let c = b.clone();
+        let s = b.slice(1..4);
+        assert_eq!(&c[..], &[1, 2, 3, 4, 5]);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let inner = b.data.as_ref().unwrap();
+        assert!(Arc::ptr_eq(inner, s.data.as_ref().unwrap()));
+        assert_eq!(s.slice(1..2), [3u8]);
+    }
+
+    #[test]
+    fn slice_bounds_panic() {
+        let b = Bytes::from(vec![0u8; 4]);
+        assert!(std::panic::catch_unwind(|| b.slice(2..6)).is_err());
+    }
+
+    #[test]
+    fn bytes_mut_put_and_freeze() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u32_le(0xdead_beef);
+        m.put_slice(b"xy");
+        assert_eq!(m.len(), 6);
+        let frozen = m.freeze();
+        assert_eq!(&frozen[..4], &0xdead_beefu32.to_le_bytes());
+        assert_eq!(&frozen[4..], b"xy");
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_slice(&[0u8; 40]);
+        let cap = m.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
+    }
+
+    #[test]
+    fn empty_bytes_do_not_allocate() {
+        let b = Bytes::new();
+        assert!(b.is_empty());
+        assert!(b.data.is_none());
+        assert_eq!(b, Bytes::default());
+    }
+}

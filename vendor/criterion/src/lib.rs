@@ -1,0 +1,221 @@
+//! Offline shim of the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`/`measurement_time`/`throughput`, `bench_function`,
+//! `bench_with_input`, and [`Bencher::iter`] — with a deliberately tiny
+//! engine: each benchmark runs a short warm-up plus a fixed number of
+//! timed iterations and prints the mean time per iteration. There is no
+//! outlier analysis, no HTML report, and no saved baselines; the point
+//! is that `cargo bench` compiles and produces sane numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark (after one untimed warm-up call).
+const ITERS: u32 = 10;
+
+/// Label for a benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying just a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Throughput annotation; accepted and echoed, not used in math.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes per iteration, reported in decimal multiples.
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher {
+    /// Mean wall time of one iteration, filled by [`iter`](Self::iter).
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then [`ITERS`] timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / ITERS;
+    }
+}
+
+fn run_case(group: Option<&str>, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!(
+        "bench {label:<48} {:>12.3} µs/iter (shim, {ITERS} iters)",
+        b.elapsed_per_iter.as_secs_f64() * 1e6
+    );
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case(None, &id.into().label, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: group_name.into(),
+        }
+    }
+
+    /// Accepted for API compatibility; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted and ignored (the shim's iteration count is fixed).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_case(Some(&self.name), &id.into().label, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_case(Some(&self.name), &id.into().label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` call sites compile.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (`--bench`,
+            // `--test`, filters); the shim runs everything regardless,
+            // except under `--test` where benches should be skipped
+            // quickly.
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if !test_mode {
+                $( $group(); )+
+            }
+        }
+    };
+}

@@ -1,0 +1,367 @@
+//! Offline shim of the `crossbeam` facade.
+//!
+//! Two subsystems, with crossbeam's exact API shapes so workspace code
+//! compiles unchanged:
+//!
+//! * [`channel`]: multi-producer multi-consumer channels. The real crate
+//!   is lock-free; this shim is a `Mutex<VecDeque>` + `Condvar`, which
+//!   is slower under heavy contention but semantically identical —
+//!   including disconnect behavior (`recv` fails once all senders are
+//!   dropped *and* the queue is empty; `send` fails once all receivers
+//!   are dropped).
+//! * [`thread`]: scoped threads. Implemented over [`std::thread::scope`]
+//!   (Rust ≥ 1.63 made the crossbeam pattern part of std); the wrapper
+//!   restores crossbeam's two quirks — the spawn closure receives a
+//!   `&Scope` argument, and `scope` returns `Err` with the panic payload
+//!   when an unjoined child panicked instead of propagating.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    fn lk<T>(chan: &Chan<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        chan.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Creates a "bounded" channel. The shim does not implement
+    /// backpressure — sends never block — but the API exists so code
+    /// compiles; the workspace only uses [`unbounded`].
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    /// The sending half; cheap to clone.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cheap to clone (mpmc: clones steal from the
+    /// same queue).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// `send` failed because every receiver is gone; returns the value.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// `recv` failed because the channel is empty and every sender is
+    /// gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Why `recv_timeout` returned without a value.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Timeout => f.write_str("timed out waiting on receive"),
+                Self::Disconnected => f.write_str("channel is empty and disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Why `try_recv` returned without a value.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; fails (returning it) when every receiver is
+        /// gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = lk(&self.chan);
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            st.queue.push_back(msg);
+            drop(st);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            lk(&self.chan).senders += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lk(&self.chan);
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lk(&self.chan);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .chan
+                    .ready
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lk(&self.chan);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .chan
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lk(&self.chan);
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Values currently queued.
+        pub fn len(&self) -> usize {
+            lk(&self.chan).queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            lk(&self.chan).receivers += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lk(&self.chan).receivers -= 1;
+        }
+    }
+}
+
+/// Scoped threads with crossbeam's API over [`std::thread::scope`].
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The panic payload of a child thread.
+    pub type Payload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; passed by reference to every spawn closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Payload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Crossbeam's closures receive the
+        /// scope back as an argument (so they can spawn siblings);
+        /// workspace call sites all write `|_|`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let std_scope = self.inner;
+            ScopedJoinHandle {
+                inner: std_scope.spawn(move || {
+                    let scope = Scope { inner: std_scope };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope that joins all spawned threads on exit.
+    /// Returns `Err` with the panic payload when the scope's own body or
+    /// an unjoined child panicked (crossbeam semantics — a child whose
+    /// `join` error was already consumed does not re-propagate... it was
+    /// never unjoined).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use super::thread as cb_thread;
+    use std::time::Duration;
+
+    #[test]
+    fn channel_round_trip_and_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(8).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 8);
+        assert!(rx.recv().is_err(), "all senders gone, queue empty");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<&str>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        tx.send("late").unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), "late");
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3];
+        let total = cb_thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u64>());
+            let h2 = s.spawn(|_| data.len() as u64);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let result = cb_thread::scope(|s| {
+            s.spawn(|_| panic!("child down"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline shim of `rand` 0.8.
+//!
+//! The workspace generates its deterministic payloads with its own
+//! splitmix64 (`torus-runtime::payload`), so this crate only needs to
+//! exist for the dependency graph to resolve. It still ships a small,
+//! honest PRNG — splitmix64 behind the `Rng`/`SeedableRng` subset —
+//! so any future test reaching for `rand` gets working randomness
+//! rather than a compile error.
+
+/// Core random-generation trait (subset).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of a supported type.
+    fn gen<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random(self.next_u64())
+    }
+
+    /// A uniform value in `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "gen_range called with an empty range");
+        range.start + self.next_u64() % span
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bits = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bits[..chunk.len()]);
+        }
+    }
+}
+
+/// Types producible from 64 random bits.
+pub trait FromRandom {
+    /// Derives a value from uniformly random bits.
+    fn from_random(bits: u64) -> Self;
+}
+
+impl FromRandom for u64 {
+    fn from_random(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random(bits: u64) -> Self {
+        bits as u32
+    }
+}
+
+impl FromRandom for u8 {
+    fn from_random(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random(bits: u64) -> Self {
+        // 53 mantissa bits → uniform in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Seedable construction (subset: `seed_from_u64` and `from_entropy`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from a time-derived seed (no OS entropy in
+    /// the shim).
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// Splitmix64: tiny, well-distributed, and exactly what the workspace
+/// already uses for payload seeding.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+/// Alias: the shim's small generator is the same splitmix64.
+pub type SmallRng = StdRng;
+
+/// A fresh time-seeded generator, mirroring `rand::thread_rng` loosely
+/// (no thread-local caching; each call reseeds).
+pub fn thread_rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+/// Convenience namespace mirror (`rand::rngs::StdRng`).
+pub mod rngs {
+    pub use super::{SmallRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,42 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace's build environment has no network access, so the real
+//! serde cannot be fetched. Everything here exists to make code written
+//! against real serde *compile*:
+//!
+//! * [`Serialize`] and [`Deserialize`] are marker traits with blanket
+//!   implementations for every type, so trait bounds like
+//!   `T: Serialize` are always satisfied;
+//! * the derives are re-exported from the no-op `serde_derive` shim, so
+//!   `#[derive(Serialize, Deserialize)]` parses and expands to nothing.
+//!
+//! The paired `serde_json` stub emits `{}` for every value and fails
+//! every parse; call sites that need real JSON in the offline build
+//! hand-roll it (see `torus-serviced`'s `json` module). Tests detect the
+//! stub via `serde_json::from_str::<serde_json::Value>("{}").is_err()`
+//! and relax content assertions accordingly.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every
+/// sized type.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Stand-ins for the `serde::de` items downstream code names in bounds.
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+
+    pub use super::Deserialize;
+}
+
+/// Stand-ins for the `serde::ser` re-exports.
+pub mod ser {
+    pub use super::Serialize;
+}

@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stub.
+//!
+//! The stub `serde` crate blanket-implements its `Serialize` and
+//! `Deserialize` traits for every type, so these derives only need to
+//! *exist* (and swallow `#[serde(...)]` helper attributes); they expand
+//! to nothing. Code written against real serde compiles unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
