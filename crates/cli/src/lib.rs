@@ -85,10 +85,15 @@ pub enum Command {
         params: CommParams,
         /// Emit the final stats as JSON instead of a summary.
         json: bool,
+        /// Per-tenant admission rate limit in jobs/sec (`None` = off);
+        /// the bench backs off and retries on rate rejections, which
+        /// exercises the end-to-end backpressure path.
+        rate_limit: Option<u32>,
     },
     /// `serve [--addr HOST:PORT] [--concurrency K] [--queue-depth N]
-    /// [--port-file PATH]` — run the torus-serviced daemon until a
-    /// `drain` request or SIGTERM, then print the final stats.
+    /// [--port-file PATH] [--journal-dir DIR | --no-journal]` — run the
+    /// torus-serviced daemon until a `drain` request or SIGTERM, then
+    /// print the final stats.
     Serve {
         /// Bind address (port 0 picks a free port).
         addr: String,
@@ -97,8 +102,12 @@ pub enum Command {
         /// Global admission queue depth.
         queue_depth: usize,
         /// When set, the actually-bound `host:port` is written here
-        /// once listening — lets scripts race-free discover port 0.
+        /// (atomically: tmp + rename) once listening — lets scripts
+        /// race-free discover port 0. Removed again on clean drain.
         port_file: Option<String>,
+        /// Where the admission journal lives; `None` disables
+        /// journaling (`--no-journal`). Defaults to `./torus-journal`.
+        journal_dir: Option<String>,
     },
     /// `submit --spec JSON [--addr HOST:PORT] [--tenant NAME]` — send
     /// one job to a running daemon and wait for its `done` event.
@@ -170,6 +179,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut spec: Option<String> = None;
     let mut queue_depth: usize = 64;
     let mut port_file: Option<String> = None;
+    let mut journal_dir = "./torus-journal".to_string();
+    let mut no_journal = false;
+    let mut rate_limit: Option<u32> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -234,6 +246,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|e| format!("--queue-depth: {e}"))?
             }
             "--port-file" => port_file = Some(val(&mut i)?),
+            "--journal-dir" => journal_dir = val(&mut i)?,
+            "--no-journal" => no_journal = true,
+            "--rate-limit" => {
+                let r: u32 = val(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--rate-limit: {e}"))?;
+                if r == 0 {
+                    return Err("--rate-limit must be positive".into());
+                }
+                rate_limit = Some(r);
+            }
             "--on-failure" => {
                 on_failure = torus_runtime::OnFailure::parse(&val(&mut i)?)
                     .map_err(|e| format!("--on-failure: {e}"))?
@@ -283,12 +306,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             threads,
             params,
             json,
+            rate_limit,
         }),
         "serve" => Ok(Command::Serve {
             addr,
             concurrency: concurrency.max(1),
             queue_depth: queue_depth.max(1),
             port_file,
+            journal_dir: if no_journal { None } else { Some(journal_dir) },
         }),
         "submit" => Ok(Command::Submit {
             addr,
@@ -322,15 +347,20 @@ USAGE:
                          'degrade' quarantines failed nodes and completes for survivors)
   torus-xchg compare    --shape 8x8 [params]
   torus-xchg collective --op broadcast|scatter|gather|allgather|reduce|allreduce|alltoall --shape 8x8
-  torus-xchg service-bench --shape 8x8 [--jobs N] [--concurrency K] [--tenants T] [--json] [params]
+  torus-xchg service-bench --shape 8x8 [--jobs N] [--concurrency K] [--tenants T] [--json]
+                        [--rate-limit JOBS_PER_SEC] [params]
                         (persistent engine: N seeded jobs through a shared pool with
                          plan caching; prints aggregate service stats, and per-tenant
-                         wait/run latency percentiles when --tenants > 1)
+                         wait/run latency percentiles when --tenants > 1; --rate-limit
+                         sheds load per tenant and the bench backs off on the hint)
   torus-xchg schedule   --shape 8x8 [--json]
   torus-xchg serve      [--addr 127.0.0.1:7077] [--concurrency K] [--queue-depth N]
-                        [--port-file PATH]
+                        [--port-file PATH] [--journal-dir DIR | --no-journal]
                         (torus-serviced daemon: newline-delimited JSON over TCP with
-                         multi-tenant admission; drains cleanly on SIGTERM or 'drain')
+                         multi-tenant admission; drains cleanly on SIGTERM or 'drain'.
+                         Admissions are journaled to --journal-dir, default
+                         ./torus-journal; on restart, accepted-but-unfinished jobs
+                         re-run and pre-crash job ids answer 'status')
   torus-xchg submit     --spec '{\"shape\":[4,4],\"seed\":7}' [--addr HOST:PORT] [--tenant NAME] [--json]
   torus-xchg stats      [--addr HOST:PORT]      (daemon service + per-tenant stats, JSON)
   torus-xchg validate   --spec JSON             (local spec check; prints normalized form)
@@ -558,15 +588,21 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             threads,
             params,
             json,
+            rate_limit,
         } => {
             let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
             // Queue depth covers the whole batch so the bench measures
             // throughput, not admission-control rejections.
-            let engine = torus_service::Engine::new(
-                torus_service::EngineConfig::default()
-                    .with_drivers(concurrency)
-                    .with_queue_depth(jobs),
-            );
+            let mut engine_config = torus_service::EngineConfig::default()
+                .with_drivers(concurrency)
+                .with_queue_depth(jobs);
+            if let Some(rate) = rate_limit {
+                engine_config = engine_config.with_default_quota(
+                    torus_service::TenantQuota::default()
+                        .with_rate_limit(torus_service::RateLimit::per_sec(rate)),
+                );
+            }
+            let engine = torus_service::Engine::new(engine_config);
             let mut config = torus_runtime::RuntimeConfig::default()
                 .with_block_bytes(params.block_bytes as usize)
                 .with_params(params);
@@ -575,15 +611,29 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             }
             let start = std::time::Instant::now();
             let mut handles = Vec::with_capacity(jobs);
+            let mut rate_retries = 0u64;
             for seed in 0..jobs as u64 {
-                let handle = engine
-                    .submit_as(
-                        &format!("tenant-{:02}", seed % tenants as u64),
+                let tenant = format!("tenant-{:02}", seed % tenants as u64);
+                // Under --rate-limit the engine sheds load with a typed
+                // backoff hint; honoring it is the client half of the
+                // backpressure contract.
+                let handle = loop {
+                    match engine.submit_as(
+                        &tenant,
                         shape.clone(),
                         torus_service::PayloadSpec::Seeded { seed },
                         config.clone(),
-                    )
-                    .map_err(|e| e.to_string())?;
+                    ) {
+                        Ok(handle) => break handle,
+                        Err(torus_service::SubmitError::RateLimited { retry_after_ms, .. }) => {
+                            rate_retries += 1;
+                            std::thread::sleep(std::time::Duration::from_millis(
+                                retry_after_ms.max(1),
+                            ));
+                        }
+                        Err(e) => return Err(e.to_string()),
+                    }
+                };
                 handles.push(handle);
             }
             let mut verified = 0usize;
@@ -610,6 +660,12 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                     config.block_bytes,
                     elapsed.as_secs_f64() * 1e3,
                 );
+                if let Some(rate) = rate_limit {
+                    let _ = writeln!(
+                        out,
+                        "  rate limit {rate}/s per tenant: {rate_retries} backoff retries"
+                    );
+                }
                 let _ = writeln!(out, "{}", stats.summary());
                 if tenants > 1 {
                     for t in &per_tenant {
@@ -634,24 +690,39 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             concurrency,
             queue_depth,
             port_file,
+            journal_dir,
         } => {
             let daemon = torus_serviced::Daemon::bind(torus_serviced::DaemonConfig {
                 addr,
                 engine: torus_service::EngineConfig::default()
                     .with_drivers(concurrency)
                     .with_queue_depth(queue_depth),
+                journal: journal_dir
+                    .as_deref()
+                    .map(torus_serviced::JournalConfig::new),
                 ..torus_serviced::DaemonConfig::default()
             })
             .map_err(|e| format!("serve: {e}"))?;
             let bound = daemon.local_addr().map_err(|e| e.to_string())?;
             // Announce readiness on stderr (stdout is for the final
-            // stats) and, for scripts, in the port file.
+            // stats) and, for scripts, in the port file. The write is
+            // tmp + rename so a polling reader never sees a partial
+            // address; a clean drain removes the file, so its presence
+            // means a daemon is (or crashed while) running.
             eprintln!("torus-serviced listening on {bound}");
-            if let Some(path) = port_file {
-                std::fs::write(&path, format!("{bound}\n"))
+            if let Some(dir) = &journal_dir {
+                eprintln!("torus-serviced journaling to {dir}");
+            }
+            if let Some(path) = &port_file {
+                let tmp = format!("{path}.tmp");
+                std::fs::write(&tmp, format!("{bound}\n"))
                     .map_err(|e| format!("--port-file {path}: {e}"))?;
+                std::fs::rename(&tmp, path).map_err(|e| format!("--port-file {path}: {e}"))?;
             }
             let stats = daemon.run();
+            if let Some(path) = &port_file {
+                let _ = std::fs::remove_file(path);
+            }
             let _ = writeln!(out, "drained: {}", stats.summary());
         }
         Command::Submit {
@@ -962,6 +1033,7 @@ mod tests {
                 threads,
                 params,
                 json,
+                rate_limit,
             } => {
                 assert_eq!(shape, vec![4, 8]);
                 assert_eq!(jobs, 12);
@@ -970,6 +1042,7 @@ mod tests {
                 assert_eq!(threads, None);
                 assert_eq!(params.block_bytes, 32);
                 assert!(json);
+                assert_eq!(rate_limit, None, "rate limiting is opt-in");
             }
             other => panic!("{other:?}"),
         }
@@ -1038,6 +1111,20 @@ mod tests {
     }
 
     #[test]
+    fn execute_service_bench_with_rate_limit_backs_off_and_completes() {
+        let out = execute(
+            parse_args(&argv(
+                "service-bench --shape 4x4 --jobs 8 --concurrency 2 --rate-limit 20 -m 32",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("8 verified"), "{out}");
+        assert!(out.contains("rate limit 20/s"), "{out}");
+        assert!(out.contains("backoff retries"), "{out}");
+    }
+
+    #[test]
     fn parse_serviced_commands() {
         match parse_args(&argv(
             "serve --addr 127.0.0.1:0 --concurrency 3 --queue-depth 9",
@@ -1049,14 +1136,38 @@ mod tests {
                 concurrency,
                 queue_depth,
                 port_file,
+                journal_dir,
             } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(concurrency, 3);
                 assert_eq!(queue_depth, 9);
                 assert!(port_file.is_none());
+                assert_eq!(
+                    journal_dir.as_deref(),
+                    Some("./torus-journal"),
+                    "journaling defaults on"
+                );
             }
             other => panic!("{other:?}"),
         }
+        match parse_args(&argv("serve --journal-dir /tmp/j")).unwrap() {
+            Command::Serve { journal_dir, .. } => {
+                assert_eq!(journal_dir.as_deref(), Some("/tmp/j"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("serve --no-journal")).unwrap() {
+            Command::Serve { journal_dir, .. } => assert!(journal_dir.is_none()),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("service-bench --shape 4x4 --rate-limit 50")).unwrap() {
+            Command::ServiceBench { rate_limit, .. } => assert_eq!(rate_limit, Some(50)),
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_args(&argv("service-bench --shape 4x4 --rate-limit 0")).is_err(),
+            "a zero rate limit admits nothing ever — refuse it"
+        );
         match parse_args(&argv(
             "submit --spec {} --addr 127.0.0.1:9 --tenant acme --json",
         ))
@@ -1129,6 +1240,8 @@ mod tests {
                 "2".to_string(),
                 "--port-file".to_string(),
                 port_file.display().to_string(),
+                "--journal-dir".to_string(),
+                dir.join("journal").display().to_string(),
             ];
             std::thread::spawn(move || execute(parse_args(&args).unwrap()))
         };
@@ -1170,6 +1283,11 @@ mod tests {
         let served = serve.join().unwrap().unwrap();
         assert!(served.contains("drained:"), "{served}");
         assert!(served.contains("jobs 1/1 ok"), "{served}");
+        assert!(!port_file.exists(), "clean drain must remove the port file");
+        assert!(
+            dir.join("journal").is_dir(),
+            "serve must have created its journal dir"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,16 +12,18 @@ use torus_runtime::{Runtime, RuntimeConfig, RuntimeError, WorkerPool};
 use torus_topology::TorusShape;
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
-use crate::job::{JobHandle, JobResult, JobState, JobStatus, PayloadSpec, SubmitError};
+use crate::job::{
+    EventHook, JobEvent, JobHandle, JobResult, JobState, JobStatus, PayloadSpec, SubmitError,
+};
 use crate::stats::{ServiceStats, StatCells};
-use crate::tenant::{TenantCells, TenantQuota, TenantStats, DEFAULT_TENANT};
+use crate::tenant::{TenantCells, TenantQuota, TenantStats, TokenBucket, DEFAULT_TENANT};
 
 fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Sizing knobs for an [`Engine`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Worker threads in the shared pool (every job's gang is carved
     /// from these). Default: [`torus_sim::default_threads`].
@@ -37,6 +39,22 @@ pub struct EngineConfig {
     /// Quota applied to tenants that have no explicit override.
     /// Default: unlimited (the global `queue_depth` still bounds them).
     pub default_quota: TenantQuota,
+    /// Optional job-lifecycle observer, invoked by drivers on
+    /// [`JobEvent::Started`]/[`JobEvent::Finished`]. Default: none.
+    pub event_hook: Option<EventHook>,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("pool_size", &self.pool_size)
+            .field("queue_depth", &self.queue_depth)
+            .field("drivers", &self.drivers)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("default_quota", &self.default_quota)
+            .field("event_hook", &self.event_hook.as_ref().map(|_| "set"))
+            .finish()
+    }
 }
 
 impl Default for EngineConfig {
@@ -47,6 +65,7 @@ impl Default for EngineConfig {
             drivers: 4,
             cache_capacity: 8,
             default_quota: TenantQuota::default(),
+            event_hook: None,
         }
     }
 }
@@ -81,6 +100,14 @@ impl EngineConfig {
         self.default_quota = quota;
         self
     }
+
+    /// Installs a job-lifecycle observer. Drivers invoke it
+    /// synchronously on start and finish; it must be fast and must not
+    /// call back into the engine.
+    pub fn with_event_hook(mut self, hook: EventHook) -> Self {
+        self.event_hook = Some(hook);
+        self
+    }
 }
 
 /// A job sitting in the admission queue.
@@ -101,6 +128,9 @@ struct TenantEntry {
     in_flight: usize,
     quota: TenantQuota,
     cells: Arc<TenantCells>,
+    /// Token-bucket state, created full on the first submission after
+    /// the quota gains a rate limit.
+    bucket: Option<TokenBucket>,
 }
 
 /// Queue state guarded by one mutex: every tenant's FIFO, the
@@ -128,6 +158,7 @@ impl QueueState {
                     in_flight: 0,
                     quota: default_quota,
                     cells: Arc::new(TenantCells::default()),
+                    bucket: None,
                 },
             );
         }
@@ -164,6 +195,27 @@ struct Shared {
     cells: StatCells,
     queue_depth: usize,
     default_quota: TenantQuota,
+    hook: Option<EventHook>,
+}
+
+impl Shared {
+    /// Backoff hint for overload rejections: half the median run time
+    /// (one of the in-flight jobs is likely to free a slot by then),
+    /// clamped to 1..=5000 ms, defaulting to 50 ms with no history.
+    fn retry_hint_ms(&self) -> u64 {
+        let p50_us = self.cells.run_time.stats().p50;
+        if p50_us == 0 {
+            50
+        } else {
+            (p50_us / 2000).clamp(1, 5000)
+        }
+    }
+
+    fn fire(&self, event: JobEvent<'_>) {
+        if let Some(hook) = &self.hook {
+            hook(event);
+        }
+    }
 }
 
 /// A persistent multi-job exchange engine.
@@ -208,6 +260,7 @@ impl Engine {
             cells: StatCells::default(),
             queue_depth: config.queue_depth.max(1),
             default_quota: config.default_quota,
+            hook: config.event_hook,
         });
         let drivers = (0..config.drivers.max(1))
             .map(|i| {
@@ -255,6 +308,7 @@ impl Engine {
             self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::ShuttingDown);
         }
+        let retry_after_ms = self.shared.retry_hint_ms();
         let global_full = q.total_queued >= self.shared.queue_depth;
         let entry = q.entry(tenant, self.shared.default_quota);
         if global_full {
@@ -262,6 +316,7 @@ impl Engine {
             self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull {
                 depth: self.shared.queue_depth,
+                retry_after_ms,
             });
         }
         if entry.jobs.len() >= entry.quota.max_queued {
@@ -271,9 +326,58 @@ impl Engine {
             return Err(SubmitError::TenantQueueFull {
                 tenant: tenant.to_string(),
                 max_queued,
+                retry_after_ms,
             });
         }
+        if let Some(rate) = entry.quota.rate {
+            let bucket = entry.bucket.get_or_insert_with(|| TokenBucket::full(&rate));
+            if let Err(wait_ms) = bucket.try_take(&rate) {
+                entry.cells.rejected.fetch_add(1, Ordering::Relaxed);
+                self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::RateLimited {
+                    tenant: tenant.to_string(),
+                    retry_after_ms: wait_ms,
+                });
+            }
+        }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.enqueue_locked(&mut q, tenant, id, shape, payload, config)
+    }
+
+    /// Re-enqueues a journal-recovered job under its original id,
+    /// bypassing the queue-depth, quota, and rate-limit checks — the job
+    /// was already admitted once, before the crash. Fails only while
+    /// shutting down. Future fresh ids are bumped past `job_id` so the
+    /// monotonic-id invariant survives the restart.
+    pub fn resubmit_as(
+        &self,
+        tenant: &str,
+        job_id: u64,
+        shape: TorusShape,
+        payload: PayloadSpec,
+        config: RuntimeConfig,
+    ) -> Result<JobHandle, SubmitError> {
+        let mut q = lk(&self.shared.queue);
+        if !q.accepting {
+            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        }
+        self.next_id.fetch_max(job_id, Ordering::Relaxed);
+        self.enqueue_locked(&mut q, tenant, job_id, shape, payload, config)
+    }
+
+    /// Admission tail shared by fresh and replayed submissions: records
+    /// acceptance, queues the job, and wakes one driver.
+    fn enqueue_locked(
+        &self,
+        q: &mut QueueState,
+        tenant: &str,
+        id: u64,
+        shape: TorusShape,
+        payload: PayloadSpec,
+        config: RuntimeConfig,
+    ) -> Result<JobHandle, SubmitError> {
+        let entry = q.entry(tenant, self.shared.default_quota);
         let state = Arc::new(JobState::new());
         let tenant_name: Arc<str> = Arc::from(tenant);
         entry.cells.accepted.fetch_add(1, Ordering::Relaxed);
@@ -291,9 +395,15 @@ impl Engine {
         q.total_queued += 1;
         self.shared.cells.accepted.fetch_add(1, Ordering::Relaxed);
         self.shared.cells.observe_depth(q.total_queued);
-        drop(q);
         self.shared.work.notify_one();
         Ok(JobHandle { id, state })
+    }
+
+    /// Guarantees every future fresh id exceeds `id`. Used after crash
+    /// recovery so ids of compacted (terminal, no longer replayed) jobs
+    /// are never reissued.
+    pub fn reserve_ids_through(&self, id: u64) {
+        self.next_id.fetch_max(id, Ordering::Relaxed);
     }
 
     /// Overrides `tenant`'s quota (creating the tenant if new). Takes
@@ -410,6 +520,10 @@ fn drive(shared: &Shared) {
 /// panic) escapes to the driver or the engine.
 fn run_job(shared: &Shared, job: QueuedJob) {
     job.state.set_running();
+    shared.fire(JobEvent::Started {
+        job_id: job.id,
+        tenant: &job.tenant,
+    });
     let started = Instant::now();
     let finish_run = |failed: bool| {
         let run_us = started.elapsed().as_micros() as u64;
@@ -449,7 +563,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 Ok(p) => Arc::new(p),
                 Err(e) => {
                     finish_run(true);
-                    job.state.finish(
+                    let result = job.state.finish(
                         JobStatus::Failed,
                         JobResult {
                             job_id: job.id,
@@ -459,6 +573,12 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                             cache_hit: false,
                         },
                     );
+                    shared.fire(JobEvent::Finished {
+                        job_id: job.id,
+                        tenant: &job.tenant,
+                        status: JobStatus::Failed,
+                        result: &result,
+                    });
                     return;
                 }
             };
@@ -497,7 +617,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 .cells
                 .bytes_copied
                 .fetch_add(report.bytes_copied, Ordering::Relaxed);
-            job.state.finish(
+            let result = job.state.finish(
                 JobStatus::Completed,
                 JobResult {
                     job_id: job.id,
@@ -507,6 +627,12 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                     cache_hit,
                 },
             );
+            shared.fire(JobEvent::Finished {
+                job_id: job.id,
+                tenant: &job.tenant,
+                status: JobStatus::Completed,
+                result: &result,
+            });
         }
         Err(e) => {
             finish_run(true);
@@ -526,7 +652,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 }
                 other => (other.to_string(), None),
             };
-            job.state.finish(
+            let result = job.state.finish(
                 JobStatus::Failed,
                 JobResult {
                     job_id: job.id,
@@ -536,6 +662,12 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                     cache_hit,
                 },
             );
+            shared.fire(JobEvent::Finished {
+                job_id: job.id,
+                tenant: &job.tenant,
+                status: JobStatus::Failed,
+                result: &result,
+            });
         }
     }
 }

@@ -33,6 +33,11 @@ impl PayloadSpec {
 }
 
 /// Why [`Engine::submit`](crate::Engine::submit) refused a job.
+///
+/// Overload rejections carry a `retry_after_ms` hint: the engine's best
+/// estimate of when a resubmission is likely to be admitted. Clients
+/// that honor it (see the daemon client's `submit_with_retry`) turn
+/// saturation into slower admission instead of hard errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
     /// The bounded admission queue is at its configured depth; resubmit
@@ -40,6 +45,8 @@ pub enum SubmitError {
     QueueFull {
         /// The queue depth at rejection time (== the configured bound).
         depth: usize,
+        /// Suggested wait before resubmitting, in milliseconds.
+        retry_after_ms: u64,
     },
     /// The submitting tenant alone is at its queued-jobs quota, even
     /// though the global queue may have room. Resubmit after this
@@ -49,22 +56,66 @@ pub enum SubmitError {
         tenant: String,
         /// The tenant's configured cap at rejection time.
         max_queued: usize,
+        /// Suggested wait before resubmitting, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The tenant's token-bucket rate limit is spent; resubmit after
+    /// the bucket refills.
+    RateLimited {
+        /// The tenant that exceeded its rate.
+        tenant: String,
+        /// Milliseconds until one whole token will have accumulated.
+        retry_after_ms: u64,
     },
     /// [`Engine::shutdown`](crate::Engine::shutdown) has begun; no new
     /// jobs are accepted.
     ShuttingDown,
 }
 
+impl SubmitError {
+    /// The rejection's backoff hint, if it carries one (`ShuttingDown`
+    /// does not — there is nothing to wait for).
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            SubmitError::QueueFull { retry_after_ms, .. }
+            | SubmitError::TenantQueueFull { retry_after_ms, .. }
+            | SubmitError::RateLimited { retry_after_ms, .. } => Some(*retry_after_ms),
+            SubmitError::ShuttingDown => None,
+        }
+    }
+}
+
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull { depth } => {
-                write!(f, "job rejected: queue full at depth {depth}")
-            }
-            SubmitError::TenantQueueFull { tenant, max_queued } => {
+            SubmitError::QueueFull {
+                depth,
+                retry_after_ms,
+            } => {
                 write!(
                     f,
-                    "job rejected: tenant {tenant:?} is at its queued-jobs quota ({max_queued})"
+                    "job rejected: queue full at depth {depth} (retry after {retry_after_ms} ms)"
+                )
+            }
+            SubmitError::TenantQueueFull {
+                tenant,
+                max_queued,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "job rejected: tenant {tenant:?} is at its queued-jobs quota ({max_queued}, \
+                     retry after {retry_after_ms} ms)"
+                )
+            }
+            SubmitError::RateLimited {
+                tenant,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "job rejected: tenant {tenant:?} is over its admission rate \
+                     (retry after {retry_after_ms} ms)"
                 )
             }
             SubmitError::ShuttingDown => write!(f, "job rejected: engine is shutting down"),
@@ -73,6 +124,40 @@ impl std::fmt::Display for SubmitError {
 }
 
 impl std::error::Error for SubmitError {}
+
+/// A job-lifecycle notification delivered to the engine's optional
+/// event hook (see `EngineConfig::with_event_hook`).
+///
+/// Fired synchronously by the driver that owns the transition, after
+/// the job's own state has been updated — a hook observing `Finished`
+/// can already see the terminal status through the job's handle. Hooks
+/// must be fast and must not call back into the engine.
+#[derive(Debug)]
+pub enum JobEvent<'a> {
+    /// A driver claimed the job and is about to execute it.
+    Started {
+        /// Engine-assigned job id.
+        job_id: u64,
+        /// The owning tenant.
+        tenant: &'a str,
+    },
+    /// The job reached a terminal state.
+    Finished {
+        /// Engine-assigned job id.
+        job_id: u64,
+        /// The owning tenant.
+        tenant: &'a str,
+        /// [`JobStatus::Completed`] or [`JobStatus::Failed`].
+        status: JobStatus,
+        /// The job's full result (report, deliveries, error).
+        result: &'a JobResult,
+    },
+}
+
+/// The engine's job-lifecycle observer: a shared closure invoked by
+/// driver threads. Used by the daemon to journal `started`/`done`
+/// records without a per-job watcher thread.
+pub type EventHook = Arc<dyn Fn(JobEvent<'_>) + Send + Sync>;
 
 /// Lifecycle of a submitted job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,10 +210,12 @@ impl JobState {
         slot.0 = JobStatus::Running;
     }
 
-    pub(crate) fn finish(&self, status: JobStatus, result: JobResult) {
+    pub(crate) fn finish(&self, status: JobStatus, result: JobResult) -> Arc<JobResult> {
+        let result = Arc::new(result);
         let mut slot = self.status.lock().unwrap_or_else(PoisonError::into_inner);
-        *slot = (status, Some(Arc::new(result)));
+        *slot = (status, Some(Arc::clone(&result)));
         self.done.notify_all();
+        result
     }
 }
 
@@ -221,17 +308,30 @@ mod tests {
 
     #[test]
     fn submit_error_messages_name_the_cause() {
-        assert!(SubmitError::QueueFull { depth: 4 }
-            .to_string()
-            .contains("4"));
+        let queue_full = SubmitError::QueueFull {
+            depth: 4,
+            retry_after_ms: 25,
+        };
+        assert!(queue_full.to_string().contains("4"));
+        assert!(queue_full.to_string().contains("25 ms"));
+        assert_eq!(queue_full.retry_after_ms(), Some(25));
         let tenant_full = SubmitError::TenantQueueFull {
             tenant: "acme".to_string(),
             max_queued: 2,
+            retry_after_ms: 10,
         };
         assert!(tenant_full.to_string().contains("acme"));
         assert!(tenant_full.to_string().contains("2"));
+        assert_eq!(tenant_full.retry_after_ms(), Some(10));
+        let limited = SubmitError::RateLimited {
+            tenant: "acme".to_string(),
+            retry_after_ms: 7,
+        };
+        assert!(limited.to_string().contains("rate"));
+        assert_eq!(limited.retry_after_ms(), Some(7));
         assert!(SubmitError::ShuttingDown
             .to_string()
             .contains("shutting down"));
+        assert_eq!(SubmitError::ShuttingDown.retry_after_ms(), None);
     }
 }

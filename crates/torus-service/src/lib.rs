@@ -57,6 +57,6 @@ mod tenant;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use engine::{Engine, EngineConfig};
-pub use job::{JobHandle, JobResult, JobStatus, PayloadSpec, SubmitError};
+pub use job::{EventHook, JobEvent, JobHandle, JobResult, JobStatus, PayloadSpec, SubmitError};
 pub use stats::{Histogram, LatencyStats, ServiceStats, HISTOGRAM_BUCKETS};
-pub use tenant::{TenantQuota, TenantStats, DEFAULT_TENANT};
+pub use tenant::{RateLimit, TenantQuota, TenantStats, DEFAULT_TENANT};

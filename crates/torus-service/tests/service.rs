@@ -221,7 +221,7 @@ fn queue_overflow_rejects_and_counts() {
     for i in 0..12u64 {
         match engine.submit(shape.clone(), PayloadSpec::Seeded { seed: i }, small_cfg()) {
             Ok(job) => accepted.push(job),
-            Err(SubmitError::QueueFull { depth }) => {
+            Err(SubmitError::QueueFull { depth, .. }) => {
                 assert_eq!(depth, 2);
                 rejected += 1;
             }

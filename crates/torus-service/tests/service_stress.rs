@@ -101,7 +101,7 @@ fn service_stress_every_admitted_job_finishes() {
         let handle = loop {
             match engine.submit(shape.clone(), PayloadSpec::Seeded { seed: i }, cfg.clone()) {
                 Ok(h) => break h,
-                Err(SubmitError::QueueFull { depth }) => {
+                Err(SubmitError::QueueFull { depth, .. }) => {
                     assert_eq!(depth, 4);
                     rejections += 1;
                     std::thread::sleep(Duration::from_millis(2));

@@ -9,7 +9,7 @@
 //! them, and everything else is handed to whichever call is pending.
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -71,17 +71,30 @@ impl DoneEvent {
 pub enum ClientError {
     /// Socket-level failure (includes read timeouts).
     Io(io::Error),
-    /// The daemon sent something the client could not interpret, or
-    /// closed the connection mid-conversation.
+    /// The connection died mid-conversation — EOF, `ECONNRESET`, or a
+    /// broken pipe, typically a daemon crash. Distinct from [`Io`](Self::Io)
+    /// so retry logic can reconnect and *resume* via the `status` op
+    /// (on a journaling daemon the job survived) instead of blindly
+    /// resubmitting and double-running the job.
+    Disconnected {
+        /// A one-line description of the last streamed event seen
+        /// before the connection died (e.g. `"status job 3: running"`),
+        /// when any arrived.
+        last_event: Option<String>,
+    },
+    /// The daemon sent something the client could not interpret.
     Protocol(String),
     /// The daemon refused the request with a typed reason
-    /// (`queue_full`, `tenant_queue_full`, `invalid_spec`,
-    /// `draining`, `unauthenticated`).
+    /// (`queue_full`, `tenant_queue_full`, `rate_limited`,
+    /// `invalid_spec`, `draining`, `unauthenticated`).
     Rejected {
         /// Stable machine-readable reason token.
         reason: String,
         /// Human-readable elaboration.
         detail: String,
+        /// The daemon's backoff hint, present on overload rejections;
+        /// [`Client::submit_with_retry`] honors it.
+        retry_after_ms: Option<u64>,
     },
     /// The daemon answered with an `error` event (malformed request).
     Daemon(String),
@@ -91,8 +104,12 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Disconnected { last_event } => match last_event {
+                Some(ev) => write!(f, "connection lost (last event: {ev})"),
+                None => write!(f, "connection lost"),
+            },
             Self::Protocol(m) => write!(f, "protocol error: {m}"),
-            Self::Rejected { reason, detail } => {
+            Self::Rejected { reason, detail, .. } => {
                 write!(f, "rejected ({reason}): {detail}")
             }
             Self::Daemon(m) => write!(f, "daemon error: {m}"),
@@ -108,6 +125,27 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// The decoded reply to a `status` lookup (`ev:"job_status"`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobStatusReply {
+    /// The queried job id.
+    pub job_id: u64,
+    /// `"queued"`, `"running"`, `"completed"`, `"failed"`, or
+    /// `"unknown"`.
+    pub state: String,
+    /// Terminal outcome, when the job is terminal.
+    pub ok: Option<bool>,
+    /// Whether the run completed degraded, when terminal.
+    pub degraded: Option<bool>,
+    /// The FNV-1a delivery checksum (hex), when recorded.
+    pub checksum: Option<String>,
+    /// The failure description, when the job failed.
+    pub error: Option<String>,
+    /// `true` when the answer came from a recovered journal rather
+    /// than a job this daemon process executed.
+    pub recovered: bool,
+}
+
 /// One connection to a running daemon.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -117,6 +155,9 @@ pub struct Client {
     /// Every `status` state seen per job, in arrival order (duplicates
     /// from heartbeats collapsed).
     status_trace: HashMap<u64, Vec<String>>,
+    /// One-line description of the last streamed event, carried in
+    /// [`ClientError::Disconnected`] when the connection dies.
+    last_event: Option<String>,
 }
 
 impl Client {
@@ -129,22 +170,46 @@ impl Client {
             reader: BufReader::new(stream),
             parked_done: HashMap::new(),
             status_trace: HashMap::new(),
+            last_event: None,
         })
+    }
+
+    /// Classifies a socket error: a dead peer becomes `Disconnected`
+    /// (carrying the last streamed event), everything else stays `Io`.
+    fn map_io(&self, e: io::Error) -> ClientError {
+        match e.kind() {
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof => ClientError::Disconnected {
+                last_event: self.last_event.clone(),
+            },
+            _ => ClientError::Io(e),
+        }
     }
 
     fn send_line(&mut self, request: &Json) -> Result<(), ClientError> {
         let mut line = request.dump();
         line.push('\n');
-        self.reader.get_mut().write_all(line.as_bytes())?;
-        Ok(())
+        self.reader
+            .get_mut()
+            .write_all(line.as_bytes())
+            .map_err(|e| self.map_io(e))
     }
 
     /// Reads the next event of any kind.
     fn read_event(&mut self) -> Result<Json, ClientError> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| self.map_io(e))?;
         if n == 0 {
-            return Err(ClientError::Protocol("daemon closed the connection".into()));
+            // EOF mid-conversation: the daemon is gone (crash or kill),
+            // not merely misbehaving.
+            return Err(ClientError::Disconnected {
+                last_event: self.last_event.clone(),
+            });
         }
         crate::json::parse(line.trim_end())
             .map_err(|e| ClientError::Protocol(format!("unparseable event: {e}")))
@@ -159,6 +224,7 @@ impl Client {
                 Some("status") => self.record_status(&event),
                 Some("done") => {
                     let done = DoneEvent::from_json(&event)?;
+                    self.last_event = Some(format!("done job {}", done.job_id));
                     self.parked_done.insert(done.job_id, done);
                 }
                 Some(_) => return Ok(event),
@@ -179,6 +245,7 @@ impl Client {
         ) else {
             return;
         };
+        self.last_event = Some(format!("status job {id}: {state}"));
         let trace = self.status_trace.entry(id).or_default();
         if trace.last().map(String::as_str) != Some(state) {
             trace.push(state.to_string());
@@ -201,6 +268,7 @@ impl Client {
                     .and_then(Json::as_str)
                     .unwrap_or_default()
                     .to_string(),
+                retry_after_ms: event.get("retry_after_ms").and_then(Json::as_u64),
             }),
             Some("error") => Err(ClientError::Daemon(
                 event
@@ -243,6 +311,93 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("accepted without job_id".into()))
     }
 
+    /// Submits with bounded-jitter exponential backoff on overload:
+    /// `queue_full`, `tenant_queue_full`, and `rate_limited` rejections
+    /// are retried up to `max_attempts` times, sleeping the daemon's
+    /// `retry_after_ms` hint (or a doubling fallback when absent) plus
+    /// deterministic jitter in `[-50%, 0%]` of the base, capped at 5 s
+    /// per wait. Every other error — including the final overload
+    /// rejection — propagates unchanged, so overload degrades to slower
+    /// admission rather than hard failure.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        max_attempts: u32,
+    ) -> Result<u64, ClientError> {
+        let max_attempts = max_attempts.max(1);
+        // Deterministic jitter (an LCG stepped per retry): calibrated
+        // backoff without pulling in a clock or an RNG dependency, and
+        // reproducible in tests.
+        let mut rng: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut fallback_ms: u64 = 10;
+        for attempt in 1..=max_attempts {
+            match self.submit(spec) {
+                Ok(id) => return Ok(id),
+                Err(ClientError::Rejected {
+                    reason,
+                    detail,
+                    retry_after_ms,
+                }) => {
+                    let overload = matches!(
+                        reason.as_str(),
+                        "queue_full" | "tenant_queue_full" | "rate_limited"
+                    );
+                    if !overload || attempt == max_attempts {
+                        return Err(ClientError::Rejected {
+                            reason,
+                            detail,
+                            retry_after_ms,
+                        });
+                    }
+                    let base = retry_after_ms.unwrap_or(fallback_ms).clamp(1, 5_000);
+                    rng = rng
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let jitter = (rng >> 33) % (base / 2 + 1);
+                    std::thread::sleep(Duration::from_millis(base - jitter));
+                    fallback_ms = (fallback_ms * 2).min(5_000);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        unreachable!("loop returns on the final attempt")
+    }
+
+    /// Looks up one job by id — including, on a journaling daemon, jobs
+    /// accepted by a pre-crash process this client never talked to.
+    pub fn status(&mut self, job_id: u64) -> Result<JobStatusReply, ClientError> {
+        self.send_line(&Json::obj([
+            ("op", Json::str("status")),
+            ("job_id", Json::u64(job_id)),
+        ]))?;
+        let event = self.expect_ev("job_status")?;
+        Ok(JobStatusReply {
+            job_id: event
+                .get("job_id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol("job_status without job_id".into()))?,
+            state: event
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("job_status without state".into()))?
+                .to_string(),
+            ok: event.get("ok").and_then(Json::as_bool),
+            degraded: event.get("degraded").and_then(Json::as_bool),
+            checksum: event
+                .get("checksum")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            error: event
+                .get("error")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            recovered: event
+                .get("recovered")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
     /// Blocks until `job_id`'s `done` event arrives (tolerating any
     /// interleaved events for other jobs) and returns it.
     pub fn wait_done(&mut self, job_id: u64) -> Result<DoneEvent, ClientError> {
@@ -255,6 +410,7 @@ impl Client {
                 Some("status") => self.record_status(&event),
                 Some("done") => {
                     let done = DoneEvent::from_json(&event)?;
+                    self.last_event = Some(format!("done job {}", done.job_id));
                     self.parked_done.insert(done.job_id, done);
                 }
                 Some(other) => {

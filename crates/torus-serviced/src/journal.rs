@@ -1,0 +1,907 @@
+//! The write-ahead admission journal: crash durability for the daemon.
+//!
+//! Every admission decision the daemon makes is recorded here *before*
+//! the client hears about it, so a `kill -9` at any instant loses no
+//! accepted job. The format is deliberately dependency-light — binary
+//! fixed-header records in append-only segment files, integrity-checked
+//! with the runtime's CRC32 ([`torus_runtime::crc32`]).
+//!
+//! ## Record format
+//!
+//! Each record is a 24-byte little-endian header followed by a JSON
+//! payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        "TJL1" (0x314C_4A54)
+//!      4     1  kind         1=accepted 2=started 3=done 4=rejected
+//!      5     1  version      1
+//!      6     2  reserved     0
+//!      8     8  job_id       engine-assigned id (0 for rejected)
+//!     16     4  payload_len  bytes of JSON following the header
+//!     20     4  crc32        over bytes 4..20 ++ payload
+//!     24     …  payload      UTF-8 JSON object
+//! ```
+//!
+//! ## Durability and torn writes
+//!
+//! `accepted` records are fsync'd before the daemon acknowledges the
+//! job; `started`/`done`/`rejected` are write-through only (they are
+//! reconstructible by re-running). A crash mid-append can therefore
+//! leave one *incomplete* record at the tail of the newest segment —
+//! recovery tolerates exactly that case by truncating it away. Any
+//! other damage (bad magic, bad kind, CRC mismatch, short record in a
+//! closed segment) is real corruption and fails recovery with a typed
+//! [`JournalError::Corrupt`] naming the segment and byte offset.
+//!
+//! ## Segments, rotation, compaction
+//!
+//! Records append to the active segment (`journal-NNNNNNNN.tjl`);
+//! once it exceeds the configured size the journal rotates to a new
+//! file. A *closed* segment is deleted ("compacted") once every job
+//! with a record in it is terminal — the write path guarantees a job's
+//! `accepted` record precedes its `started`/`done` records in stream
+//! order (out-of-order hook callbacks are buffered), so a pending job
+//! always pins the segment holding its spec.
+//!
+//! ## Recovery
+//!
+//! [`Journal::open`] replays all segments oldest-first and returns a
+//! [`Recovery`]: jobs `accepted` but never `done` (to re-enqueue,
+//! exactly once), terminal jobs with their recorded outcome and FNV-1a
+//! delivery checksum (to answer `status` for pre-crash ids without
+//! re-running), and the highest job id seen (so fresh ids stay
+//! monotonic across the restart).
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use torus_runtime::crc32;
+
+use crate::json::Json;
+
+/// First four bytes of every record: `"TJL1"` little-endian.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"TJL1");
+/// The on-disk format version this build writes and understands.
+pub const VERSION: u8 = 1;
+/// Fixed bytes preceding every record's JSON payload.
+pub const RECORD_HEADER_BYTES: usize = 24;
+/// Upper bound on a record's payload; anything larger on disk is
+/// treated as corruption rather than allocated.
+pub const MAX_PAYLOAD_BYTES: u32 = 1 << 20;
+
+fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What a journal record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A job passed admission; payload carries `tenant` and `spec`.
+    Accepted,
+    /// A driver began executing the job; empty payload.
+    Started,
+    /// The job reached a terminal state; payload carries `ok`,
+    /// `degraded`, `checksum` (FNV-1a hex or null), and `error`.
+    Done,
+    /// A submission was refused; `job_id` is 0, payload carries
+    /// `tenant` and `reason`.
+    Rejected,
+}
+
+impl RecordKind {
+    /// The wire byte written at header offset 4.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            RecordKind::Accepted => 1,
+            RecordKind::Started => 2,
+            RecordKind::Done => 3,
+            RecordKind::Rejected => 4,
+        }
+    }
+
+    /// Decodes a wire byte; `None` for anything unassigned.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(RecordKind::Accepted),
+            2 => Some(RecordKind::Started),
+            3 => Some(RecordKind::Done),
+            4 => Some(RecordKind::Rejected),
+            _ => None,
+        }
+    }
+}
+
+/// Why the journal could not be opened, replayed, or appended to.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A record failed validation somewhere other than the tolerated
+    /// torn tail of the newest segment.
+    Corrupt {
+        /// File name of the damaged segment (e.g. `journal-00000001.tjl`).
+        segment: String,
+        /// Byte offset of the damaged record within the segment.
+        offset: u64,
+        /// What failed: bad magic, bad kind, CRC mismatch, …
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "journal corrupt: segment {segment} at offset {offset}: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Sizing knobs for a [`Journal`].
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Directory holding the segment files; created if absent.
+    pub dir: PathBuf,
+    /// Rotate the active segment once it exceeds this many bytes.
+    /// Default 1 MiB.
+    pub max_segment_bytes: u64,
+}
+
+impl JournalConfig {
+    /// A journal rooted at `dir` with default sizing.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            max_segment_bytes: 1 << 20,
+        }
+    }
+
+    /// Sets the rotation threshold (clamped to at least 4 KiB).
+    pub fn with_max_segment_bytes(mut self, bytes: u64) -> Self {
+        self.max_segment_bytes = bytes.max(4096);
+        self
+    }
+}
+
+/// An `accepted`-but-never-`done` job reconstructed from the journal,
+/// to be re-enqueued exactly once on restart.
+#[derive(Clone, Debug)]
+pub struct RecoveredJob {
+    /// The pre-crash engine-assigned id, preserved across the restart.
+    pub job_id: u64,
+    /// The tenant that submitted it.
+    pub tenant: String,
+    /// The job's wire spec, as recorded at admission (opaque JSON here;
+    /// the daemon re-parses it with `JobSpec::from_json`).
+    pub spec: Json,
+}
+
+/// A terminal job reconstructed from the journal, so a restarted
+/// daemon can answer `status` for ids it never executed.
+#[derive(Clone, Debug)]
+pub struct RecoveredDone {
+    /// The pre-crash engine-assigned id.
+    pub job_id: u64,
+    /// Whether the job completed (vs. failed).
+    pub ok: bool,
+    /// Whether it completed in degraded mode.
+    pub degraded: bool,
+    /// The recorded FNV-1a delivery checksum (16 hex digits), when the
+    /// run was clean.
+    pub checksum: Option<String>,
+    /// The recorded failure description, when it failed.
+    pub error: Option<String>,
+}
+
+/// Everything [`Journal::open`] reconstructed from disk.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Jobs to re-enqueue, in ascending id order.
+    pub pending: Vec<RecoveredJob>,
+    /// Terminal jobs with their recorded outcomes, ascending id order.
+    pub terminal: Vec<RecoveredDone>,
+    /// The highest job id seen anywhere in the journal (0 if empty).
+    pub max_job_id: u64,
+    /// Records successfully replayed across all segments.
+    pub records_replayed: u64,
+    /// Whether a torn final record was truncated away.
+    pub tail_truncated: bool,
+}
+
+/// A point-in-time snapshot of the journal's write-side counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended since open (all kinds).
+    pub records_written: u64,
+    /// Total bytes appended since open.
+    pub bytes_written: u64,
+    /// `fsync` calls issued (one per `accepted` record).
+    pub fsyncs: u64,
+    /// Closed segments deleted because every job in them was terminal.
+    pub segments_compacted: u64,
+    /// Pending jobs handed to the engine at the last recovery.
+    pub jobs_replayed: u64,
+}
+
+/// Mutable write-side state, guarded by one mutex.
+struct Inner {
+    file: File,
+    seq: u64,
+    active_bytes: u64,
+    /// Job ids whose `accepted` record is on disk (written or replayed).
+    admitted: HashSet<u64>,
+    /// Admitted jobs with no `done` record yet.
+    pending: HashSet<u64>,
+    /// Per closed-or-active segment: every job id with a record in it.
+    seg_jobs: HashMap<u64, HashSet<u64>>,
+    /// Started/done records that arrived before their job's `accepted`
+    /// record (driver hooks race the submit path); flushed in order
+    /// right after the acceptance lands.
+    deferred: HashMap<u64, Vec<(RecordKind, Json)>>,
+}
+
+/// The daemon's append-only admission journal. Cheap to share: all
+/// methods take `&self`.
+pub struct Journal {
+    config: JournalConfig,
+    inner: Mutex<Inner>,
+    records_written: AtomicU64,
+    bytes_written: AtomicU64,
+    fsyncs: AtomicU64,
+    segments_compacted: AtomicU64,
+    jobs_replayed: AtomicU64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("dir", &self.config.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("journal-{seq:08}.tjl")
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(segment_name(seq))
+}
+
+/// Sorted sequence numbers of the segment files present in `dir`.
+fn list_segments(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut seqs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(mid) = name
+            .strip_prefix("journal-")
+            .and_then(|s| s.strip_suffix(".tjl"))
+        {
+            if let Ok(seq) = mid.parse::<u64>() {
+                seqs.push(seq);
+            }
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+fn encode_record(kind: RecordKind, job_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(kind.to_byte());
+    buf.push(VERSION);
+    buf.extend_from_slice(&0u16.to_le_bytes());
+    buf.extend_from_slice(&job_id.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc_input = Vec::with_capacity(16 + payload.len());
+    crc_input.extend_from_slice(&buf[4..20]);
+    crc_input.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// One decoded record during replay.
+struct RawRecord {
+    kind: RecordKind,
+    job_id: u64,
+    payload: Json,
+    /// Total bytes the record occupied on disk.
+    len: usize,
+}
+
+/// Outcome of decoding the record at `offset` in `data`.
+enum Decoded {
+    Record(RawRecord),
+    /// Fewer bytes remain than the record claims — a torn tail if this
+    /// is the newest segment, corruption otherwise.
+    Torn,
+    Corrupt(String),
+}
+
+fn decode_record(data: &[u8], offset: usize) -> Decoded {
+    let rest = &data[offset..];
+    if rest.len() < RECORD_HEADER_BYTES {
+        return Decoded::Torn;
+    }
+    let magic = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Decoded::Corrupt(format!("bad magic {magic:#010x}"));
+    }
+    let kind_byte = rest[4];
+    let Some(kind) = RecordKind::from_byte(kind_byte) else {
+        return Decoded::Corrupt(format!("unknown record kind {kind_byte}"));
+    };
+    let version = rest[5];
+    if version != VERSION {
+        return Decoded::Corrupt(format!("unsupported record version {version}"));
+    }
+    let job_id = u64::from_le_bytes(rest[8..16].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes"));
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Decoded::Corrupt(format!(
+            "payload length {payload_len} exceeds the format cap"
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(rest[20..24].try_into().expect("4 bytes"));
+    let total = RECORD_HEADER_BYTES + payload_len as usize;
+    if rest.len() < total {
+        return Decoded::Torn;
+    }
+    let payload = &rest[RECORD_HEADER_BYTES..total];
+    let mut crc_input = Vec::with_capacity(16 + payload.len());
+    crc_input.extend_from_slice(&rest[4..20]);
+    crc_input.extend_from_slice(payload);
+    let computed = crc32(&crc_input);
+    if computed != stored_crc {
+        return Decoded::Corrupt(format!(
+            "crc mismatch: stored {stored_crc:#010x}, computed {computed:#010x}"
+        ));
+    }
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => return Decoded::Corrupt("payload is not UTF-8".to_string()),
+    };
+    let payload = if text.is_empty() {
+        Json::obj([])
+    } else {
+        match crate::json::parse(text) {
+            Ok(j) => j,
+            Err(e) => return Decoded::Corrupt(format!("payload is not valid JSON: {e}")),
+        }
+    };
+    Decoded::Record(RawRecord {
+        kind,
+        job_id,
+        payload,
+        len: total,
+    })
+}
+
+/// Replay bookkeeping for one job id.
+#[derive(Default)]
+struct JobReplay {
+    tenant: Option<String>,
+    spec: Option<Json>,
+    done: Option<RecoveredDone>,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `config.dir`, replays
+    /// every segment, compacts fully-terminal closed segments, and
+    /// returns the journal alongside what it recovered.
+    pub fn open(config: JournalConfig) -> Result<(Self, Recovery), JournalError> {
+        fs::create_dir_all(&config.dir)?;
+        let seqs = list_segments(&config.dir)?;
+        let mut recovery = Recovery::default();
+        let mut jobs: HashMap<u64, JobReplay> = HashMap::new();
+        let mut seg_jobs: HashMap<u64, HashSet<u64>> = HashMap::new();
+        let mut tail_valid_bytes = 0u64;
+
+        for (i, &seq) in seqs.iter().enumerate() {
+            let is_last = i + 1 == seqs.len();
+            let path = segment_path(&config.dir, seq);
+            let mut data = Vec::new();
+            File::open(&path)?.read_to_end(&mut data)?;
+            let ids = seg_jobs.entry(seq).or_default();
+            let mut offset = 0usize;
+            while offset < data.len() {
+                match decode_record(&data, offset) {
+                    Decoded::Record(rec) => {
+                        offset += rec.len;
+                        recovery.records_replayed += 1;
+                        if rec.kind != RecordKind::Rejected {
+                            ids.insert(rec.job_id);
+                            recovery.max_job_id = recovery.max_job_id.max(rec.job_id);
+                        }
+                        let entry = jobs.entry(rec.job_id).or_default();
+                        match rec.kind {
+                            RecordKind::Accepted => {
+                                entry.tenant = rec
+                                    .payload
+                                    .get("tenant")
+                                    .and_then(Json::as_str)
+                                    .map(str::to_string);
+                                entry.spec = rec.payload.get("spec").cloned();
+                            }
+                            RecordKind::Started | RecordKind::Rejected => {}
+                            RecordKind::Done => {
+                                entry.done = Some(RecoveredDone {
+                                    job_id: rec.job_id,
+                                    ok: rec
+                                        .payload
+                                        .get("ok")
+                                        .and_then(Json::as_bool)
+                                        .unwrap_or(false),
+                                    degraded: rec
+                                        .payload
+                                        .get("degraded")
+                                        .and_then(Json::as_bool)
+                                        .unwrap_or(false),
+                                    checksum: rec
+                                        .payload
+                                        .get("checksum")
+                                        .and_then(Json::as_str)
+                                        .map(str::to_string),
+                                    error: rec
+                                        .payload
+                                        .get("error")
+                                        .and_then(Json::as_str)
+                                        .map(str::to_string),
+                                });
+                            }
+                        }
+                    }
+                    Decoded::Torn => {
+                        if is_last {
+                            // A crash mid-append: drop the partial tail.
+                            recovery.tail_truncated = true;
+                            break;
+                        }
+                        return Err(JournalError::Corrupt {
+                            segment: segment_name(seq),
+                            offset: offset as u64,
+                            detail: "record truncated inside a closed segment".to_string(),
+                        });
+                    }
+                    Decoded::Corrupt(detail) => {
+                        return Err(JournalError::Corrupt {
+                            segment: segment_name(seq),
+                            offset: offset as u64,
+                            detail,
+                        });
+                    }
+                }
+            }
+            if is_last {
+                tail_valid_bytes = offset as u64;
+            }
+        }
+
+        // Classify: accepted-without-done is pending work; every done
+        // record (even one whose accepted landed in a since-compacted
+        // segment) answers status queries.
+        let mut admitted = HashSet::new();
+        let mut pending = HashSet::new();
+        // The rejected-record bucket (id 0) is bookkeeping noise unless
+        // an actual job ever carried id 0 — engine ids start at 1.
+        for (&id, replay) in &jobs {
+            if id == 0 && replay.spec.is_none() && replay.done.is_none() {
+                continue;
+            }
+            if replay.spec.is_some() {
+                admitted.insert(id);
+            }
+            match &replay.done {
+                Some(done) => recovery.terminal.push(done.clone()),
+                None => {
+                    if let (Some(tenant), Some(spec)) = (&replay.tenant, &replay.spec) {
+                        pending.insert(id);
+                        recovery.pending.push(RecoveredJob {
+                            job_id: id,
+                            tenant: tenant.clone(),
+                            spec: spec.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        recovery.pending.sort_by_key(|j| j.job_id);
+        recovery.terminal.sort_by_key(|j| j.job_id);
+
+        // Open the active segment: resume the newest file (truncating a
+        // torn tail first) or start fresh at the next sequence number.
+        let (seq, file, active_bytes) = match seqs.last() {
+            Some(&last) => {
+                let path = segment_path(&config.dir, last);
+                let file = OpenOptions::new().read(true).write(true).open(&path)?;
+                file.set_len(tail_valid_bytes)?;
+                let mut file = file;
+                file.seek(SeekFrom::End(0))?;
+                (last, file, tail_valid_bytes)
+            }
+            None => {
+                let path = segment_path(&config.dir, 1);
+                let file = OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .write(true)
+                    .open(&path)?;
+                seg_jobs.insert(1, HashSet::new());
+                (1, file, 0)
+            }
+        };
+
+        let journal = Self {
+            config,
+            inner: Mutex::new(Inner {
+                file,
+                seq,
+                active_bytes,
+                admitted,
+                pending,
+                seg_jobs,
+                deferred: HashMap::new(),
+            }),
+            records_written: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            segments_compacted: AtomicU64::new(0),
+            jobs_replayed: AtomicU64::new(recovery.pending.len() as u64),
+        };
+        {
+            let mut inner = lk(&journal.inner);
+            journal.compact_locked(&mut inner)?;
+        }
+        Ok((journal, recovery))
+    }
+
+    /// Records an admission: `{tenant, spec}` under `job_id`, fsync'd
+    /// before returning — once this succeeds, a crash cannot lose the
+    /// job. Any started/done records that raced ahead of the admission
+    /// are flushed right behind it, preserving per-job stream order.
+    pub fn record_accepted(
+        &self,
+        job_id: u64,
+        tenant: &str,
+        spec: Json,
+    ) -> Result<(), JournalError> {
+        let payload = Json::obj([("tenant", Json::str(tenant)), ("spec", spec)]);
+        let mut inner = lk(&self.inner);
+        self.append_locked(&mut inner, RecordKind::Accepted, job_id, &payload)?;
+        inner.admitted.insert(job_id);
+        inner.pending.insert(job_id);
+        if let Some(queued) = inner.deferred.remove(&job_id) {
+            for (kind, payload) in queued {
+                self.append_locked(&mut inner, kind, job_id, &payload)?;
+                if kind == RecordKind::Done {
+                    inner.pending.remove(&job_id);
+                }
+            }
+        }
+        inner.file.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Records that a driver began executing `job_id`.
+    pub fn record_started(&self, job_id: u64) -> Result<(), JournalError> {
+        let payload = Json::obj([]);
+        let mut inner = lk(&self.inner);
+        if !inner.admitted.contains(&job_id) {
+            inner
+                .deferred
+                .entry(job_id)
+                .or_default()
+                .push((RecordKind::Started, payload));
+            return Ok(());
+        }
+        self.append_locked(&mut inner, RecordKind::Started, job_id, &payload)
+    }
+
+    /// Records `job_id`'s terminal outcome. `checksum` is the FNV-1a
+    /// delivery checksum in hex when the run was clean.
+    pub fn record_done(
+        &self,
+        job_id: u64,
+        ok: bool,
+        degraded: bool,
+        checksum: Option<&str>,
+        error: Option<&str>,
+    ) -> Result<(), JournalError> {
+        let payload = Json::obj([
+            ("ok", Json::Bool(ok)),
+            ("degraded", Json::Bool(degraded)),
+            ("checksum", checksum.map_or(Json::Null, Json::str)),
+            ("error", error.map_or(Json::Null, Json::str)),
+        ]);
+        let mut inner = lk(&self.inner);
+        if !inner.admitted.contains(&job_id) {
+            inner
+                .deferred
+                .entry(job_id)
+                .or_default()
+                .push((RecordKind::Done, payload));
+            return Ok(());
+        }
+        self.append_locked(&mut inner, RecordKind::Done, job_id, &payload)?;
+        inner.pending.remove(&job_id);
+        Ok(())
+    }
+
+    /// Records a refused submission (no job id was assigned).
+    pub fn record_rejected(&self, tenant: &str, reason: &str) -> Result<(), JournalError> {
+        let payload = Json::obj([("tenant", Json::str(tenant)), ("reason", Json::str(reason))]);
+        let mut inner = lk(&self.inner);
+        self.append_locked(&mut inner, RecordKind::Rejected, 0, &payload)
+    }
+
+    /// A snapshot of the write-side counters for the `stats` op.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            records_written: self.records_written.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            segments_compacted: self.segments_compacted.load(Ordering::Relaxed),
+            jobs_replayed: self.jobs_replayed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    fn append_locked(
+        &self,
+        inner: &mut Inner,
+        kind: RecordKind,
+        job_id: u64,
+        payload: &Json,
+    ) -> Result<(), JournalError> {
+        if inner.active_bytes >= self.config.max_segment_bytes {
+            self.rotate_locked(inner)?;
+        }
+        let text = payload.dump();
+        let body = if text == "{}" { &[] } else { text.as_bytes() };
+        let record = encode_record(kind, job_id, body);
+        inner.file.write_all(&record)?;
+        inner.active_bytes += record.len() as u64;
+        if kind != RecordKind::Rejected {
+            let seq = inner.seq;
+            inner.seg_jobs.entry(seq).or_default().insert(job_id);
+        }
+        self.records_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Closes the active segment, opens the next, and compacts any
+    /// closed segment whose jobs are all terminal.
+    fn rotate_locked(&self, inner: &mut Inner) -> Result<(), JournalError> {
+        inner.file.sync_data()?;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        let next = inner.seq + 1;
+        let path = segment_path(&self.config.dir, next);
+        inner.file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(path)?;
+        inner.seq = next;
+        inner.active_bytes = 0;
+        inner.seg_jobs.insert(next, HashSet::new());
+        self.compact_locked(inner)
+    }
+
+    /// Deletes every closed segment none of whose jobs are pending.
+    fn compact_locked(&self, inner: &mut Inner) -> Result<(), JournalError> {
+        let active = inner.seq;
+        let closed: Vec<u64> = inner
+            .seg_jobs
+            .keys()
+            .copied()
+            .filter(|&seq| seq != active)
+            .collect();
+        for seq in closed {
+            let compactable = inner.seg_jobs[&seq]
+                .iter()
+                .all(|id| !inner.pending.contains(id));
+            if compactable {
+                fs::remove_file(segment_path(&self.config.dir, seq))?;
+                inner.seg_jobs.remove(&seq);
+                self.segments_compacted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "torus-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn demo_spec() -> Json {
+        Json::obj([("shape", Json::Arr(vec![Json::u64(4), Json::u64(4)]))])
+    }
+
+    #[test]
+    fn roundtrip_recovers_pending_and_terminal() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let (journal, recovery) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            assert!(recovery.pending.is_empty());
+            journal.record_accepted(1, "acme", demo_spec()).unwrap();
+            journal.record_started(1).unwrap();
+            journal
+                .record_done(1, true, false, Some("00000000deadbeef"), None)
+                .unwrap();
+            journal.record_accepted(2, "zeta", demo_spec()).unwrap();
+            journal.record_rejected("acme", "queue_full").unwrap();
+            assert!(journal.stats().records_written >= 5);
+        }
+        let (_journal, recovery) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(recovery.pending.len(), 1, "job 2 was accepted, never done");
+        assert_eq!(recovery.pending[0].job_id, 2);
+        assert_eq!(recovery.pending[0].tenant, "zeta");
+        assert_eq!(recovery.terminal.len(), 1);
+        assert_eq!(recovery.terminal[0].job_id, 1);
+        assert!(recovery.terminal[0].ok);
+        assert_eq!(
+            recovery.terminal[0].checksum.as_deref(),
+            Some("00000000deadbeef")
+        );
+        assert_eq!(recovery.max_job_id, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_order_done_is_buffered_until_acceptance() {
+        let dir = tmp_dir("reorder");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            // The driver's hook can beat the submit path to the journal.
+            journal.record_started(7).unwrap();
+            journal
+                .record_done(7, true, false, Some("aa"), None)
+                .unwrap();
+            journal.record_accepted(7, "acme", demo_spec()).unwrap();
+        }
+        let (_journal, recovery) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert!(recovery.pending.is_empty(), "done job must not re-run");
+        assert_eq!(recovery.terminal.len(), 1);
+        assert_eq!(recovery.terminal[0].job_id, 7);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp_dir("torn");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            journal.record_accepted(1, "acme", demo_spec()).unwrap();
+        }
+        // Simulate a crash mid-append: a partial header at the tail.
+        let seg = segment_path(&dir, 1);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&MAGIC.to_le_bytes()).unwrap();
+        f.write_all(&[1, 1, 0]).unwrap();
+        drop(f);
+        let before = fs::metadata(&seg).unwrap().len();
+        let (journal, recovery) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert!(recovery.tail_truncated);
+        assert_eq!(recovery.pending.len(), 1);
+        assert_eq!(fs::metadata(&seg).unwrap().len(), before - 7);
+        // The journal keeps working after the truncation.
+        journal
+            .record_done(1, true, false, Some("bb"), None)
+            .unwrap();
+        drop(journal);
+        let (_j, recovery) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert!(recovery.pending.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_corruption_names_segment_and_offset() {
+        let dir = tmp_dir("corrupt");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            journal.record_accepted(1, "acme", demo_spec()).unwrap();
+            journal.record_accepted(2, "acme", demo_spec()).unwrap();
+        }
+        // Flip a payload byte inside the FIRST record: CRC must catch it.
+        let seg = segment_path(&dir, 1);
+        let mut data = fs::read(&seg).unwrap();
+        data[RECORD_HEADER_BYTES + 2] ^= 0xFF;
+        fs::write(&seg, &data).unwrap();
+        match Journal::open(JournalConfig::new(&dir)) {
+            Err(JournalError::Corrupt {
+                segment,
+                offset,
+                detail,
+            }) => {
+                assert_eq!(segment, "journal-00000001.tjl");
+                assert_eq!(offset, 0);
+                assert!(detail.contains("crc"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_compacts_fully_terminal_segments() {
+        let dir = tmp_dir("compact");
+        let config = JournalConfig::new(&dir).with_max_segment_bytes(4096);
+        let (journal, _) = Journal::open(config.clone()).unwrap();
+        // Enough terminal jobs to cross several 4 KiB segments.
+        for id in 1..=60 {
+            journal.record_accepted(id, "acme", demo_spec()).unwrap();
+            journal.record_started(id).unwrap();
+            journal
+                .record_done(id, true, false, Some("00ff00ff00ff00ff"), None)
+                .unwrap();
+        }
+        assert!(
+            journal.stats().segments_compacted > 0,
+            "60 terminal jobs across 4 KiB segments must compact something"
+        );
+        drop(journal);
+        let (_j, recovery) = Journal::open(config).unwrap();
+        assert!(recovery.pending.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pending_job_pins_its_segment_across_rotation() {
+        let dir = tmp_dir("pin");
+        let config = JournalConfig::new(&dir).with_max_segment_bytes(4096);
+        let (journal, _) = Journal::open(config.clone()).unwrap();
+        journal.record_accepted(1, "acme", demo_spec()).unwrap();
+        for id in 2..=60 {
+            journal.record_accepted(id, "acme", demo_spec()).unwrap();
+            journal
+                .record_done(id, true, false, Some("00ff00ff00ff00ff"), None)
+                .unwrap();
+        }
+        drop(journal);
+        let (_j, recovery) = Journal::open(config).unwrap();
+        assert_eq!(recovery.pending.len(), 1, "job 1 must survive compaction");
+        assert_eq!(recovery.pending[0].job_id, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -47,12 +47,14 @@
 
 pub mod checksum;
 pub mod client;
+pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod server;
 pub mod signal;
 pub mod spec;
 
-pub use client::{Client, ClientError, DoneEvent};
+pub use client::{Client, ClientError, DoneEvent, JobStatusReply};
+pub use journal::{Journal, JournalConfig, JournalError, JournalStats, Recovery};
 pub use server::{Daemon, DaemonConfig};
 pub use spec::{FaultSpec, JobSpec, RetrySpec, SpecError, MAX_BLOCK_BYTES, MAX_WORKERS};

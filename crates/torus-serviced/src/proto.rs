@@ -22,6 +22,7 @@
 
 use torus_service::{LatencyStats, ServiceStats, TenantStats};
 
+use crate::journal::JournalStats;
 use crate::json::Json;
 
 /// Longest accepted request line, including the newline. Specs are a
@@ -47,6 +48,12 @@ pub enum Request {
     Validate {
         /// The raw spec object.
         spec: Json,
+    },
+    /// Look up one job by id — answers for live jobs and (on a
+    /// journaling daemon) for jobs recovered from a pre-crash journal.
+    Status {
+        /// The engine-assigned job id to look up.
+        job_id: u64,
     },
     /// Fetch service-wide and per-tenant statistics.
     Stats,
@@ -127,6 +134,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 Ok(Request::Validate { spec })
             }
         }
+        "status" => {
+            let job_id = value
+                .get("job_id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtoError::new("status requires a numeric 'job_id'"))?;
+            Ok(Request::Status { job_id })
+        }
         "stats" => Ok(Request::Stats),
         "schema" => Ok(Request::Schema),
         "drain" => Ok(Request::Drain),
@@ -205,6 +219,18 @@ pub fn rejected(reason: &str, detail: &str) -> Json {
     ])
 }
 
+/// `{"ev":"rejected","reason":…,"detail":…,"retry_after_ms":…}` — an
+/// overload rejection carrying the engine's backoff hint, honored by
+/// the client's `submit_with_retry`.
+pub fn rejected_backoff(reason: &str, detail: &str, retry_after_ms: u64) -> Json {
+    Json::obj([
+        ("ev", Json::str("rejected")),
+        ("reason", Json::str(reason)),
+        ("detail", Json::str(detail)),
+        ("retry_after_ms", Json::u64(retry_after_ms)),
+    ])
+}
+
 /// `{"ev":"error","message":…}` — a malformed request (not a job
 /// outcome).
 pub fn error_event(message: &str) -> Json {
@@ -221,13 +247,78 @@ pub fn valid(normalized: Json) -> Json {
     Json::obj([("ev", Json::str("valid")), ("spec", normalized)])
 }
 
-/// `{"ev":"schema","spec":…}`
-pub fn schema(spec_schema: Json) -> Json {
-    Json::obj([("ev", Json::str("schema")), ("spec", spec_schema)])
+/// `{"ev":"job_status","job_id":…,"state":…,…}` — the reply to a
+/// `status` op (distinct from the streamed `status` heartbeats so a
+/// client can tell a lookup answer from a live-job transition). For a
+/// terminal job the extra fields carry the recorded outcome; `recovered`
+/// marks an answer reconstructed from the journal rather than from a
+/// job this process executed.
+pub fn job_status(
+    job_id: u64,
+    state: &str,
+    ok: Option<bool>,
+    degraded: Option<bool>,
+    checksum: Option<&str>,
+    error: Option<&str>,
+    recovered: bool,
+) -> Json {
+    Json::obj([
+        ("ev", Json::str("job_status")),
+        ("job_id", Json::u64(job_id)),
+        ("state", Json::str(state)),
+        ("ok", ok.map_or(Json::Null, Json::Bool)),
+        ("degraded", degraded.map_or(Json::Null, Json::Bool)),
+        ("checksum", checksum.map_or(Json::Null, Json::str)),
+        ("error", error.map_or(Json::Null, Json::str)),
+        ("recovered", Json::Bool(recovered)),
+    ])
 }
 
-/// `{"ev":"stats","service":…,"tenants":[…]}`
-pub fn stats(service: &ServiceStats, tenants: &[TenantStats]) -> Json {
+/// `{"ev":"schema","spec":…,"rejection":…}` — the spec schema plus the
+/// shape of overload rejections (including the `retry_after_ms` backoff
+/// hint clients should honor).
+pub fn schema(spec_schema: Json) -> Json {
+    Json::obj([
+        ("ev", Json::str("schema")),
+        ("spec", spec_schema),
+        (
+            "rejection",
+            Json::obj([
+                (
+                    "reason",
+                    Json::str("string token: queue_full | tenant_queue_full | rate_limited | draining | invalid_spec | unauthenticated"),
+                ),
+                ("detail", Json::str("string: human-readable cause")),
+                (
+                    "retry_after_ms",
+                    Json::str(
+                        "u64, present on queue_full/tenant_queue_full/rate_limited: suggested \
+                         wait before resubmitting; honored by the client's submit_with_retry",
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The JSON form of the journal's counters.
+pub fn journal_stats_json(stats: &JournalStats) -> Json {
+    Json::obj([
+        ("records_written", Json::u64(stats.records_written)),
+        ("bytes_written", Json::u64(stats.bytes_written)),
+        ("fsyncs", Json::u64(stats.fsyncs)),
+        ("segments_compacted", Json::u64(stats.segments_compacted)),
+        ("jobs_replayed", Json::u64(stats.jobs_replayed)),
+    ])
+}
+
+/// `{"ev":"stats","service":…,"tenants":[…],"journal":…}` — `journal`
+/// is `null` when the daemon runs without one.
+pub fn stats(
+    service: &ServiceStats,
+    tenants: &[TenantStats],
+    journal: Option<&JournalStats>,
+) -> Json {
     Json::obj([
         ("ev", Json::str("stats")),
         ("service", service_stats_json(service)),
@@ -235,6 +326,7 @@ pub fn stats(service: &ServiceStats, tenants: &[TenantStats]) -> Json {
             "tenants",
             Json::Arr(tenants.iter().map(tenant_stats_json).collect()),
         ),
+        ("journal", journal.map_or(Json::Null, journal_stats_json)),
     ])
 }
 
@@ -268,6 +360,10 @@ mod tests {
         ));
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(
+            parse_request(r#"{"op":"status","job_id":9}"#).unwrap(),
+            Request::Status { job_id: 9 }
+        );
+        assert_eq!(
             parse_request(r#"{"op":"schema"}"#).unwrap(),
             Request::Schema
         );
@@ -287,6 +383,7 @@ mod tests {
             (r#"{"op":"hello","tenant":""}"#, "tenant"),
             (r#"{"op":"hello","tenant":"sp ace"}"#, "tenant"),
             (r#"{"op":"submit"}"#, "'spec'"),
+            (r#"{"op":"status"}"#, "'job_id'"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(
@@ -313,8 +410,9 @@ mod tests {
             ..Default::default()
         };
         service.queue_wait.p99 = 250;
-        let event = stats(&service, &[]);
+        let event = stats(&service, &[], None);
         assert_eq!(event.get("ev").unwrap().as_str(), Some("stats"));
+        assert_eq!(event.get("journal"), Some(&Json::Null));
         let svc = event.get("service").unwrap();
         assert_eq!(svc.get("jobs_accepted").unwrap().as_u64(), Some(3));
         assert_eq!(

@@ -25,6 +25,7 @@
 //! reason `"draining"`. Concurrent drains are safe — the engine's
 //! shutdown snapshot is taken exactly once.
 
+use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,10 +34,11 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use torus_service::{
-    Engine, EngineConfig, JobHandle, JobResult, JobStatus, ServiceStats, SubmitError,
+    Engine, EngineConfig, JobEvent, JobHandle, JobResult, JobStatus, ServiceStats, SubmitError,
 };
 
 use crate::checksum;
+use crate::journal::{Journal, JournalConfig};
 use crate::json::Json;
 use crate::proto::{self, Request, MAX_LINE_BYTES};
 use crate::signal;
@@ -55,6 +57,11 @@ pub struct DaemonConfig {
     /// Resend the current status every this many polls, so a client
     /// watching a long-queued job sees liveness, not silence.
     pub heartbeat_polls: u32,
+    /// Write-ahead admission journal. `Some` makes every admission
+    /// durable (fsync'd before the client hears `accepted`) and lets
+    /// [`Daemon::bind`] recover accepted-but-unfinished jobs from a
+    /// previous process's journal directory. Default: none.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -64,8 +71,24 @@ impl Default for DaemonConfig {
             engine: EngineConfig::default(),
             status_poll: Duration::from_millis(2),
             heartbeat_polls: 250,
+            journal: None,
         }
     }
+}
+
+/// What the daemon knows about a job id, for `status` lookups.
+enum RegEntry {
+    /// A job this process admitted or replayed; terminal answers read
+    /// through the handle.
+    Live(JobHandle),
+    /// A terminal job reconstructed from the journal — this process
+    /// never executed it, only its recorded outcome survives.
+    Recovered {
+        ok: bool,
+        degraded: bool,
+        checksum: Option<String>,
+        error: Option<String>,
+    },
 }
 
 struct DaemonShared {
@@ -76,6 +99,10 @@ struct DaemonShared {
     closed: AtomicBool,
     status_poll: Duration,
     heartbeat_polls: u32,
+    /// The write-ahead admission journal, when configured.
+    journal: Option<Arc<Journal>>,
+    /// Every job id this daemon can answer `status` for.
+    registry: Mutex<HashMap<u64, RegEntry>>,
 }
 
 fn lk<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -91,16 +118,86 @@ pub struct Daemon {
 impl Daemon {
     /// Binds the listener and starts the engine (drivers spawn now;
     /// they idle until jobs arrive).
+    ///
+    /// With a journal configured this also replays the journal
+    /// directory: jobs `accepted` but never `done` by a previous
+    /// process are re-enqueued under their original ids (exactly once —
+    /// a recorded `done` suppresses the re-run), and terminal pre-crash
+    /// ids become answerable via the `status` op. A corrupt journal
+    /// fails the bind with [`ErrorKind::InvalidData`] rather than
+    /// silently dropping records.
     pub fn bind(config: DaemonConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        let mut engine_config = config.engine;
+        let opened = match config.journal {
+            Some(journal_config) => {
+                let (journal, recovery) = Journal::open(journal_config)
+                    .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+                let journal = Arc::new(journal);
+                let hook_journal = Arc::clone(&journal);
+                engine_config = engine_config
+                    .with_event_hook(Arc::new(move |event| journal_hook(&hook_journal, event)));
+                Some((journal, recovery))
+            }
+            None => None,
+        };
+        let engine = Engine::new(engine_config);
+        let mut registry = HashMap::new();
+        let journal = opened.map(|(journal, recovery)| {
+            engine.reserve_ids_through(recovery.max_job_id);
+            for done in recovery.terminal {
+                registry.insert(
+                    done.job_id,
+                    RegEntry::Recovered {
+                        ok: done.ok,
+                        degraded: done.degraded,
+                        checksum: done.checksum,
+                        error: done.error,
+                    },
+                );
+            }
+            for job in recovery.pending {
+                match JobSpec::from_json(&job.spec) {
+                    Ok(spec) => {
+                        if let Ok(handle) = engine.resubmit_as(
+                            &job.tenant,
+                            job.job_id,
+                            spec.torus_shape(),
+                            spec.payload,
+                            spec.runtime_config(),
+                        ) {
+                            registry.insert(job.job_id, RegEntry::Live(handle));
+                        }
+                    }
+                    Err(e) => {
+                        // An unparseable recovered spec cannot re-run;
+                        // close it out so it stops replaying forever.
+                        let error = format!("recovered spec invalid: {e}");
+                        let _ = journal.record_done(job.job_id, false, false, None, Some(&error));
+                        registry.insert(
+                            job.job_id,
+                            RegEntry::Recovered {
+                                ok: false,
+                                degraded: false,
+                                checksum: None,
+                                error: Some(error),
+                            },
+                        );
+                    }
+                }
+            }
+            journal
+        });
         Ok(Self {
             listener,
             shared: Arc::new(DaemonShared {
-                engine: Engine::new(config.engine),
+                engine,
                 draining: AtomicBool::new(false),
                 closed: AtomicBool::new(false),
                 status_poll: config.status_poll,
                 heartbeat_polls: config.heartbeat_polls.max(1),
+                journal,
+                registry: Mutex::new(registry),
             }),
         })
     }
@@ -301,10 +398,18 @@ fn dispatch(
             Ok(s) => send(writer, &proto::valid(s.to_json())),
             Err(e) => send(writer, &proto::rejected("invalid_spec", &e.to_string())),
         },
-        Request::Stats => send(
-            writer,
-            &proto::stats(&shared.engine.stats(), &shared.engine.tenant_stats()),
-        ),
+        Request::Stats => {
+            let journal_stats = shared.journal.as_deref().map(Journal::stats);
+            send(
+                writer,
+                &proto::stats(
+                    &shared.engine.stats(),
+                    &shared.engine.tenant_stats(),
+                    journal_stats.as_ref(),
+                ),
+            )
+        }
+        Request::Status { job_id } => send(writer, &status_reply(shared, job_id)),
         Request::Drain => {
             shared.draining.store(true, Ordering::SeqCst);
             // Blocks until every admitted job has finished; pumps send
@@ -337,6 +442,16 @@ fn dispatch(
             );
             match submitted {
                 Ok(handle) => {
+                    // Durability barrier: the admission is fsync'd to the
+                    // journal before the client ever hears `accepted`, so
+                    // a crash from here on cannot lose the job.
+                    if let Some(journal) = &shared.journal {
+                        if let Err(e) = journal.record_accepted(handle.id(), tenant, spec.to_json())
+                        {
+                            eprintln!("torus-serviced: journal append failed: {e}");
+                        }
+                    }
+                    lk(&shared.registry).insert(handle.id(), RegEntry::Live(handle.clone()));
                     if !send(writer, &proto::accepted(handle.id())) {
                         return false;
                     }
@@ -350,23 +465,146 @@ fn dispatch(
                     );
                     true
                 }
-                Err(SubmitError::QueueFull { depth }) => send(
-                    writer,
-                    &proto::rejected("queue_full", &format!("global queue at depth {depth}")),
-                ),
-                Err(SubmitError::TenantQueueFull { tenant, max_queued }) => send(
-                    writer,
-                    &proto::rejected(
-                        "tenant_queue_full",
-                        &format!("tenant {tenant:?} at its queued-jobs quota ({max_queued})"),
-                    ),
-                ),
+                Err(SubmitError::QueueFull {
+                    depth,
+                    retry_after_ms,
+                }) => {
+                    journal_reject(shared, tenant, "queue_full");
+                    send(
+                        writer,
+                        &proto::rejected_backoff(
+                            "queue_full",
+                            &format!("global queue at depth {depth}"),
+                            retry_after_ms,
+                        ),
+                    )
+                }
+                Err(SubmitError::TenantQueueFull {
+                    tenant,
+                    max_queued,
+                    retry_after_ms,
+                }) => {
+                    journal_reject(shared, &tenant, "tenant_queue_full");
+                    send(
+                        writer,
+                        &proto::rejected_backoff(
+                            "tenant_queue_full",
+                            &format!("tenant {tenant:?} at its queued-jobs quota ({max_queued})"),
+                            retry_after_ms,
+                        ),
+                    )
+                }
+                Err(SubmitError::RateLimited {
+                    tenant,
+                    retry_after_ms,
+                }) => {
+                    journal_reject(shared, &tenant, "rate_limited");
+                    send(
+                        writer,
+                        &proto::rejected_backoff(
+                            "rate_limited",
+                            &format!("tenant {tenant:?} is over its admission rate"),
+                            retry_after_ms,
+                        ),
+                    )
+                }
                 Err(SubmitError::ShuttingDown) => send(
                     writer,
                     &proto::rejected("draining", "daemon is draining; no new jobs"),
                 ),
             }
         }
+    }
+}
+
+/// Appends a `rejected` record when the daemon journals.
+fn journal_reject(shared: &DaemonShared, tenant: &str, reason: &str) {
+    if let Some(journal) = &shared.journal {
+        let _ = journal.record_rejected(tenant, reason);
+    }
+}
+
+/// The engine's event hook on a journaling daemon: every job start and
+/// terminal outcome (with its FNV-1a delivery checksum) goes to disk,
+/// from the driver thread that owns the transition.
+fn journal_hook(journal: &Journal, event: JobEvent<'_>) {
+    match event {
+        JobEvent::Started { job_id, .. } => {
+            let _ = journal.record_started(job_id);
+        }
+        JobEvent::Finished {
+            job_id,
+            status,
+            result,
+            ..
+        } => {
+            let report = result.report.as_ref();
+            let degraded = report.is_some_and(|r| r.degraded.is_some());
+            let checksum = match (&result.deliveries, degraded) {
+                (Some(deliveries), false) => {
+                    Some(checksum::to_hex(checksum::delivery_checksum(deliveries)))
+                }
+                _ => None,
+            };
+            let _ = journal.record_done(
+                job_id,
+                status == JobStatus::Completed,
+                degraded,
+                checksum.as_deref(),
+                result.error.as_deref(),
+            );
+        }
+    }
+}
+
+/// Answers a `status` lookup from the registry: live jobs through their
+/// handle, pre-crash terminal jobs from the recovered journal index.
+fn status_reply(shared: &DaemonShared, job_id: u64) -> Json {
+    let registry = lk(&shared.registry);
+    match registry.get(&job_id) {
+        None => proto::job_status(job_id, "unknown", None, None, None, None, false),
+        Some(RegEntry::Recovered {
+            ok,
+            degraded,
+            checksum,
+            error,
+        }) => proto::job_status(
+            job_id,
+            if *ok { "completed" } else { "failed" },
+            Some(*ok),
+            Some(*degraded),
+            checksum.as_deref(),
+            error.as_deref(),
+            true,
+        ),
+        Some(RegEntry::Live(handle)) => match handle.try_status() {
+            JobStatus::Queued => proto::job_status(job_id, "queued", None, None, None, None, false),
+            JobStatus::Running => {
+                proto::job_status(job_id, "running", None, None, None, None, false)
+            }
+            JobStatus::Completed | JobStatus::Failed => {
+                // Terminal, so `wait` returns without blocking.
+                let result = handle.wait();
+                let report = result.report.as_ref();
+                let degraded = report.is_some_and(|r| r.degraded.is_some());
+                let checksum = match (&result.deliveries, degraded) {
+                    (Some(deliveries), false) => {
+                        Some(checksum::to_hex(checksum::delivery_checksum(deliveries)))
+                    }
+                    _ => None,
+                };
+                let ok = result.error.is_none();
+                proto::job_status(
+                    job_id,
+                    if ok { "completed" } else { "failed" },
+                    Some(ok),
+                    Some(degraded),
+                    checksum.as_deref(),
+                    result.error.as_deref(),
+                    false,
+                )
+            }
+        },
     }
 }
 

@@ -105,7 +105,7 @@ fn invalid_specs_are_rejected_with_the_field() {
             .submit_raw(torus_serviced::json::parse(raw).unwrap())
             .unwrap_err();
         match err {
-            ClientError::Rejected { reason, detail } => {
+            ClientError::Rejected { reason, detail, .. } => {
                 assert_eq!(reason, "invalid_spec", "for {raw}");
                 assert!(detail.contains(field), "{detail:?} should name {field:?}");
             }
@@ -164,9 +164,17 @@ fn tenant_quota_rejections_are_typed_over_the_wire() {
     let first = acme.submit(&seeded_spec(7)).unwrap();
     let err = acme.submit(&seeded_spec(8)).unwrap_err();
     match err {
-        ClientError::Rejected { reason, detail } => {
+        ClientError::Rejected {
+            reason,
+            detail,
+            retry_after_ms,
+        } => {
             assert_eq!(reason, "tenant_queue_full");
             assert!(detail.contains("acme"), "{detail:?}");
+            assert!(
+                retry_after_ms.is_some_and(|ms| ms >= 1),
+                "overload rejection must carry a backoff hint"
+            );
         }
         other => panic!("expected tenant_queue_full, got {other}"),
     }
@@ -219,7 +227,7 @@ fn drain_rejects_new_work_and_returns_consistent_final_stats() {
     match err {
         ClientError::Rejected { reason, .. } => assert_eq!(reason, "draining"),
         // The daemon may already have torn the connection down.
-        ClientError::Io(_) | ClientError::Protocol(_) => {}
+        ClientError::Io(_) | ClientError::Protocol(_) | ClientError::Disconnected { .. } => {}
         other => panic!("unexpected {other}"),
     }
 
