@@ -1,0 +1,323 @@
+//! Bench-regression gate: compares a fresh sweep export against the
+//! committed `BENCH_*.json` snapshot and fails (exit 1) when the fresh
+//! numbers regress past a tolerance band.
+//!
+//! Two experiments are understood, dispatched on the export's
+//! `experiment` field:
+//!
+//! * `service_sweep` — per concurrency level, fresh `jobs_per_sec`
+//!   must be at least `(1 - tolerance) ×` the committed throughput,
+//!   and the level must still complete every job.
+//! * `runtime_sweep` — per `(shape, block_bytes)` case, fresh clean
+//!   `wall_ms` must be at most `(1 + tolerance) ×` the committed wall
+//!   time, and every case must still verify bit-exactly (clean and
+//!   faulty) — correctness never gets a tolerance band.
+//!
+//! The sweeps overwrite `BENCH_*.json` in place when they run, so CI
+//! copies the committed snapshot aside *first*, re-runs the sweep, and
+//! hands both files here:
+//!
+//! ```text
+//! cp BENCH_service_sweep.json /tmp/baseline.json
+//! cargo run --release -p bench --bin service_sweep
+//! cargo run --release -p bench --bin bench_gate -- \
+//!     --baseline /tmp/baseline.json --fresh BENCH_service_sweep.json
+//! ```
+
+use std::process::ExitCode;
+
+use torus_serviced::json::Json;
+
+/// Default tolerance band: CI machines are shared and jittery, so the
+/// gate flags sustained regressions, not scheduling noise.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Absolute grace added to every wall-clock ceiling. Sub-millisecond
+/// cases (a 4x4 exchange finishes in ~0.5 ms) are dominated by
+/// scheduling noise where a relative band alone would flake.
+const WALL_GRACE_MS: f64 = 2.0;
+
+fn get_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key).and_then(Json::as_u64)
+}
+
+/// Compares `fresh` against `baseline`, returning one line per
+/// violation (empty = gate passes).
+fn gate(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    let experiment = baseline.get("experiment").and_then(Json::as_str);
+    if fresh.get("experiment").and_then(Json::as_str) != experiment {
+        return vec![format!(
+            "experiment mismatch: baseline {:?}, fresh {:?}",
+            experiment,
+            fresh.get("experiment").and_then(Json::as_str)
+        )];
+    }
+    match experiment {
+        Some("service_sweep") => gate_service_sweep(baseline, fresh, tolerance),
+        Some("runtime_sweep") => gate_runtime_sweep(baseline, fresh, tolerance),
+        other => vec![format!("unknown experiment {other:?}")],
+    }
+}
+
+fn gate_service_sweep(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let levels = |v: &Json| -> Vec<Json> {
+        v.get("levels")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    let fresh_levels = levels(fresh);
+    for base in levels(baseline) {
+        let Some(concurrency) = get_u64(&base, "concurrency") else {
+            violations.push("baseline level without concurrency".into());
+            continue;
+        };
+        let Some(new) = fresh_levels
+            .iter()
+            .find(|l| get_u64(l, "concurrency") == Some(concurrency))
+        else {
+            violations.push(format!("fresh run lost concurrency level {concurrency}"));
+            continue;
+        };
+        let floor = get_f64(&base, "jobs_per_sec").unwrap_or(0.0) * (1.0 - tolerance);
+        let got = get_f64(new, "jobs_per_sec").unwrap_or(0.0);
+        if got < floor {
+            violations.push(format!(
+                "concurrency {concurrency}: {got:.1} jobs/s is below the \
+                 gate floor {floor:.1} (committed {:.1}, tolerance {:.0}%)",
+                get_f64(&base, "jobs_per_sec").unwrap_or(0.0),
+                tolerance * 100.0
+            ));
+        }
+        if get_u64(new, "jobs_completed") != get_u64(&base, "jobs_completed") {
+            violations.push(format!(
+                "concurrency {concurrency}: completed {:?} jobs, committed {:?}",
+                get_u64(new, "jobs_completed"),
+                get_u64(&base, "jobs_completed")
+            ));
+        }
+    }
+    violations
+}
+
+fn gate_runtime_sweep(baseline: &Json, fresh: &Json, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let cases = |v: &Json| -> Vec<Json> {
+        v.get("cases")
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    let key = |c: &Json| {
+        (
+            c.get("shape")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            get_u64(c, "block_bytes").unwrap_or(0),
+        )
+    };
+    let fresh_cases = cases(fresh);
+    for base in cases(baseline) {
+        let (shape, block) = key(&base);
+        let label = format!("{shape}/m={block}");
+        let Some(new) = fresh_cases
+            .iter()
+            .find(|c| key(c) == (shape.clone(), block))
+        else {
+            violations.push(format!("fresh run lost case {label}"));
+            continue;
+        };
+        let (Some(base_clean), Some(new_clean)) = (base.get("clean"), new.get("clean")) else {
+            violations.push(format!("{label}: missing clean section"));
+            continue;
+        };
+        let ceiling =
+            get_f64(base_clean, "wall_ms").unwrap_or(f64::MAX) * (1.0 + tolerance) + WALL_GRACE_MS;
+        let got = get_f64(new_clean, "wall_ms").unwrap_or(f64::MAX);
+        if got > ceiling {
+            violations.push(format!(
+                "{label}: clean wall {got:.2} ms exceeds the gate ceiling \
+                 {ceiling:.2} ms (committed {:.2}, tolerance {:.0}% + {WALL_GRACE_MS} ms grace)",
+                get_f64(base_clean, "wall_ms").unwrap_or(0.0),
+                tolerance * 100.0
+            ));
+        }
+        // Correctness has no tolerance band.
+        for (section, field) in [
+            ("clean", "verified"),
+            ("faulty", "verified"),
+            ("degraded", "verified_degraded"),
+        ] {
+            let ok = new
+                .get(section)
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_bool);
+            if ok != Some(true) {
+                violations.push(format!("{label}: {section}.{field} is {ok:?}, not true"));
+            }
+        }
+    }
+    violations
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    torus_serviced::json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut i = 1;
+    while i < args.len() {
+        let key = args[i].as_str();
+        let mut val = || -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        match key {
+            "--baseline" => baseline = Some(val()?),
+            "--fresh" => fresh = Some(val()?),
+            "--tolerance" => {
+                tolerance = val()?.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&tolerance) {
+                    return Err("--tolerance must be a fraction in [0, 1)".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let baseline_path = baseline.ok_or("--baseline is required")?;
+    let fresh_path = fresh.ok_or("--fresh is required")?;
+    let baseline = load(&baseline_path)?;
+    let fresh = load(&fresh_path)?;
+    println!(
+        "bench gate: {fresh_path} vs committed {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    Ok(gate(&baseline, &fresh, tolerance))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(violations) if violations.is_empty() => {
+            println!("bench gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprintln!("bench gate: FAIL ({} violations)", violations.len());
+            for v in &violations {
+                eprintln!("  - {v}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(levels: &[(u64, f64, u64)]) -> Json {
+        Json::obj([
+            ("experiment", Json::str("service_sweep")),
+            (
+                "levels",
+                Json::Arr(
+                    levels
+                        .iter()
+                        .map(|&(c, jps, done)| {
+                            Json::obj([
+                                ("concurrency", Json::u64(c)),
+                                ("jobs_per_sec", Json::num(jps)),
+                                ("jobs_completed", Json::u64(done)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn equal_runs_pass_and_regressions_fail() {
+        let base = service(&[(1, 100.0, 16), (2, 200.0, 16)]);
+        assert!(gate(&base, &base, 0.25).is_empty());
+        // Within the band: 80 >= 100 * 0.75.
+        let ok = service(&[(1, 80.0, 16), (2, 200.0, 16)]);
+        assert!(gate(&base, &ok, 0.25).is_empty());
+        // Past the band.
+        let slow = service(&[(1, 60.0, 16), (2, 200.0, 16)]);
+        let violations = gate(&base, &slow, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("concurrency 1"), "{violations:?}");
+        // A lost level and a lost job are violations regardless of speed.
+        let lost_level = service(&[(1, 100.0, 16)]);
+        assert!(!gate(&base, &lost_level, 0.25).is_empty());
+        let lost_job = service(&[(1, 100.0, 15), (2, 200.0, 16)]);
+        assert!(!gate(&base, &lost_job, 0.25).is_empty());
+    }
+
+    fn runtime(wall_ms: f64, verified: bool) -> Json {
+        Json::obj([
+            ("experiment", Json::str("runtime_sweep")),
+            (
+                "cases",
+                Json::Arr(vec![Json::obj([
+                    ("shape", Json::str("4x4")),
+                    ("block_bytes", Json::u64(64)),
+                    (
+                        "clean",
+                        Json::obj([
+                            ("wall_ms", Json::num(wall_ms)),
+                            ("verified", Json::Bool(verified)),
+                        ]),
+                    ),
+                    ("faulty", Json::obj([("verified", Json::Bool(true))])),
+                    (
+                        "degraded",
+                        Json::obj([("verified_degraded", Json::Bool(true))]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn runtime_wall_ceiling_and_verification_are_gated() {
+        let base = runtime(100.0, true);
+        // Ceiling = 100 * 1.25 + 2 ms grace = 127 ms.
+        assert!(gate(&base, &runtime(126.0, true), 0.25).is_empty());
+        assert!(!gate(&base, &runtime(128.0, true), 0.25).is_empty());
+        // The absolute grace keeps noise-dominated sub-ms cases honest
+        // but not flaky.
+        assert!(gate(&runtime(0.5, true), &runtime(2.0, true), 0.25).is_empty());
+        // A verification failure is fatal even when fast.
+        let violations = gate(&base, &runtime(5.0, false), 0.25);
+        assert!(
+            violations.iter().any(|v| v.contains("clean.verified")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn experiment_mismatch_is_a_violation() {
+        let violations = gate(&service(&[]), &runtime(1.0, true), 0.25);
+        assert!(!violations.is_empty());
+    }
+}

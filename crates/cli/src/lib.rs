@@ -91,9 +91,10 @@ pub enum Command {
         rate_limit: Option<u32>,
     },
     /// `serve [--addr HOST:PORT] [--concurrency K] [--queue-depth N]
-    /// [--port-file PATH] [--journal-dir DIR | --no-journal]` — run the
-    /// torus-serviced daemon until a `drain` request or SIGTERM, then
-    /// print the final stats.
+    /// [--reactor-threads R] [--port-file PATH]
+    /// [--journal-dir DIR | --no-journal]` — run the torus-serviced
+    /// daemon until a `drain` request or SIGTERM, then print the final
+    /// stats.
     Serve {
         /// Bind address (port 0 picks a free port).
         addr: String,
@@ -101,6 +102,10 @@ pub enum Command {
         concurrency: usize,
         /// Global admission queue depth.
         queue_depth: usize,
+        /// Connection-plane reactor threads: every client socket is
+        /// multiplexed onto this fixed pool, so thread count does not
+        /// grow with connections.
+        reactor_threads: usize,
         /// When set, the actually-bound `host:port` is written here
         /// (atomically: tmp + rename) once listening — lets scripts
         /// race-free discover port 0. Removed again on clean drain.
@@ -178,6 +183,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut tenant = "default".to_string();
     let mut spec: Option<String> = None;
     let mut queue_depth: usize = 64;
+    let mut reactor_threads: usize = 4;
     let mut port_file: Option<String> = None;
     let mut journal_dir = "./torus-journal".to_string();
     let mut no_journal = false;
@@ -244,6 +250,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 queue_depth = val(&mut i)?
                     .parse()
                     .map_err(|e| format!("--queue-depth: {e}"))?
+            }
+            "--reactor-threads" => {
+                reactor_threads = val(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--reactor-threads: {e}"))?
             }
             "--port-file" => port_file = Some(val(&mut i)?),
             "--journal-dir" => journal_dir = val(&mut i)?,
@@ -312,6 +323,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             addr,
             concurrency: concurrency.max(1),
             queue_depth: queue_depth.max(1),
+            reactor_threads: reactor_threads.max(1),
             port_file,
             journal_dir: if no_journal { None } else { Some(journal_dir) },
         }),
@@ -355,12 +367,15 @@ USAGE:
                          sheds load per tenant and the bench backs off on the hint)
   torus-xchg schedule   --shape 8x8 [--json]
   torus-xchg serve      [--addr 127.0.0.1:7077] [--concurrency K] [--queue-depth N]
-                        [--port-file PATH] [--journal-dir DIR | --no-journal]
+                        [--reactor-threads R] [--port-file PATH]
+                        [--journal-dir DIR | --no-journal]
                         (torus-serviced daemon: newline-delimited JSON over TCP with
-                         multi-tenant admission; drains cleanly on SIGTERM or 'drain'.
-                         Admissions are journaled to --journal-dir, default
-                         ./torus-journal; on restart, accepted-but-unfinished jobs
-                         re-run and pre-crash job ids answer 'status')
+                         multi-tenant admission; all client sockets share a fixed
+                         pool of R poll reactor threads; drains cleanly on SIGTERM
+                         or 'drain'. Admissions are journaled to --journal-dir,
+                         default ./torus-journal; on restart, accepted-but-
+                         unfinished jobs re-run and pre-crash job ids answer
+                         'status')
   torus-xchg submit     --spec '{\"shape\":[4,4],\"seed\":7}' [--addr HOST:PORT] [--tenant NAME] [--json]
   torus-xchg stats      [--addr HOST:PORT]      (daemon service + per-tenant stats, JSON)
   torus-xchg validate   --spec JSON             (local spec check; prints normalized form)
@@ -689,6 +704,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             addr,
             concurrency,
             queue_depth,
+            reactor_threads,
             port_file,
             journal_dir,
         } => {
@@ -697,6 +713,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 engine: torus_service::EngineConfig::default()
                     .with_drivers(concurrency)
                     .with_queue_depth(queue_depth),
+                reactor_threads,
                 journal: journal_dir
                     .as_deref()
                     .map(torus_serviced::JournalConfig::new),
@@ -1135,12 +1152,14 @@ mod tests {
                 addr,
                 concurrency,
                 queue_depth,
+                reactor_threads,
                 port_file,
                 journal_dir,
             } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(concurrency, 3);
                 assert_eq!(queue_depth, 9);
+                assert_eq!(reactor_threads, 4, "reactor pool defaults to 4");
                 assert!(port_file.is_none());
                 assert_eq!(
                     journal_dir.as_deref(),
@@ -1150,10 +1169,21 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        match parse_args(&argv("serve --journal-dir /tmp/j")).unwrap() {
-            Command::Serve { journal_dir, .. } => {
+        match parse_args(&argv("serve --journal-dir /tmp/j --reactor-threads 2")).unwrap() {
+            Command::Serve {
+                journal_dir,
+                reactor_threads,
+                ..
+            } => {
                 assert_eq!(journal_dir.as_deref(), Some("/tmp/j"));
+                assert_eq!(reactor_threads, 2);
             }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("serve --reactor-threads 0")).unwrap() {
+            Command::Serve {
+                reactor_threads, ..
+            } => assert_eq!(reactor_threads, 1, "clamped to at least one reactor"),
             other => panic!("{other:?}"),
         }
         match parse_args(&argv("serve --no-journal")).unwrap() {

@@ -14,7 +14,7 @@
 //! executing jobs is safe; per-run mutable state lives in the runtime's
 //! per-run context, never in the cache.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use alltoall_core::steps::StepPlan;
@@ -57,15 +57,38 @@ impl std::fmt::Debug for CachedPlan {
     }
 }
 
-/// A bounded LRU map from [`PlanKey`] to [`CachedPlan`].
+/// Outcome of [`PlanCache::begin_lookup`]: what the caller must do
+/// next for its key.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The plan is cached — use it. Counted as a hit.
+    Hit(Arc<CachedPlan>),
+    /// Nothing cached and nobody building: the caller now owns the
+    /// build for this key and must finish with [`PlanCache::complete_build`]
+    /// or [`PlanCache::abandon_build`]. Counted as a miss.
+    Build,
+    /// Another caller is already building this key. Wait (on whatever
+    /// condvar the owner pairs with the cache mutex) and retry; counted
+    /// as neither hit nor miss — the retry decides.
+    Wait,
+}
+
+/// A bounded LRU map from [`PlanKey`] to [`CachedPlan`], with
+/// single-flight build coordination.
 ///
 /// Not internally synchronized — the engine wraps it in a `Mutex` held
-/// only for lookup/insert, never while a job executes.
+/// only for lookup/insert, never while a job executes. Blocking for an
+/// in-flight build happens on a condvar paired with that mutex, never
+/// inside the cache itself.
 #[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
     tick: u64,
     entries: HashMap<PlanKey, (Arc<CachedPlan>, u64)>,
+    /// Keys whose plan is being built right now. A key in this set and
+    /// in `entries` at once is impossible: `complete_build` does both
+    /// transitions under the caller's single cache lock.
+    building: HashSet<PlanKey>,
     hits: u64,
     misses: u64,
 }
@@ -77,9 +100,46 @@ impl PlanCache {
             capacity: capacity.max(1),
             tick: 0,
             entries: HashMap::new(),
+            building: HashSet::new(),
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Single-flight lookup: a hit returns the plan, a cold key claims
+    /// the build for this caller, and a key someone else is already
+    /// building says [`Lookup::Wait`]. Exactly one caller per cold key
+    /// ever sees [`Lookup::Build`], so concurrent jobs sharing a key
+    /// pay for one `O(N²)` plan construction, not one each.
+    pub fn begin_lookup(&mut self, key: &PlanKey) -> Lookup {
+        self.tick += 1;
+        if let Some((plan, used)) = self.entries.get_mut(key) {
+            *used = self.tick;
+            self.hits += 1;
+            return Lookup::Hit(Arc::clone(plan));
+        }
+        if self.building.contains(key) {
+            return Lookup::Wait;
+        }
+        self.building.insert(key.clone());
+        self.misses += 1;
+        Lookup::Build
+    }
+
+    /// Publishes a finished build claimed via [`Lookup::Build`] and
+    /// releases the key's build claim in one step. The caller must
+    /// notify its condvar afterwards so waiters retry.
+    pub fn complete_build(&mut self, key: PlanKey, plan: Arc<CachedPlan>) {
+        self.building.remove(&key);
+        self.insert(key, plan);
+    }
+
+    /// Releases a build claim without publishing a plan (the build
+    /// failed). The caller must notify its condvar afterwards; a
+    /// retrying waiter will claim the build itself and surface the
+    /// same construction error.
+    pub fn abandon_build(&mut self, key: &PlanKey) {
+        self.building.remove(key);
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
@@ -213,6 +273,37 @@ mod tests {
         cache.insert(a.clone(), entry(&a.shape));
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&b).is_some());
+    }
+
+    #[test]
+    fn single_flight_admits_exactly_one_builder_per_cold_key() {
+        let mut cache = PlanCache::new(4);
+        let k = key(2, 2);
+        assert!(matches!(cache.begin_lookup(&k), Lookup::Build));
+        // Second and third lookups while the build is in flight wait —
+        // they neither build nor count toward hits or misses.
+        assert!(matches!(cache.begin_lookup(&k), Lookup::Wait));
+        assert!(matches!(cache.begin_lookup(&k), Lookup::Wait));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        cache.complete_build(k.clone(), entry(&k.shape));
+        // Retrying waiters now hit; the cold key cost exactly one miss.
+        assert!(matches!(cache.begin_lookup(&k), Lookup::Hit(_)));
+        assert!(matches!(cache.begin_lookup(&k), Lookup::Hit(_)));
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+    }
+
+    #[test]
+    fn abandoned_build_lets_the_next_lookup_claim_the_key() {
+        let mut cache = PlanCache::new(4);
+        let k = key(2, 2);
+        assert!(matches!(cache.begin_lookup(&k), Lookup::Build));
+        cache.abandon_build(&k);
+        // The failed build published nothing; a retrying waiter claims
+        // the build itself rather than waiting forever.
+        assert!(matches!(cache.begin_lookup(&k), Lookup::Build));
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.is_empty());
     }
 
     #[test]

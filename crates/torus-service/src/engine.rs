@@ -2,7 +2,7 @@
 //! pool.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -11,7 +11,7 @@ use alltoall_core::PreparedExchange;
 use torus_runtime::{Runtime, RuntimeConfig, RuntimeError, WorkerPool};
 use torus_topology::TorusShape;
 
-use crate::cache::{CachedPlan, PlanCache, PlanKey};
+use crate::cache::{CachedPlan, Lookup, PlanCache, PlanKey};
 use crate::job::{
     EventHook, JobEvent, JobHandle, JobResult, JobState, JobStatus, PayloadSpec, SubmitError,
 };
@@ -133,65 +133,62 @@ struct TenantEntry {
     bucket: Option<TokenBucket>,
 }
 
-/// Queue state guarded by one mutex: every tenant's FIFO, the
-/// round-robin cursor, and the accepting flag, so admission control,
-/// fair dispatch, and shutdown observe a consistent view.
-struct QueueState {
-    tenants: HashMap<Arc<str>, TenantEntry>,
-    /// Tenants in first-seen order; the dispatch cursor walks this.
-    order: Vec<Arc<str>>,
-    cursor: usize,
-    total_queued: usize,
-    accepting: bool,
+/// How many ways the tenant queue map is sharded. Submission, status,
+/// and in-flight accounting for different tenants contend only within a
+/// shard; the global bound and the drain condition live in atomics.
+pub const QUEUE_SHARDS: usize = 16;
+
+/// FNV-1a over the tenant name, reduced to a shard index. Stable across
+/// runs so a tenant's shard never migrates within a process lifetime.
+fn shard_of(tenant: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % QUEUE_SHARDS as u64) as usize
 }
 
-impl QueueState {
-    /// The tenant's entry, created with `default_quota` on first sight.
-    fn entry(&mut self, tenant: &str, default_quota: TenantQuota) -> &mut TenantEntry {
-        if !self.tenants.contains_key(tenant) {
-            let name: Arc<str> = Arc::from(tenant);
-            self.order.push(Arc::clone(&name));
-            self.tenants.insert(
-                name,
-                TenantEntry {
-                    jobs: VecDeque::new(),
-                    in_flight: 0,
-                    quota: default_quota,
-                    cells: Arc::new(TenantCells::default()),
-                    bucket: None,
-                },
-            );
-        }
-        self.tenants.get_mut(tenant).expect("entry just ensured")
-    }
-
-    /// Claims the next job round-robin: the first tenant at or after the
-    /// cursor with queued work and spare in-flight budget. Advancing the
-    /// cursor past the chosen tenant is what makes bursts interleave —
-    /// a tenant that just dispatched goes to the back of the rotation.
-    fn claim_next(&mut self) -> Option<QueuedJob> {
-        let n = self.order.len();
-        for k in 0..n {
-            let i = (self.cursor + k) % n;
-            let name = Arc::clone(&self.order[i]);
-            let entry = self.tenants.get_mut(&name).expect("ordered tenant exists");
-            if !entry.jobs.is_empty() && entry.in_flight < entry.quota.max_in_flight {
-                let job = entry.jobs.pop_front().expect("checked non-empty");
-                entry.in_flight += 1;
-                self.total_queued -= 1;
-                self.cursor = (i + 1) % n;
-                return Some(job);
-            }
-        }
-        None
-    }
+/// One shard of the tenant queue map: a slice of the tenants with their
+/// FIFOs and in-flight counts. The global queue bound (`total_queued`),
+/// the accepting flag, and the fair-dispatch cursor live in [`Shared`],
+/// so admission and status for different tenants never serialize on a
+/// single mutex; only the dispatch rotation (drivers-only, a handful of
+/// threads) consults the global first-seen order.
+struct QueueShard {
+    tenants: HashMap<Arc<str>, TenantEntry>,
 }
 
 struct Shared {
     pool: WorkerPool,
-    queue: Mutex<QueueState>,
+    /// The sharded tenant queue map, indexed by [`shard_of`].
+    shards: Vec<Mutex<QueueShard>>,
+    /// Every tenant in first-submission order, for stats snapshots.
+    tenant_order: Mutex<Vec<Arc<str>>>,
+    /// Jobs admitted but not yet claimed, across all shards. Submission
+    /// reserves a slot optimistically (fetch_add, undone on rejection)
+    /// so the configured depth stays a hard bound without a global lock.
+    total_queued: AtomicUsize,
+    /// Cleared by shutdown; checked lock-free on every submission.
+    accepting: AtomicBool,
+    /// Index into `tenant_order` where the next driver claim starts its
+    /// scan. Advanced past each claimed tenant so bursts interleave —
+    /// a tenant that just dispatched goes to the back of the rotation.
+    /// Racy across drivers by design; fairness is approximate under
+    /// concurrency, exact with a single driver.
+    claim_cursor: AtomicUsize,
+    /// Wakeup generation for `work`: bumped (under this mutex) by every
+    /// queue mutation a sleeping driver could care about — enqueue,
+    /// in-flight release, quota change, shutdown. Drivers re-scan when
+    /// the generation moves, so a wakeup between their failed claim and
+    /// their wait is never lost.
+    signal: Mutex<u64>,
     work: Condvar,
     cache: Mutex<PlanCache>,
+    /// Signalled (under the `cache` mutex) whenever a single-flight
+    /// plan build completes or is abandoned, so drivers waiting on a
+    /// key someone else is building re-run their lookup.
+    plan_ready: Condvar,
     cells: StatCells,
     queue_depth: usize,
     default_quota: TenantQuota,
@@ -199,6 +196,83 @@ struct Shared {
 }
 
 impl Shared {
+    fn shard(&self, tenant: &str) -> &Mutex<QueueShard> {
+        &self.shards[shard_of(tenant)]
+    }
+
+    /// The tenant's entry in `shard`, created with the default quota
+    /// (and registered in the global first-seen order) on first sight.
+    fn entry_mut<'a>(&self, shard: &'a mut QueueShard, tenant: &str) -> &'a mut TenantEntry {
+        if !shard.tenants.contains_key(tenant) {
+            let name: Arc<str> = Arc::from(tenant);
+            lk(&self.tenant_order).push(Arc::clone(&name));
+            shard.tenants.insert(
+                name,
+                TenantEntry {
+                    jobs: VecDeque::new(),
+                    in_flight: 0,
+                    quota: self.default_quota,
+                    cells: Arc::new(TenantCells::default()),
+                    bucket: None,
+                },
+            );
+        }
+        shard.tenants.get_mut(tenant).expect("entry just ensured")
+    }
+
+    /// Returns a reserved-but-unused queue slot after a rejection.
+    /// During shutdown a drain-waiting driver may be blocked on exactly
+    /// this reservation reaching zero, so wake everyone then; the
+    /// common accepting-path rejection stays signal-free.
+    fn unreserve(&self) {
+        self.total_queued.fetch_sub(1, Ordering::SeqCst);
+        if !self.accepting.load(Ordering::SeqCst) {
+            self.signal_work(true);
+        }
+    }
+
+    /// Bumps the wakeup generation and wakes `all` (or one) drivers.
+    fn signal_work(&self, all: bool) {
+        *lk(&self.signal) += 1;
+        if all {
+            self.work.notify_all();
+        } else {
+            self.work.notify_one();
+        }
+    }
+
+    /// Claims one job round-robin across tenants in first-seen order:
+    /// the first tenant at or after the claim cursor with queued work
+    /// and spare in-flight budget. The order is snapshotted outside any
+    /// shard lock (the registration path locks shard-then-order, so
+    /// holding order across shard locks here would invert and deadlock);
+    /// each candidate's shard is then locked individually, so a claim
+    /// scan never stalls admission to unrelated shards.
+    fn claim_any(&self) -> Option<QueuedJob> {
+        if self.total_queued.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let order: Vec<Arc<str>> = lk(&self.tenant_order).clone();
+        let n = order.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.claim_cursor.load(Ordering::Relaxed);
+        for k in 0..n {
+            let i = (start + k) % n;
+            let name = &order[i];
+            let mut shard = lk(self.shard(name));
+            let entry = shard.tenants.get_mut(name).expect("ordered tenant exists");
+            if !entry.jobs.is_empty() && entry.in_flight < entry.quota.max_in_flight {
+                let job = entry.jobs.pop_front().expect("checked non-empty");
+                entry.in_flight += 1;
+                self.claim_cursor.store((i + 1) % n, Ordering::Relaxed);
+                self.total_queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
     /// Backoff hint for overload rejections: half the median run time
     /// (one of the in-flight jobs is likely to free a slot by then),
     /// clamped to 1..=5000 ms, defaulting to 50 ms with no history.
@@ -248,15 +322,21 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let shared = Arc::new(Shared {
             pool: WorkerPool::new(config.pool_size.max(1)),
-            queue: Mutex::new(QueueState {
-                tenants: HashMap::new(),
-                order: Vec::new(),
-                cursor: 0,
-                total_queued: 0,
-                accepting: true,
-            }),
+            shards: (0..QUEUE_SHARDS)
+                .map(|_| {
+                    Mutex::new(QueueShard {
+                        tenants: HashMap::new(),
+                    })
+                })
+                .collect(),
+            tenant_order: Mutex::new(Vec::new()),
+            total_queued: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            claim_cursor: AtomicUsize::new(0),
+            signal: Mutex::new(0),
             work: Condvar::new(),
             cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            plan_ready: Condvar::new(),
             cells: StatCells::default(),
             queue_depth: config.queue_depth.max(1),
             default_quota: config.default_quota,
@@ -303,26 +383,34 @@ impl Engine {
         payload: PayloadSpec,
         config: RuntimeConfig,
     ) -> Result<JobHandle, SubmitError> {
-        let mut q = lk(&self.shared.queue);
-        if !q.accepting {
-            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+        let shared = &self.shared;
+        if !shared.accepting.load(Ordering::SeqCst) {
+            shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::ShuttingDown);
         }
-        let retry_after_ms = self.shared.retry_hint_ms();
-        let global_full = q.total_queued >= self.shared.queue_depth;
-        let entry = q.entry(tenant, self.shared.default_quota);
-        if global_full {
+        let retry_after_ms = shared.retry_hint_ms();
+        // Reserve a global slot optimistically; undone on any rejection
+        // below so the configured depth stays a hard bound.
+        let reserved = shared.total_queued.fetch_add(1, Ordering::SeqCst);
+        if reserved >= shared.queue_depth {
+            shared.unreserve();
+            let mut shard = lk(shared.shard(tenant));
+            let entry = shared.entry_mut(&mut shard, tenant);
             entry.cells.rejected.fetch_add(1, Ordering::Relaxed);
-            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull {
-                depth: self.shared.queue_depth,
+                depth: shared.queue_depth,
                 retry_after_ms,
             });
         }
+        let mut shard = lk(shared.shard(tenant));
+        let entry = shared.entry_mut(&mut shard, tenant);
         if entry.jobs.len() >= entry.quota.max_queued {
             let max_queued = entry.quota.max_queued;
             entry.cells.rejected.fetch_add(1, Ordering::Relaxed);
-            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(shard);
+            shared.unreserve();
             return Err(SubmitError::TenantQueueFull {
                 tenant: tenant.to_string(),
                 max_queued,
@@ -333,7 +421,9 @@ impl Engine {
             let bucket = entry.bucket.get_or_insert_with(|| TokenBucket::full(&rate));
             if let Err(wait_ms) = bucket.try_take(&rate) {
                 entry.cells.rejected.fetch_add(1, Ordering::Relaxed);
-                self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+                drop(shard);
+                shared.unreserve();
                 return Err(SubmitError::RateLimited {
                     tenant: tenant.to_string(),
                     retry_after_ms: wait_ms,
@@ -341,7 +431,7 @@ impl Engine {
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.enqueue_locked(&mut q, tenant, id, shape, payload, config)
+        self.enqueue_shard_locked(&mut shard, tenant, id, shape, payload, config)
     }
 
     /// Re-enqueues a journal-recovered job under its original id,
@@ -357,27 +447,32 @@ impl Engine {
         payload: PayloadSpec,
         config: RuntimeConfig,
     ) -> Result<JobHandle, SubmitError> {
-        let mut q = lk(&self.shared.queue);
-        if !q.accepting {
-            self.shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+        let shared = &self.shared;
+        if !shared.accepting.load(Ordering::SeqCst) {
+            shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::ShuttingDown);
         }
         self.next_id.fetch_max(job_id, Ordering::Relaxed);
-        self.enqueue_locked(&mut q, tenant, job_id, shape, payload, config)
+        shared.total_queued.fetch_add(1, Ordering::SeqCst);
+        let mut shard = lk(shared.shard(tenant));
+        self.enqueue_shard_locked(&mut shard, tenant, job_id, shape, payload, config)
     }
 
     /// Admission tail shared by fresh and replayed submissions: records
-    /// acceptance, queues the job, and wakes one driver.
-    fn enqueue_locked(
+    /// acceptance, queues the job, wakes one driver, and closes the
+    /// shutdown race. The caller has already reserved the job's
+    /// `total_queued` slot.
+    fn enqueue_shard_locked(
         &self,
-        q: &mut QueueState,
+        shard: &mut QueueShard,
         tenant: &str,
         id: u64,
         shape: TorusShape,
         payload: PayloadSpec,
         config: RuntimeConfig,
     ) -> Result<JobHandle, SubmitError> {
-        let entry = q.entry(tenant, self.shared.default_quota);
+        let shared = &self.shared;
+        let entry = shared.entry_mut(shard, tenant);
         let state = Arc::new(JobState::new());
         let tenant_name: Arc<str> = Arc::from(tenant);
         entry.cells.accepted.fetch_add(1, Ordering::Relaxed);
@@ -392,11 +487,68 @@ impl Engine {
             tenant_cells,
             submitted_at: Instant::now(),
         });
-        q.total_queued += 1;
-        self.shared.cells.accepted.fetch_add(1, Ordering::Relaxed);
-        self.shared.cells.observe_depth(q.total_queued);
-        self.shared.work.notify_one();
+        shared.cells.accepted.fetch_add(1, Ordering::Relaxed);
+        shared
+            .cells
+            .observe_depth(shared.total_queued.load(Ordering::SeqCst));
+        // With admission sharded, the accepting flag can flip between
+        // the entry check and the push — and by then the drivers may
+        // already have drained-and-exited without seeing this job. Undo
+        // the enqueue if it is still sitting in the queue; if a driver
+        // claimed it in the window, it was accepted in time and runs.
+        if !shared.accepting.load(Ordering::SeqCst) {
+            let entry = shared.entry_mut(shard, tenant);
+            if let Some(pos) = entry.jobs.iter().position(|job| job.id == id) {
+                entry.jobs.remove(pos);
+                entry.cells.accepted.fetch_sub(1, Ordering::Relaxed);
+                shared.cells.accepted.fetch_sub(1, Ordering::Relaxed);
+                shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
+                entry.cells.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.total_queued.fetch_sub(1, Ordering::SeqCst);
+                shared.signal_work(true);
+                return Err(SubmitError::ShuttingDown);
+            }
+        }
+        shared.signal_work(false);
         Ok(JobHandle { id, state })
+    }
+
+    /// Removes a still-queued job, failing it with a canceled error —
+    /// the daemon's escape hatch when the admission journal cannot make
+    /// an already-enqueued job durable (the client is then rejected, so
+    /// the job must not run). Returns `false` when the job is unknown or
+    /// a driver already claimed it; a claimed job runs to completion
+    /// normally. The canceled job counts as failed, so per-tenant books
+    /// (accepted == completed + failed) still balance.
+    pub fn cancel_queued(&self, job_id: u64) -> bool {
+        let shared = &self.shared;
+        for shard in &shared.shards {
+            let mut shard = lk(shard);
+            let names: Vec<Arc<str>> = shard.tenants.keys().cloned().collect();
+            for name in names {
+                let entry = shard.tenants.get_mut(&name).expect("key just listed");
+                if let Some(pos) = entry.jobs.iter().position(|job| job.id == job_id) {
+                    let job = entry.jobs.remove(pos).expect("position just found");
+                    shared.cells.failed.fetch_add(1, Ordering::Relaxed);
+                    job.tenant_cells.failed.fetch_add(1, Ordering::Relaxed);
+                    drop(shard);
+                    shared.total_queued.fetch_sub(1, Ordering::SeqCst);
+                    job.state.finish(
+                        JobStatus::Failed,
+                        JobResult {
+                            job_id,
+                            report: None,
+                            deliveries: None,
+                            error: Some("canceled: admission journal unavailable".to_string()),
+                            cache_hit: false,
+                        },
+                    );
+                    shared.signal_work(true);
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Guarantees every future fresh id exceeds `id`. Used after crash
@@ -410,11 +562,11 @@ impl Engine {
     /// effect for subsequent admission and dispatch decisions; already
     /// queued jobs stay queued even if the new cap is lower.
     pub fn set_tenant_quota(&self, tenant: &str, quota: TenantQuota) {
-        let mut q = lk(&self.shared.queue);
-        q.entry(tenant, self.shared.default_quota).quota = quota;
-        drop(q);
+        let mut shard = lk(self.shared.shard(tenant));
+        self.shared.entry_mut(&mut shard, tenant).quota = quota;
+        drop(shard);
         // A raised in-flight cap can make blocked work dispatchable.
-        self.shared.work.notify_all();
+        self.shared.signal_work(true);
     }
 
     /// A point-in-time snapshot of the aggregate counters.
@@ -425,10 +577,13 @@ impl Engine {
 
     /// Per-tenant snapshots, in first-submission order.
     pub fn tenant_stats(&self) -> Vec<TenantStats> {
-        let q = lk(&self.shared.queue);
-        q.order
+        let order: Vec<Arc<str>> = lk(&self.shared.tenant_order).clone();
+        order
             .iter()
-            .map(|name| q.tenants[name].cells.snapshot(name))
+            .map(|name| {
+                let shard = lk(self.shared.shard(name));
+                shard.tenants[name].cells.snapshot(name)
+            })
             .collect()
     }
 
@@ -439,7 +594,7 @@ impl Engine {
 
     /// Jobs currently admitted but not yet claimed by a driver.
     pub fn queue_len(&self) -> usize {
-        lk(&self.shared.queue).total_queued
+        self.shared.total_queued.load(Ordering::SeqCst)
     }
 
     /// Graceful shutdown: stops admission, lets the drivers drain every
@@ -453,11 +608,8 @@ impl Engine {
         if let Some(stats) = done.as_ref() {
             return stats.clone();
         }
-        {
-            let mut q = lk(&self.shared.queue);
-            q.accepting = false;
-        }
-        self.shared.work.notify_all();
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        self.shared.signal_work(true);
         let handles: Vec<_> = lk(&self.drivers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
@@ -479,19 +631,29 @@ impl Drop for Engine {
 /// is drained *and* admission has stopped.
 fn drive(shared: &Shared) {
     loop {
-        let job = {
-            let mut q = lk(&shared.queue);
-            loop {
-                if let Some(job) = q.claim_next() {
-                    break Some(job);
-                }
-                // `claim_next` returning None with jobs still queued
-                // means every tenant with work is at its in-flight cap;
-                // wait for a finishing job's notify even mid-shutdown.
-                if !q.accepting && q.total_queued == 0 {
-                    break None;
-                }
-                q = shared.work.wait(q).unwrap_or_else(PoisonError::into_inner);
+        let job = loop {
+            // Read the wakeup generation *before* scanning, so a signal
+            // that fires between a failed scan and the wait below moves
+            // the generation and the wait returns immediately — no lost
+            // wakeup, even though claims don't hold the signal lock.
+            let gen_before = *lk(&shared.signal);
+            if let Some(job) = shared.claim_any() {
+                break Some(job);
+            }
+            // `claim_any` returning None with jobs still queued means
+            // every tenant with work is at its in-flight cap; wait for
+            // a finishing job's signal even mid-shutdown.
+            if !shared.accepting.load(Ordering::SeqCst)
+                && shared.total_queued.load(Ordering::SeqCst) == 0
+            {
+                break None;
+            }
+            let mut gen = lk(&shared.signal);
+            while *gen == gen_before {
+                gen = shared
+                    .work
+                    .wait(gen)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         match job {
@@ -501,14 +663,14 @@ fn drive(shared: &Shared) {
                 job.tenant_cells.queue_wait.record(wait_us);
                 let tenant = Arc::clone(&job.tenant);
                 run_job(shared, job);
-                let mut q = lk(&shared.queue);
-                if let Some(entry) = q.tenants.get_mut(&tenant) {
+                let mut shard = lk(shared.shard(&tenant));
+                if let Some(entry) = shard.tenants.get_mut(&tenant) {
                     entry.in_flight -= 1;
                 }
-                drop(q);
+                drop(shard);
                 // The finished slot may unblock a capped tenant, and
                 // shutdown waiters must recheck the drain condition.
-                shared.work.notify_all();
+                shared.signal_work(true);
             }
             None => return,
         }
@@ -550,46 +712,67 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         workers,
     };
 
-    // Bind the lookup before matching on it: a guard living in the
-    // match scrutinee would still be held inside the miss arm, and the
-    // `insert` there would self-deadlock on the cache mutex.
-    let looked_up = lk(&shared.cache).get(&key);
-    let (entry, cache_hit) = match looked_up {
-        Some(entry) => (entry, true),
-        None => {
-            // Build outside the cache lock so a cold lookup never
-            // stalls other drivers' hits.
-            let prepared = match PreparedExchange::new(&job.shape) {
-                Ok(p) => Arc::new(p),
-                Err(e) => {
-                    finish_run(true);
-                    let result = job.state.finish(
-                        JobStatus::Failed,
-                        JobResult {
+    // Single-flight plan construction: exactly one driver builds a
+    // cold key while the rest wait on `plan_ready`, so a burst of
+    // same-shape jobs claimed by concurrent drivers pays for one
+    // `O(N²)` prepare — and the hit/miss counters are deterministic
+    // (one miss per cold key) instead of racing on who misses first.
+    let (entry, cache_hit) = loop {
+        let mut cache = lk(&shared.cache);
+        match cache.begin_lookup(&key) {
+            Lookup::Hit(entry) => break (entry, true),
+            Lookup::Build => {
+                // Build outside the cache lock so a cold build never
+                // stalls other drivers' hits on warm keys.
+                drop(cache);
+                let prepared = match PreparedExchange::new(&job.shape) {
+                    Ok(p) => Arc::new(p),
+                    Err(e) => {
+                        // Release the build claim before reporting, or
+                        // every driver waiting on this key hangs.
+                        lk(&shared.cache).abandon_build(&key);
+                        shared.plan_ready.notify_all();
+                        finish_run(true);
+                        let result = job.state.finish(
+                            JobStatus::Failed,
+                            JobResult {
+                                job_id: job.id,
+                                report: None,
+                                deliveries: None,
+                                error: Some(format!("exchange setup failed: {e}")),
+                                cache_hit: false,
+                            },
+                        );
+                        shared.fire(JobEvent::Finished {
                             job_id: job.id,
-                            report: None,
-                            deliveries: None,
-                            error: Some(format!("exchange setup failed: {e}")),
-                            cache_hit: false,
-                        },
-                    );
-                    shared.fire(JobEvent::Finished {
-                        job_id: job.id,
-                        tenant: &job.tenant,
-                        status: JobStatus::Failed,
-                        result: &result,
-                    });
-                    return;
-                }
-            };
-            let plan = prepared.step_plan_arc();
-            let entry = Arc::new(CachedPlan {
-                prepared,
-                plan,
-                bank: Arc::new(torus_runtime::PoolBank::new()),
-            });
-            lk(&shared.cache).insert(key, Arc::clone(&entry));
-            (entry, false)
+                            tenant: &job.tenant,
+                            status: JobStatus::Failed,
+                            result: &result,
+                        });
+                        return;
+                    }
+                };
+                let plan = prepared.step_plan_arc();
+                let entry = Arc::new(CachedPlan {
+                    prepared,
+                    plan,
+                    bank: Arc::new(torus_runtime::PoolBank::new()),
+                });
+                lk(&shared.cache).complete_build(key.clone(), Arc::clone(&entry));
+                shared.plan_ready.notify_all();
+                break (entry, false);
+            }
+            Lookup::Wait => {
+                // The builder publishes (or abandons) under this same
+                // mutex, so the wakeup cannot be lost between our
+                // lookup and the wait.
+                drop(
+                    shared
+                        .plan_ready
+                        .wait(cache)
+                        .unwrap_or_else(PoisonError::into_inner),
+                );
+            }
         }
     };
 

@@ -311,6 +311,46 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("accepted without job_id".into()))
     }
 
+    /// Pipelines `specs` down the socket as one burst — every `submit`
+    /// line is written before any reply is read — then collects the
+    /// replies in order. This is how a latency-insensitive producer
+    /// should talk to the daemon: parked submits arriving within one
+    /// reactor iteration share a single journal group-commit, so the
+    /// fsync cost amortizes across the burst. Returns one result per
+    /// spec, `Ok(job_id)` or the typed rejection, in submission order;
+    /// socket-level failures abort the whole call.
+    pub fn submit_batch(
+        &mut self,
+        specs: &[JobSpec],
+    ) -> Result<Vec<Result<u64, ClientError>>, ClientError> {
+        let mut burst = String::new();
+        for spec in specs {
+            burst.push_str(
+                &Json::obj([("op", Json::str("submit")), ("spec", spec.to_json())]).dump(),
+            );
+            burst.push('\n');
+        }
+        self.reader
+            .get_mut()
+            .write_all(burst.as_bytes())
+            .map_err(|e| self.map_io(e))?;
+        let mut replies = Vec::with_capacity(specs.len());
+        for _ in specs {
+            let reply = self.expect_ev("accepted").and_then(|event| {
+                event
+                    .get("job_id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ClientError::Protocol("accepted without job_id".into()))
+            });
+            match reply {
+                Ok(id) => replies.push(Ok(id)),
+                Err(rej @ ClientError::Rejected { .. }) => replies.push(Err(rej)),
+                Err(fatal) => return Err(fatal),
+            }
+        }
+        Ok(replies)
+    }
+
     /// Submits with bounded-jitter exponential backoff on overload:
     /// `queue_full`, `tenant_queue_full`, and `rate_limited` rejections
     /// are retried up to `max_attempts` times, sleeping the daemon's

@@ -3,10 +3,13 @@
 //! [`torus-service`](torus_service) turned the exchange runtime into a
 //! persistent in-process engine; this crate puts a socket in front of
 //! it. The daemon is deliberately dependency-light — a blocking TCP
-//! accept loop, one reader thread per connection, and hand-rolled
-//! newline-delimited JSON — because the container this grows in has no
-//! async runtime and no network access to fetch one, and because the
-//! protocol is small enough that a framework would be mostly weight.
+//! accept loop feeding a fixed pool of hand-rolled `poll(2)` reactor
+//! threads, and hand-rolled newline-delimited JSON — because the
+//! container this grows in has no async runtime and no network access
+//! to fetch one, and because the protocol is small enough that a
+//! framework would be mostly weight. Daemon thread count is a function
+//! of its configuration (reactor pool, engine drivers, worker pool),
+//! never of how many clients connect or how many jobs are in flight.
 //!
 //! What the front door adds on top of the engine:
 //!
@@ -50,6 +53,7 @@ pub mod client;
 pub mod journal;
 pub mod json;
 pub mod proto;
+mod reactor;
 pub mod server;
 pub mod signal;
 pub mod spec;

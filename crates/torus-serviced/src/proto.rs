@@ -286,7 +286,7 @@ pub fn schema(spec_schema: Json) -> Json {
             Json::obj([
                 (
                     "reason",
-                    Json::str("string token: queue_full | tenant_queue_full | rate_limited | draining | invalid_spec | unauthenticated"),
+                    Json::str("string token: queue_full | tenant_queue_full | rate_limited | draining | invalid_spec | unauthenticated | journal_unavailable"),
                 ),
                 ("detail", Json::str("string: human-readable cause")),
                 (
@@ -301,7 +301,10 @@ pub fn schema(spec_schema: Json) -> Json {
     ])
 }
 
-/// The JSON form of the journal's counters.
+/// The JSON form of the journal's counters, including the group-commit
+/// batching figures: `group_commit_batches` fsync batches have covered
+/// `group_commit_records` admissions, and `mean_batch_size` is their
+/// ratio (`null` before the first batch) — well above 1.0 under bursts.
 pub fn journal_stats_json(stats: &JournalStats) -> Json {
     Json::obj([
         ("records_written", Json::u64(stats.records_written)),
@@ -309,15 +312,30 @@ pub fn journal_stats_json(stats: &JournalStats) -> Json {
         ("fsyncs", Json::u64(stats.fsyncs)),
         ("segments_compacted", Json::u64(stats.segments_compacted)),
         ("jobs_replayed", Json::u64(stats.jobs_replayed)),
+        (
+            "group_commit_batches",
+            Json::u64(stats.group_commit_batches),
+        ),
+        (
+            "group_commit_records",
+            Json::u64(stats.group_commit_records),
+        ),
+        (
+            "mean_batch_size",
+            stats.mean_batch_size().map_or(Json::Null, Json::num),
+        ),
     ])
 }
 
-/// `{"ev":"stats","service":…,"tenants":[…],"journal":…}` — `journal`
-/// is `null` when the daemon runs without one.
+/// `{"ev":"stats","service":…,"tenants":[…],"journal":…,"daemon":…}` —
+/// `journal` is `null` when the daemon runs without one; `daemon`
+/// carries front-door gauges (reactor pool size, registry occupancy)
+/// and is `null` only for embedders that have no daemon layer.
 pub fn stats(
     service: &ServiceStats,
     tenants: &[TenantStats],
     journal: Option<&JournalStats>,
+    daemon: Option<&Json>,
 ) -> Json {
     Json::obj([
         ("ev", Json::str("stats")),
@@ -327,6 +345,7 @@ pub fn stats(
             Json::Arr(tenants.iter().map(tenant_stats_json).collect()),
         ),
         ("journal", journal.map_or(Json::Null, journal_stats_json)),
+        ("daemon", daemon.map_or(Json::Null, Json::clone)),
     ])
 }
 
@@ -410,9 +429,10 @@ mod tests {
             ..Default::default()
         };
         service.queue_wait.p99 = 250;
-        let event = stats(&service, &[], None);
+        let event = stats(&service, &[], None, None);
         assert_eq!(event.get("ev").unwrap().as_str(), Some("stats"));
         assert_eq!(event.get("journal"), Some(&Json::Null));
+        assert_eq!(event.get("daemon"), Some(&Json::Null));
         let svc = event.get("service").unwrap();
         assert_eq!(svc.get("jobs_accepted").unwrap().as_u64(), Some(3));
         assert_eq!(

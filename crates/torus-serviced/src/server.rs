@@ -1,5 +1,5 @@
-//! The daemon: a blocking TCP accept loop, per-connection reader
-//! threads, and per-job status pumps. No async runtime — the
+//! The daemon: a blocking TCP accept loop in front of a fixed pool of
+//! poll-reactor threads ([`crate::reactor`]). No async runtime — the
 //! concurrency story is the same hand-rolled threads-and-locks the rest
 //! of the workspace uses.
 //!
@@ -7,40 +7,54 @@
 //!
 //! * **Accept loop** (the thread calling [`Daemon::run`]): nonblocking
 //!   accept + short sleep, so it can poll the drain/SIGTERM flags.
-//! * **One reader thread per connection**: parses request lines and
-//!   answers everything except job completion inline. Responses go
-//!   through a mutex-guarded writer clone of the stream, because…
-//! * **One pump thread per submitted job** shares that writer: it
-//!   streams `status` heartbeats while the job is queued/running and
-//!   the final `done` event, concurrently with the reader answering new
-//!   requests on the same connection.
+//!   Accepted connections are assigned round-robin to…
+//! * **A fixed pool of reactor threads** (`reactor_threads`, default
+//!   4): each drives all reads, request handling, job-status streaming,
+//!   and writes for its connections over non-blocking sockets and
+//!   `poll(2)`. Connection count and in-flight job count add *no*
+//!   threads — total daemon threads are O(reactor pool + engine
+//!   drivers + worker pool), plus the journal's single flusher.
+//! * **Transient drain helper**: a `drain` request parks its reply on a
+//!   short-lived helper thread so the reactor keeps serving every other
+//!   connection while the engine drains.
+//!
+//! ## Durability
+//!
+//! With a journal configured, no client hears `accepted` before its
+//! admission record is fsync'd. Admissions arriving close together
+//! share one group-commit fsync (see [`crate::journal`] and the
+//! batching notes in [`crate::reactor`]); if the journal cannot make an
+//! admission durable the job is cancelled and the client receives a
+//! typed `journal_unavailable` rejection instead of an acknowledgment
+//! the daemon could not honor.
 //!
 //! ## Drain
 //!
 //! A `drain` request (or SIGTERM, via [`crate::signal`]) stops
 //! admission and lets every admitted job finish: the engine's own
-//! shutdown drains the queue, the pumps deliver each job's `done`, the
-//! drain caller gets the final aggregate stats, and [`Daemon::run`]
+//! shutdown drains the queue, the reactors deliver each job's `done`,
+//! the drain caller gets the final aggregate stats, and [`Daemon::run`]
 //! returns them. New submissions during the drain are rejected with
 //! reason `"draining"`. Concurrent drains are safe — the engine's
 //! shutdown snapshot is taken exactly once.
 
-use std::collections::HashMap;
-use std::io::{self, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use torus_service::{
-    Engine, EngineConfig, JobEvent, JobHandle, JobResult, JobStatus, ServiceStats, SubmitError,
+    Engine, EngineConfig, JobEvent, JobHandle, JobResult, JobStatus, ServiceStats,
 };
 
 use crate::checksum;
 use crate::journal::{Journal, JournalConfig};
 use crate::json::Json;
-use crate::proto::{self, Request, MAX_LINE_BYTES};
+use crate::proto;
+use crate::reactor::{self, Inject, ReactorHandle};
 use crate::signal;
 use crate::spec::JobSpec;
 
@@ -52,11 +66,14 @@ pub struct DaemonConfig {
     pub addr: String,
     /// The engine the daemon fronts.
     pub engine: EngineConfig,
-    /// How often pumps poll job status (and readers poll shutdown).
+    /// How often reactors poll tracked job status (and the accept loop
+    /// polls shutdown).
     pub status_poll: Duration,
     /// Resend the current status every this many polls, so a client
     /// watching a long-queued job sees liveness, not silence.
     pub heartbeat_polls: u32,
+    /// Reactor threads driving the connection plane. Default 4.
+    pub reactor_threads: usize,
     /// Write-ahead admission journal. `Some` makes every admission
     /// durable (fsync'd before the client hears `accepted`) and lets
     /// [`Daemon::bind`] recover accepted-but-unfinished jobs from a
@@ -71,38 +88,154 @@ impl Default for DaemonConfig {
             engine: EngineConfig::default(),
             status_poll: Duration::from_millis(2),
             heartbeat_polls: 250,
+            reactor_threads: 4,
             journal: None,
         }
     }
 }
 
-/// What the daemon knows about a job id, for `status` lookups.
-enum RegEntry {
-    /// A job this process admitted or replayed; terminal answers read
-    /// through the handle.
+/// How many ways the job registry is sharded (by job id), so `status`
+/// lookups, admissions, and driver-side finish transitions for
+/// different jobs don't serialize on one mutex.
+const REG_SHARDS: usize = 16;
+
+/// Terminal entries kept per registry shard. A long-lived daemon under
+/// millions of jobs holds at most `REG_SHARDS *
+/// TERMINAL_CAP_PER_SHARD` terminal records; the oldest are evicted
+/// (their `status` answers become `"unknown"`), bounding memory where
+/// the registry previously grew forever.
+const TERMINAL_CAP_PER_SHARD: usize = 4096;
+
+/// A terminal job's recorded outcome — everything `status` needs
+/// without keeping the full result (deliveries included) alive.
+pub(crate) struct Terminal {
+    pub(crate) ok: bool,
+    pub(crate) degraded: bool,
+    pub(crate) checksum: Option<String>,
+    pub(crate) error: Option<String>,
+    /// `true` when the outcome was reconstructed from the journal
+    /// rather than executed by this process.
+    pub(crate) recovered: bool,
+}
+
+struct RegShard {
+    /// Jobs admitted or replayed by this process, not yet terminal.
+    live: HashMap<u64, JobHandle>,
+    /// Terminal outcomes, bounded by [`TERMINAL_CAP_PER_SHARD`].
+    terminal: HashMap<u64, Terminal>,
+    /// Insertion order of `terminal`, for eviction.
+    order: VecDeque<u64>,
+}
+
+/// What a `status` lookup found, cloned out of the registry so no
+/// shard lock is held while the caller inspects (or waits on) it.
+enum Lookup {
+    Unknown,
     Live(JobHandle),
-    /// A terminal job reconstructed from the journal — this process
-    /// never executed it, only its recorded outcome survives.
-    Recovered {
+    Terminal {
         ok: bool,
         degraded: bool,
         checksum: Option<String>,
         error: Option<String>,
+        recovered: bool,
     },
 }
 
-struct DaemonShared {
-    engine: Engine,
+/// The sharded job registry: every id the daemon can answer `status`
+/// for. Live entries move to the bounded terminal index when the
+/// engine's event hook reports them finished.
+pub(crate) struct Registry {
+    shards: Vec<Mutex<RegShard>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Self {
+            shards: (0..REG_SHARDS)
+                .map(|_| {
+                    Mutex::new(RegShard {
+                        live: HashMap::new(),
+                        terminal: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, job_id: u64) -> &Mutex<RegShard> {
+        &self.shards[(job_id % REG_SHARDS as u64) as usize]
+    }
+
+    /// Registers a job the engine just admitted. A fast job can finish
+    /// (and its hook fire) before this runs; the terminal entry then
+    /// wins and the stale handle is not inserted.
+    pub(crate) fn register_live(&self, handle: JobHandle) {
+        let mut shard = lk(self.shard(handle.id()));
+        if shard.terminal.contains_key(&handle.id()) {
+            return;
+        }
+        shard.live.insert(handle.id(), handle);
+    }
+
+    /// Moves a job to the terminal index (evicting the oldest terminal
+    /// entry past the per-shard cap) and drops its live handle.
+    pub(crate) fn finish(&self, job_id: u64, term: Terminal) {
+        let mut shard = lk(self.shard(job_id));
+        shard.live.remove(&job_id);
+        if shard.terminal.insert(job_id, term).is_none() {
+            shard.order.push_back(job_id);
+            if shard.order.len() > TERMINAL_CAP_PER_SHARD {
+                if let Some(evicted) = shard.order.pop_front() {
+                    shard.terminal.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, job_id: u64) -> Lookup {
+        let shard = lk(self.shard(job_id));
+        if let Some(handle) = shard.live.get(&job_id) {
+            return Lookup::Live(handle.clone());
+        }
+        match shard.terminal.get(&job_id) {
+            Some(t) => Lookup::Terminal {
+                ok: t.ok,
+                degraded: t.degraded,
+                checksum: t.checksum.clone(),
+                error: t.error.clone(),
+                recovered: t.recovered,
+            },
+            None => Lookup::Unknown,
+        }
+    }
+
+    /// `(live, terminal)` entry counts across all shards, for `stats`.
+    pub(crate) fn counts(&self) -> (usize, usize) {
+        let mut live = 0;
+        let mut terminal = 0;
+        for shard in &self.shards {
+            let shard = lk(shard);
+            live += shard.live.len();
+            terminal += shard.terminal.len();
+        }
+        (live, terminal)
+    }
+}
+
+pub(crate) struct DaemonShared {
+    pub(crate) engine: Engine,
     /// Admission stopped (drain op or SIGTERM); accept loop exits.
-    draining: AtomicBool,
-    /// Engine fully drained; connection readers must exit.
-    closed: AtomicBool,
-    status_poll: Duration,
-    heartbeat_polls: u32,
+    pub(crate) draining: AtomicBool,
+    /// Engine fully drained; reactors flush final events and exit.
+    pub(crate) closed: AtomicBool,
+    pub(crate) status_poll: Duration,
+    pub(crate) heartbeat_polls: u32,
+    pub(crate) reactor_threads: usize,
     /// The write-ahead admission journal, when configured.
-    journal: Option<Arc<Journal>>,
+    pub(crate) journal: Option<Arc<Journal>>,
     /// Every job id this daemon can answer `status` for.
-    registry: Mutex<HashMap<u64, RegEntry>>,
+    pub(crate) registry: Arc<Registry>,
 }
 
 fn lk<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -123,64 +256,82 @@ impl Daemon {
     /// directory: jobs `accepted` but never `done` by a previous
     /// process are re-enqueued under their original ids (exactly once —
     /// a recorded `done` suppresses the re-run), and terminal pre-crash
-    /// ids become answerable via the `status` op. A corrupt journal
-    /// fails the bind with [`ErrorKind::InvalidData`] rather than
-    /// silently dropping records.
+    /// ids become answerable via the `status` op. A recovered job that
+    /// cannot be re-enqueued (unparseable spec, or the engine refuses
+    /// the resubmission) is closed out with a `done{ok:false}` record
+    /// rather than silently dropped, so it never vanishes without a
+    /// terminal answer. A corrupt journal fails the bind with
+    /// [`ErrorKind::InvalidData`] rather than silently dropping
+    /// records.
     pub fn bind(config: DaemonConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        let registry = Arc::new(Registry::new());
         let mut engine_config = config.engine;
         let opened = match config.journal {
             Some(journal_config) => {
                 let (journal, recovery) = Journal::open(journal_config)
                     .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
-                let journal = Arc::new(journal);
-                let hook_journal = Arc::clone(&journal);
-                engine_config = engine_config
-                    .with_event_hook(Arc::new(move |event| journal_hook(&hook_journal, event)));
-                Some((journal, recovery))
+                Some((Arc::new(journal), recovery))
             }
             None => None,
         };
+        // The hook runs on driver threads at every job start/finish:
+        // journal records first (when journaling), then the registry's
+        // live→terminal transition, so `status` stops holding full job
+        // results for the daemon's lifetime.
+        let hook_journal = opened.as_ref().map(|(journal, _)| Arc::clone(journal));
+        let hook_registry = Arc::clone(&registry);
+        engine_config = engine_config.with_event_hook(Arc::new(move |event| {
+            if let Some(journal) = &hook_journal {
+                journal_hook(journal, &event);
+            }
+            registry_hook(&hook_registry, &event);
+        }));
         let engine = Engine::new(engine_config);
-        let mut registry = HashMap::new();
         let journal = opened.map(|(journal, recovery)| {
             engine.reserve_ids_through(recovery.max_job_id);
             for done in recovery.terminal {
-                registry.insert(
+                registry.finish(
                     done.job_id,
-                    RegEntry::Recovered {
+                    Terminal {
                         ok: done.ok,
                         degraded: done.degraded,
                         checksum: done.checksum,
                         error: done.error,
+                        recovered: true,
                     },
                 );
             }
             for job in recovery.pending {
-                match JobSpec::from_json(&job.spec) {
-                    Ok(spec) => {
-                        if let Ok(handle) = engine.resubmit_as(
-                            &job.tenant,
-                            job.job_id,
-                            spec.torus_shape(),
-                            spec.payload,
-                            spec.runtime_config(),
-                        ) {
-                            registry.insert(job.job_id, RegEntry::Live(handle));
-                        }
-                    }
-                    Err(e) => {
-                        // An unparseable recovered spec cannot re-run;
-                        // close it out so it stops replaying forever.
-                        let error = format!("recovered spec invalid: {e}");
+                let resubmitted = JobSpec::from_json(&job.spec)
+                    .map_err(|e| format!("recovered spec invalid: {e}"))
+                    .and_then(|spec| {
+                        engine
+                            .resubmit_as(
+                                &job.tenant,
+                                job.job_id,
+                                spec.torus_shape(),
+                                spec.payload,
+                                spec.runtime_config(),
+                            )
+                            .map_err(|e| format!("recovery resubmit failed: {e}"))
+                    });
+                match resubmitted {
+                    Ok(handle) => registry.register_live(handle),
+                    Err(error) => {
+                        // A journaled-accepted job must never vanish:
+                        // close it out with a terminal record (so it
+                        // stops replaying forever) and answer `status`
+                        // with the failure.
                         let _ = journal.record_done(job.job_id, false, false, None, Some(&error));
-                        registry.insert(
+                        registry.finish(
                             job.job_id,
-                            RegEntry::Recovered {
+                            Terminal {
                                 ok: false,
                                 degraded: false,
                                 checksum: None,
                                 error: Some(error),
+                                recovered: true,
                             },
                         );
                     }
@@ -196,8 +347,9 @@ impl Daemon {
                 closed: AtomicBool::new(false),
                 status_poll: config.status_poll,
                 heartbeat_polls: config.heartbeat_polls.max(1),
+                reactor_threads: config.reactor_threads.clamp(1, 64),
                 journal,
-                registry: Mutex::new(registry),
+                registry,
             }),
         })
     }
@@ -215,7 +367,7 @@ impl Daemon {
 
     /// Serves until drained (by a `drain` request, [`request_drain`],
     /// or SIGTERM), then returns the final aggregate stats. Installs
-    /// the SIGTERM flag handler.
+    /// the SIGTERM flag handler and spawns the reactor pool.
     ///
     /// [`request_drain`]: Daemon::request_drain
     pub fn run(self) -> ServiceStats {
@@ -223,7 +375,21 @@ impl Daemon {
         self.listener
             .set_nonblocking(true)
             .expect("nonblocking listener");
-        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        let mut reactors: Vec<Arc<ReactorHandle>> = Vec::new();
+        let mut reactor_threads: Vec<JoinHandle<()>> = Vec::new();
+        for i in 0..self.shared.reactor_threads {
+            let handle = Arc::new(ReactorHandle::new().expect("reactor wake pipe"));
+            let shared = Arc::clone(&self.shared);
+            let thread_handle = Arc::clone(&handle);
+            reactor_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serviced-reactor-{i}"))
+                    .spawn(move || reactor::reactor_loop(&shared, &thread_handle))
+                    .expect("spawn reactor thread"),
+            );
+            reactors.push(handle);
+        }
+        let mut next_conn_id = 0u64;
         loop {
             if signal::triggered() {
                 self.shared.draining.store(true, Ordering::SeqCst);
@@ -233,13 +399,10 @@ impl Daemon {
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    let shared = Arc::clone(&self.shared);
-                    conns.push(
-                        std::thread::Builder::new()
-                            .name("serviced-conn".to_string())
-                            .spawn(move || handle_connection(stream, &shared))
-                            .expect("spawn connection thread"),
-                    );
+                    let id = next_conn_id;
+                    next_conn_id += 1;
+                    let target = (id % reactors.len() as u64) as usize;
+                    reactors[target].send(Inject::Conn(id, stream));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(self.shared.status_poll.max(Duration::from_millis(2)));
@@ -248,11 +411,16 @@ impl Daemon {
             }
         }
         // Idempotent: if a drain request already shut the engine down,
-        // this returns the same frozen snapshot.
+        // this returns the same frozen snapshot. Every job is terminal
+        // once it returns, so the reactors' final passes deliver all
+        // remaining `done` events.
         let stats = self.shared.engine.shutdown();
         self.shared.closed.store(true, Ordering::SeqCst);
-        for conn in conns {
-            let _ = conn.join();
+        for handle in &reactors {
+            handle.wake();
+        }
+        for thread in reactor_threads {
+            let _ = thread.join();
         }
         stats
     }
@@ -271,266 +439,29 @@ impl Daemon {
     }
 }
 
-/// One line read from the connection.
-enum Line {
-    Ok(String),
-    /// Peer closed (EOF).
-    Eof,
-    /// The daemon finished draining; stop serving.
-    Closed,
-    /// The peer exceeded [`MAX_LINE_BYTES`] without a newline.
-    TooLong,
-    /// Hard I/O failure.
-    Err,
-}
-
-/// A bounded, shutdown-aware line reader over the raw stream. BufReader
-/// would work for the happy path but makes the length cap and the
-/// periodic closed-flag check awkward; this is ~30 lines of explicit
-/// state instead.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> Self {
-        Self {
-            stream,
-            buf: Vec::new(),
+/// Extracts a terminal result's `(ok, degraded, checksum, error)` the
+/// way the wire protocol reports it: the FNV-1a delivery checksum only
+/// for clean completions (degraded runs drop dead-node blocks, so their
+/// digest intentionally stays absent rather than faking a match).
+fn terminal_fields(result: &JobResult) -> (bool, bool, Option<String>) {
+    let report = result.report.as_ref();
+    let degraded = report.is_some_and(|r| r.degraded.is_some());
+    let checksum = match (&result.deliveries, degraded) {
+        (Some(deliveries), false) => {
+            Some(checksum::to_hex(checksum::delivery_checksum(deliveries)))
         }
-    }
-
-    fn read_line(&mut self, closed: &AtomicBool) -> Line {
-        loop {
-            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = self.buf.drain(..=pos).collect();
-                return Line::Ok(String::from_utf8_lossy(&line[..pos]).into_owned());
-            }
-            if self.buf.len() > MAX_LINE_BYTES {
-                return Line::TooLong;
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return Line::Eof,
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    if closed.load(Ordering::SeqCst) {
-                        return Line::Closed;
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return Line::Err,
-            }
-        }
-    }
-}
-
-/// Writes one response line; `false` means the client is gone.
-fn send(writer: &Mutex<TcpStream>, event: &Json) -> bool {
-    let mut line = event.dump();
-    line.push('\n');
-    let mut stream = lk(writer);
-    stream.write_all(line.as_bytes()).is_ok()
-}
-
-fn handle_connection(stream: TcpStream, shared: &Arc<DaemonShared>) {
-    // The read timeout doubles as the shutdown poll interval.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(Mutex::new(w)),
-        Err(_) => return,
+        _ => None,
     };
-    let mut reader = LineReader::new(stream);
-    let mut tenant: Option<String> = None;
-    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
-    loop {
-        match reader.read_line(&shared.closed) {
-            Line::Ok(line) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if !dispatch(&line, &writer, &mut tenant, &mut pumps, shared) {
-                    break;
-                }
-            }
-            Line::TooLong => {
-                let _ = send(
-                    &writer,
-                    &proto::error_event(&format!("request line exceeds {MAX_LINE_BYTES} bytes")),
-                );
-                break;
-            }
-            Line::Eof | Line::Closed | Line::Err => break,
-        }
-    }
-    // A mid-job disconnect lands here with pumps still streaming; their
-    // writes fail and they exit — the jobs themselves run to completion
-    // in the engine, so no queue or in-flight slot leaks.
-    for pump in pumps {
-        let _ = pump.join();
-    }
-}
-
-/// Handles one request; `false` ends the connection.
-fn dispatch(
-    line: &str,
-    writer: &Arc<Mutex<TcpStream>>,
-    tenant: &mut Option<String>,
-    pumps: &mut Vec<JoinHandle<()>>,
-    shared: &Arc<DaemonShared>,
-) -> bool {
-    let request = match proto::parse_request(line) {
-        Ok(r) => r,
-        // Malformed lines get a reply but keep the connection: a
-        // client with one buggy request shouldn't lose its jobs.
-        Err(e) => return send(writer, &proto::error_event(&e.message)),
-    };
-    match request {
-        Request::Hello { tenant: t } => {
-            let event = proto::hello_ok(&t);
-            *tenant = Some(t);
-            send(writer, &event)
-        }
-        Request::Ping => send(writer, &proto::pong()),
-        Request::Schema => send(writer, &proto::schema(JobSpec::schema())),
-        Request::Validate { spec } => match JobSpec::from_json(&spec) {
-            Ok(s) => send(writer, &proto::valid(s.to_json())),
-            Err(e) => send(writer, &proto::rejected("invalid_spec", &e.to_string())),
-        },
-        Request::Stats => {
-            let journal_stats = shared.journal.as_deref().map(Journal::stats);
-            send(
-                writer,
-                &proto::stats(
-                    &shared.engine.stats(),
-                    &shared.engine.tenant_stats(),
-                    journal_stats.as_ref(),
-                ),
-            )
-        }
-        Request::Status { job_id } => send(writer, &status_reply(shared, job_id)),
-        Request::Drain => {
-            shared.draining.store(true, Ordering::SeqCst);
-            // Blocks until every admitted job has finished; pumps send
-            // their `done` events before this returns the final books.
-            let stats = shared.engine.shutdown();
-            send(writer, &proto::drained(&stats))
-        }
-        Request::Submit { spec } => {
-            if shared.draining.load(Ordering::SeqCst) {
-                return send(
-                    writer,
-                    &proto::rejected("draining", "daemon is draining; no new jobs"),
-                );
-            }
-            let Some(tenant) = tenant.as_deref() else {
-                return send(
-                    writer,
-                    &proto::rejected("unauthenticated", "send hello with a tenant first"),
-                );
-            };
-            let spec = match JobSpec::from_json(&spec) {
-                Ok(s) => s,
-                Err(e) => return send(writer, &proto::rejected("invalid_spec", &e.to_string())),
-            };
-            let submitted = shared.engine.submit_as(
-                tenant,
-                spec.torus_shape(),
-                spec.payload,
-                spec.runtime_config(),
-            );
-            match submitted {
-                Ok(handle) => {
-                    // Durability barrier: the admission is fsync'd to the
-                    // journal before the client ever hears `accepted`, so
-                    // a crash from here on cannot lose the job.
-                    if let Some(journal) = &shared.journal {
-                        if let Err(e) = journal.record_accepted(handle.id(), tenant, spec.to_json())
-                        {
-                            eprintln!("torus-serviced: journal append failed: {e}");
-                        }
-                    }
-                    lk(&shared.registry).insert(handle.id(), RegEntry::Live(handle.clone()));
-                    if !send(writer, &proto::accepted(handle.id())) {
-                        return false;
-                    }
-                    let writer = Arc::clone(writer);
-                    let shared = Arc::clone(shared);
-                    pumps.push(
-                        std::thread::Builder::new()
-                            .name("serviced-pump".to_string())
-                            .spawn(move || pump_job(handle, &writer, &shared))
-                            .expect("spawn pump thread"),
-                    );
-                    true
-                }
-                Err(SubmitError::QueueFull {
-                    depth,
-                    retry_after_ms,
-                }) => {
-                    journal_reject(shared, tenant, "queue_full");
-                    send(
-                        writer,
-                        &proto::rejected_backoff(
-                            "queue_full",
-                            &format!("global queue at depth {depth}"),
-                            retry_after_ms,
-                        ),
-                    )
-                }
-                Err(SubmitError::TenantQueueFull {
-                    tenant,
-                    max_queued,
-                    retry_after_ms,
-                }) => {
-                    journal_reject(shared, &tenant, "tenant_queue_full");
-                    send(
-                        writer,
-                        &proto::rejected_backoff(
-                            "tenant_queue_full",
-                            &format!("tenant {tenant:?} at its queued-jobs quota ({max_queued})"),
-                            retry_after_ms,
-                        ),
-                    )
-                }
-                Err(SubmitError::RateLimited {
-                    tenant,
-                    retry_after_ms,
-                }) => {
-                    journal_reject(shared, &tenant, "rate_limited");
-                    send(
-                        writer,
-                        &proto::rejected_backoff(
-                            "rate_limited",
-                            &format!("tenant {tenant:?} is over its admission rate"),
-                            retry_after_ms,
-                        ),
-                    )
-                }
-                Err(SubmitError::ShuttingDown) => send(
-                    writer,
-                    &proto::rejected("draining", "daemon is draining; no new jobs"),
-                ),
-            }
-        }
-    }
-}
-
-/// Appends a `rejected` record when the daemon journals.
-fn journal_reject(shared: &DaemonShared, tenant: &str, reason: &str) {
-    if let Some(journal) = &shared.journal {
-        let _ = journal.record_rejected(tenant, reason);
-    }
+    (result.error.is_none(), degraded, checksum)
 }
 
 /// The engine's event hook on a journaling daemon: every job start and
 /// terminal outcome (with its FNV-1a delivery checksum) goes to disk,
 /// from the driver thread that owns the transition.
-fn journal_hook(journal: &Journal, event: JobEvent<'_>) {
+fn journal_hook(journal: &Journal, event: &JobEvent<'_>) {
     match event {
         JobEvent::Started { job_id, .. } => {
-            let _ = journal.record_started(job_id);
+            let _ = journal.record_started(*job_id);
         }
         JobEvent::Finished {
             job_id,
@@ -538,17 +469,10 @@ fn journal_hook(journal: &Journal, event: JobEvent<'_>) {
             result,
             ..
         } => {
-            let report = result.report.as_ref();
-            let degraded = report.is_some_and(|r| r.degraded.is_some());
-            let checksum = match (&result.deliveries, degraded) {
-                (Some(deliveries), false) => {
-                    Some(checksum::to_hex(checksum::delivery_checksum(deliveries)))
-                }
-                _ => None,
-            };
+            let (_, degraded, checksum) = terminal_fields(result);
             let _ = journal.record_done(
-                job_id,
-                status == JobStatus::Completed,
+                *job_id,
+                *status == JobStatus::Completed,
                 degraded,
                 checksum.as_deref(),
                 result.error.as_deref(),
@@ -557,43 +481,58 @@ fn journal_hook(journal: &Journal, event: JobEvent<'_>) {
     }
 }
 
+/// The registry half of the event hook: finished jobs move from the
+/// live map to the bounded terminal index, dropping the handle (and the
+/// full result it pins) so the registry's memory stays bounded.
+fn registry_hook(registry: &Registry, event: &JobEvent<'_>) {
+    if let JobEvent::Finished { job_id, result, .. } = event {
+        let (ok, degraded, checksum) = terminal_fields(result);
+        registry.finish(
+            *job_id,
+            Terminal {
+                ok,
+                degraded,
+                checksum,
+                error: result.error.clone(),
+                recovered: false,
+            },
+        );
+    }
+}
+
 /// Answers a `status` lookup from the registry: live jobs through their
-/// handle, pre-crash terminal jobs from the recovered journal index.
-fn status_reply(shared: &DaemonShared, job_id: u64) -> Json {
-    let registry = lk(&shared.registry);
-    match registry.get(&job_id) {
-        None => proto::job_status(job_id, "unknown", None, None, None, None, false),
-        Some(RegEntry::Recovered {
+/// handle, terminal jobs (including pre-crash recoveries) from the
+/// bounded terminal index. The handle is cloned out of the registry
+/// before any blocking inspection, so a slow terminal transition never
+/// stalls other connections' lookups.
+pub(crate) fn status_reply(shared: &DaemonShared, job_id: u64) -> Json {
+    match shared.registry.lookup(job_id) {
+        Lookup::Unknown => proto::job_status(job_id, "unknown", None, None, None, None, false),
+        Lookup::Terminal {
             ok,
             degraded,
             checksum,
             error,
-        }) => proto::job_status(
+            recovered,
+        } => proto::job_status(
             job_id,
-            if *ok { "completed" } else { "failed" },
-            Some(*ok),
-            Some(*degraded),
+            if ok { "completed" } else { "failed" },
+            Some(ok),
+            Some(degraded),
             checksum.as_deref(),
             error.as_deref(),
-            true,
+            recovered,
         ),
-        Some(RegEntry::Live(handle)) => match handle.try_status() {
+        Lookup::Live(handle) => match handle.try_status() {
             JobStatus::Queued => proto::job_status(job_id, "queued", None, None, None, None, false),
             JobStatus::Running => {
                 proto::job_status(job_id, "running", None, None, None, None, false)
             }
             JobStatus::Completed | JobStatus::Failed => {
-                // Terminal, so `wait` returns without blocking.
+                // Terminal, so `wait` returns without blocking; no
+                // registry lock is held here.
                 let result = handle.wait();
-                let report = result.report.as_ref();
-                let degraded = report.is_some_and(|r| r.degraded.is_some());
-                let checksum = match (&result.deliveries, degraded) {
-                    (Some(deliveries), false) => {
-                        Some(checksum::to_hex(checksum::delivery_checksum(deliveries)))
-                    }
-                    _ => None,
-                };
-                let ok = result.error.is_none();
+                let (ok, degraded, checksum) = terminal_fields(&result);
                 proto::job_status(
                     job_id,
                     if ok { "completed" } else { "failed" },
@@ -608,52 +547,20 @@ fn status_reply(shared: &DaemonShared, job_id: u64) -> Json {
     }
 }
 
-/// Streams one job's lifecycle to the client: `status` on every
-/// transition (plus periodic heartbeats), then the final `done`.
-fn pump_job(handle: JobHandle, writer: &Mutex<TcpStream>, shared: &DaemonShared) {
-    let id = handle.id();
-    let mut last_state = "";
-    let mut polls = 0u32;
-    loop {
-        let state = match handle.try_status() {
-            JobStatus::Queued => "queued",
-            JobStatus::Running => "running",
-            JobStatus::Completed | JobStatus::Failed => break,
-        };
-        if state != last_state || polls.is_multiple_of(shared.heartbeat_polls) {
-            if !send(writer, &proto::status(id, state)) {
-                return; // client gone; the job still finishes engine-side
-            }
-            last_state = state;
-        }
-        polls += 1;
-        std::thread::sleep(shared.status_poll);
-    }
-    let result = handle.wait();
-    let _ = send(writer, &done_event(&result));
-}
-
 /// The `done` event: a compact job summary plus the delivery checksum
-/// (clean completions only — degraded runs drop dead-node blocks, so
-/// their digest intentionally stays null rather than faking a match).
-fn done_event(result: &JobResult) -> Json {
+/// (clean completions only).
+pub(crate) fn done_event(result: &JobResult) -> Json {
     let report = result.report.as_ref();
-    let degraded = report.is_some_and(|r| r.degraded.is_some());
-    let checksum = match (&result.deliveries, degraded) {
-        (Some(deliveries), false) => {
-            Json::str(checksum::to_hex(checksum::delivery_checksum(deliveries)))
-        }
-        _ => Json::Null,
-    };
+    let (ok, degraded, checksum) = terminal_fields(result);
     Json::obj([
         ("ev", Json::str("done")),
         ("job_id", Json::u64(result.job_id)),
-        ("ok", Json::Bool(result.error.is_none())),
+        ("ok", Json::Bool(ok)),
         ("degraded", Json::Bool(degraded)),
         ("verified", Json::Bool(report.is_some_and(|r| r.verified))),
         ("cache_hit", Json::Bool(result.cache_hit)),
         ("wire_bytes", Json::u64(report.map_or(0, |r| r.wire_bytes))),
-        ("checksum", checksum),
+        ("checksum", checksum.map_or(Json::Null, Json::str)),
         (
             "error",
             match &result.error {
@@ -662,4 +569,68 @@ fn done_event(result: &JobResult) -> Json {
             },
         ),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(error: Option<&str>) -> Terminal {
+        Terminal {
+            ok: error.is_none(),
+            degraded: false,
+            checksum: None,
+            error: error.map(str::to_string),
+            recovered: false,
+        }
+    }
+
+    /// The terminal index is bounded: past the per-shard cap the oldest
+    /// outcome is evicted (its `status` becomes `"unknown"`), so a
+    /// long-lived daemon's registry cannot grow without bound.
+    #[test]
+    fn terminal_index_evicts_oldest_past_the_per_shard_cap() {
+        let registry = Registry::new();
+        const OVERFLOW: usize = 8;
+        // All in one shard: ids congruent mod REG_SHARDS.
+        let ids: Vec<u64> = (0..(TERMINAL_CAP_PER_SHARD + OVERFLOW) as u64)
+            .map(|i| 5 + i * REG_SHARDS as u64)
+            .collect();
+        for &id in &ids {
+            registry.finish(id, term(None));
+        }
+        let (live, terminal) = registry.counts();
+        assert_eq!(live, 0);
+        assert_eq!(terminal, TERMINAL_CAP_PER_SHARD, "cap must hold");
+        for &id in &ids[..OVERFLOW] {
+            assert!(
+                matches!(registry.lookup(id), Lookup::Unknown),
+                "oldest entries must have been evicted"
+            );
+        }
+        for &id in &ids[OVERFLOW..] {
+            assert!(
+                matches!(registry.lookup(id), Lookup::Terminal { .. }),
+                "newest entries must survive"
+            );
+        }
+    }
+
+    /// Re-finishing an id (journal replay rediscovering a done record)
+    /// must not double-count it in the eviction order.
+    #[test]
+    fn refinishing_a_job_does_not_duplicate_eviction_order() {
+        let registry = Registry::new();
+        registry.finish(3, term(None));
+        registry.finish(3, term(Some("second verdict")));
+        let (_, terminal) = registry.counts();
+        assert_eq!(terminal, 1);
+        match registry.lookup(3) {
+            Lookup::Terminal { ok, error, .. } => {
+                assert!(!ok, "latest verdict wins");
+                assert_eq!(error.as_deref(), Some("second verdict"));
+            }
+            _ => panic!("job 3 must be terminal"),
+        }
+    }
 }

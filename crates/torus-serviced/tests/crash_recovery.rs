@@ -129,6 +129,9 @@ fn sigkill_mid_batch_recovers_every_job_exactly_once() {
     // acknowledged with `accepted`.
     let mut accepted: HashMap<u64, (u64, &'static str)> = HashMap::new();
     let mut payload_seed = 0u64;
+    // An admission injected into the dead daemon's journal with a spec
+    // that can never re-validate; set after the first crash.
+    let mut poisoned_job: Option<u64> = None;
 
     const ROUNDS: usize = 3;
     for round in 0..ROUNDS {
@@ -150,6 +153,25 @@ fn sigkill_mid_batch_recovers_every_job_exactly_once() {
                 let reply = probe.status(job_id).expect("status across restart");
                 assert_ne!(reply.state, "unknown", "job {job_id} lost by the crash");
             }
+        }
+        // A journaled admission whose spec fails re-validation must not
+        // be silently discarded at recovery: it answers `status` as a
+        // recovered failure naming the resubmit error.
+        if let Some(job_id) = poisoned_job {
+            let probe = &mut clients[0];
+            let reply = wait_terminal(probe, job_id);
+            assert_eq!(reply.state, "failed", "poisoned job: {reply:?}");
+            assert!(
+                reply.recovered,
+                "outcome must come from recovery: {reply:?}"
+            );
+            assert!(
+                reply
+                    .error
+                    .as_deref()
+                    .is_some_and(|e| e.contains("recovered spec invalid")),
+                "error must name the resubmit failure: {reply:?}"
+            );
         }
 
         // Submit a batch round-robin across tenants, then SIGKILL at a
@@ -175,6 +197,23 @@ fn sigkill_mid_batch_recovers_every_job_exactly_once() {
             // exit path ran); remove it so the next round's wait can't
             // read the dead incarnation's port.
             let _ = std::fs::remove_file(&daemon.port_file);
+            if round == 0 {
+                // While the daemon is dead, append an admission whose
+                // spec can never pass re-validation (a zero dimension).
+                // The next incarnation must record its resubmit failure
+                // instead of losing it — asserted at each later round.
+                let (journal, recovery) = Journal::open(JournalConfig::new(&journal_dir))
+                    .expect("open journal between incarnations");
+                let bad_id = recovery.max_job_id + 1_000;
+                journal
+                    .record_accepted(
+                        bad_id,
+                        "acme",
+                        torus_serviced::json::parse(r#"{"shape":[0,4]}"#).unwrap(),
+                    )
+                    .expect("inject poisoned admission");
+                poisoned_job = Some(bad_id);
+            }
         } else {
             // Final round: verify everything, then drain cleanly.
             let mut probe = connect(daemon.port);
