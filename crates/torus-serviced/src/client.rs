@@ -323,11 +323,22 @@ impl Client {
         &mut self,
         specs: &[JobSpec],
     ) -> Result<Vec<Result<u64, ClientError>>, ClientError> {
+        let raw: Vec<Json> = specs.iter().map(JobSpec::to_json).collect();
+        self.submit_batch_raw(&raw)
+    }
+
+    /// [`Client::submit_batch`] over raw spec objects sent verbatim —
+    /// lets tests pipeline bursts that mix valid and invalid specs
+    /// through the real admission path and check that each positional
+    /// reply lands on the spec that caused it.
+    pub fn submit_batch_raw(
+        &mut self,
+        specs: &[Json],
+    ) -> Result<Vec<Result<u64, ClientError>>, ClientError> {
         let mut burst = String::new();
         for spec in specs {
-            burst.push_str(
-                &Json::obj([("op", Json::str("submit")), ("spec", spec.to_json())]).dump(),
-            );
+            burst
+                .push_str(&Json::obj([("op", Json::str("submit")), ("spec", spec.clone())]).dump());
             burst.push('\n');
         }
         self.reader

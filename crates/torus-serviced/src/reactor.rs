@@ -39,10 +39,18 @@
 //! well below one under bursts, across connections and across
 //! pipelined submits on a single connection.
 //!
-//! To keep per-connection reply order intact, a connection with parked
-//! pending submits defers any *non*-submit request to the next
-//! iteration: consecutive pipelined submits coalesce into the batch,
-//! but a `ping` behind a `submit` never overtakes its `accepted`.
+//! To keep per-connection reply order intact, the pending list is an
+//! *ordered reply queue*, not just a durability ledger: a submit that
+//! resolves immediately while earlier admissions are parked — a
+//! `queue_full` or `invalid_spec` rejection mid-burst — parks its
+//! reply in the same queue rather than jumping to the wire, so a
+//! positional client ([`Client::submit_batch`]) always attributes each
+//! reply to the right spec. And a connection with parked submits
+//! defers any *non*-submit request to the next iteration: consecutive
+//! pipelined submits coalesce into the batch, but a `ping` behind a
+//! `submit` never overtakes its `accepted`.
+//!
+//! [`Client::submit_batch`]: crate::client::Client::submit_batch
 //!
 //! If the journal cannot make an admission durable, the job is
 //! cancelled out of the engine queue ([`Engine::cancel_queued`]) and
@@ -110,8 +118,9 @@ extern "C" {
 }
 
 /// A self-pipe wakeup. The write end is signalled by other threads
-/// (accept loop handing over a connection, drain helper delivering the
-/// final stats); the reactor polls the read end alongside its sockets.
+/// (accept loop handing over a connection, the drain helper announcing
+/// the published final stats); the reactor polls the read end
+/// alongside its sockets.
 ///
 /// The pipe stays in blocking mode on purpose: the reactor only reads
 /// it after `POLLIN`, and a read never asks for more than one buffer
@@ -147,14 +156,20 @@ impl Waker {
         }
     }
 
-    /// Clears the pipe after `POLLIN`. The flag is cleared first so a
-    /// wake racing the drain re-arms the pipe rather than being lost.
+    /// Clears the pipe after `POLLIN`. The byte is consumed *before*
+    /// the flag is cleared: a wake landing in between is elided (the
+    /// flag is still set) and its message is picked up by the next
+    /// inbox pass, which the reactor reaches without blocking again,
+    /// while a wake after the clear writes a fresh byte. The reverse order could consume a byte written
+    /// *after* the flag was re-armed, leaving `pending` true over an
+    /// empty pipe — every later wake elided, the reactor reduced to
+    /// its poll timeout forever.
     fn drain(&self) {
-        self.pending.store(false, Ordering::SeqCst);
         let mut buf = [0u8; 64];
         unsafe {
             read(self.rd, buf.as_mut_ptr().cast::<c_void>(), buf.len());
         }
+        self.pending.store(false, Ordering::SeqCst);
     }
 }
 
@@ -169,17 +184,8 @@ impl Drop for Waker {
 
 /// A message injected into a reactor from another thread.
 pub(crate) enum Inject {
-    /// A freshly accepted connection, with its daemon-wide id.
-    Conn(u64, TcpStream),
-    /// An event for one connection's write queue — how the drain helper
-    /// thread delivers the final `drained` stats without blocking the
-    /// reactor for the whole engine drain.
-    Deliver {
-        /// Target connection id.
-        conn_id: u64,
-        /// The event line to queue.
-        event: Json,
-    },
+    /// A freshly accepted connection.
+    Conn(TcpStream),
 }
 
 /// The handle other threads use to feed a reactor.
@@ -215,15 +221,23 @@ struct JobTrack {
     polls: u32,
 }
 
-/// An admission whose journal record is appended but not yet durable.
-struct PendingSubmit {
-    handle: JobHandle,
-    seq: u64,
+/// One slot in a connection's parked submit-reply queue. Replies to a
+/// pipelined burst go on the wire strictly in request order, so once an
+/// admission is parked awaiting durability, every later submit's reply
+/// parks behind it — including replies that already resolved (a
+/// rejection needs no fsync, but it must not overtake an earlier
+/// `accepted` that a positional client would attribute to it).
+enum PendingReply {
+    /// An admission whose journal record is appended but not yet
+    /// durable; resolves at the iteration's durability barrier.
+    Admission { handle: JobHandle, seq: u64 },
+    /// A reply that resolved immediately (a rejection) but is queued
+    /// behind earlier parked admissions to keep its place in line.
+    Resolved(Json),
 }
 
 /// Per-connection state owned by exactly one reactor thread.
 struct Conn {
-    id: u64,
     stream: TcpStream,
     rbuf: Vec<u8>,
     wbuf: Vec<u8>,
@@ -231,7 +245,9 @@ struct Conn {
     wpos: usize,
     tenant: Option<String>,
     tracks: Vec<JobTrack>,
-    pending: Vec<PendingSubmit>,
+    /// Submit replies owed in request order; non-empty only between a
+    /// parked admission and the iteration's durability barrier.
+    pending: Vec<PendingReply>,
     /// A `drain` reply is owed; requests queue behind it.
     await_drain: bool,
     /// Peer closed its write half; we stop reading but keep streaming
@@ -241,11 +257,10 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(id: u64, stream: TcpStream) -> io::Result<Self> {
+    fn new(stream: TcpStream) -> io::Result<Self> {
         stream.set_nonblocking(true)?;
         stream.set_nodelay(true).ok();
         Ok(Self {
-            id,
             stream,
             rbuf: Vec::new(),
             wbuf: Vec::new(),
@@ -286,18 +301,12 @@ pub(crate) fn reactor_loop(shared: &Arc<DaemonShared>, handle: &Arc<ReactorHandl
     let mut close_deadline: Option<Instant> = None;
 
     loop {
-        // Inbox: adopt new connections, deliver cross-thread events.
+        // Inbox: adopt new connections.
         for msg in lk(&handle.inbox).drain(..) {
             match msg {
-                Inject::Conn(id, stream) => {
-                    if let Ok(conn) = Conn::new(id, stream) {
+                Inject::Conn(stream) => {
+                    if let Ok(conn) = Conn::new(stream) {
                         conns.push(conn);
-                    }
-                }
-                Inject::Deliver { conn_id, event } => {
-                    if let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) {
-                        queue_event(&mut conn.wbuf, &event);
-                        conn.await_drain = false;
                     }
                 }
             }
@@ -317,7 +326,11 @@ pub(crate) fn reactor_loop(shared: &Arc<DaemonShared>, handle: &Arc<ReactorHandl
         });
         for conn in &conns {
             let mut events = 0i16;
-            if !conn.eof && !conn.dead {
+            // Stop reading (backpressure, not disconnect) when deferred
+            // complete lines have piled up past the write-queue bound —
+            // they drain as soon as the pending batch or drain reply
+            // resolves.
+            if !conn.eof && !conn.dead && conn.rbuf.len() <= MAX_WRITE_BUFFER {
                 events |= POLLIN;
             }
             if conn.has_unflushed() && !conn.dead {
@@ -368,24 +381,46 @@ pub(crate) fn reactor_loop(shared: &Arc<DaemonShared>, handle: &Arc<ReactorHandl
 
         // Parse and handle requests; admissions park in `pending`.
         for conn in &mut conns {
-            process_lines(conn, shared, handle);
+            process_lines(conn, shared);
         }
 
         // Durability barrier: one wait covers every admission parked
         // this iteration (the first wait blocks for the group-commit
-        // batch; the rest resolve instantly).
+        // batch; the rest resolve instantly). Replies drain in request
+        // order, so a rejection parked mid-burst stays behind the
+        // earlier admissions' `accepted` lines.
         let any_pending = conns.iter().any(|c| !c.pending.is_empty());
         if any_pending {
+            // A `Resolved` reply only parks behind an `Admission`, and
+            // admissions only park on a journaling daemon.
             let journal = shared
                 .journal
                 .as_ref()
                 .expect("pending submits only exist on a journaling daemon");
             for conn in &mut conns {
-                let pending = std::mem::take(&mut conn.pending);
-                for p in pending {
-                    match journal.wait_durable(p.seq) {
-                        Ok(()) => accept_job(conn, shared, p.handle),
-                        Err(e) => reject_undurable(conn, shared, p.handle, &e),
+                for reply in std::mem::take(&mut conn.pending) {
+                    match reply {
+                        PendingReply::Admission { handle, seq } => {
+                            match journal.wait_durable(seq) {
+                                Ok(()) => accept_job(conn, shared, handle),
+                                Err(e) => reject_undurable(conn, shared, handle, &e),
+                            }
+                        }
+                        PendingReply::Resolved(event) => queue_event(&mut conn.wbuf, &event),
+                    }
+                }
+            }
+        }
+
+        // Deliver the drain verdict: once the (single) drain helper has
+        // published the final stats, every connection owed a `drained`
+        // reply gets it — whichever reactor it lives on.
+        if conns.iter().any(|c| c.await_drain) {
+            if let Some(event) = lk(&shared.drained_event).clone() {
+                for conn in &mut conns {
+                    if conn.await_drain {
+                        queue_event(&mut conn.wbuf, &event);
+                        conn.await_drain = false;
                     }
                 }
             }
@@ -447,7 +482,7 @@ fn read_ready(conn: &mut Conn) {
 /// Parses and handles every complete line in the read buffer, stopping
 /// early to preserve reply order (non-submit behind a parked submit)
 /// or when a drain reply is owed.
-fn process_lines(conn: &mut Conn, shared: &Arc<DaemonShared>, handle: &Arc<ReactorHandle>) {
+fn process_lines(conn: &mut Conn, shared: &Arc<DaemonShared>) {
     if conn.dead {
         return;
     }
@@ -474,11 +509,11 @@ fn process_lines(conn: &mut Conn, shared: &Arc<DaemonShared>, handle: &Arc<React
             // Malformed lines get a reply but keep the connection: a
             // client with one buggy request shouldn't lose its jobs.
             Err(e) => queue_event(&mut conn.wbuf, &proto::error_event(&e.message)),
-            Ok(request) => dispatch(conn, request, shared, handle),
+            Ok(request) => dispatch(conn, request, shared),
         }
     }
     conn.rbuf.drain(..consumed);
-    if conn.rbuf.len() > MAX_LINE_BYTES {
+    if oversized_tail(&conn.rbuf) {
         queue_event(
             &mut conn.wbuf,
             &proto::error_event(&format!("request line exceeds {MAX_LINE_BYTES} bytes")),
@@ -488,13 +523,21 @@ fn process_lines(conn: &mut Conn, shared: &Arc<DaemonShared>, handle: &Arc<React
     }
 }
 
+/// Whether the read buffer holds a single line past [`MAX_LINE_BYTES`].
+/// Only the unterminated tail (bytes after the last newline) counts:
+/// complete lines legitimately sit buffered when they are deferred
+/// behind parked submits or an owed drain reply, and any number of
+/// small deferred lines must not be mistaken for one oversized line.
+fn oversized_tail(rbuf: &[u8]) -> bool {
+    let tail_start = rbuf
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |pos| pos + 1);
+    rbuf.len() - tail_start > MAX_LINE_BYTES
+}
+
 /// Handles one parsed request.
-fn dispatch(
-    conn: &mut Conn,
-    request: Request,
-    shared: &Arc<DaemonShared>,
-    handle: &Arc<ReactorHandle>,
-) {
+fn dispatch(conn: &mut Conn, request: Request, shared: &Arc<DaemonShared>) {
     match request {
         Request::Hello { tenant } => {
             let event = proto::hello_ok(&tenant);
@@ -537,25 +580,44 @@ fn dispatch(
         }
         Request::Drain => {
             shared.draining.store(true, Ordering::SeqCst);
+            // Already drained: answer from the cached verdict.
+            if let Some(event) = lk(&shared.drained_event).clone() {
+                queue_event(&mut conn.wbuf, &event);
+                return;
+            }
             conn.await_drain = true;
-            // The engine drain can take arbitrarily long; a helper
-            // thread waits it out and posts the final stats back so the
-            // reactor keeps streaming everyone else's events meanwhile.
-            let shared = Arc::clone(shared);
-            let handle = Arc::clone(handle);
-            let conn_id = conn.id;
-            std::thread::Builder::new()
-                .name("serviced-drain".to_string())
-                .spawn(move || {
-                    let stats = shared.engine.shutdown();
-                    handle.send(Inject::Deliver {
-                        conn_id,
-                        event: proto::drained(&stats),
-                    });
-                })
-                .expect("spawn drain helper");
+            // The engine drain can take arbitrarily long; a single
+            // helper thread (first drain request wins — repeated drains
+            // must not each add a thread) waits it out, publishes the
+            // final stats, and wakes every reactor so each delivers the
+            // `drained` reply to its own waiting connections.
+            if !shared.drain_helper_spawned.swap(true, Ordering::SeqCst) {
+                let shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name("serviced-drain".to_string())
+                    .spawn(move || {
+                        let stats = shared.engine.shutdown();
+                        *lk(&shared.drained_event) = Some(proto::drained(&stats));
+                        for reactor in lk(&shared.reactors).iter() {
+                            reactor.wake();
+                        }
+                    })
+                    .expect("spawn drain helper");
+            }
         }
         Request::Submit { spec } => handle_submit(conn, spec, shared),
+    }
+}
+
+/// Queues a submit reply in request order: while earlier admissions sit
+/// parked awaiting durability, an already-resolved reply (a rejection)
+/// parks behind them instead of overtaking their `accepted` lines on
+/// the wire — clients match burst replies positionally.
+fn submit_reply(conn: &mut Conn, event: Json) {
+    if conn.pending.is_empty() {
+        queue_event(&mut conn.wbuf, &event);
+    } else {
+        conn.pending.push(PendingReply::Resolved(event));
     }
 }
 
@@ -563,26 +625,23 @@ fn dispatch(
 /// the iteration barrier) or immediate acceptance without a journal.
 fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
     if shared.draining.load(Ordering::SeqCst) {
-        queue_event(
-            &mut conn.wbuf,
-            &proto::rejected("draining", "daemon is draining; no new jobs"),
+        submit_reply(
+            conn,
+            proto::rejected("draining", "daemon is draining; no new jobs"),
         );
         return;
     }
     let Some(tenant) = conn.tenant.clone() else {
-        queue_event(
-            &mut conn.wbuf,
-            &proto::rejected("unauthenticated", "send hello with a tenant first"),
+        submit_reply(
+            conn,
+            proto::rejected("unauthenticated", "send hello with a tenant first"),
         );
         return;
     };
     let spec = match JobSpec::from_json(&spec) {
         Ok(s) => s,
         Err(e) => {
-            queue_event(
-                &mut conn.wbuf,
-                &proto::rejected("invalid_spec", &e.to_string()),
-            );
+            submit_reply(conn, proto::rejected("invalid_spec", &e.to_string()));
             return;
         }
     };
@@ -596,7 +655,7 @@ fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
         Ok(handle) => match &shared.journal {
             Some(journal) => {
                 match journal.record_accepted_async(handle.id(), &tenant, spec.to_json()) {
-                    Ok(seq) => conn.pending.push(PendingSubmit { handle, seq }),
+                    Ok(seq) => conn.pending.push(PendingReply::Admission { handle, seq }),
                     Err(e) => reject_undurable(conn, shared, handle, &e),
                 }
             }
@@ -607,9 +666,9 @@ fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
             retry_after_ms,
         }) => {
             journal_reject(shared, &tenant, "queue_full");
-            queue_event(
-                &mut conn.wbuf,
-                &proto::rejected_backoff(
+            submit_reply(
+                conn,
+                proto::rejected_backoff(
                     "queue_full",
                     &format!("global queue at depth {depth}"),
                     retry_after_ms,
@@ -622,9 +681,9 @@ fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
             retry_after_ms,
         }) => {
             journal_reject(shared, &tenant, "tenant_queue_full");
-            queue_event(
-                &mut conn.wbuf,
-                &proto::rejected_backoff(
+            submit_reply(
+                conn,
+                proto::rejected_backoff(
                     "tenant_queue_full",
                     &format!("tenant {tenant:?} at its queued-jobs quota ({max_queued})"),
                     retry_after_ms,
@@ -636,18 +695,18 @@ fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
             retry_after_ms,
         }) => {
             journal_reject(shared, &tenant, "rate_limited");
-            queue_event(
-                &mut conn.wbuf,
-                &proto::rejected_backoff(
+            submit_reply(
+                conn,
+                proto::rejected_backoff(
                     "rate_limited",
                     &format!("tenant {tenant:?} is over its admission rate"),
                     retry_after_ms,
                 ),
             );
         }
-        Err(SubmitError::ShuttingDown) => queue_event(
-            &mut conn.wbuf,
-            &proto::rejected("draining", "daemon is draining; no new jobs"),
+        Err(SubmitError::ShuttingDown) => submit_reply(
+            conn,
+            proto::rejected("draining", "daemon is draining; no new jobs"),
         ),
     }
 }
@@ -701,9 +760,9 @@ fn reject_undurable(conn: &mut Conn, shared: &DaemonShared, handle: JobHandle, e
         // handle so `status` stays answerable.
         shared.registry.register_live(handle);
     }
-    queue_event(
-        &mut conn.wbuf,
-        &proto::rejected(
+    submit_reply(
+        conn,
+        proto::rejected(
             "journal_unavailable",
             &format!("admission journal unavailable: {err}"),
         ),
@@ -768,5 +827,84 @@ fn flush_writes(conn: &mut Conn) {
         conn.wpos = 0;
     } else if conn.wbuf.len() - conn.wpos > MAX_WRITE_BUFFER {
         conn.dead = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The oversized-line cap must fire on one unterminated line past
+    /// the limit — and only on that, never on a backlog of small
+    /// complete lines deferred behind a parked batch or drain reply.
+    #[test]
+    fn line_cap_applies_to_the_unterminated_tail_only() {
+        let small_line = b"{\"op\":\"ping\"}\n";
+        let mut deferred: Vec<u8> = Vec::new();
+        while deferred.len() <= MAX_LINE_BYTES + small_line.len() {
+            deferred.extend_from_slice(small_line);
+        }
+        assert!(
+            !oversized_tail(&deferred),
+            "complete small lines must pass no matter how many are buffered"
+        );
+
+        let mut with_tail = deferred.clone();
+        with_tail.extend_from_slice(&vec![b'x'; MAX_LINE_BYTES + 1]);
+        assert!(
+            oversized_tail(&with_tail),
+            "an oversized unterminated tail must trip the cap"
+        );
+
+        assert!(!oversized_tail(&vec![b'x'; MAX_LINE_BYTES]));
+        assert!(oversized_tail(&vec![b'x'; MAX_LINE_BYTES + 1]));
+        assert!(!oversized_tail(b""));
+    }
+
+    /// Regression for a lost-wakeup race: the old drain cleared the
+    /// `pending` flag *before* reading the pipe, so a wake landing in
+    /// between had its byte consumed while the flag ended up set —
+    /// every later wake elided against an empty pipe, permanently.
+    /// Hammer wake/drain from two threads and then prove a fresh wake
+    /// still makes the pipe readable.
+    #[test]
+    fn waker_survives_racing_wakes() {
+        let waker = Arc::new(Waker::new().expect("wake pipe"));
+
+        fn readable(waker: &Waker, timeout_ms: c_int) -> bool {
+            let mut fds = [PollFd {
+                fd: waker.rd,
+                events: POLLIN,
+                revents: 0,
+            }];
+            unsafe { poll(fds.as_mut_ptr(), 1, timeout_ms) > 0 }
+        }
+
+        let racer = {
+            let waker = Arc::clone(&waker);
+            std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    waker.wake();
+                }
+            })
+        };
+        // Drain as the racer wakes — only ever after POLLIN, as the
+        // reactor does (the pipe is blocking).
+        while !racer.is_finished() {
+            if readable(&waker, 1) {
+                waker.drain();
+            }
+        }
+        racer.join().unwrap();
+        while readable(&waker, 0) {
+            waker.drain();
+        }
+
+        // The pipe must still be armed: one wake, one POLLIN.
+        waker.wake();
+        assert!(
+            readable(&waker, 1_000),
+            "a wake after heavy wake/drain interleaving must still reach poll"
+        );
     }
 }

@@ -14,9 +14,13 @@
 //!   `poll(2)`. Connection count and in-flight job count add *no*
 //!   threads — total daemon threads are O(reactor pool + engine
 //!   drivers + worker pool), plus the journal's single flusher.
-//! * **Transient drain helper**: a `drain` request parks its reply on a
-//!   short-lived helper thread so the reactor keeps serving every other
-//!   connection while the engine drains.
+//! * **Transient drain helper**: the first `drain` request spawns one
+//!   short-lived helper thread that waits out the engine drain and
+//!   publishes the final stats, so the reactors keep serving every
+//!   other connection meanwhile. Repeated drains share that helper —
+//!   they park for the published verdict rather than each adding a
+//!   thread, keeping thread count a function of configuration, never
+//!   of client behavior.
 //!
 //! ## Durability
 //!
@@ -236,6 +240,16 @@ pub(crate) struct DaemonShared {
     pub(crate) journal: Option<Arc<Journal>>,
     /// Every job id this daemon can answer `status` for.
     pub(crate) registry: Arc<Registry>,
+    /// Set by the first `drain` request to claim the (single) helper
+    /// thread; repeated drains wait on its published verdict instead of
+    /// each adding a thread blocked on the engine's final-stats lock.
+    pub(crate) drain_helper_spawned: AtomicBool,
+    /// The final `drained` event, published once by the drain helper;
+    /// every connection owed a drain reply is answered from it.
+    pub(crate) drained_event: Mutex<Option<Json>>,
+    /// Every reactor's handle, so the drain helper can wake the whole
+    /// pool when the verdict lands. Populated by [`Daemon::run`].
+    pub(crate) reactors: Mutex<Vec<Arc<ReactorHandle>>>,
 }
 
 fn lk<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -350,6 +364,9 @@ impl Daemon {
                 reactor_threads: config.reactor_threads.clamp(1, 64),
                 journal,
                 registry,
+                drain_helper_spawned: AtomicBool::new(false),
+                drained_event: Mutex::new(None),
+                reactors: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -389,6 +406,9 @@ impl Daemon {
             );
             reactors.push(handle);
         }
+        // Registered before the first accept, so a drain helper always
+        // sees the full pool when it wakes the reactors.
+        *lk(&self.shared.reactors) = reactors.clone();
         let mut next_conn_id = 0u64;
         loop {
             if signal::triggered() {
@@ -399,10 +419,9 @@ impl Daemon {
             }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    let id = next_conn_id;
+                    let target = (next_conn_id % reactors.len() as u64) as usize;
                     next_conn_id += 1;
-                    let target = (id % reactors.len() as u64) as usize;
-                    reactors[target].send(Inject::Conn(id, stream));
+                    reactors[target].send(Inject::Conn(stream));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(self.shared.status_poll.max(Duration::from_millis(2)));

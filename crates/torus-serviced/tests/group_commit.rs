@@ -10,7 +10,8 @@ use std::time::Duration;
 
 use torus_service::EngineConfig;
 use torus_serviced::journal::{RecordKind, RECORD_HEADER_BYTES};
-use torus_serviced::{Client, Daemon, DaemonConfig, JobSpec, Journal, JournalConfig};
+use torus_serviced::json::Json;
+use torus_serviced::{Client, ClientError, Daemon, DaemonConfig, JobSpec, Journal, JournalConfig};
 
 fn temp_journal_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("torus-gc-{tag}-{}", std::process::id()));
@@ -127,6 +128,68 @@ fn pipelined_burst_coalesces_fsyncs_into_few_batches() {
     for id in ids {
         assert!(client.wait_done(id).unwrap().ok);
     }
+    client.drain().unwrap();
+    daemon.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A pipelined burst mixing accepted and rejected submits must get its
+/// replies in submission order: a rejection resolves immediately while
+/// earlier admissions still await their fsync, and the daemon must park
+/// it behind their `accepted` lines rather than let it jump the wire —
+/// positional clients would otherwise attribute the rejection to the
+/// wrong spec.
+#[test]
+fn mixed_burst_replies_arrive_in_submission_order() {
+    let dir = temp_journal_dir("mixed");
+    let (addr, daemon) = Daemon::spawn(journaling_config(&dir)).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.hello("acme").unwrap();
+
+    const BURST: usize = 32;
+    // A zero in the shape never validates: deterministic `invalid_spec`
+    // rejections at known positions, interleaved with valid specs.
+    let invalid = |i: usize| i % 5 == 2;
+    let specs: Vec<Json> = (0..BURST)
+        .map(|i| {
+            if invalid(i) {
+                torus_serviced::json::parse(r#"{"shape":[0,4]}"#).unwrap()
+            } else {
+                seeded_spec(i as u64).to_json()
+            }
+        })
+        .collect();
+
+    let replies = client.submit_batch_raw(&specs).unwrap();
+    assert_eq!(replies.len(), BURST);
+    let mut ids = Vec::new();
+    for (i, reply) in replies.iter().enumerate() {
+        if invalid(i) {
+            match reply {
+                Err(ClientError::Rejected { reason, .. }) => assert_eq!(
+                    reason, "invalid_spec",
+                    "position {i} must carry its own rejection reason"
+                ),
+                other => panic!("position {i} sent an invalid spec but got {other:?}"),
+            }
+        } else {
+            match reply {
+                Ok(id) => ids.push(*id),
+                other => panic!("position {i} sent a valid spec but got {other:?}"),
+            }
+        }
+    }
+    // Admissions on one connection are processed in request order, so
+    // their engine ids must be strictly increasing — a second witness
+    // that no reply landed on the wrong position.
+    assert!(
+        ids.windows(2).all(|w| w[0] < w[1]),
+        "accepted ids out of submission order: {ids:?}"
+    );
+    for id in ids {
+        assert!(client.wait_done(id).unwrap().ok);
+    }
+
     client.drain().unwrap();
     daemon.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
