@@ -92,9 +92,10 @@ pub enum Command {
     },
     /// `serve [--addr HOST:PORT] [--concurrency K] [--queue-depth N]
     /// [--reactor-threads R] [--port-file PATH]
-    /// [--journal-dir DIR | --no-journal]` — run the torus-serviced
-    /// daemon until a `drain` request or SIGTERM, then print the final
-    /// stats.
+    /// [--journal-dir DIR | --no-journal] [--idle-timeout-secs S]
+    /// [--default-deadline-ms MS] [--max-deadline-ms MS]` — run the
+    /// torus-serviced daemon until a `drain` request or SIGTERM, then
+    /// print the final stats.
     Serve {
         /// Bind address (port 0 picks a free port).
         addr: String,
@@ -113,6 +114,15 @@ pub enum Command {
         /// Where the admission journal lives; `None` disables
         /// journaling (`--no-journal`). Defaults to `./torus-journal`.
         journal_dir: Option<String>,
+        /// Reap connections quiet for this long that are owed nothing;
+        /// 0 disables idle reaping (the default).
+        idle_timeout_secs: u64,
+        /// Deadline applied to jobs whose spec names none; `None`
+        /// leaves such jobs unbounded (unless `--max-deadline-ms`).
+        default_deadline_ms: Option<u64>,
+        /// Hard ceiling on every job's deadline, including jobs that
+        /// asked for none or for more.
+        max_deadline_ms: Option<u64>,
     },
     /// `submit --spec JSON [--addr HOST:PORT] [--tenant NAME]` — send
     /// one job to a running daemon and wait for its `done` event.
@@ -125,6 +135,16 @@ pub enum Command {
         spec: String,
         /// Emit the raw `done` event JSON instead of a summary line.
         json: bool,
+    },
+    /// `cancel --job-id N [--addr HOST:PORT] [--tenant NAME]` — cancel
+    /// one job on a running daemon (only the owning tenant may).
+    Cancel {
+        /// Daemon address.
+        addr: String,
+        /// Tenant to authenticate as.
+        tenant: String,
+        /// The job id to cancel.
+        job_id: u64,
     },
     /// `stats [--addr HOST:PORT]` — fetch a running daemon's service
     /// and per-tenant statistics (always JSON: it is the wire form).
@@ -188,6 +208,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut journal_dir = "./torus-journal".to_string();
     let mut no_journal = false;
     let mut rate_limit: Option<u32> = None;
+    let mut idle_timeout_secs: u64 = 0;
+    let mut default_deadline_ms: Option<u64> = None;
+    let mut max_deadline_ms: Option<u64> = None;
+    let mut job_id: Option<u64> = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -259,6 +283,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--port-file" => port_file = Some(val(&mut i)?),
             "--journal-dir" => journal_dir = val(&mut i)?,
             "--no-journal" => no_journal = true,
+            "--idle-timeout-secs" => {
+                idle_timeout_secs = val(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-secs: {e}"))?
+            }
+            "--default-deadline-ms" => {
+                let ms: u64 = val(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--default-deadline-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--default-deadline-ms must be positive".into());
+                }
+                default_deadline_ms = Some(ms);
+            }
+            "--max-deadline-ms" => {
+                let ms: u64 = val(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-deadline-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--max-deadline-ms must be positive".into());
+                }
+                max_deadline_ms = Some(ms);
+            }
+            "--job-id" => {
+                job_id = Some(val(&mut i)?.parse().map_err(|e| format!("--job-id: {e}"))?)
+            }
             "--rate-limit" => {
                 let r: u32 = val(&mut i)?
                     .parse()
@@ -326,12 +376,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             reactor_threads: reactor_threads.max(1),
             port_file,
             journal_dir: if no_journal { None } else { Some(journal_dir) },
+            idle_timeout_secs,
+            default_deadline_ms,
+            max_deadline_ms,
         }),
         "submit" => Ok(Command::Submit {
             addr,
             tenant,
             spec: spec.ok_or_else(|| "--spec is required for 'submit'".to_string())?,
             json,
+        }),
+        "cancel" => Ok(Command::Cancel {
+            addr,
+            tenant,
+            job_id: job_id.ok_or_else(|| "--job-id is required for 'cancel'".to_string())?,
         }),
         "stats" => Ok(Command::DaemonStats { addr }),
         "validate" => Ok(Command::Validate {
@@ -369,14 +427,23 @@ USAGE:
   torus-xchg serve      [--addr 127.0.0.1:7077] [--concurrency K] [--queue-depth N]
                         [--reactor-threads R] [--port-file PATH]
                         [--journal-dir DIR | --no-journal]
+                        [--idle-timeout-secs S] [--default-deadline-ms MS]
+                        [--max-deadline-ms MS]
                         (torus-serviced daemon: newline-delimited JSON over TCP with
                          multi-tenant admission; all client sockets share a fixed
                          pool of R poll reactor threads; drains cleanly on SIGTERM
                          or 'drain'. Admissions are journaled to --journal-dir,
                          default ./torus-journal; on restart, accepted-but-
                          unfinished jobs re-run and pre-crash job ids answer
-                         'status')
+                         'status'. --idle-timeout-secs reaps quiet connections
+                         owed nothing; jobs past their wall-clock deadline —
+                         per-spec job.deadline_ms, --default-deadline-ms when
+                         unset, always clamped by --max-deadline-ms — are reaped
+                         by the engine watchdog as 'deadline_exceeded')
   torus-xchg submit     --spec '{\"shape\":[4,4],\"seed\":7}' [--addr HOST:PORT] [--tenant NAME] [--json]
+  torus-xchg cancel     --job-id N [--addr HOST:PORT] [--tenant NAME]
+                        (queued jobs finish as 'cancelled'; running jobs stop at the
+                         next step boundary; only the owning tenant may cancel)
   torus-xchg stats      [--addr HOST:PORT]      (daemon service + per-tenant stats, JSON)
   torus-xchg validate   --spec JSON             (local spec check; prints normalized form)
   torus-xchg schema                             (job-spec schema, JSON)
@@ -707,16 +774,28 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             reactor_threads,
             port_file,
             journal_dir,
+            idle_timeout_secs,
+            default_deadline_ms,
+            max_deadline_ms,
         } => {
+            let mut engine = torus_service::EngineConfig::default()
+                .with_drivers(concurrency)
+                .with_queue_depth(queue_depth);
+            if let Some(ms) = default_deadline_ms {
+                engine = engine.with_default_deadline(std::time::Duration::from_millis(ms));
+            }
+            if let Some(ms) = max_deadline_ms {
+                engine = engine.with_max_deadline(std::time::Duration::from_millis(ms));
+            }
             let daemon = torus_serviced::Daemon::bind(torus_serviced::DaemonConfig {
                 addr,
-                engine: torus_service::EngineConfig::default()
-                    .with_drivers(concurrency)
-                    .with_queue_depth(queue_depth),
+                engine,
                 reactor_threads,
                 journal: journal_dir
                     .as_deref()
                     .map(torus_serviced::JournalConfig::new),
+                idle_timeout: (idle_timeout_secs > 0)
+                    .then(|| std::time::Duration::from_secs(idle_timeout_secs)),
                 ..torus_serviced::DaemonConfig::default()
             })
             .map_err(|e| format!("serve: {e}"))?;
@@ -741,6 +820,26 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 let _ = std::fs::remove_file(path);
             }
             let _ = writeln!(out, "drained: {}", stats.summary());
+        }
+        Command::Cancel {
+            addr,
+            tenant,
+            job_id,
+        } => {
+            let mut client =
+                torus_serviced::Client::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            client.hello(&tenant).map_err(|e| e.to_string())?;
+            let reply = client.cancel(job_id).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                out,
+                "job {}: {}{}",
+                reply.job_id,
+                reply.outcome,
+                match &reply.state {
+                    Some(s) => format!(" ({s})"),
+                    None => String::new(),
+                },
+            );
         }
         Command::Submit {
             addr,
@@ -1155,6 +1254,9 @@ mod tests {
                 reactor_threads,
                 port_file,
                 journal_dir,
+                idle_timeout_secs,
+                default_deadline_ms,
+                max_deadline_ms,
             } => {
                 assert_eq!(addr, "127.0.0.1:0");
                 assert_eq!(concurrency, 3);
@@ -1166,9 +1268,49 @@ mod tests {
                     Some("./torus-journal"),
                     "journaling defaults on"
                 );
+                assert_eq!(idle_timeout_secs, 0, "idle reaping defaults off");
+                assert_eq!(default_deadline_ms, None, "no default deadline");
+                assert_eq!(max_deadline_ms, None, "no deadline ceiling");
             }
             other => panic!("{other:?}"),
         }
+        match parse_args(&argv(
+            "serve --idle-timeout-secs 30 --default-deadline-ms 5000 --max-deadline-ms 60000",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                idle_timeout_secs,
+                default_deadline_ms,
+                max_deadline_ms,
+                ..
+            } => {
+                assert_eq!(idle_timeout_secs, 30);
+                assert_eq!(default_deadline_ms, Some(5000));
+                assert_eq!(max_deadline_ms, Some(60000));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_args(&argv("serve --max-deadline-ms 0")).is_err(),
+            "a zero deadline ceiling reaps every job at dispatch — refuse it"
+        );
+        match parse_args(&argv("cancel --job-id 7 --addr 127.0.0.1:1 --tenant acme")).unwrap() {
+            Command::Cancel {
+                addr,
+                tenant,
+                job_id,
+            } => {
+                assert_eq!(addr, "127.0.0.1:1");
+                assert_eq!(tenant, "acme");
+                assert_eq!(job_id, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_args(&argv("cancel")).is_err(),
+            "cancel without --job-id must be refused"
+        );
         match parse_args(&argv("serve --journal-dir /tmp/j --reactor-threads 2")).unwrap() {
             Command::Serve {
                 journal_dir,

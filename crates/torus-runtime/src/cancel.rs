@@ -1,0 +1,119 @@
+//! External cancellation for in-flight runs.
+//!
+//! A [`CancelToken`] is a cheap clonable handle a caller keeps after
+//! starting a run with
+//! [`RuntimeConfig::with_cancel_token`](crate::RuntimeConfig::with_cancel_token).
+//! Triggering it from any thread stops the run *cooperatively*: the
+//! first worker to observe the trigger — at a step boundary, inside the
+//! recovery receive loop, or mid-stall — records a typed
+//! [`FailureReason::Cancelled`](crate::FailureReason::Cancelled) or
+//! [`FailureReason::DeadlineExceeded`](crate::FailureReason::DeadlineExceeded)
+//! and raises the run's existing first-failure-wins abort flag. Every
+//! other worker then falls through its remaining barriers doing no
+//! work, exactly like any other aborted run, so a cancelled run still
+//! joins cleanly, leaks no threads, and yields a partial
+//! [`RuntimeReport`](crate::RuntimeReport) inside
+//! [`RuntimeError::Aborted`](crate::RuntimeError::Aborted).
+//!
+//! Triggering is idempotent and first-wins: once a token is cancelled,
+//! later triggers (of either flavor) change nothing.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+/// Why a [`CancelToken`] was triggered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelKind {
+    /// An explicit external cancellation request.
+    Cancelled,
+    /// A wall-clock deadline enforcer (e.g. a watchdog) fired.
+    DeadlineExceeded,
+}
+
+/// A shared trigger that stops a running exchange between steps.
+///
+/// Clones share state; the token outliving the run is fine (triggering
+/// after the run finished is a no-op).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, untriggered token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cooperative cancellation. Returns `true` if this call
+    /// was the first trigger.
+    pub fn cancel(&self) -> bool {
+        self.trigger(CancelKind::Cancelled)
+    }
+
+    /// Marks the run as having exceeded its deadline. Returns `true` if
+    /// this call was the first trigger.
+    pub fn expire(&self) -> bool {
+        self.trigger(CancelKind::DeadlineExceeded)
+    }
+
+    fn trigger(&self, kind: CancelKind) -> bool {
+        let value = match kind {
+            CancelKind::Cancelled => CANCELLED,
+            CancelKind::DeadlineExceeded => DEADLINE,
+        };
+        self.state
+            .compare_exchange(LIVE, value, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The trigger state, if any. Workers poll this at step boundaries.
+    pub fn kind(&self) -> Option<CancelKind> {
+        match self.state.load(Ordering::Acquire) {
+            CANCELLED => Some(CancelKind::Cancelled),
+            DEADLINE => Some(CancelKind::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has been triggered (either flavor).
+    pub fn is_triggered(&self) -> bool {
+        self.state.load(Ordering::Acquire) != LIVE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_trigger_wins() {
+        let token = CancelToken::new();
+        assert_eq!(token.kind(), None);
+        assert!(!token.is_triggered());
+        assert!(token.cancel());
+        assert!(!token.expire(), "second trigger must not overwrite");
+        assert_eq!(token.kind(), Some(CancelKind::Cancelled));
+        assert!(token.is_triggered());
+    }
+
+    #[test]
+    fn expire_is_its_own_flavor() {
+        let token = CancelToken::new();
+        assert!(token.expire());
+        assert!(!token.cancel());
+        assert_eq!(token.kind(), Some(CancelKind::DeadlineExceeded));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_triggered());
+    }
+}

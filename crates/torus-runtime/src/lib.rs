@@ -53,6 +53,7 @@
 //! println!("{}", report.summary());
 //! ```
 
+pub mod cancel;
 pub mod degrade;
 pub mod fault;
 pub mod message;
@@ -63,6 +64,7 @@ pub mod report;
 pub mod runtime;
 pub mod workers;
 
+pub use cancel::{CancelKind, CancelToken};
 pub use degrade::{DeadNode, DegradedReport, OnFailure};
 pub use fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
 pub use message::{

@@ -181,6 +181,13 @@ pub enum FailureReason {
     },
     /// A channel endpoint disappeared mid-run.
     ChannelClosed,
+    /// The run was cancelled from outside via a
+    /// [`CancelToken`](crate::CancelToken); workers stopped cooperatively
+    /// at the next step boundary.
+    Cancelled,
+    /// The run exceeded its externally imposed wall-clock deadline and
+    /// was stopped via a [`CancelToken`](crate::CancelToken).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for FailureReason {
@@ -195,6 +202,8 @@ impl std::fmt::Display for FailureReason {
             FailureReason::WorkerKilled { node } => write!(f, "worker for node {node} killed"),
             FailureReason::NodeDead { node } => write!(f, "node {node} quarantined"),
             FailureReason::ChannelClosed => write!(f, "channel closed"),
+            FailureReason::Cancelled => write!(f, "run cancelled"),
+            FailureReason::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }

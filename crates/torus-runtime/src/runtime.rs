@@ -76,6 +76,7 @@ use crossbeam::thread as cb_thread;
 use torus_sim::{StepStat, Trace};
 use torus_topology::{NodeId, TorusShape};
 
+use crate::cancel::{CancelKind, CancelToken};
 use crate::degrade::{DeadNode, DegradedReport, OnFailure};
 use crate::fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
 use crate::message::{
@@ -113,6 +114,12 @@ pub struct RuntimeConfig {
     /// run (default), or quarantine the node and complete a repaired
     /// schedule for the survivors. See [`OnFailure`].
     pub on_failure: OnFailure,
+    /// External cancellation trigger. When set, workers poll the token
+    /// at every step boundary (and inside recovery waits and injected
+    /// stalls) and abort the run cooperatively with a typed
+    /// [`FailureReason::Cancelled`] / [`FailureReason::DeadlineExceeded`]
+    /// when it fires. Default: none.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RuntimeConfig {
@@ -124,6 +131,7 @@ impl Default for RuntimeConfig {
             faults: FaultPlan::default(),
             retry: RetryPolicy::default(),
             on_failure: OnFailure::default(),
+            cancel: None,
         }
     }
 }
@@ -162,6 +170,13 @@ impl RuntimeConfig {
     /// Sets the unrecoverable-failure policy.
     pub fn with_on_failure(mut self, on_failure: OnFailure) -> Self {
         self.on_failure = on_failure;
+        self
+    }
+
+    /// Installs an external cancellation token; keep a clone and trigger
+    /// it from any thread to stop the run between steps.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 }
@@ -325,6 +340,8 @@ struct RunShared {
     /// Per-destination retained resend frame for the current step.
     retained: Vec<Mutex<Option<Bytes>>>,
     abort: AtomicBool,
+    /// External cancellation trigger, observed cooperatively by workers.
+    cancel: Option<CancelToken>,
     failure_slot: Mutex<Option<NodeFailure>>,
     barrier: Barrier,
     snapshots: Vec<Mutex<Vec<Block<Bytes>>>>,
@@ -347,6 +364,25 @@ impl RunShared {
             });
         }
         self.abort.store(true, Ordering::SeqCst);
+    }
+
+    /// Polls the external cancellation token (if any) and converts a
+    /// trigger into the run's first-failure-wins abort, attributed to
+    /// `node` at global step `g`. Returns `true` when the run is (now)
+    /// aborting for any reason, so call sites can fold this into their
+    /// existing skip checks.
+    fn observe_cancel(&self, node: NodeId, g: usize) -> bool {
+        if let Some(token) = &self.cancel {
+            if let Some(kind) = token.kind() {
+                let reason = match kind {
+                    CancelKind::Cancelled => FailureReason::Cancelled,
+                    CancelKind::DeadlineExceeded => FailureReason::DeadlineExceeded,
+                };
+                self.fail(node, g, reason);
+                return true;
+            }
+        }
+        self.abort.load(Ordering::Acquire)
     }
 
     /// The deadline + bounded-retry receive loop (fault plans only).
@@ -380,7 +416,7 @@ impl RunShared {
         let mut fetches = 0u32;
         let mut needed_recovery = false;
         let blocks = loop {
-            if self.abort.load(Ordering::Acquire) {
+            if self.observe_cancel(me, g) {
                 break None;
             }
             if cycles > policy.max_retries {
@@ -393,7 +429,7 @@ impl RunShared {
                 policy.backoff_for(cycles)
             };
             let mut via_resend = false;
-            let raw = match rx.recv_timeout(wait) {
+            let raw = match self.recv_sliced(rx, wait) {
                 // Under a fault plan senders always transmit contiguous
                 // frames; normalize defensively so validation below
                 // always sees canonical bytes.
@@ -499,6 +535,36 @@ impl RunShared {
             counters.recovered += 1;
         }
         blocks
+    }
+
+    /// `recv_timeout(wait)`, but sliced into bounded chunks when a
+    /// cancellation token is installed, so a worker parked on a long
+    /// retry deadline still notices an external cancel within ~20 ms.
+    /// An observed trigger surfaces as a timeout; the caller's loop head
+    /// converts it into the typed abort.
+    fn recv_sliced(
+        &self,
+        rx: &Receiver<WireFrame>,
+        wait: Duration,
+    ) -> Result<WireFrame, RecvTimeoutError> {
+        let Some(token) = &self.cancel else {
+            return rx.recv_timeout(wait);
+        };
+        let deadline = Instant::now() + wait;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            match rx.recv_timeout(left.min(Duration::from_millis(20))) {
+                Err(RecvTimeoutError::Timeout) => {
+                    if token.is_triggered() || self.abort.load(Ordering::Acquire) {
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                }
+                other => return other,
+            }
+        }
     }
 }
 
@@ -609,14 +675,23 @@ fn worker_body(
                         }
                         WorkerFaultKind::StallMicros(us) => {
                             stats.faults.injected_stalls += 1;
-                            if !abort.load(Ordering::Acquire) {
-                                std::thread::sleep(Duration::from_micros(us));
+                            // Sleep in bounded slices, polling the abort
+                            // flag and the cancellation token, so an
+                            // externally stopped run is not pinned for
+                            // the stall's full duration.
+                            let stall_until = Instant::now() + Duration::from_micros(us);
+                            while !shared.observe_cancel(node, g) {
+                                let left = stall_until.saturating_duration_since(Instant::now());
+                                if left.is_zero() {
+                                    break;
+                                }
+                                std::thread::sleep(left.min(Duration::from_millis(1)));
                             }
                         }
                     }
                 }
             }
-            let skip = dead || abort.load(Ordering::Acquire);
+            let skip = dead || shared.observe_cancel(base as NodeId, g);
             if !skip {
                 let pstats = &mut stats.phase[pi];
                 let sstats = &mut stats.steps[g];
@@ -791,12 +866,33 @@ fn worker_body(
                         if no_faults {
                             // Fast path: a scheduled frame is always
                             // sent, so a blocking receive cannot
-                            // deadlock.
-                            let frame = match rxs[li].recv() {
-                                Ok(frame) => Some(frame),
-                                Err(_) => {
-                                    shared.fail(me, g, FailureReason::ChannelClosed);
-                                    None
+                            // deadlock. With a cancel token installed a
+                            // peer may observe the trigger at step entry
+                            // and skip its sends, so the receive must
+                            // poll the abort state instead of blocking
+                            // forever on a frame that will never come.
+                            let frame = if shared.cancel.is_none() {
+                                match rxs[li].recv() {
+                                    Ok(frame) => Some(frame),
+                                    Err(_) => {
+                                        shared.fail(me, g, FailureReason::ChannelClosed);
+                                        None
+                                    }
+                                }
+                            } else {
+                                loop {
+                                    match rxs[li].recv_timeout(Duration::from_millis(20)) {
+                                        Ok(frame) => break Some(frame),
+                                        Err(RecvTimeoutError::Timeout) => {
+                                            if shared.observe_cancel(me, g) {
+                                                break None;
+                                            }
+                                        }
+                                        Err(RecvTimeoutError::Disconnected) => {
+                                            shared.fail(me, g, FailureReason::ChannelClosed);
+                                            break None;
+                                        }
+                                    }
                                 }
                             };
                             let received = Instant::now();
@@ -1210,7 +1306,12 @@ impl Runtime {
                 FailureReason::RetryExhausted { src } => Some(src),
                 FailureReason::Integrity { src, .. } => Some(src),
                 FailureReason::WorkerKilled { node } => Some(node),
-                FailureReason::NodeDead { .. } | FailureReason::ChannelClosed => None,
+                // Cancellation and deadline expiry are verdicts on the
+                // whole run, not on one node — no quarantine can help.
+                FailureReason::NodeDead { .. }
+                | FailureReason::ChannelClosed
+                | FailureReason::Cancelled
+                | FailureReason::DeadlineExceeded => None,
             };
             match culprit {
                 Some(node) if restarts < MAX_RESTARTS && !quarantine.contains_key(&node) => {
@@ -1351,6 +1452,7 @@ impl Runtime {
             senders,
             retained: (0..nn).map(|_| Mutex::new(None)).collect(),
             abort: AtomicBool::new(false),
+            cancel: self.config.cancel.clone(),
             failure_slot: Mutex::new(None),
             barrier: Barrier::new(n_chunks + 1),
             snapshots: (0..nn).map(|_| Mutex::new(Vec::new())).collect(),
@@ -1764,6 +1866,74 @@ mod tests {
             r.messages * MESSAGE_HEADER_BYTES as u64 + total_blocks * BLOCK_HEADER_BYTES as u64
         );
         assert!(r.bytes_copied < r.wire_bytes);
+    }
+
+    #[test]
+    fn cancel_token_aborts_stalled_run_with_partial_report() {
+        // A pinned 5 s stall would hold the run hostage; an external
+        // cancel must interrupt it mid-sleep and surface as a typed
+        // Cancelled abort with the partial report.
+        let token = CancelToken::new();
+        let cfg = RuntimeConfig::default()
+            .with_workers(4)
+            .with_faults(FaultPlan::seeded(1).with_worker_fault(
+                0,
+                0,
+                WorkerFaultKind::StallMicros(5_000_000),
+            ))
+            .with_retry(
+                RetryPolicy::default()
+                    .with_deadline(Duration::from_secs(30))
+                    .with_max_retries(64),
+            )
+            .with_cancel_token(token.clone());
+        let rt = runtime(&[4, 4], cfg);
+        let t0 = Instant::now();
+        let handle = std::thread::spawn(move || rt.run());
+        std::thread::sleep(Duration::from_millis(50));
+        token.cancel();
+        let err = handle.join().unwrap().unwrap_err();
+        match err {
+            RuntimeError::Aborted { failure, report } => {
+                assert_eq!(failure.reason, FailureReason::Cancelled);
+                assert!(!report.verified);
+            }
+            other => panic!("expected Aborted, got {other}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "cancel must interrupt the stall, took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn expired_token_reports_deadline_exceeded() {
+        // Pre-expired token: the run aborts at the first step boundary.
+        let token = CancelToken::new();
+        token.expire();
+        let cfg = RuntimeConfig::default()
+            .with_workers(2)
+            .with_cancel_token(token);
+        let err = runtime(&[4, 4], cfg).run().unwrap_err();
+        match err {
+            RuntimeError::Aborted { failure, .. } => {
+                assert_eq!(failure.reason, FailureReason::DeadlineExceeded);
+            }
+            other => panic!("expected Aborted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn untriggered_token_changes_nothing() {
+        let token = CancelToken::new();
+        let cfg = RuntimeConfig::default()
+            .with_workers(3)
+            .with_cancel_token(token.clone());
+        let r = runtime(&[4, 4], cfg).run().unwrap();
+        assert!(r.verified);
+        // Triggering after the run finished is a harmless no-op.
+        assert!(token.cancel());
     }
 
     #[test]

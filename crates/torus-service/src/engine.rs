@@ -5,10 +5,10 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use alltoall_core::PreparedExchange;
-use torus_runtime::{Runtime, RuntimeConfig, RuntimeError, WorkerPool};
+use torus_runtime::{CancelToken, FailureReason, Runtime, RuntimeConfig, RuntimeError, WorkerPool};
 use torus_topology::TorusShape;
 
 use crate::cache::{CachedPlan, Lookup, PlanCache, PlanKey};
@@ -42,6 +42,18 @@ pub struct EngineConfig {
     /// Optional job-lifecycle observer, invoked by drivers on
     /// [`JobEvent::Started`]/[`JobEvent::Finished`]. Default: none.
     pub event_hook: Option<EventHook>,
+    /// Deadline applied to jobs that request none. Default: none.
+    pub default_deadline: Option<Duration>,
+    /// Server-side cap on any job's wall-clock deadline. When set, every
+    /// job runs under an effective deadline of at most this — including
+    /// jobs that asked for none. Default: none (deadlines are opt-in).
+    pub max_deadline: Option<Duration>,
+    /// How often the watchdog scans running jobs for expired deadlines.
+    /// Default 100 ms.
+    pub watchdog_interval: Duration,
+    /// Extra no-progress slack past a job's deadline before the
+    /// watchdog reaps it. Default: zero (reap at the deadline).
+    pub watchdog_grace: Duration,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -53,6 +65,10 @@ impl std::fmt::Debug for EngineConfig {
             .field("cache_capacity", &self.cache_capacity)
             .field("default_quota", &self.default_quota)
             .field("event_hook", &self.event_hook.as_ref().map(|_| "set"))
+            .field("default_deadline", &self.default_deadline)
+            .field("max_deadline", &self.max_deadline)
+            .field("watchdog_interval", &self.watchdog_interval)
+            .field("watchdog_grace", &self.watchdog_grace)
             .finish()
     }
 }
@@ -66,6 +82,10 @@ impl Default for EngineConfig {
             cache_capacity: 8,
             default_quota: TenantQuota::default(),
             event_hook: None,
+            default_deadline: None,
+            max_deadline: None,
+            watchdog_interval: Duration::from_millis(100),
+            watchdog_grace: Duration::ZERO,
         }
     }
 }
@@ -108,6 +128,41 @@ impl EngineConfig {
         self.event_hook = Some(hook);
         self
     }
+
+    /// Sets the deadline applied to jobs that request none.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the server-side deadline cap. Every job's effective deadline
+    /// is clamped to at most this, including jobs that asked for none.
+    pub fn with_max_deadline(mut self, max: Duration) -> Self {
+        self.max_deadline = Some(max);
+        self
+    }
+
+    /// Tunes the watchdog: scan `interval` and no-progress `grace` past
+    /// a job's deadline before it is reaped.
+    pub fn with_watchdog(mut self, interval: Duration, grace: Duration) -> Self {
+        self.watchdog_interval = interval;
+        self.watchdog_grace = grace;
+        self
+    }
+}
+
+/// What [`Engine::cancel`] found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was still queued: it has been removed and finished as
+    /// [`JobStatus::Cancelled`] before this call returned.
+    Cancelled,
+    /// The job is running: its cancel token was triggered and the run
+    /// will abort cooperatively at the next step boundary, reaching
+    /// [`JobStatus::Cancelled`] shortly.
+    Cancelling,
+    /// No live job has this id — it already finished, or never existed.
+    Unknown,
 }
 
 /// A job sitting in the admission queue.
@@ -120,6 +175,23 @@ struct QueuedJob {
     tenant: Arc<str>,
     tenant_cells: Arc<TenantCells>,
     submitted_at: Instant,
+    /// Effective wall-clock deadline (already clamped to the server
+    /// max), measured from dispatch. `None` runs unbounded.
+    deadline: Option<Duration>,
+    /// The job's cancel trigger, created at admission so `cancel` can
+    /// reach the job in every pre-terminal state without racing the
+    /// queue→running handoff.
+    token: CancelToken,
+}
+
+/// One live (admitted, not yet terminal) job's cancellation state, kept
+/// in [`Shared::lifecycle`] so `cancel` and the watchdog can reach it
+/// without touching the queue shards.
+struct LifecycleEntry {
+    token: CancelToken,
+    /// When the watchdog may reap the job (dispatch time + deadline).
+    /// `None` while queued or when the job has no deadline.
+    reap_at: Option<Instant>,
 }
 
 /// One tenant's slice of the queue.
@@ -193,6 +265,18 @@ struct Shared {
     queue_depth: usize,
     default_quota: TenantQuota,
     hook: Option<EventHook>,
+    /// Every live job's cancel token and reap deadline, keyed by job id.
+    /// Entries are inserted at admission and removed on every terminal
+    /// path. Lock ordering: a queue shard may be held while taking this
+    /// lock, never the reverse.
+    lifecycle: Mutex<HashMap<u64, LifecycleEntry>>,
+    default_deadline: Option<Duration>,
+    max_deadline: Option<Duration>,
+    watchdog_grace: Duration,
+    /// Watchdog stop flag; flipped under the mutex and signalled so the
+    /// watchdog's timed wait exits promptly on shutdown.
+    watchdog_stop: Mutex<bool>,
+    watchdog_cv: Condvar,
 }
 
 impl Shared {
@@ -290,6 +374,79 @@ impl Shared {
             hook(event);
         }
     }
+
+    /// The deadline actually enforced for a job that requested
+    /// `requested`: the request (or the engine default), clamped to the
+    /// server-side max. When a max is configured even jobs that asked
+    /// for no deadline get it.
+    fn effective_deadline(&self, requested: Option<Duration>) -> Option<Duration> {
+        let wanted = requested.or(self.default_deadline);
+        match (wanted, self.max_deadline) {
+            (Some(d), Some(max)) => Some(d.min(max)),
+            (None, Some(max)) => Some(max),
+            (d, None) => d,
+        }
+    }
+
+    /// Finishes a job plucked out of the queue by [`Engine::cancel`]:
+    /// terminal [`JobStatus::Cancelled`], cancelled counters (books stay
+    /// accepted == completed + failed + cancelled + deadline_exceeded),
+    /// and a `Finished` event so the daemon journals the terminal record.
+    fn finish_cancelled_queued(&self, job: QueuedJob) {
+        lk(&self.lifecycle).remove(&job.id);
+        self.cells.cancelled.fetch_add(1, Ordering::Relaxed);
+        job.tenant_cells.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.total_queued.fetch_sub(1, Ordering::SeqCst);
+        let result = job.state.finish(
+            JobStatus::Cancelled,
+            JobResult {
+                job_id: job.id,
+                report: None,
+                deliveries: None,
+                error: Some("cancelled before dispatch".to_string()),
+                cache_hit: false,
+            },
+        );
+        self.fire(JobEvent::Finished {
+            job_id: job.id,
+            tenant: &job.tenant,
+            status: JobStatus::Cancelled,
+            result: &result,
+        });
+        // The freed slot matters to shutdown's drain condition.
+        self.signal_work(true);
+    }
+}
+
+/// Watchdog loop: every `interval`, expire the token of any running job
+/// past its deadline plus the engine's grace. The driver that owns the
+/// job observes the trigger, aborts the run cooperatively, and accounts
+/// the [`JobStatus::DeadlineExceeded`] terminal state — the watchdog
+/// itself only pulls triggers, so it can never race a finishing job.
+fn watchdog_loop(shared: &Shared, interval: Duration) {
+    let mut stop = lk(&shared.watchdog_stop);
+    loop {
+        if *stop {
+            return;
+        }
+        let (guard, _) = shared
+            .watchdog_cv
+            .wait_timeout(stop, interval)
+            .unwrap_or_else(PoisonError::into_inner);
+        stop = guard;
+        if *stop {
+            return;
+        }
+        let now = Instant::now();
+        let lifecycle = lk(&shared.lifecycle);
+        for entry in lifecycle.values() {
+            if let Some(reap_at) = entry.reap_at {
+                if now >= reap_at + shared.watchdog_grace && entry.token.expire() {
+                    shared.cells.watchdog_reaps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }
 
 /// A persistent multi-job exchange engine.
@@ -300,6 +457,7 @@ impl Shared {
 pub struct Engine {
     shared: Arc<Shared>,
     drivers: Mutex<Vec<JoinHandle<()>>>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
     next_id: AtomicU64,
     /// The final stats snapshot, taken exactly once after every driver
     /// has joined. Serializes concurrent `shutdown` callers: the first
@@ -341,6 +499,12 @@ impl Engine {
             queue_depth: config.queue_depth.max(1),
             default_quota: config.default_quota,
             hook: config.event_hook,
+            lifecycle: Mutex::new(HashMap::new()),
+            default_deadline: config.default_deadline,
+            max_deadline: config.max_deadline,
+            watchdog_grace: config.watchdog_grace,
+            watchdog_stop: Mutex::new(false),
+            watchdog_cv: Condvar::new(),
         });
         let drivers = (0..config.drivers.max(1))
             .map(|i| {
@@ -351,9 +515,18 @@ impl Engine {
                     .expect("spawn driver thread")
             })
             .collect();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let interval = config.watchdog_interval.max(Duration::from_millis(1));
+            std::thread::Builder::new()
+                .name("torus-watchdog".to_string())
+                .spawn(move || watchdog_loop(&shared, interval))
+                .expect("spawn watchdog thread")
+        };
         Self {
             shared,
             drivers: Mutex::new(drivers),
+            watchdog: Mutex::new(Some(watchdog)),
             next_id: AtomicU64::new(0),
             final_stats: Mutex::new(None),
         }
@@ -382,6 +555,23 @@ impl Engine {
         shape: TorusShape,
         payload: PayloadSpec,
         config: RuntimeConfig,
+    ) -> Result<JobHandle, SubmitError> {
+        self.submit_with_deadline(tenant, shape, payload, config, None)
+    }
+
+    /// [`submit_as`](Engine::submit_as) with an explicit wall-clock
+    /// deadline, measured from dispatch. The effective deadline is the
+    /// request (or the engine's `default_deadline`), clamped to
+    /// `max_deadline`; the watchdog reaps a run still going past it
+    /// (plus the configured grace), finishing the job as
+    /// [`JobStatus::DeadlineExceeded`] with a partial report.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        shape: TorusShape,
+        payload: PayloadSpec,
+        config: RuntimeConfig,
+        deadline: Option<Duration>,
     ) -> Result<JobHandle, SubmitError> {
         let shared = &self.shared;
         if !shared.accepting.load(Ordering::SeqCst) {
@@ -431,7 +621,7 @@ impl Engine {
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.enqueue_shard_locked(&mut shard, tenant, id, shape, payload, config)
+        self.enqueue_shard_locked(&mut shard, tenant, id, shape, payload, config, deadline)
     }
 
     /// Re-enqueues a journal-recovered job under its original id,
@@ -446,6 +636,7 @@ impl Engine {
         shape: TorusShape,
         payload: PayloadSpec,
         config: RuntimeConfig,
+        deadline: Option<Duration>,
     ) -> Result<JobHandle, SubmitError> {
         let shared = &self.shared;
         if !shared.accepting.load(Ordering::SeqCst) {
@@ -455,13 +646,14 @@ impl Engine {
         self.next_id.fetch_max(job_id, Ordering::Relaxed);
         shared.total_queued.fetch_add(1, Ordering::SeqCst);
         let mut shard = lk(shared.shard(tenant));
-        self.enqueue_shard_locked(&mut shard, tenant, job_id, shape, payload, config)
+        self.enqueue_shard_locked(&mut shard, tenant, job_id, shape, payload, config, deadline)
     }
 
     /// Admission tail shared by fresh and replayed submissions: records
     /// acceptance, queues the job, wakes one driver, and closes the
     /// shutdown race. The caller has already reserved the job's
     /// `total_queued` slot.
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_shard_locked(
         &self,
         shard: &mut QueueShard,
@@ -470,6 +662,7 @@ impl Engine {
         shape: TorusShape,
         payload: PayloadSpec,
         config: RuntimeConfig,
+        deadline: Option<Duration>,
     ) -> Result<JobHandle, SubmitError> {
         let shared = &self.shared;
         let entry = shared.entry_mut(shard, tenant);
@@ -477,6 +670,14 @@ impl Engine {
         let tenant_name: Arc<str> = Arc::from(tenant);
         entry.cells.accepted.fetch_add(1, Ordering::Relaxed);
         let tenant_cells = Arc::clone(&entry.cells);
+        let token = CancelToken::new();
+        lk(&shared.lifecycle).insert(
+            id,
+            LifecycleEntry {
+                token: token.clone(),
+                reap_at: None,
+            },
+        );
         entry.jobs.push_back(QueuedJob {
             id,
             shape,
@@ -486,6 +687,8 @@ impl Engine {
             tenant: tenant_name,
             tenant_cells,
             submitted_at: Instant::now(),
+            deadline: shared.effective_deadline(deadline),
+            token,
         });
         shared.cells.accepted.fetch_add(1, Ordering::Relaxed);
         shared
@@ -500,6 +703,7 @@ impl Engine {
             let entry = shared.entry_mut(shard, tenant);
             if let Some(pos) = entry.jobs.iter().position(|job| job.id == id) {
                 entry.jobs.remove(pos);
+                lk(&shared.lifecycle).remove(&id);
                 entry.cells.accepted.fetch_sub(1, Ordering::Relaxed);
                 shared.cells.accepted.fetch_sub(1, Ordering::Relaxed);
                 shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
@@ -532,6 +736,7 @@ impl Engine {
                     shared.cells.failed.fetch_add(1, Ordering::Relaxed);
                     job.tenant_cells.failed.fetch_add(1, Ordering::Relaxed);
                     drop(shard);
+                    lk(&shared.lifecycle).remove(&job_id);
                     shared.total_queued.fetch_sub(1, Ordering::SeqCst);
                     job.state.finish(
                         JobStatus::Failed,
@@ -549,6 +754,47 @@ impl Engine {
             }
         }
         false
+    }
+
+    /// Cancels a job in any pre-terminal state.
+    ///
+    /// A still-queued job is removed and finished as
+    /// [`JobStatus::Cancelled`] before this returns (its `Finished`
+    /// event fires, so a daemon journal hook records the terminal). A
+    /// running job has its [`CancelToken`] triggered and aborts
+    /// cooperatively at the next step boundary — wait on its handle to
+    /// observe the terminal state. Cancelling a finished or unknown job
+    /// is a safe no-op ([`CancelOutcome::Unknown`]).
+    ///
+    /// Tenant scoping is the caller's job: the engine cancels by id
+    /// alone, and the daemon checks ownership in its registry first.
+    pub fn cancel(&self, job_id: u64) -> CancelOutcome {
+        let shared = &self.shared;
+        // Queued first: such a job can be finished right here. Scanning
+        // the shards is O(queued jobs) but cancel is rare.
+        for shard_mutex in &shared.shards {
+            let mut shard = lk(shard_mutex);
+            let names: Vec<Arc<str>> = shard.tenants.keys().cloned().collect();
+            for name in names {
+                let entry = shard.tenants.get_mut(&name).expect("key just listed");
+                if let Some(pos) = entry.jobs.iter().position(|job| job.id == job_id) {
+                    let job = entry.jobs.remove(pos).expect("position just found");
+                    drop(shard);
+                    shared.finish_cancelled_queued(job);
+                    return CancelOutcome::Cancelled;
+                }
+            }
+        }
+        // Not queued but still live: a driver owns it (running, or in
+        // the claim→dispatch window). Pull the trigger; the driver
+        // accounts the terminal state when the run aborts.
+        match lk(&shared.lifecycle).get(&job_id) {
+            Some(entry) => {
+                entry.token.cancel();
+                CancelOutcome::Cancelling
+            }
+            None => CancelOutcome::Unknown,
+        }
     }
 
     /// Guarantees every future fresh id exceeds `id`. Used after crash
@@ -613,6 +859,13 @@ impl Engine {
         let handles: Vec<_> = lk(&self.drivers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
+        }
+        // Stop the watchdog only after the drivers drained, so reaps
+        // keep working for jobs finishing during shutdown.
+        *lk(&self.shared.watchdog_stop) = true;
+        self.shared.watchdog_cv.notify_all();
+        if let Some(watchdog) = lk(&self.watchdog).take() {
+            let _ = watchdog.join();
         }
         self.shared.pool.shutdown();
         let stats = self.stats();
@@ -687,17 +940,29 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         tenant: &job.tenant,
     });
     let started = Instant::now();
-    let finish_run = |failed: bool| {
+    // Publish the reap deadline before any work happens, so a stall in
+    // the very first step is still covered by the watchdog.
+    if let Some(deadline) = job.deadline {
+        if let Some(entry) = lk(&shared.lifecycle).get_mut(&job.id) {
+            entry.reap_at = Some(started + deadline);
+        }
+    }
+    let finish_run = |status: JobStatus| {
+        lk(&shared.lifecycle).remove(&job.id);
         let run_us = started.elapsed().as_micros() as u64;
         shared.cells.run_time.record(run_us);
         job.tenant_cells.run_time.record(run_us);
-        if failed {
-            shared.cells.failed.fetch_add(1, Ordering::Relaxed);
-            job.tenant_cells.failed.fetch_add(1, Ordering::Relaxed);
-        } else {
-            shared.cells.completed.fetch_add(1, Ordering::Relaxed);
-            job.tenant_cells.completed.fetch_add(1, Ordering::Relaxed);
-        }
+        let (cell, tenant_cell) = match status {
+            JobStatus::Completed => (&shared.cells.completed, &job.tenant_cells.completed),
+            JobStatus::Cancelled => (&shared.cells.cancelled, &job.tenant_cells.cancelled),
+            JobStatus::DeadlineExceeded => (
+                &shared.cells.deadline_exceeded,
+                &job.tenant_cells.deadline_exceeded,
+            ),
+            _ => (&shared.cells.failed, &job.tenant_cells.failed),
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        tenant_cell.fetch_add(1, Ordering::Relaxed);
     };
     let nn = job.shape.num_nodes() as usize;
     let workers = job
@@ -732,7 +997,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                         // every driver waiting on this key hangs.
                         lk(&shared.cache).abandon_build(&key);
                         shared.plan_ready.notify_all();
-                        finish_run(true);
+                        finish_run(JobStatus::Failed);
                         let result = job.state.finish(
                             JobStatus::Failed,
                             JobResult {
@@ -781,14 +1046,14 @@ fn run_job(shared: &Shared, job: QueuedJob) {
     let runtime = Runtime::from_shared(
         Arc::clone(&entry.prepared),
         Arc::clone(&entry.plan),
-        job.config.clone(),
+        job.config.clone().with_cancel_token(job.token.clone()),
     );
     let outcome = runtime.run_pooled(&shared.pool, Some(&entry.bank), |s, d| {
         payload.payload(s, d, block_bytes)
     });
     match outcome {
         Ok((report, deliveries)) => {
-            finish_run(false);
+            finish_run(JobStatus::Completed);
             if report.degraded.is_some() {
                 shared.cells.degraded.fetch_add(1, Ordering::Relaxed);
             }
@@ -818,10 +1083,11 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             });
         }
         Err(e) => {
-            finish_run(true);
             // A fault abort still carries partial measurements worth
-            // surfacing; count its wire traffic too.
-            let (error, report) = match e {
+            // surfacing; count its wire traffic too. Cancelled and
+            // deadline-reaped runs get their own terminal statuses so
+            // the books distinguish "we stopped it" from "it broke".
+            let (status, error, report) = match e {
                 RuntimeError::Aborted { failure, report } => {
                     shared
                         .cells
@@ -831,12 +1097,18 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                         .cells
                         .bytes_copied
                         .fetch_add(report.bytes_copied, Ordering::Relaxed);
-                    (format!("run aborted: {failure}"), Some(*report))
+                    let status = match failure.reason {
+                        FailureReason::Cancelled => JobStatus::Cancelled,
+                        FailureReason::DeadlineExceeded => JobStatus::DeadlineExceeded,
+                        _ => JobStatus::Failed,
+                    };
+                    (status, format!("run aborted: {failure}"), Some(*report))
                 }
-                other => (other.to_string(), None),
+                other => (JobStatus::Failed, other.to_string(), None),
             };
+            finish_run(status);
             let result = job.state.finish(
-                JobStatus::Failed,
+                status,
                 JobResult {
                     job_id: job.id,
                     report,
@@ -848,7 +1120,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
             shared.fire(JobEvent::Finished {
                 job_id: job.id,
                 tenant: &job.tenant,
-                status: JobStatus::Failed,
+                status,
                 result: &result,
             });
         }

@@ -147,7 +147,9 @@ pub enum JobEvent<'a> {
         job_id: u64,
         /// The owning tenant.
         tenant: &'a str,
-        /// [`JobStatus::Completed`] or [`JobStatus::Failed`].
+        /// A terminal status: [`JobStatus::Completed`],
+        /// [`JobStatus::Failed`], [`JobStatus::Cancelled`], or
+        /// [`JobStatus::DeadlineExceeded`].
         status: JobStatus,
         /// The job's full result (report, deliveries, error).
         result: &'a JobResult,
@@ -171,6 +173,21 @@ pub enum JobStatus {
     /// Finished with an error (setup failure, abort, or panic). The
     /// engine itself is unaffected.
     Failed,
+    /// Stopped by an explicit [`Engine::cancel`](crate::Engine::cancel)
+    /// — removed from the queue, or aborted cooperatively mid-run with
+    /// a partial report.
+    Cancelled,
+    /// Reaped by the engine's watchdog (or an expired token) after its
+    /// wall-clock deadline plus the configured grace passed.
+    DeadlineExceeded,
+}
+
+impl JobStatus {
+    /// Whether this status is terminal (the job will never transition
+    /// again and its result is available).
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobStatus::Queued | JobStatus::Running)
+    }
 }
 
 /// The outcome of one job.

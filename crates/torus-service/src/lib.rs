@@ -56,7 +56,7 @@ mod stats;
 mod tenant;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{CancelOutcome, Engine, EngineConfig};
 pub use job::{EventHook, JobEvent, JobHandle, JobResult, JobStatus, PayloadSpec, SubmitError};
 pub use stats::{Histogram, LatencyStats, ServiceStats, HISTOGRAM_BUCKETS};
 pub use tenant::{RateLimit, TenantQuota, TenantStats, DEFAULT_TENANT};

@@ -129,6 +129,14 @@ pub struct ServiceStats {
     pub jobs_completed: u64,
     /// Jobs that finished with an error; the engine survived each one.
     pub jobs_failed: u64,
+    /// Jobs stopped by an explicit cancel (queued or mid-run).
+    pub jobs_cancelled: u64,
+    /// Jobs reaped past their wall-clock deadline.
+    pub jobs_deadline_exceeded: u64,
+    /// Deadline expirations triggered by the watchdog thread itself (a
+    /// subset of `jobs_deadline_exceeded` — deadlines can also be
+    /// enforced by external token holders).
+    pub watchdog_reaps: u64,
     /// Completed jobs that ran in degraded mode (quarantined dead nodes).
     pub jobs_degraded: u64,
     /// Highest queue occupancy observed.
@@ -151,12 +159,14 @@ impl ServiceStats {
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
-            "jobs {}/{} ok ({} failed, {} degraded, {} rejected) | queue hwm {} | \
-             cache {}/{} hit | {} wire B | {} copied B | \
+            "jobs {}/{} ok ({} failed, {} cancelled, {} deadline, {} degraded, {} rejected) | \
+             queue hwm {} | cache {}/{} hit | {} wire B | {} copied B | \
              wait p50/p95/p99 {}/{}/{} µs | run p50/p95/p99 {}/{}/{} µs",
             self.jobs_completed,
             self.jobs_accepted,
             self.jobs_failed,
+            self.jobs_cancelled,
+            self.jobs_deadline_exceeded,
             self.jobs_degraded,
             self.jobs_rejected,
             self.queue_high_water,
@@ -188,6 +198,9 @@ pub(crate) struct StatCells {
     pub rejected: AtomicU64,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
+    pub watchdog_reaps: AtomicU64,
     pub degraded: AtomicU64,
     pub queue_hwm: AtomicUsize,
     pub wire_bytes: AtomicU64,
@@ -210,6 +223,9 @@ impl StatCells {
             jobs_rejected: self.rejected.load(Ordering::Relaxed),
             jobs_completed: self.completed.load(Ordering::Relaxed),
             jobs_failed: self.failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.cancelled.load(Ordering::Relaxed),
+            jobs_deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            watchdog_reaps: self.watchdog_reaps.load(Ordering::Relaxed),
             jobs_degraded: self.degraded.load(Ordering::Relaxed),
             queue_high_water: self.queue_hwm.load(Ordering::Relaxed),
             cache_hits,

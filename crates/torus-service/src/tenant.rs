@@ -155,6 +155,10 @@ pub struct TenantStats {
     pub jobs_completed: u64,
     /// Jobs finished with an error.
     pub jobs_failed: u64,
+    /// Jobs stopped by an explicit cancel.
+    pub jobs_cancelled: u64,
+    /// Jobs reaped past their wall-clock deadline.
+    pub jobs_deadline_exceeded: u64,
     /// Submit-to-dispatch wait, in microseconds.
     pub queue_wait: LatencyStats,
     /// Dispatch-to-finish run time, in microseconds.
@@ -168,6 +172,8 @@ pub(crate) struct TenantCells {
     pub rejected: AtomicU64,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub deadline_exceeded: AtomicU64,
     pub queue_wait: Histogram,
     pub run_time: Histogram,
 }
@@ -180,6 +186,8 @@ impl TenantCells {
             jobs_rejected: self.rejected.load(Ordering::Relaxed),
             jobs_completed: self.completed.load(Ordering::Relaxed),
             jobs_failed: self.failed.load(Ordering::Relaxed),
+            jobs_cancelled: self.cancelled.load(Ordering::Relaxed),
+            jobs_deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.stats(),
             run_time: self.run_time.stats(),
         }

@@ -1,0 +1,307 @@
+//! Job lifecycle hardening: explicit cancellation of queued and running
+//! jobs, wall-clock deadlines enforced by the engine watchdog, and the
+//! books invariant (`accepted == completed + failed + cancelled +
+//! deadline_exceeded`) across every terminal path.
+
+use std::time::{Duration, Instant};
+
+use torus_runtime::{FaultPlan, RetryPolicy, RuntimeConfig, WorkerFaultKind};
+use torus_service::{CancelOutcome, Engine, EngineConfig, JobHandle, JobStatus, PayloadSpec};
+use torus_topology::TorusShape;
+
+fn shape() -> TorusShape {
+    TorusShape::new_2d(4, 4).unwrap()
+}
+
+fn quick_cfg() -> RuntimeConfig {
+    RuntimeConfig::default()
+        .with_workers(2)
+        .with_block_bytes(64)
+}
+
+/// A run that pins a pool worker in a stall long enough that only a
+/// cancel or the watchdog ends the job: the retry policy outlives the
+/// stall, so the runtime itself never gives up first.
+fn stalled_cfg(stall: Duration) -> RuntimeConfig {
+    quick_cfg()
+        .with_faults(FaultPlan::seeded(1).with_worker_fault(
+            0,
+            0,
+            WorkerFaultKind::StallMicros(stall.as_micros() as u64),
+        ))
+        .with_retry(
+            RetryPolicy::default()
+                .with_deadline(Duration::from_secs(60))
+                .with_max_retries(64),
+        )
+}
+
+fn wait_until_running(handle: &JobHandle) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.try_status() == JobStatus::Queued {
+        assert!(Instant::now() < deadline, "job never started running");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn assert_books_balance(engine: &Engine) {
+    let s = engine.stats();
+    assert_eq!(
+        s.jobs_accepted,
+        s.jobs_completed + s.jobs_failed + s.jobs_cancelled + s.jobs_deadline_exceeded,
+        "service books must balance: {s:?}"
+    );
+    for t in engine.tenant_stats() {
+        assert_eq!(
+            t.jobs_accepted,
+            t.jobs_completed + t.jobs_failed + t.jobs_cancelled + t.jobs_deadline_exceeded,
+            "tenant books must balance: {t:?}"
+        );
+    }
+}
+
+/// A queued job cancels synchronously: the engine finishes it on the
+/// spot as `Cancelled` with a typed error, without a driver ever
+/// touching it.
+#[test]
+fn cancel_queued_job_finishes_immediately() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(1));
+    // Occupy the single driver so the next submission stays queued.
+    let blocker = engine
+        .submit(
+            shape(),
+            PayloadSpec::Pattern,
+            stalled_cfg(Duration::from_secs(2)),
+        )
+        .unwrap();
+    wait_until_running(&blocker);
+    let queued = engine
+        .submit(shape(), PayloadSpec::Pattern, quick_cfg())
+        .unwrap();
+    assert_eq!(queued.try_status(), JobStatus::Queued);
+
+    assert_eq!(engine.cancel(queued.id()), CancelOutcome::Cancelled);
+    assert_eq!(queued.try_status(), JobStatus::Cancelled);
+    let result = queued.wait();
+    assert!(
+        result.error.as_deref().unwrap_or("").contains("cancelled"),
+        "cancelled job must carry a typed error, got {:?}",
+        result.error
+    );
+    assert!(result.deliveries.is_none());
+
+    // The blocker is unaffected; free the engine and check the books.
+    assert_eq!(engine.cancel(blocker.id()), CancelOutcome::Cancelling);
+    blocker.wait();
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_accepted, 2);
+    assert_eq!(stats.jobs_cancelled, 2);
+    assert_eq!(stats.jobs_completed, 0);
+}
+
+/// A running job stops at the next cancellation checkpoint — orders of
+/// magnitude sooner than its injected stall would otherwise hold the
+/// pool — and reports `Cancelled`, not `Failed`.
+#[test]
+fn cancel_running_job_aborts_promptly() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2).with_drivers(1));
+    let job = engine
+        .submit(
+            shape(),
+            PayloadSpec::Pattern,
+            stalled_cfg(Duration::from_secs(30)),
+        )
+        .unwrap();
+    wait_until_running(&job);
+
+    let cancelled_at = Instant::now();
+    assert_eq!(engine.cancel(job.id()), CancelOutcome::Cancelling);
+    let result = job.wait();
+    let to_terminal = cancelled_at.elapsed();
+    assert_eq!(job.try_status(), JobStatus::Cancelled);
+    assert!(
+        to_terminal < Duration::from_secs(10),
+        "cancel took {to_terminal:?} against a 30s stall"
+    );
+    assert!(result.error.is_some());
+
+    // The pool reservation is released: a fresh job completes.
+    let next = engine
+        .submit(shape(), PayloadSpec::Pattern, quick_cfg())
+        .unwrap();
+    assert_eq!(next.wait().error, None);
+    assert_books_balance(&engine);
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_cancelled, 1);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+/// Cancelling ids the engine has never seen, or jobs already terminal,
+/// is a safe no-op.
+#[test]
+fn cancel_unknown_or_terminal_is_a_noop() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2));
+    assert_eq!(engine.cancel(12345), CancelOutcome::Unknown);
+    let job = engine
+        .submit(shape(), PayloadSpec::Pattern, quick_cfg())
+        .unwrap();
+    job.wait();
+    assert_eq!(engine.cancel(job.id()), CancelOutcome::Unknown);
+    assert_eq!(job.try_status(), JobStatus::Completed);
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_completed, 1);
+    assert_eq!(stats.jobs_cancelled, 0);
+}
+
+/// The acceptance scenario: a job whose pinned worker stalls without
+/// ever recovering, submitted with a wall-clock deadline, is reaped by
+/// the watchdog within deadline + grace (plus scheduling slack),
+/// reports the typed `DeadlineExceeded` status, frees its pool
+/// reservation, and leaves the books balanced.
+#[test]
+fn watchdog_reaps_past_deadline_job() {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_pool_size(2)
+            .with_drivers(1)
+            .with_watchdog(Duration::from_millis(5), Duration::from_millis(20)),
+    );
+    let submitted_at = Instant::now();
+    let job = engine
+        .submit_with_deadline(
+            "default",
+            shape(),
+            PayloadSpec::Pattern,
+            stalled_cfg(Duration::from_secs(30)),
+            Some(Duration::from_millis(150)),
+        )
+        .unwrap();
+    let result = job.wait();
+    let to_terminal = submitted_at.elapsed();
+    assert_eq!(job.try_status(), JobStatus::DeadlineExceeded);
+    assert!(
+        result.error.as_deref().unwrap_or("").contains("deadline"),
+        "deadline reap must carry a typed error, got {:?}",
+        result.error
+    );
+    // Deadline 150ms + grace 20ms + watchdog tick + abort latency: the
+    // 30s stall must not be what ended the job.
+    assert!(
+        to_terminal < Duration::from_secs(10),
+        "watchdog took {to_terminal:?} against a 150ms deadline"
+    );
+
+    // Reservation freed: the engine still runs jobs to completion.
+    let next = engine
+        .submit(shape(), PayloadSpec::Pattern, quick_cfg())
+        .unwrap();
+    assert_eq!(next.wait().error, None);
+    assert_books_balance(&engine);
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_deadline_exceeded, 1);
+    assert_eq!(stats.watchdog_reaps, 1);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+/// Jobs that name no deadline inherit the engine default, and the
+/// server-side maximum clamps even explicit requests above it.
+#[test]
+fn default_and_max_deadline_bound_every_job() {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_pool_size(2)
+            .with_drivers(2)
+            .with_default_deadline(Duration::from_millis(100))
+            .with_max_deadline(Duration::from_millis(200))
+            .with_watchdog(Duration::from_millis(5), Duration::ZERO),
+    );
+    // No requested deadline: the default applies.
+    let defaulted = engine
+        .submit(
+            shape(),
+            PayloadSpec::Pattern,
+            stalled_cfg(Duration::from_secs(30)),
+        )
+        .unwrap();
+    // Requests far above the max: clamped to 200ms.
+    let clamped = engine
+        .submit_with_deadline(
+            "default",
+            shape(),
+            PayloadSpec::Pattern,
+            stalled_cfg(Duration::from_secs(30)),
+            Some(Duration::from_secs(3600)),
+        )
+        .unwrap();
+    let started = Instant::now();
+    defaulted.wait();
+    clamped.wait();
+    assert_eq!(defaulted.try_status(), JobStatus::DeadlineExceeded);
+    assert_eq!(clamped.try_status(), JobStatus::DeadlineExceeded);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "both reaps must beat the 30s stalls by a wide margin"
+    );
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_deadline_exceeded, 2);
+    assert_eq!(stats.watchdog_reaps, 2);
+}
+
+/// A cancel storm across queued, running, and already-terminal jobs:
+/// every job reaches exactly one terminal state and the books balance
+/// at both the service and tenant level.
+#[test]
+fn cancel_storm_keeps_books_balanced() {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .with_pool_size(4)
+            .with_drivers(2)
+            .with_queue_depth(256),
+    );
+    let mut handles = Vec::new();
+    for i in 0..24u64 {
+        let tenant = format!("tenant-{}", i % 6);
+        let cfg = if i % 3 == 0 {
+            stalled_cfg(Duration::from_secs(20))
+        } else {
+            quick_cfg()
+        };
+        handles.push(
+            engine
+                .submit_as(&tenant, shape(), PayloadSpec::Pattern, cfg)
+                .unwrap(),
+        );
+    }
+    // Cancel everything, twice, racing the drivers. Whatever each
+    // cancel observes (queued, running, already terminal) must resolve
+    // to exactly one terminal state per job.
+    for pass in 0..2 {
+        for handle in &handles {
+            let outcome = engine.cancel(handle.id());
+            if pass == 1 {
+                // Second pass: nothing is queued anymore, so a repeat
+                // cancel is either still-cancelling or a no-op.
+                assert_ne!(outcome, CancelOutcome::Cancelled);
+            }
+        }
+    }
+    for handle in &handles {
+        let status = handle.wait();
+        assert!(
+            handle.try_status().is_terminal(),
+            "job {} stuck in {:?}",
+            handle.id(),
+            handle.try_status()
+        );
+        drop(status);
+    }
+    assert_books_balance(&engine);
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_accepted, 24);
+    assert_eq!(
+        stats.jobs_completed + stats.jobs_failed + stats.jobs_cancelled,
+        24,
+        "no deadline was set, so terminals are completed/failed/cancelled only: {stats:?}"
+    );
+    assert!(stats.jobs_cancelled > 0, "the storm must land some cancels");
+}

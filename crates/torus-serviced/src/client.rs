@@ -16,10 +16,11 @@ use std::time::Duration;
 use crate::json::Json;
 use crate::spec::JobSpec;
 
-/// How long a read may block before the client gives up on the daemon.
-/// Generous — drains of deep queues legitimately take a while — but
-/// finite, so a wedged daemon fails a test instead of hanging it.
-const READ_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default read timeout, used until [`Client::with_read_timeout`]
+/// overrides it. Generous — drains of deep queues legitimately take a
+/// while — but finite, so a wedged daemon fails a test instead of
+/// hanging it.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// The final `done` event for one job, decoded.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +43,10 @@ pub struct DoneEvent {
     pub checksum: Option<String>,
     /// Failure description when `ok` is false.
     pub error: Option<String>,
+    /// Terminal state token: `"completed"`, `"failed"`, `"cancelled"`,
+    /// or `"deadline_exceeded"`. Derived from `ok` when talking to a
+    /// daemon predating the field.
+    pub state: String,
 }
 
 impl DoneEvent {
@@ -51,17 +56,23 @@ impl DoneEvent {
                 .get(k)
                 .ok_or_else(|| ClientError::Protocol(format!("done event missing {k:?}")))
         };
+        let ok = field("ok")?.as_bool().unwrap_or(false);
         Ok(Self {
             job_id: field("job_id")?
                 .as_u64()
                 .ok_or_else(|| ClientError::Protocol("done.job_id not a u64".into()))?,
-            ok: field("ok")?.as_bool().unwrap_or(false),
+            ok,
             degraded: field("degraded")?.as_bool().unwrap_or(false),
             verified: field("verified")?.as_bool().unwrap_or(false),
             cache_hit: field("cache_hit")?.as_bool().unwrap_or(false),
             wire_bytes: field("wire_bytes")?.as_u64().unwrap_or(0),
             checksum: field("checksum")?.as_str().map(str::to_string),
             error: field("error")?.as_str().map(str::to_string),
+            state: event
+                .get("state")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .unwrap_or_else(|| if ok { "completed" } else { "failed" }.to_string()),
         })
     }
 }
@@ -130,8 +141,8 @@ impl From<io::Error> for ClientError {
 pub struct JobStatusReply {
     /// The queried job id.
     pub job_id: u64,
-    /// `"queued"`, `"running"`, `"completed"`, `"failed"`, or
-    /// `"unknown"`.
+    /// `"queued"`, `"running"`, `"completed"`, `"failed"`,
+    /// `"cancelled"`, `"deadline_exceeded"`, or `"unknown"`.
     pub state: String,
     /// Terminal outcome, when the job is terminal.
     pub ok: Option<bool>,
@@ -144,6 +155,20 @@ pub struct JobStatusReply {
     /// `true` when the answer came from a recovered journal rather
     /// than a job this daemon process executed.
     pub recovered: bool,
+}
+
+/// The decoded reply to a `cancel` op (`ev:"cancel"`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CancelReply {
+    /// The job the cancel addressed.
+    pub job_id: u64,
+    /// Stable outcome token: `"cancelled"` (was queued, now terminal),
+    /// `"cancelling"` (running; its `done` will report
+    /// `state:"cancelled"`), `"already_terminal"`, `"forbidden"`
+    /// (another tenant's job), or `"unknown"`.
+    pub outcome: String,
+    /// For `already_terminal`, the recorded terminal state when known.
+    pub state: Option<String>,
 }
 
 /// One connection to a running daemon.
@@ -161,10 +186,12 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects; does not authenticate (see [`Client::hello`]).
+    /// Connects; does not authenticate (see [`Client::hello`]). Reads
+    /// time out after [`DEFAULT_READ_TIMEOUT`]; adjust with
+    /// [`Client::with_read_timeout`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         stream.set_nodelay(true).ok();
         Ok(Self {
             reader: BufReader::new(stream),
@@ -172,6 +199,15 @@ impl Client {
             status_trace: HashMap::new(),
             last_event: None,
         })
+    }
+
+    /// Overrides how long a read may block before failing with a
+    /// timeout. `None` means block forever — only sensible for
+    /// interactive tools; tests and services should keep a bound so a
+    /// wedged daemon surfaces as an error instead of a hang.
+    pub fn with_read_timeout(self, timeout: Option<Duration>) -> io::Result<Self> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(self)
     }
 
     /// Classifies a socket error: a dead peer becomes `Disconnected`
@@ -446,6 +482,33 @@ impl Client {
                 .get("recovered")
                 .and_then(Json::as_bool)
                 .unwrap_or(false),
+        })
+    }
+
+    /// Cancels one job by id. Only jobs submitted by this connection's
+    /// tenant are cancellable; a `cancelling` outcome means the job is
+    /// running and its `done` event (with `state:"cancelled"`) follows
+    /// on the submitting connection.
+    pub fn cancel(&mut self, job_id: u64) -> Result<CancelReply, ClientError> {
+        self.send_line(&Json::obj([
+            ("op", Json::str("cancel")),
+            ("job_id", Json::u64(job_id)),
+        ]))?;
+        let event = self.expect_ev("cancel")?;
+        Ok(CancelReply {
+            job_id: event
+                .get("job_id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ClientError::Protocol("cancel without job_id".into()))?,
+            outcome: event
+                .get("outcome")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("cancel without outcome".into()))?
+                .to_string(),
+            state: event
+                .get("state")
+                .and_then(Json::as_str)
+                .map(str::to_string),
         })
     }
 

@@ -238,6 +238,10 @@ pub struct RecoveredDone {
     pub checksum: Option<String>,
     /// The recorded failure description, when it failed.
     pub error: Option<String>,
+    /// The recorded terminal state: `"completed"`, `"failed"`,
+    /// `"cancelled"`, or `"deadline_exceeded"`. Records written before
+    /// the field existed derive it from `ok`.
+    pub state: String,
 }
 
 /// Everything [`Journal::open`] reconstructed from disk.
@@ -524,13 +528,23 @@ impl Journal {
                             }
                             RecordKind::Started | RecordKind::Rejected => {}
                             RecordKind::Done => {
+                                let ok = rec
+                                    .payload
+                                    .get("ok")
+                                    .and_then(Json::as_bool)
+                                    .unwrap_or(false);
+                                // Pre-`state` records derive it from `ok`.
+                                let state = rec
+                                    .payload
+                                    .get("state")
+                                    .and_then(Json::as_str)
+                                    .map(str::to_string)
+                                    .unwrap_or_else(|| {
+                                        if ok { "completed" } else { "failed" }.to_string()
+                                    });
                                 entry.done = Some(RecoveredDone {
                                     job_id: rec.job_id,
-                                    ok: rec
-                                        .payload
-                                        .get("ok")
-                                        .and_then(Json::as_bool)
-                                        .unwrap_or(false),
+                                    ok,
                                     degraded: rec
                                         .payload
                                         .get("degraded")
@@ -546,6 +560,7 @@ impl Journal {
                                         .get("error")
                                         .and_then(Json::as_str)
                                         .map(str::to_string),
+                                    state,
                                 });
                             }
                         }
@@ -771,7 +786,10 @@ impl Journal {
     }
 
     /// Records `job_id`'s terminal outcome. `checksum` is the FNV-1a
-    /// delivery checksum in hex when the run was clean.
+    /// delivery checksum in hex when the run was clean. The terminal
+    /// state is derived from `ok`; cancellations and deadline reaps use
+    /// [`record_done_state`](Journal::record_done_state) so recovery
+    /// can tell them apart from genuine failures.
     pub fn record_done(
         &self,
         job_id: u64,
@@ -780,11 +798,29 @@ impl Journal {
         checksum: Option<&str>,
         error: Option<&str>,
     ) -> Result<(), JournalError> {
+        let state = if ok { "completed" } else { "failed" };
+        self.record_done_state(job_id, ok, degraded, checksum, error, state)
+    }
+
+    /// [`record_done`](Journal::record_done) with an explicit terminal
+    /// `state` (`"completed"`, `"failed"`, `"cancelled"`, or
+    /// `"deadline_exceeded"`). A `cancelled` terminal record is what
+    /// stops recovery from re-running a job the user already killed.
+    pub fn record_done_state(
+        &self,
+        job_id: u64,
+        ok: bool,
+        degraded: bool,
+        checksum: Option<&str>,
+        error: Option<&str>,
+        state: &str,
+    ) -> Result<(), JournalError> {
         let payload = Json::obj([
             ("ok", Json::Bool(ok)),
             ("degraded", Json::Bool(degraded)),
             ("checksum", checksum.map_or(Json::Null, Json::str)),
             ("error", error.map_or(Json::Null, Json::str)),
+            ("state", Json::str(state)),
         ]);
         let core = &self.core;
         let mut inner = lk(&core.inner);
@@ -1106,6 +1142,45 @@ mod tests {
         drop(journal);
         let (_j, recovery) = Journal::open(config).unwrap();
         assert!(recovery.pending.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_terminal_state_survives_recovery() {
+        let dir = tmp_dir("cancelstate");
+        {
+            let (journal, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+            journal.record_accepted(1, "acme", demo_spec()).unwrap();
+            journal
+                .record_done_state(1, false, false, None, Some("run cancelled"), "cancelled")
+                .unwrap();
+            journal.record_accepted(2, "acme", demo_spec()).unwrap();
+            journal
+                .record_done_state(
+                    2,
+                    false,
+                    false,
+                    None,
+                    Some("deadline exceeded"),
+                    "deadline_exceeded",
+                )
+                .unwrap();
+            // A plain record_done still derives its state from `ok`.
+            journal.record_accepted(3, "acme", demo_spec()).unwrap();
+            journal
+                .record_done(3, true, false, Some("00ff00ff00ff00ff"), None)
+                .unwrap();
+        }
+        let (_j, recovery) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert!(
+            recovery.pending.is_empty(),
+            "cancelled jobs must never re-run"
+        );
+        assert_eq!(recovery.terminal.len(), 3);
+        assert_eq!(recovery.terminal[0].state, "cancelled");
+        assert!(!recovery.terminal[0].ok);
+        assert_eq!(recovery.terminal[1].state, "deadline_exceeded");
+        assert_eq!(recovery.terminal[2].state, "completed");
         let _ = fs::remove_dir_all(&dir);
     }
 

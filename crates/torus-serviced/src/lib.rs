@@ -58,7 +58,12 @@ pub mod server;
 pub mod signal;
 pub mod spec;
 
-pub use client::{Client, ClientError, DoneEvent, JobStatusReply};
+pub use client::{
+    CancelReply, Client, ClientError, DoneEvent, JobStatusReply, DEFAULT_READ_TIMEOUT,
+};
 pub use journal::{Journal, JournalConfig, JournalError, JournalStats, Recovery};
 pub use server::{Daemon, DaemonConfig};
-pub use spec::{FaultSpec, JobSpec, RetrySpec, SpecError, MAX_BLOCK_BYTES, MAX_WORKERS};
+pub use spec::{
+    FaultSpec, JobSpec, RetrySpec, SpecError, MAX_BLOCK_BYTES, MAX_DEADLINE_MS, MAX_STALL_US,
+    MAX_WORKERS,
+};

@@ -55,6 +55,14 @@ pub enum Request {
         /// The engine-assigned job id to look up.
         job_id: u64,
     },
+    /// Cancel one job by id. Tenant-scoped: only the connection's
+    /// authenticated tenant may cancel its own jobs. Queued jobs finish
+    /// immediately as `cancelled`; running jobs are asked to stop and
+    /// report `cancelled` through the normal `done` stream.
+    Cancel {
+        /// The engine-assigned job id to cancel.
+        job_id: u64,
+    },
     /// Fetch service-wide and per-tenant statistics.
     Stats,
     /// Fetch the job-spec schema.
@@ -134,12 +142,16 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 Ok(Request::Validate { spec })
             }
         }
-        "status" => {
+        "status" | "cancel" => {
             let job_id = value
                 .get("job_id")
                 .and_then(Json::as_u64)
-                .ok_or_else(|| ProtoError::new("status requires a numeric 'job_id'"))?;
-            Ok(Request::Status { job_id })
+                .ok_or_else(|| ProtoError::new(format!("{op} requires a numeric 'job_id'")))?;
+            if op == "status" {
+                Ok(Request::Status { job_id })
+            } else {
+                Ok(Request::Cancel { job_id })
+            }
         }
         "stats" => Ok(Request::Stats),
         "schema" => Ok(Request::Schema),
@@ -166,6 +178,12 @@ pub fn service_stats_json(stats: &ServiceStats) -> Json {
         ("jobs_rejected", Json::u64(stats.jobs_rejected)),
         ("jobs_completed", Json::u64(stats.jobs_completed)),
         ("jobs_failed", Json::u64(stats.jobs_failed)),
+        ("jobs_cancelled", Json::u64(stats.jobs_cancelled)),
+        (
+            "jobs_deadline_exceeded",
+            Json::u64(stats.jobs_deadline_exceeded),
+        ),
+        ("watchdog_reaps", Json::u64(stats.watchdog_reaps)),
         ("jobs_degraded", Json::u64(stats.jobs_degraded)),
         ("queue_high_water", Json::u64(stats.queue_high_water as u64)),
         ("cache_hits", Json::u64(stats.cache_hits)),
@@ -185,6 +203,11 @@ pub fn tenant_stats_json(stats: &TenantStats) -> Json {
         ("jobs_rejected", Json::u64(stats.jobs_rejected)),
         ("jobs_completed", Json::u64(stats.jobs_completed)),
         ("jobs_failed", Json::u64(stats.jobs_failed)),
+        ("jobs_cancelled", Json::u64(stats.jobs_cancelled)),
+        (
+            "jobs_deadline_exceeded",
+            Json::u64(stats.jobs_deadline_exceeded),
+        ),
         ("queue_wait_us", latency_json(&stats.queue_wait)),
         ("run_time_us", latency_json(&stats.run_time)),
     ])
@@ -271,6 +294,25 @@ pub fn job_status(
         ("checksum", checksum.map_or(Json::Null, Json::str)),
         ("error", error.map_or(Json::Null, Json::str)),
         ("recovered", Json::Bool(recovered)),
+    ])
+}
+
+/// `{"ev":"cancel","job_id":…,"outcome":…,"state":…}` — the reply to a
+/// `cancel` op. `outcome` is a stable token:
+///
+/// * `cancelled` — the job was still queued and is now terminal;
+/// * `cancelling` — the job is running and has been asked to stop; its
+///   `done` event will follow with `state:"cancelled"`;
+/// * `already_terminal` — the job finished first; `state` carries its
+///   recorded terminal state;
+/// * `forbidden` — the job belongs to another tenant;
+/// * `unknown` — no live or remembered job with that id.
+pub fn cancel_reply(job_id: u64, outcome: &str, state: Option<&str>) -> Json {
+    Json::obj([
+        ("ev", Json::str("cancel")),
+        ("job_id", Json::u64(job_id)),
+        ("outcome", Json::str(outcome)),
+        ("state", state.map_or(Json::Null, Json::str)),
     ])
 }
 
@@ -383,6 +425,10 @@ mod tests {
             Request::Status { job_id: 9 }
         );
         assert_eq!(
+            parse_request(r#"{"op":"cancel","job_id":11}"#).unwrap(),
+            Request::Cancel { job_id: 11 }
+        );
+        assert_eq!(
             parse_request(r#"{"op":"schema"}"#).unwrap(),
             Request::Schema
         );
@@ -403,6 +449,7 @@ mod tests {
             (r#"{"op":"hello","tenant":"sp ace"}"#, "tenant"),
             (r#"{"op":"submit"}"#, "'spec'"),
             (r#"{"op":"status"}"#, "'job_id'"),
+            (r#"{"op":"cancel"}"#, "'job_id'"),
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(

@@ -67,12 +67,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use torus_service::{JobHandle, JobStatus, SubmitError};
+use torus_service::{CancelOutcome, JobHandle, JobStatus, SubmitError};
 
 use crate::journal::JournalError;
 use crate::json::Json;
 use crate::proto::{self, Request, MAX_LINE_BYTES};
-use crate::server::{done_event, DaemonShared, Terminal};
+use crate::server::{done_event, CancelLookup, DaemonShared, Terminal};
 use crate::spec::JobSpec;
 
 /// A client that stops reading while events stream is disconnected once
@@ -254,6 +254,10 @@ struct Conn {
     /// tracked jobs until done, matching the old reader/pump split.
     eof: bool,
     dead: bool,
+    /// When the peer last sent bytes; drives idle reaping. Only truly
+    /// quiet connections are reaped — one with tracked jobs, parked
+    /// replies, or unflushed output is never idle.
+    last_activity: Instant,
 }
 
 impl Conn {
@@ -271,6 +275,7 @@ impl Conn {
             await_drain: false,
             eof: false,
             dead: false,
+            last_activity: Instant::now(),
         })
     }
 
@@ -441,6 +446,26 @@ pub(crate) fn reactor_loop(shared: &Arc<DaemonShared>, handle: &Arc<ReactorHandl
                 conn.dead = true;
             }
         }
+
+        // Idle reaping: a connection that has sent nothing for the
+        // configured timeout and is owed nothing (no tracked jobs, no
+        // parked replies, no unflushed bytes) is closed so abandoned
+        // sockets cannot accumulate poll slots forever.
+        if let Some(idle) = shared.idle_timeout {
+            let now = Instant::now();
+            for conn in &mut conns {
+                if !conn.dead
+                    && conn.tracks.is_empty()
+                    && conn.pending.is_empty()
+                    && !conn.await_drain
+                    && !conn.has_unflushed()
+                    && now.duration_since(conn.last_activity) >= idle
+                {
+                    conn.dead = true;
+                    shared.idle_reaped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         conns.retain(|c| !c.dead);
 
         if closed {
@@ -465,6 +490,7 @@ fn read_ready(conn: &mut Conn) {
             }
             Ok(n) => {
                 conn.rbuf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
                 if n < chunk.len() {
                     return;
                 }
@@ -563,6 +589,10 @@ fn dispatch(conn: &mut Conn, request: Request, shared: &Arc<DaemonShared>) {
                 ("reactor_threads", Json::u64(shared.reactor_threads as u64)),
                 ("registry_live", Json::u64(live as u64)),
                 ("registry_terminal", Json::u64(terminal as u64)),
+                (
+                    "idle_reaped",
+                    Json::u64(shared.idle_reaped.load(Ordering::Relaxed)),
+                ),
             ]);
             queue_event(
                 &mut conn.wbuf,
@@ -576,6 +606,17 @@ fn dispatch(conn: &mut Conn, request: Request, shared: &Arc<DaemonShared>) {
         }
         Request::Status { job_id } => {
             let reply = crate::server::status_reply(shared, job_id);
+            queue_event(&mut conn.wbuf, &reply);
+        }
+        Request::Cancel { job_id } => {
+            let Some(tenant) = conn.tenant.clone() else {
+                queue_event(
+                    &mut conn.wbuf,
+                    &proto::rejected("unauthenticated", "send hello with a tenant first"),
+                );
+                return;
+            };
+            let reply = cancel_job(shared, job_id, &tenant);
             queue_event(&mut conn.wbuf, &reply);
         }
         Request::Drain => {
@@ -606,6 +647,30 @@ fn dispatch(conn: &mut Conn, request: Request, shared: &Arc<DaemonShared>) {
             }
         }
         Request::Submit { spec } => handle_submit(conn, spec, shared),
+    }
+}
+
+/// Resolves a tenant-scoped cancel. Ownership is checked against the
+/// registry before the engine is asked anything, so one tenant can
+/// neither cancel nor probe another tenant's job ids. The engine
+/// racing a cancelled job to terminal is fine: the registry's
+/// event-hook record or a final [`CancelOutcome::Unknown`] both map to
+/// `already_terminal`.
+fn cancel_job(shared: &DaemonShared, job_id: u64, tenant: &str) -> Json {
+    match shared.registry.cancel_lookup(job_id, tenant) {
+        CancelLookup::Unknown => proto::cancel_reply(job_id, "unknown", None),
+        CancelLookup::Forbidden => proto::cancel_reply(job_id, "forbidden", None),
+        CancelLookup::Terminal(state) => {
+            proto::cancel_reply(job_id, "already_terminal", Some(&state))
+        }
+        CancelLookup::Live => match shared.engine.cancel(job_id) {
+            CancelOutcome::Cancelled => proto::cancel_reply(job_id, "cancelled", None),
+            CancelOutcome::Cancelling => proto::cancel_reply(job_id, "cancelling", None),
+            // Raced to terminal between the registry lookup and the
+            // engine call; the event hook has (or is about to have)
+            // recorded the outcome.
+            CancelOutcome::Unknown => proto::cancel_reply(job_id, "already_terminal", None),
+        },
     }
 }
 
@@ -645,11 +710,12 @@ fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
             return;
         }
     };
-    let submitted = shared.engine.submit_as(
+    let submitted = shared.engine.submit_with_deadline(
         &tenant,
         spec.torus_shape(),
         spec.payload,
         spec.runtime_config(),
+        spec.deadline,
     );
     match submitted {
         Ok(handle) => match &shared.journal {
@@ -714,7 +780,8 @@ fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
 /// The admission is durable (or the daemon runs journal-free): register
 /// it, acknowledge it, and start streaming its lifecycle.
 fn accept_job(conn: &mut Conn, shared: &DaemonShared, handle: JobHandle) {
-    shared.registry.register_live(handle.clone());
+    let tenant = conn.tenant.as_deref().unwrap_or("");
+    shared.registry.register_live(handle.clone(), tenant);
     queue_event(&mut conn.wbuf, &proto::accepted(handle.id()));
     conn.tracks.push(JobTrack {
         handle,
@@ -751,6 +818,8 @@ fn reject_undurable(conn: &mut Conn, shared: &DaemonShared, handle: JobHandle, e
                 checksum: None,
                 error: Some("canceled: admission journal unavailable".to_string()),
                 recovered: false,
+                state: "failed".to_string(),
+                tenant: conn.tenant.clone(),
             },
         );
     } else {
@@ -758,7 +827,9 @@ fn reject_undurable(conn: &mut Conn, shared: &DaemonShared, handle: JobHandle, e
         // completion engine-side. The client still gets the rejection —
         // the admission was never durable — but the registry keeps the
         // handle so `status` stays answerable.
-        shared.registry.register_live(handle);
+        shared
+            .registry
+            .register_live(handle, conn.tenant.as_deref().unwrap_or(""));
     }
     submit_reply(
         conn,
@@ -788,10 +859,11 @@ fn pump_tracks(conn: &mut Conn, shared: &DaemonShared) {
         let state = match track.handle.try_status() {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
-            JobStatus::Completed | JobStatus::Failed => {
-                // Terminal, so `wait` returns without blocking.
+            status => {
+                // Terminal (completed, failed, cancelled, or past its
+                // deadline), so `wait` returns without blocking.
                 let result = track.handle.wait();
-                queue_event(&mut conn.wbuf, &done_event(&result));
+                queue_event(&mut conn.wbuf, &done_event(status, &result));
                 return false;
             }
         };

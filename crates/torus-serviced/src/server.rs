@@ -45,7 +45,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -83,6 +83,10 @@ pub struct DaemonConfig {
     /// [`Daemon::bind`] recover accepted-but-unfinished jobs from a
     /// previous process's journal directory. Default: none.
     pub journal: Option<JournalConfig>,
+    /// Close connections with no live jobs, no pending replies, and no
+    /// traffic for this long, so slow-loris clients cannot pin reactor
+    /// slots forever. Default: none (connections idle indefinitely).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for DaemonConfig {
@@ -94,6 +98,7 @@ impl Default for DaemonConfig {
             heartbeat_polls: 250,
             reactor_threads: 4,
             journal: None,
+            idle_timeout: None,
         }
     }
 }
@@ -117,14 +122,27 @@ pub(crate) struct Terminal {
     pub(crate) degraded: bool,
     pub(crate) checksum: Option<String>,
     pub(crate) error: Option<String>,
+    /// Terminal state label: `"completed"`, `"failed"`, `"cancelled"`,
+    /// or `"deadline_exceeded"`.
+    pub(crate) state: String,
+    /// Owning tenant; `None` when reconstructed from a journal replay
+    /// (pre-crash `done` records do not carry the tenant).
+    pub(crate) tenant: Option<String>,
     /// `true` when the outcome was reconstructed from the journal
     /// rather than executed by this process.
     pub(crate) recovered: bool,
 }
 
+/// A live registry entry: the engine handle plus the owning tenant, so
+/// the `cancel` op can be scoped without a second lookup table.
+struct LiveEntry {
+    handle: JobHandle,
+    tenant: Arc<str>,
+}
+
 struct RegShard {
     /// Jobs admitted or replayed by this process, not yet terminal.
-    live: HashMap<u64, JobHandle>,
+    live: HashMap<u64, LiveEntry>,
     /// Terminal outcomes, bounded by [`TERMINAL_CAP_PER_SHARD`].
     terminal: HashMap<u64, Terminal>,
     /// Insertion order of `terminal`, for eviction.
@@ -141,8 +159,23 @@ enum Lookup {
         degraded: bool,
         checksum: Option<String>,
         error: Option<String>,
+        state: String,
         recovered: bool,
     },
+}
+
+/// What a tenant-scoped `cancel` lookup found.
+pub(crate) enum CancelLookup {
+    /// No job with this id (or its terminal record was evicted).
+    Unknown,
+    /// The job exists but belongs to a different tenant.
+    Forbidden,
+    /// The job is live (queued or running) and owned by the caller.
+    Live,
+    /// The job is already terminal; carries its state label. A replayed
+    /// terminal with no recorded tenant is reported here rather than
+    /// guessed at — cancelling a finished job is a no-op either way.
+    Terminal(String),
 }
 
 /// The sharded job registry: every id the daemon can answer `status`
@@ -174,12 +207,18 @@ impl Registry {
     /// Registers a job the engine just admitted. A fast job can finish
     /// (and its hook fire) before this runs; the terminal entry then
     /// wins and the stale handle is not inserted.
-    pub(crate) fn register_live(&self, handle: JobHandle) {
+    pub(crate) fn register_live(&self, handle: JobHandle, tenant: &str) {
         let mut shard = lk(self.shard(handle.id()));
         if shard.terminal.contains_key(&handle.id()) {
             return;
         }
-        shard.live.insert(handle.id(), handle);
+        shard.live.insert(
+            handle.id(),
+            LiveEntry {
+                handle,
+                tenant: Arc::from(tenant),
+            },
+        );
     }
 
     /// Moves a job to the terminal index (evicting the oldest terminal
@@ -199,8 +238,8 @@ impl Registry {
 
     fn lookup(&self, job_id: u64) -> Lookup {
         let shard = lk(self.shard(job_id));
-        if let Some(handle) = shard.live.get(&job_id) {
-            return Lookup::Live(handle.clone());
+        if let Some(entry) = shard.live.get(&job_id) {
+            return Lookup::Live(entry.handle.clone());
         }
         match shard.terminal.get(&job_id) {
             Some(t) => Lookup::Terminal {
@@ -208,9 +247,31 @@ impl Registry {
                 degraded: t.degraded,
                 checksum: t.checksum.clone(),
                 error: t.error.clone(),
+                state: t.state.clone(),
                 recovered: t.recovered,
             },
             None => Lookup::Unknown,
+        }
+    }
+
+    /// Tenant-scoped lookup for the `cancel` op: only the owning tenant
+    /// may cancel a live job. Terminal replays with no recorded tenant
+    /// answer as terminal (the op is a no-op there regardless).
+    pub(crate) fn cancel_lookup(&self, job_id: u64, tenant: &str) -> CancelLookup {
+        let shard = lk(self.shard(job_id));
+        if let Some(entry) = shard.live.get(&job_id) {
+            return if entry.tenant.as_ref() == tenant {
+                CancelLookup::Live
+            } else {
+                CancelLookup::Forbidden
+            };
+        }
+        match shard.terminal.get(&job_id) {
+            Some(t) => match &t.tenant {
+                Some(owner) if owner != tenant => CancelLookup::Forbidden,
+                _ => CancelLookup::Terminal(t.state.clone()),
+            },
+            None => CancelLookup::Unknown,
         }
     }
 
@@ -236,6 +297,11 @@ pub(crate) struct DaemonShared {
     pub(crate) status_poll: Duration,
     pub(crate) heartbeat_polls: u32,
     pub(crate) reactor_threads: usize,
+    /// Reap connections idle (no live jobs, no buffered traffic) past
+    /// this, when configured.
+    pub(crate) idle_timeout: Option<Duration>,
+    /// Connections the reactors closed for idling past `idle_timeout`.
+    pub(crate) idle_reaped: AtomicU64,
     /// The write-ahead admission journal, when configured.
     pub(crate) journal: Option<Arc<Journal>>,
     /// Every job id this daemon can answer `status` for.
@@ -312,6 +378,8 @@ impl Daemon {
                         degraded: done.degraded,
                         checksum: done.checksum,
                         error: done.error,
+                        state: done.state,
+                        tenant: None,
                         recovered: true,
                     },
                 );
@@ -327,11 +395,12 @@ impl Daemon {
                                 spec.torus_shape(),
                                 spec.payload,
                                 spec.runtime_config(),
+                                spec.deadline,
                             )
                             .map_err(|e| format!("recovery resubmit failed: {e}"))
                     });
                 match resubmitted {
-                    Ok(handle) => registry.register_live(handle),
+                    Ok(handle) => registry.register_live(handle, &job.tenant),
                     Err(error) => {
                         // A journaled-accepted job must never vanish:
                         // close it out with a terminal record (so it
@@ -345,6 +414,8 @@ impl Daemon {
                                 degraded: false,
                                 checksum: None,
                                 error: Some(error),
+                                state: "failed".to_string(),
+                                tenant: Some(job.tenant.clone()),
                                 recovered: true,
                             },
                         );
@@ -362,6 +433,8 @@ impl Daemon {
                 status_poll: config.status_poll,
                 heartbeat_polls: config.heartbeat_polls.max(1),
                 reactor_threads: config.reactor_threads.clamp(1, 64),
+                idle_timeout: config.idle_timeout,
+                idle_reaped: AtomicU64::new(0),
                 journal,
                 registry,
                 drain_helper_spawned: AtomicBool::new(false),
@@ -462,6 +535,18 @@ impl Daemon {
 /// way the wire protocol reports it: the FNV-1a delivery checksum only
 /// for clean completions (degraded runs drop dead-node blocks, so their
 /// digest intentionally stays absent rather than faking a match).
+/// The wire label for a terminal [`JobStatus`].
+pub(crate) fn status_label(status: JobStatus) -> &'static str {
+    match status {
+        JobStatus::Queued => "queued",
+        JobStatus::Running => "running",
+        JobStatus::Completed => "completed",
+        JobStatus::Failed => "failed",
+        JobStatus::Cancelled => "cancelled",
+        JobStatus::DeadlineExceeded => "deadline_exceeded",
+    }
+}
+
 fn terminal_fields(result: &JobResult) -> (bool, bool, Option<String>) {
     let report = result.report.as_ref();
     let degraded = report.is_some_and(|r| r.degraded.is_some());
@@ -489,12 +574,13 @@ fn journal_hook(journal: &Journal, event: &JobEvent<'_>) {
             ..
         } => {
             let (_, degraded, checksum) = terminal_fields(result);
-            let _ = journal.record_done(
+            let _ = journal.record_done_state(
                 *job_id,
                 *status == JobStatus::Completed,
                 degraded,
                 checksum.as_deref(),
                 result.error.as_deref(),
+                status_label(*status),
             );
         }
     }
@@ -504,7 +590,13 @@ fn journal_hook(journal: &Journal, event: &JobEvent<'_>) {
 /// live map to the bounded terminal index, dropping the handle (and the
 /// full result it pins) so the registry's memory stays bounded.
 fn registry_hook(registry: &Registry, event: &JobEvent<'_>) {
-    if let JobEvent::Finished { job_id, result, .. } = event {
+    if let JobEvent::Finished {
+        job_id,
+        tenant,
+        status,
+        result,
+    } = event
+    {
         let (ok, degraded, checksum) = terminal_fields(result);
         registry.finish(
             *job_id,
@@ -513,6 +605,8 @@ fn registry_hook(registry: &Registry, event: &JobEvent<'_>) {
                 degraded,
                 checksum,
                 error: result.error.clone(),
+                state: status_label(*status).to_string(),
+                tenant: Some(tenant.to_string()),
                 recovered: false,
             },
         );
@@ -532,10 +626,11 @@ pub(crate) fn status_reply(shared: &DaemonShared, job_id: u64) -> Json {
             degraded,
             checksum,
             error,
+            state,
             recovered,
         } => proto::job_status(
             job_id,
-            if ok { "completed" } else { "failed" },
+            &state,
             Some(ok),
             Some(degraded),
             checksum.as_deref(),
@@ -547,14 +642,14 @@ pub(crate) fn status_reply(shared: &DaemonShared, job_id: u64) -> Json {
             JobStatus::Running => {
                 proto::job_status(job_id, "running", None, None, None, None, false)
             }
-            JobStatus::Completed | JobStatus::Failed => {
+            status => {
                 // Terminal, so `wait` returns without blocking; no
                 // registry lock is held here.
                 let result = handle.wait();
                 let (ok, degraded, checksum) = terminal_fields(&result);
                 proto::job_status(
                     job_id,
-                    if ok { "completed" } else { "failed" },
+                    status_label(status),
                     Some(ok),
                     Some(degraded),
                     checksum.as_deref(),
@@ -567,14 +662,17 @@ pub(crate) fn status_reply(shared: &DaemonShared, job_id: u64) -> Json {
 }
 
 /// The `done` event: a compact job summary plus the delivery checksum
-/// (clean completions only).
-pub(crate) fn done_event(result: &JobResult) -> Json {
+/// (clean completions only). `status` is the job's terminal status,
+/// surfaced as the typed `state` field so clients can tell a cancel or
+/// deadline reap apart from a genuine failure.
+pub(crate) fn done_event(status: JobStatus, result: &JobResult) -> Json {
     let report = result.report.as_ref();
     let (ok, degraded, checksum) = terminal_fields(result);
     Json::obj([
         ("ev", Json::str("done")),
         ("job_id", Json::u64(result.job_id)),
         ("ok", Json::Bool(ok)),
+        ("state", Json::str(status_label(status))),
         ("degraded", Json::Bool(degraded)),
         ("verified", Json::Bool(report.is_some_and(|r| r.verified))),
         ("cache_hit", Json::Bool(result.cache_hit)),
@@ -600,6 +698,12 @@ mod tests {
             degraded: false,
             checksum: None,
             error: error.map(str::to_string),
+            state: if error.is_none() {
+                "completed".to_string()
+            } else {
+                "failed".to_string()
+            },
+            tenant: Some("acme".to_string()),
             recovered: false,
         }
     }
@@ -633,6 +737,26 @@ mod tests {
                 "newest entries must survive"
             );
         }
+    }
+
+    /// `cancel` must be tenant-scoped: another tenant's terminal job
+    /// answers `forbidden`, an evicted/unknown id answers `unknown`.
+    #[test]
+    fn cancel_lookup_is_tenant_scoped() {
+        let registry = Registry::new();
+        registry.finish(1, term(None)); // owned by "acme"
+        assert!(matches!(
+            registry.cancel_lookup(1, "acme"),
+            CancelLookup::Terminal(state) if state == "completed"
+        ));
+        assert!(matches!(
+            registry.cancel_lookup(1, "zeta"),
+            CancelLookup::Forbidden
+        ));
+        assert!(matches!(
+            registry.cancel_lookup(99, "acme"),
+            CancelLookup::Unknown
+        ));
     }
 
     /// Re-finishing an id (journal replay rediscovering a done record)

@@ -21,6 +21,15 @@ pub const MAX_BLOCK_BYTES: usize = 1 << 20;
 /// Largest accepted per-job worker request.
 pub const MAX_WORKERS: usize = 4096;
 
+/// Largest accepted per-job wall-clock deadline (24 hours). The
+/// daemon's own `--max-deadline` clamps further; this bound only keeps
+/// the wire value sane.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
+
+/// Largest accepted injected worker stall (10 minutes), so a chaos
+/// spec cannot park a pool thread forever past any plausible deadline.
+pub const MAX_STALL_US: u64 = 600_000_000;
+
 /// A spec rejected by validation: which field, and why.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpecError {
@@ -59,6 +68,10 @@ pub struct FaultSpec {
     pub seed: u64,
     /// Kill the worker hosting node `.0` when it reaches step `.1`.
     pub worker_kill: Option<(u32, usize)>,
+    /// Stall the worker hosting node `.0` at step `.1` for `.2`
+    /// microseconds — the knob deadline tests use to pin a job past its
+    /// wall-clock budget without killing anything.
+    pub worker_stall: Option<(u32, usize, u64)>,
 }
 
 /// An optional retry-policy override.
@@ -89,6 +102,10 @@ pub struct JobSpec {
     pub fault: Option<FaultSpec>,
     /// Retry override, if any.
     pub retry: Option<RetrySpec>,
+    /// Wall-clock deadline measured from dispatch, from
+    /// `job.deadline_ms`. `None` falls back to the daemon's default
+    /// (and is always clamped by its max).
+    pub deadline: Option<Duration>,
 }
 
 impl Default for JobSpec {
@@ -101,6 +118,7 @@ impl Default for JobSpec {
             on_failure: OnFailure::Abort,
             fault: None,
             retry: None,
+            deadline: None,
         }
     }
 }
@@ -169,6 +187,7 @@ impl JobSpec {
                 "on_failure",
                 "fault",
                 "retry",
+                "job",
             ],
         )?;
 
@@ -237,7 +256,13 @@ impl JobSpec {
                 check_known_fields(
                     f,
                     "fault",
-                    &["drop_rate", "corrupt_rate", "seed", "worker_kill"],
+                    &[
+                        "drop_rate",
+                        "corrupt_rate",
+                        "seed",
+                        "worker_kill",
+                        "worker_stall",
+                    ],
                 )?;
                 let worker_kill = match f.get("worker_kill") {
                     None | Some(Json::Null) => None,
@@ -257,11 +282,39 @@ impl JobSpec {
                         Some((node as u32, step as usize))
                     }
                 };
+                let worker_stall = match f.get("worker_stall") {
+                    None | Some(Json::Null) => None,
+                    Some(ws) => {
+                        let triple = ws.as_arr().filter(|a| a.len() == 3).ok_or_else(|| {
+                            SpecError::new("fault.worker_stall", "must be [node, step, micros]")
+                        })?;
+                        let node = triple[0]
+                            .as_u64()
+                            .filter(|&n| n <= u32::MAX as u64)
+                            .ok_or_else(|| {
+                                SpecError::new("fault.worker_stall", "node must be a u32")
+                            })?;
+                        let step = triple[1].as_u64().ok_or_else(|| {
+                            SpecError::new("fault.worker_stall", "step must be an integer")
+                        })?;
+                        let micros = triple[2]
+                            .as_u64()
+                            .filter(|&us| us <= MAX_STALL_US)
+                            .ok_or_else(|| {
+                                SpecError::new(
+                                    "fault.worker_stall",
+                                    format!("micros must be at most {MAX_STALL_US}"),
+                                )
+                            })?;
+                        Some((node as u32, step as usize, micros))
+                    }
+                };
                 Some(FaultSpec {
                     drop_rate: field_rate(f, "drop_rate", "fault.drop_rate")?,
                     corrupt_rate: field_rate(f, "corrupt_rate", "fault.corrupt_rate")?,
                     seed: field_u64(f, "seed", "fault.seed", u64::MAX - 1)?.unwrap_or(0),
                     worker_kill,
+                    worker_stall,
                 })
             }
         };
@@ -285,6 +338,18 @@ impl JobSpec {
             }
         };
 
+        let deadline = match value.get("job") {
+            None | Some(Json::Null) => None,
+            Some(j) => {
+                check_known_fields(j, "job", &["deadline_ms"])?;
+                let ms = field_u64(j, "deadline_ms", "job.deadline_ms", MAX_DEADLINE_MS)?;
+                if ms == Some(0) {
+                    return Err(SpecError::new("job.deadline_ms", "must be at least 1"));
+                }
+                ms.map(Duration::from_millis)
+            }
+        };
+
         Ok(Self {
             shape,
             block_bytes,
@@ -293,6 +358,7 @@ impl JobSpec {
             on_failure,
             fault,
             retry,
+            deadline,
         })
     }
 
@@ -333,6 +399,16 @@ impl JobSpec {
                     Json::Arr(vec![Json::u64(node as u64), Json::u64(step as u64)]),
                 ));
             }
+            if let Some((node, step, micros)) = f.worker_stall {
+                fp.push((
+                    "worker_stall".to_string(),
+                    Json::Arr(vec![
+                        Json::u64(node as u64),
+                        Json::u64(step as u64),
+                        Json::u64(micros),
+                    ]),
+                ));
+            }
             pairs.push(("fault".to_string(), Json::Obj(fp)));
         }
         if let Some(r) = &self.retry {
@@ -343,6 +419,15 @@ impl JobSpec {
                     ("max_retries".to_string(), Json::u64(r.max_retries as u64)),
                     ("backoff_us".to_string(), Json::u64(r.backoff_us)),
                 ]),
+            ));
+        }
+        if let Some(d) = self.deadline {
+            pairs.push((
+                "job".to_string(),
+                Json::Obj(vec![(
+                    "deadline_ms".to_string(),
+                    Json::u64(d.as_millis() as u64),
+                )]),
             ));
         }
         Json::Obj(pairs)
@@ -367,6 +452,9 @@ impl JobSpec {
                 .with_corrupt_rate(f.corrupt_rate);
             if let Some((node, step)) = f.worker_kill {
                 plan = plan.with_worker_fault(step, node, WorkerFaultKind::Kill);
+            }
+            if let Some((node, step, micros)) = f.worker_stall {
+                plan = plan.with_worker_fault(step, node, WorkerFaultKind::StallMicros(micros));
             }
             cfg = cfg.with_faults(plan);
         }
@@ -413,11 +501,17 @@ impl JobSpec {
             ),
             (
                 "fault",
-                Json::str("optional object {drop_rate, corrupt_rate in [0,1); seed uint; worker_kill [node, step]}"),
+                Json::str("optional object {drop_rate, corrupt_rate in [0,1); seed uint; worker_kill [node, step]; worker_stall [node, step, micros]}"),
             ),
             (
                 "retry",
                 Json::str("optional object {deadline_ms 1..=60000, max_retries 0..=64, backoff_us 0..=1000000}"),
+            ),
+            (
+                "job",
+                Json::str(format!(
+                    "optional object {{deadline_ms 1..={MAX_DEADLINE_MS}: wall-clock deadline from dispatch; clamped by the daemon's max}}"
+                )),
             ),
         ])
     }
@@ -438,6 +532,7 @@ mod tests {
         assert_eq!(s.block_bytes, 64);
         assert_eq!(s.payload, PayloadSpec::Pattern);
         assert_eq!(s.on_failure, OnFailure::Abort);
+        assert_eq!(s.deadline, None);
         assert_eq!(s.torus_shape().num_nodes(), 16);
     }
 
@@ -446,12 +541,16 @@ mod tests {
         let s = spec(
             r#"{"shape":[2,3,4],"block_bytes":96,"seed":9,"workers":3,
                 "on_failure":"degrade",
-                "fault":{"drop_rate":0.1,"corrupt_rate":0.05,"seed":7,"worker_kill":[1,3]},
-                "retry":{"deadline_ms":50,"max_retries":2,"backoff_us":300}}"#,
+                "fault":{"drop_rate":0.1,"corrupt_rate":0.05,"seed":7,"worker_kill":[1,3],
+                         "worker_stall":[2,1,5000]},
+                "retry":{"deadline_ms":50,"max_retries":2,"backoff_us":300},
+                "job":{"deadline_ms":2500}}"#,
         )
         .unwrap();
         assert_eq!(s.payload, PayloadSpec::Seeded { seed: 9 });
         assert_eq!(s.fault.as_ref().unwrap().worker_kill, Some((1, 3)));
+        assert_eq!(s.fault.as_ref().unwrap().worker_stall, Some((2, 1, 5000)));
+        assert_eq!(s.deadline, Some(Duration::from_millis(2500)));
         let round = JobSpec::from_json(&s.to_json()).unwrap();
         assert_eq!(round, s);
     }
@@ -478,6 +577,26 @@ mod tests {
             (
                 r#"{"shape":[4,4],"fault":{"worker_kill":[1]}}"#,
                 "fault.worker_kill",
+            ),
+            (
+                r#"{"shape":[4,4],"fault":{"worker_stall":[1,2]}}"#,
+                "fault.worker_stall",
+            ),
+            (
+                r#"{"shape":[4,4],"fault":{"worker_stall":[1,2,999999999999]}}"#,
+                "fault.worker_stall",
+            ),
+            (
+                r#"{"shape":[4,4],"job":{"deadline_ms":0}}"#,
+                "job.deadline_ms",
+            ),
+            (
+                r#"{"shape":[4,4],"job":{"deadline_ms":99999999999}}"#,
+                "job.deadline_ms",
+            ),
+            (
+                r#"{"shape":[4,4],"job":{"retry_after":1}}"#,
+                "job.retry_after",
             ),
             (
                 r#"{"shape":[4,4],"retry":{"deadline_ms":0}}"#,
@@ -519,6 +638,7 @@ mod tests {
             "on_failure",
             "fault",
             "retry",
+            "job",
         ] {
             assert!(schema.get(field).is_some(), "schema missing {field}");
         }
