@@ -49,6 +49,27 @@ pub enum Command {
         /// failed nodes and complete a repaired schedule for survivors.
         on_failure: torus_runtime::OnFailure,
     },
+    /// `run-collective --op NAME --shape RxC [...]` — byte-real
+    /// collective execution on the runtime (vs `collective`, which only
+    /// counts analytic cost).
+    RunCollective {
+        /// The resolved collective operation.
+        op: torus_runtime::CollectiveOp,
+        /// Torus shape.
+        shape: Vec<u32>,
+        /// Machine parameters (block size doubles as payload size).
+        params: CommParams,
+        /// Worker threads; `None` = auto.
+        threads: Option<usize>,
+        /// Emit the full report as JSON instead of a summary.
+        json: bool,
+        /// Fault-injection spec, as for `run-real`.
+        faults: Option<String>,
+        /// Retry budget override for the recovery path.
+        retries: Option<u32>,
+        /// Receive-deadline override (milliseconds) for the recovery path.
+        deadline_ms: Option<u64>,
+    },
     /// `compare --shape RxC [...params]` — all algorithms side by side.
     Compare {
         /// Torus shape.
@@ -195,6 +216,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut faults: Option<String> = None;
     let mut retries: Option<u32> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut root: Option<u32> = None;
+    let mut reduce: Option<String> = None;
+    let mut dtype: Option<String> = None;
     let mut on_failure = torus_runtime::OnFailure::default();
     let mut jobs: usize = 8;
     let mut concurrency: usize = 4;
@@ -241,6 +265,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "-m" | "--block-bytes" => {
                 params.block_bytes = val(&mut i)?.parse().map_err(|e| format!("-m: {e}"))?
             }
+            "--root" => root = Some(val(&mut i)?.parse().map_err(|e| format!("--root: {e}"))?),
+            "--reduce" => reduce = Some(val(&mut i)?),
+            "--dtype" => dtype = Some(val(&mut i)?),
             "--faults" => faults = Some(val(&mut i)?),
             "--retries" => {
                 retries = Some(
@@ -345,6 +372,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             deadline_ms,
             on_failure,
         }),
+        "run-collective" => {
+            if op.is_empty() {
+                return Err("--op is required for 'run-collective'".into());
+            }
+            // Mirror the daemon spec's strictness: flags an op cannot
+            // use are refused, not silently dropped.
+            let rooted = matches!(op.as_str(), "broadcast" | "scatter" | "gather" | "reduce");
+            let combining = matches!(op.as_str(), "reduce" | "allreduce");
+            if root.is_some() && !rooted {
+                return Err(format!("--root: op '{op}' takes no root"));
+            }
+            if !combining {
+                if reduce.is_some() {
+                    return Err(format!("--reduce: op '{op}' does not reduce"));
+                }
+                if dtype.is_some() {
+                    return Err(format!("--dtype: op '{op}' does not reduce"));
+                }
+            }
+            let reduce_op = match &reduce {
+                Some(s) => torus_runtime::ReduceOp::parse(s)
+                    .ok_or_else(|| format!("--reduce: unknown op '{s}' (sum|min|max)"))?,
+                None => torus_runtime::ReduceOp::Sum,
+            };
+            let lane = match &dtype {
+                Some(s) => torus_runtime::Dtype::parse(s)
+                    .ok_or_else(|| format!("--dtype: unknown dtype '{s}' (u64|f32)"))?,
+                None => torus_runtime::Dtype::U64,
+            };
+            let op =
+                torus_runtime::CollectiveOp::from_parts(&op, root.unwrap_or(0), reduce_op, lane)
+                    .ok_or_else(|| {
+                        format!("--op: unknown collective '{op}' (try 'torus-xchg help')")
+                    })?;
+            Ok(Command::RunCollective {
+                op,
+                shape: need_shape(shape)?,
+                params,
+                threads,
+                json,
+                faults,
+                retries,
+                deadline_ms,
+            })
+        }
         "compare" => Ok(Command::Compare {
             shape: need_shape(shape)?,
             params,
@@ -417,6 +489,12 @@ USAGE:
                          'degrade' quarantines failed nodes and completes for survivors)
   torus-xchg compare    --shape 8x8 [params]
   torus-xchg collective --op broadcast|scatter|gather|allgather|reduce|allreduce|alltoall --shape 8x8
+  torus-xchg run-collective --op broadcast|scatter|gather|allgather|reduce|allreduce --shape 8x8
+                        [--root N] [--reduce sum|min|max] [--dtype u64|f32] [--json]
+                        [--faults SPEC] [--retries N] [--deadline-ms MS] [params]
+                        (byte-real collective on the runtime with combining receives;
+                         reduce/allreduce fold u64 or f32 lanes bit-deterministically;
+                         verified against a serial reference replay)
   torus-xchg service-bench --shape 8x8 [--jobs N] [--concurrency K] [--tenants T] [--json]
                         [--rate-limit JOBS_PER_SEC] [params]
                         (persistent engine: N seeded jobs through a shared pool with
@@ -565,6 +643,58 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 // An injected unrecoverable fault is a legitimate outcome
                 // of `--faults`: show the partial report, not a bare
                 // error.
+                Err(torus_runtime::RuntimeError::Aborted { failure, report }) => {
+                    emit(&mut out, &report)?;
+                    let _ = writeln!(out, "run aborted: {failure}");
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Command::RunCollective {
+            op,
+            shape,
+            params,
+            threads,
+            json,
+            faults,
+            retries,
+            deadline_ms,
+        } => {
+            let shape = TorusShape::new(&shape).map_err(|e| e.to_string())?;
+            let mut config = torus_runtime::RuntimeConfig::default()
+                .with_block_bytes(params.block_bytes as usize)
+                .with_params(params);
+            if let Some(t) = threads {
+                config = config.with_workers(t);
+            }
+            if let Some(spec) = &faults {
+                let plan =
+                    torus_runtime::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?;
+                config = config.with_faults(plan);
+            }
+            let mut retry = torus_runtime::RetryPolicy::default();
+            if let Some(r) = retries {
+                retry = retry.with_max_retries(r);
+            }
+            if let Some(ms) = deadline_ms {
+                retry = retry.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            config = config.with_retry(retry);
+            let runtime = torus_runtime::CollectiveRuntime::new(&shape, op, config)
+                .map_err(|e| e.to_string())?;
+            let emit = |out: &mut String,
+                        report: &torus_runtime::RuntimeReport|
+             -> Result<(), String> {
+                if json {
+                    out.push_str(&serde_json::to_string_pretty(report).map_err(|e| e.to_string())?);
+                } else {
+                    out.push_str(&report.summary());
+                }
+                out.push('\n');
+                Ok(())
+            };
+            match runtime.run() {
+                Ok((report, _deliveries)) => emit(&mut out, &report)?,
                 Err(torus_runtime::RuntimeError::Aborted { failure, report }) => {
                     emit(&mut out, &report)?;
                     let _ = writeln!(out, "run aborted: {failure}");
@@ -1514,6 +1644,116 @@ mod tests {
                     .unwrap();
             assert!(out.contains("verified: true"), "{op}: {out}");
         }
+    }
+
+    #[test]
+    fn parse_run_collective_command() {
+        match parse_args(&argv(
+            "run-collective --op reduce --shape 4x4 --root 3 --reduce max --dtype f32 -m 32",
+        ))
+        .unwrap()
+        {
+            Command::RunCollective {
+                op, shape, params, ..
+            } => {
+                assert_eq!(
+                    op,
+                    torus_runtime::CollectiveOp::Reduce {
+                        root: 3,
+                        op: torus_runtime::ReduceOp::Max,
+                        dtype: torus_runtime::Dtype::F32,
+                    }
+                );
+                assert_eq!(shape, vec![4, 4]);
+                assert_eq!(params.block_bytes, 32);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Defaults: root 0, sum, u64.
+        match parse_args(&argv("run-collective --op allreduce --shape 4x4")).unwrap() {
+            Command::RunCollective { op, .. } => {
+                assert_eq!(
+                    op,
+                    torus_runtime::CollectiveOp::Allreduce {
+                        op: torus_runtime::ReduceOp::Sum,
+                        dtype: torus_runtime::Dtype::U64,
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Strictness mirrors the daemon spec.
+        for (args, needle) in [
+            ("run-collective --shape 4x4", "--op"),
+            ("run-collective --op levitate --shape 4x4", "--op"),
+            (
+                "run-collective --op allgather --shape 4x4 --root 1",
+                "--root",
+            ),
+            (
+                "run-collective --op broadcast --shape 4x4 --reduce sum",
+                "--reduce",
+            ),
+            (
+                "run-collective --op broadcast --shape 4x4 --dtype u64",
+                "--dtype",
+            ),
+            (
+                "run-collective --op allreduce --shape 4x4 --reduce xor",
+                "--reduce",
+            ),
+            (
+                "run-collective --op allreduce --shape 4x4 --dtype f64",
+                "--dtype",
+            ),
+        ] {
+            let err = parse_args(&argv(args)).unwrap_err();
+            assert!(err.contains(needle), "{args}: {err}");
+        }
+    }
+
+    #[test]
+    fn execute_run_collective_byte_real() {
+        for op in [
+            "broadcast",
+            "scatter",
+            "gather",
+            "allgather",
+            "reduce",
+            "allreduce",
+        ] {
+            let out = execute(
+                parse_args(&argv(&format!(
+                    "run-collective --op {op} --shape 4x4 --threads 2 -m 16"
+                )))
+                .unwrap(),
+            )
+            .unwrap();
+            assert!(out.contains("verified=true"), "{op}: {out}");
+        }
+    }
+
+    #[test]
+    fn execute_run_collective_with_recoverable_faults() {
+        let out = execute(
+            parse_args(&argv(
+                "run-collective --op allreduce --shape 4x4 --threads 2 -m 16 \
+                 --faults drop=0.5,seed=9 --deadline-ms 50",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("verified=true"), "{out}");
+        assert!(out.contains("faults:"), "{out}");
+    }
+
+    #[test]
+    fn execute_run_collective_rejects_bad_root() {
+        let err = execute(
+            parse_args(&argv("run-collective --op broadcast --shape 4x4 --root 99")).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("root"), "{err}");
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod cancel;
+pub mod collective;
 pub mod degrade;
 pub mod fault;
 pub mod message;
@@ -65,6 +66,13 @@ pub mod runtime;
 pub mod workers;
 
 pub use cancel::{CancelKind, CancelToken};
+pub use collective::CollectiveRuntime;
+// Collective plan vocabulary, re-exported so runtime users (and the
+// service/daemon layers above) need no direct `collective-plan` edge.
+pub use collective_plan::{
+    combine, CollectiveOp, CollectivePlan, CollectiveStep, Dtype, JobOp, PlanError, ReduceOp,
+    SendInstr,
+};
 pub use degrade::{DeadNode, DegradedReport, OnFailure};
 pub use fault::{FaultEvent, FaultEventKind, FaultKind, FaultPlan, WorkerFaultKind};
 pub use message::{
@@ -129,6 +137,9 @@ pub enum RuntimeError {
     /// Degraded-mode schedule repair failed (e.g. the dead set
     /// disconnects the survivors).
     Repair(alltoall_core::RepairError),
+    /// A collective plan could not be lowered or is incompatible with
+    /// the configuration (bad root, lane mismatch, unsupported policy).
+    Plan(collective_plan::PlanError),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -147,6 +158,7 @@ impl std::fmt::Display for RuntimeError {
                 "node id {node} has no real mapping (in {phase} step {step})"
             ),
             RuntimeError::Repair(e) => write!(f, "degraded-mode schedule repair failed: {e}"),
+            RuntimeError::Plan(e) => write!(f, "collective plan rejected: {e}"),
         }
     }
 }
@@ -157,6 +169,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Exchange(e) => Some(e),
             RuntimeError::Wire(e) => Some(e),
             RuntimeError::Repair(e) => Some(e),
+            RuntimeError::Plan(e) => Some(e),
             _ => None,
         }
     }
@@ -177,5 +190,11 @@ impl From<WireError> for RuntimeError {
 impl From<alltoall_core::RepairError> for RuntimeError {
     fn from(e: alltoall_core::RepairError) -> Self {
         RuntimeError::Repair(e)
+    }
+}
+
+impl From<collective_plan::PlanError> for RuntimeError {
+    fn from(e: collective_plan::PlanError) -> Self {
+        RuntimeError::Plan(e)
     }
 }

@@ -183,14 +183,14 @@ impl RuntimeConfig {
 
 /// Locks a mutex, tolerating poisoning: an aborting run must still be
 /// able to collect partial state even if some worker panicked while
-/// holding a lock.
-fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+/// holding a lock. Shared with the collective executor.
+pub(crate) fn lk<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// One flipped byte at a deterministic offset — the payload of
 /// [`FaultKind::CorruptByte`].
-fn corrupt_frame(frame: &Bytes, offset: usize) -> Bytes {
+pub(crate) fn corrupt_frame(frame: &Bytes, offset: usize) -> Bytes {
     let mut v = frame.to_vec();
     if !v.is_empty() {
         let at = offset % v.len();
@@ -200,7 +200,7 @@ fn corrupt_frame(frame: &Bytes, offset: usize) -> Bytes {
 }
 
 /// Keeps only the first half of the frame — [`FaultKind::Truncate`].
-fn truncate_frame(frame: &Bytes) -> Bytes {
+pub(crate) fn truncate_frame(frame: &Bytes) -> Bytes {
     frame.slice(..frame.len() / 2)
 }
 

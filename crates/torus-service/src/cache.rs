@@ -19,15 +19,17 @@ use std::sync::Arc;
 
 use alltoall_core::steps::StepPlan;
 use alltoall_core::PreparedExchange;
-use torus_runtime::PoolBank;
+use torus_runtime::{CollectivePlan, JobOp, PoolBank};
 use torus_topology::TorusShape;
 
-/// Cache key: jobs agreeing on all three fields share a plan.
+/// Cache key: jobs agreeing on all four fields share a plan.
 ///
 /// `workers` is the *resolved* per-job worker count (after clamping to
 /// the node count and the pool size), not the raw config value, so
 /// `workers: None` and an explicit `workers: Some(default)` hit the
-/// same entry.
+/// same entry. `op` is part of the key because different collectives
+/// (and different roots of the same collective) lower to different
+/// step manifests.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     /// Logical torus shape of the exchange.
@@ -36,24 +38,49 @@ pub struct PlanKey {
     pub block_bytes: usize,
     /// Resolved worker-thread count the job will run with.
     pub workers: usize,
+    /// The operation the plan executes (all-to-all or a collective,
+    /// including its root/operator/dtype parameters).
+    pub op: JobOp,
+}
+
+/// The op-specific immutable schedule state of a cache entry.
+pub enum PlanVariant {
+    /// An all-to-all exchange plan.
+    Alltoall {
+        /// Prepared schedule, seeding, and verification tables.
+        prepared: Arc<PreparedExchange>,
+        /// Flattened per-step execution plan.
+        plan: Arc<StepPlan>,
+    },
+    /// A lowered collective send manifest.
+    Collective {
+        /// The validated collective plan.
+        plan: Arc<CollectivePlan>,
+    },
 }
 
 /// One cache entry: the immutable schedule state shared across jobs.
 pub struct CachedPlan {
-    /// Prepared schedule, seeding, and verification tables.
-    pub prepared: Arc<PreparedExchange>,
-    /// Flattened per-step execution plan.
-    pub plan: Arc<StepPlan>,
+    /// The op-specific plan.
+    pub variant: PlanVariant,
     /// Warm frame pools recycled across jobs with this key.
     pub bank: Arc<PoolBank>,
 }
 
 impl std::fmt::Debug for CachedPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CachedPlan")
-            .field("shape", self.plan.shape())
-            .field("total_steps", &self.plan.total_steps())
-            .finish_non_exhaustive()
+        let mut d = f.debug_struct("CachedPlan");
+        match &self.variant {
+            PlanVariant::Alltoall { plan, .. } => d
+                .field("op", &"alltoall")
+                .field("shape", plan.shape())
+                .field("total_steps", &plan.total_steps()),
+            PlanVariant::Collective { plan } => d
+                .field("op", &plan.op().kind())
+                .field("shape", plan.shape())
+                .field("total_steps", &plan.num_steps()),
+        }
+        .finish_non_exhaustive()
     }
 }
 
@@ -207,6 +234,7 @@ mod tests {
             shape: TorusShape::new_2d(r, c).unwrap(),
             block_bytes: 64,
             workers: 2,
+            op: JobOp::Alltoall,
         }
     }
 
@@ -214,8 +242,7 @@ mod tests {
         let prepared = Arc::new(PreparedExchange::new(shape).unwrap());
         let plan = prepared.step_plan_arc();
         Arc::new(CachedPlan {
-            prepared,
-            plan,
+            variant: PlanVariant::Alltoall { prepared, plan },
             bank: Arc::new(PoolBank::new()),
         })
     }
@@ -243,6 +270,12 @@ mod tests {
         let mut c = key(2, 2);
         c.workers = 4;
         assert!(cache.get(&c).is_none(), "workers is part of the key");
+        let mut d = key(2, 2);
+        d.op = JobOp::Collective(torus_runtime::CollectiveOp::Allgather);
+        assert!(cache.get(&d).is_none(), "op is part of the key");
+        let mut e = key(2, 2);
+        e.op = JobOp::Collective(torus_runtime::CollectiveOp::Broadcast { root: 1 });
+        assert!(cache.get(&e).is_none(), "op parameters are part of the key");
         assert!(cache.get(&a).is_some());
     }
 
@@ -314,6 +347,11 @@ mod tests {
         let first = cache.get(&k).unwrap();
         let second = cache.get(&k).unwrap();
         assert!(Arc::ptr_eq(&first, &second));
-        assert!(Arc::ptr_eq(&first.plan, &second.plan));
+        match (&first.variant, &second.variant) {
+            (PlanVariant::Alltoall { plan: a, .. }, PlanVariant::Alltoall { plan: b, .. }) => {
+                assert!(Arc::ptr_eq(a, b));
+            }
+            _ => panic!("expected all-to-all entries"),
+        }
     }
 }

@@ -8,10 +8,13 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use alltoall_core::PreparedExchange;
-use torus_runtime::{CancelToken, FailureReason, Runtime, RuntimeConfig, RuntimeError, WorkerPool};
+use torus_runtime::{
+    CancelToken, CollectivePlan, CollectiveRuntime, FailureReason, JobOp, Runtime, RuntimeConfig,
+    RuntimeError, WorkerPool,
+};
 use torus_topology::TorusShape;
 
-use crate::cache::{CachedPlan, Lookup, PlanCache, PlanKey};
+use crate::cache::{CachedPlan, Lookup, PlanCache, PlanKey, PlanVariant};
 use crate::job::{
     EventHook, JobEvent, JobHandle, JobResult, JobState, JobStatus, PayloadSpec, SubmitError,
 };
@@ -169,6 +172,7 @@ pub enum CancelOutcome {
 struct QueuedJob {
     id: u64,
     shape: TorusShape,
+    op: JobOp,
     payload: PayloadSpec,
     config: RuntimeConfig,
     state: Arc<JobState>,
@@ -573,6 +577,23 @@ impl Engine {
         config: RuntimeConfig,
         deadline: Option<Duration>,
     ) -> Result<JobHandle, SubmitError> {
+        self.submit_op_with_deadline(tenant, shape, JobOp::Alltoall, payload, config, deadline)
+    }
+
+    /// [`submit_with_deadline`](Engine::submit_with_deadline) for any
+    /// [`JobOp`]: all-to-all jobs behave exactly as before, collective
+    /// jobs lower their [`CollectiveOp`](torus_runtime::CollectiveOp)
+    /// into a cached [`CollectivePlan`] and run on the same pool, with
+    /// the same deadline, cancellation, and fault machinery.
+    pub fn submit_op_with_deadline(
+        &self,
+        tenant: &str,
+        shape: TorusShape,
+        op: JobOp,
+        payload: PayloadSpec,
+        config: RuntimeConfig,
+        deadline: Option<Duration>,
+    ) -> Result<JobHandle, SubmitError> {
         let shared = &self.shared;
         if !shared.accepting.load(Ordering::SeqCst) {
             shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
@@ -621,7 +642,7 @@ impl Engine {
             }
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.enqueue_shard_locked(&mut shard, tenant, id, shape, payload, config, deadline)
+        self.enqueue_shard_locked(&mut shard, tenant, id, shape, op, payload, config, deadline)
     }
 
     /// Re-enqueues a journal-recovered job under its original id,
@@ -638,6 +659,31 @@ impl Engine {
         config: RuntimeConfig,
         deadline: Option<Duration>,
     ) -> Result<JobHandle, SubmitError> {
+        self.resubmit_op_as(
+            tenant,
+            job_id,
+            shape,
+            JobOp::Alltoall,
+            payload,
+            config,
+            deadline,
+        )
+    }
+
+    /// [`resubmit_as`](Engine::resubmit_as) for any [`JobOp`] — the
+    /// crash-recovery path for collective jobs replayed from the
+    /// daemon's journal.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resubmit_op_as(
+        &self,
+        tenant: &str,
+        job_id: u64,
+        shape: TorusShape,
+        op: JobOp,
+        payload: PayloadSpec,
+        config: RuntimeConfig,
+        deadline: Option<Duration>,
+    ) -> Result<JobHandle, SubmitError> {
         let shared = &self.shared;
         if !shared.accepting.load(Ordering::SeqCst) {
             shared.cells.rejected.fetch_add(1, Ordering::Relaxed);
@@ -646,7 +692,9 @@ impl Engine {
         self.next_id.fetch_max(job_id, Ordering::Relaxed);
         shared.total_queued.fetch_add(1, Ordering::SeqCst);
         let mut shard = lk(shared.shard(tenant));
-        self.enqueue_shard_locked(&mut shard, tenant, job_id, shape, payload, config, deadline)
+        self.enqueue_shard_locked(
+            &mut shard, tenant, job_id, shape, op, payload, config, deadline,
+        )
     }
 
     /// Admission tail shared by fresh and replayed submissions: records
@@ -660,6 +708,7 @@ impl Engine {
         tenant: &str,
         id: u64,
         shape: TorusShape,
+        op: JobOp,
         payload: PayloadSpec,
         config: RuntimeConfig,
         deadline: Option<Duration>,
@@ -669,6 +718,7 @@ impl Engine {
         let state = Arc::new(JobState::new());
         let tenant_name: Arc<str> = Arc::from(tenant);
         entry.cells.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.cells.ops_accepted[op.index()].fetch_add(1, Ordering::Relaxed);
         let tenant_cells = Arc::clone(&entry.cells);
         let token = CancelToken::new();
         lk(&shared.lifecycle).insert(
@@ -681,6 +731,7 @@ impl Engine {
         entry.jobs.push_back(QueuedJob {
             id,
             shape,
+            op,
             payload,
             config,
             state: Arc::clone(&state),
@@ -975,6 +1026,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
         shape: job.shape.clone(),
         block_bytes: job.config.block_bytes,
         workers,
+        op: job.op,
     };
 
     // Single-flight plan construction: exactly one driver builds a
@@ -990,9 +1042,21 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                 // Build outside the cache lock so a cold build never
                 // stalls other drivers' hits on warm keys.
                 drop(cache);
-                let prepared = match PreparedExchange::new(&job.shape) {
-                    Ok(p) => Arc::new(p),
-                    Err(e) => {
+                let built: Result<PlanVariant, String> = match job.op {
+                    JobOp::Alltoall => PreparedExchange::new(&job.shape)
+                        .map(|p| {
+                            let prepared = Arc::new(p);
+                            let plan = prepared.step_plan_arc();
+                            PlanVariant::Alltoall { prepared, plan }
+                        })
+                        .map_err(|e| format!("exchange setup failed: {e}")),
+                    JobOp::Collective(op) => CollectivePlan::new(&job.shape, op)
+                        .map(|p| PlanVariant::Collective { plan: Arc::new(p) })
+                        .map_err(|e| format!("collective plan rejected: {e}")),
+                };
+                let variant = match built {
+                    Ok(v) => v,
+                    Err(error) => {
                         // Release the build claim before reporting, or
                         // every driver waiting on this key hangs.
                         lk(&shared.cache).abandon_build(&key);
@@ -1004,7 +1068,7 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                                 job_id: job.id,
                                 report: None,
                                 deliveries: None,
-                                error: Some(format!("exchange setup failed: {e}")),
+                                error: Some(error),
                                 cache_hit: false,
                             },
                         );
@@ -1017,10 +1081,8 @@ fn run_job(shared: &Shared, job: QueuedJob) {
                         return;
                     }
                 };
-                let plan = prepared.step_plan_arc();
                 let entry = Arc::new(CachedPlan {
-                    prepared,
-                    plan,
+                    variant,
                     bank: Arc::new(torus_runtime::PoolBank::new()),
                 });
                 lk(&shared.cache).complete_build(key.clone(), Arc::clone(&entry));
@@ -1043,17 +1105,26 @@ fn run_job(shared: &Shared, job: QueuedJob) {
 
     let block_bytes = job.config.block_bytes;
     let payload = job.payload;
-    let runtime = Runtime::from_shared(
-        Arc::clone(&entry.prepared),
-        Arc::clone(&entry.plan),
-        job.config.clone().with_cancel_token(job.token.clone()),
-    );
-    let outcome = runtime.run_pooled(&shared.pool, Some(&entry.bank), |s, d| {
-        payload.payload(s, d, block_bytes)
-    });
+    let run_config = job.config.clone().with_cancel_token(job.token.clone());
+    let outcome = match &entry.variant {
+        PlanVariant::Alltoall { prepared, plan } => {
+            let runtime = Runtime::from_shared(Arc::clone(prepared), Arc::clone(plan), run_config);
+            runtime.run_pooled(&shared.pool, Some(&entry.bank), |s, d| {
+                payload.payload(s, d, block_bytes)
+            })
+        }
+        PlanVariant::Collective { plan } => {
+            CollectiveRuntime::from_plan(Arc::clone(plan), run_config).and_then(|runtime| {
+                runtime.run_pooled(&shared.pool, Some(&entry.bank), |id| {
+                    payload.key_payload(id, block_bytes)
+                })
+            })
+        }
+    };
     match outcome {
         Ok((report, deliveries)) => {
             finish_run(JobStatus::Completed);
+            shared.cells.ops_completed[job.op.index()].fetch_add(1, Ordering::Relaxed);
             if report.degraded.is_some() {
                 shared.cells.degraded.fetch_add(1, Ordering::Relaxed);
             }

@@ -30,6 +30,16 @@ impl PayloadSpec {
             PayloadSpec::Seeded { seed } => torus_runtime::seeded_payload(*seed, src, dst, len),
         }
     }
+
+    /// The payload bytes for a collective's data identity `id` (a
+    /// contributing node or a block key — see
+    /// [`CollectivePlan::seed_id`](torus_runtime::CollectivePlan::seed_id)):
+    /// the diagonal `(id, id)` stream of [`payload`](Self::payload), so
+    /// collective and all-to-all jobs draw from the same deterministic
+    /// generators.
+    pub fn key_payload(&self, id: u32, len: usize) -> Bytes {
+        self.payload(id, id, len)
+    }
 }
 
 /// Why [`Engine::submit`](crate::Engine::submit) refused a job.

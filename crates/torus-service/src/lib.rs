@@ -55,8 +55,11 @@ mod job;
 mod stats;
 mod tenant;
 
-pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use cache::{CachedPlan, PlanCache, PlanKey, PlanVariant};
 pub use engine::{CancelOutcome, Engine, EngineConfig};
 pub use job::{EventHook, JobEvent, JobHandle, JobResult, JobStatus, PayloadSpec, SubmitError};
+// Collective vocabulary, re-exported so the daemon and clients need no
+// direct `torus-runtime` edge just to name an op.
 pub use stats::{Histogram, LatencyStats, ServiceStats, HISTOGRAM_BUCKETS};
 pub use tenant::{RateLimit, TenantQuota, TenantStats, DEFAULT_TENANT};
+pub use torus_runtime::{CollectiveOp, Dtype, JobOp, ReduceOp};

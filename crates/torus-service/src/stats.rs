@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use serde::Serialize;
+use torus_runtime::JobOp;
 
 /// Buckets in a [`Histogram`]: one per power of two of microseconds,
 /// which covers 1 µs .. ~146 hours with ≤2x relative error.
@@ -153,6 +154,12 @@ pub struct ServiceStats {
     pub queue_wait: LatencyStats,
     /// Dispatch-to-finish run time across all jobs, in microseconds.
     pub run_time: LatencyStats,
+    /// Jobs accepted per operation, indexed by [`JobOp::index`] (slot
+    /// order is [`JobOp::NAMES`]: alltoall, broadcast, scatter, gather,
+    /// allgather, reduce, allreduce).
+    pub ops_accepted: [u64; JobOp::COUNT],
+    /// Jobs completed per operation, same slot order.
+    pub ops_completed: [u64; JobOp::COUNT],
 }
 
 impl ServiceStats {
@@ -188,6 +195,13 @@ impl ServiceStats {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
     }
+
+    /// `(accepted, completed)` counters for one op by name, or `None`
+    /// for an unknown name. Names are [`JobOp::NAMES`].
+    pub fn op_counts(&self, name: &str) -> Option<(u64, u64)> {
+        let idx = JobOp::NAMES.iter().position(|n| *n == name)?;
+        Some((self.ops_accepted[idx], self.ops_completed[idx]))
+    }
 }
 
 /// Lock-free counter cells the drivers bump; snapshotted into
@@ -207,6 +221,8 @@ pub(crate) struct StatCells {
     pub bytes_copied: AtomicU64,
     pub queue_wait: Histogram,
     pub run_time: Histogram,
+    pub ops_accepted: [AtomicU64; JobOp::COUNT],
+    pub ops_completed: [AtomicU64; JobOp::COUNT],
 }
 
 impl StatCells {
@@ -234,6 +250,8 @@ impl StatCells {
             bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.stats(),
             run_time: self.run_time.stats(),
+            ops_accepted: std::array::from_fn(|i| self.ops_accepted[i].load(Ordering::Relaxed)),
+            ops_completed: std::array::from_fn(|i| self.ops_completed[i].load(Ordering::Relaxed)),
         }
     }
 }

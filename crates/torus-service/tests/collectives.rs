@@ -1,0 +1,132 @@
+//! Collectives through the persistent engine: submission, plan-cache
+//! sharing, per-op accounting, and failure isolation.
+
+use std::time::Duration;
+
+use torus_runtime::RuntimeConfig;
+use torus_service::{
+    CollectiveOp, Dtype, Engine, EngineConfig, JobOp, JobStatus, PayloadSpec, ReduceOp,
+};
+use torus_topology::TorusShape;
+
+fn submit(engine: &Engine, op: JobOp, seed: u64) -> torus_service::JobHandle {
+    engine
+        .submit_op_with_deadline(
+            "acme",
+            TorusShape::new_2d(4, 4).unwrap(),
+            op,
+            PayloadSpec::Seeded { seed },
+            RuntimeConfig::default().with_workers(2),
+            Some(Duration::from_secs(30)),
+        )
+        .unwrap()
+}
+
+#[test]
+fn every_collective_op_completes_through_the_engine() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(4));
+    let ops = [
+        JobOp::Collective(CollectiveOp::Broadcast { root: 3 }),
+        JobOp::Collective(CollectiveOp::Scatter { root: 0 }),
+        JobOp::Collective(CollectiveOp::Gather { root: 7 }),
+        JobOp::Collective(CollectiveOp::Allgather),
+        JobOp::Collective(CollectiveOp::Reduce {
+            root: 1,
+            op: ReduceOp::Sum,
+            dtype: Dtype::U64,
+        }),
+        JobOp::Collective(CollectiveOp::Allreduce {
+            op: ReduceOp::Sum,
+            dtype: Dtype::F32,
+        }),
+        JobOp::Alltoall,
+    ];
+    let handles: Vec<_> = ops.iter().map(|op| submit(&engine, *op, 9)).collect();
+    for (op, h) in ops.iter().zip(&handles) {
+        let result = h.wait();
+        assert_eq!(
+            h.try_status(),
+            JobStatus::Completed,
+            "{op:?}: {:?}",
+            result.error
+        );
+        let report = result.report.as_ref().unwrap();
+        assert!(report.verified, "{op:?} must verify");
+        assert!(result.deliveries.is_some());
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_completed, 7);
+    // One accepted and one completed in every op slot.
+    for name in JobOp::NAMES {
+        assert_eq!(stats.op_counts(name), Some((1, 1)), "op slot {name}");
+    }
+    assert_eq!(stats.op_counts("nonsense"), None);
+}
+
+#[test]
+fn same_collective_twice_shares_the_cached_plan() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(4));
+    let op = JobOp::Collective(CollectiveOp::Allreduce {
+        op: ReduceOp::Sum,
+        dtype: Dtype::U64,
+    });
+    let first = submit(&engine, op, 1).wait();
+    let second = submit(&engine, op, 2).wait();
+    assert!(!first.cache_hit, "cold key builds");
+    assert!(second.cache_hit, "same (shape, bytes, workers, op) hits");
+    // A different root is a different plan, not a hit.
+    let other = submit(
+        &engine,
+        JobOp::Collective(CollectiveOp::Broadcast { root: 0 }),
+        3,
+    )
+    .wait();
+    assert!(!other.cache_hit);
+    let stats = engine.shutdown();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 2);
+}
+
+#[test]
+fn invalid_collective_fails_the_job_not_the_engine() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2));
+    // Root 99 does not exist on a 16-node torus.
+    let bad = submit(
+        &engine,
+        JobOp::Collective(CollectiveOp::Broadcast { root: 99 }),
+        1,
+    )
+    .wait();
+    assert!(bad.error.as_deref().unwrap().contains("root"));
+    // The engine survives and runs the next job normally.
+    let good = submit(&engine, JobOp::Collective(CollectiveOp::Allgather), 2).wait();
+    assert!(good.report.as_ref().unwrap().verified);
+    let stats = engine.shutdown();
+    assert_eq!(stats.jobs_failed, 1);
+    assert_eq!(stats.jobs_completed, 1);
+}
+
+#[test]
+fn lane_mismatch_is_a_typed_job_failure() {
+    let engine = Engine::new(EngineConfig::default().with_pool_size(2));
+    let handle = engine
+        .submit_op_with_deadline(
+            "acme",
+            TorusShape::new_2d(4, 4).unwrap(),
+            JobOp::Collective(CollectiveOp::Reduce {
+                root: 0,
+                op: ReduceOp::Sum,
+                dtype: Dtype::U64,
+            }),
+            PayloadSpec::Pattern,
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_block_bytes(12),
+            None,
+        )
+        .unwrap();
+    let result = handle.wait();
+    assert_eq!(handle.try_status(), JobStatus::Failed);
+    assert!(result.error.as_deref().unwrap().contains("lane"));
+    engine.shutdown();
+}

@@ -10,6 +10,7 @@
 //! data, only the 16-hex-digit answer.
 
 use bytes::Bytes;
+use torus_runtime::{CollectivePlan, JobOp};
 use torus_service::PayloadSpec;
 
 use crate::spec::JobSpec;
@@ -26,7 +27,8 @@ fn fold(hash: &mut u64, bytes: &[u8]) {
 
 /// Digest of an actual delivery set, in the engine's order (ascending
 /// destination, each destination's deliveries as the runtime returns
-/// them: ascending source, self-pair absent).
+/// them: ascending key — the source node for an all-to-all, the
+/// collective key for broadcast/allgather/reduce/etc.).
 pub fn delivery_checksum(deliveries: &[Vec<(u32, Bytes)>]) -> u64 {
     let mut hash = FNV_OFFSET;
     for (dst, got) in deliveries.iter().enumerate() {
@@ -41,20 +43,49 @@ pub fn delivery_checksum(deliveries: &[Vec<(u32, Bytes)>]) -> u64 {
 
 /// The digest a clean (non-degraded) run of `spec` must produce,
 /// computed purely from the spec's deterministic payload streams.
+///
+/// All-to-all enumerates the `(src != dst)` pair stream directly; a
+/// collective replays the plan's serial reference fold
+/// ([`CollectivePlan::reference_finals`]) over the same diagonal seed
+/// payloads the engine uses, so the digest covers the *reduced* bytes,
+/// not just the seeds. Spec validation guarantees the plan and lane
+/// checks cannot fail here.
 pub fn expected_checksum(spec: &JobSpec) -> u64 {
-    let nn = spec.torus_shape().num_nodes();
     let mut hash = FNV_OFFSET;
-    for dst in 0..nn {
-        for src in (0..nn).filter(|&s| s != dst) {
-            let payload = match spec.payload {
-                PayloadSpec::Pattern => torus_runtime::pattern_payload(src, dst, spec.block_bytes),
-                PayloadSpec::Seeded { seed } => {
-                    torus_runtime::seeded_payload(seed, src, dst, spec.block_bytes)
+    match spec.op {
+        JobOp::Alltoall => {
+            let nn = spec.torus_shape().num_nodes();
+            for dst in 0..nn {
+                for src in (0..nn).filter(|&s| s != dst) {
+                    let payload = match spec.payload {
+                        PayloadSpec::Pattern => {
+                            torus_runtime::pattern_payload(src, dst, spec.block_bytes)
+                        }
+                        PayloadSpec::Seeded { seed } => {
+                            torus_runtime::seeded_payload(seed, src, dst, spec.block_bytes)
+                        }
+                    };
+                    fold(&mut hash, &dst.to_le_bytes());
+                    fold(&mut hash, &src.to_le_bytes());
+                    fold(&mut hash, &payload);
                 }
-            };
-            fold(&mut hash, &dst.to_le_bytes());
-            fold(&mut hash, &src.to_le_bytes());
-            fold(&mut hash, &payload);
+            }
+        }
+        JobOp::Collective(op) => {
+            let plan = CollectivePlan::new(&spec.torus_shape(), op)
+                .expect("spec validation admits only plannable collective ops");
+            let finals = plan
+                .reference_finals(spec.block_bytes, |id| {
+                    spec.payload.key_payload(id, spec.block_bytes).to_vec()
+                })
+                .expect("spec validation enforces the lane check");
+            for (dst, got) in finals.iter().enumerate() {
+                for (key, payload) in got {
+                    fold(&mut hash, &(dst as u32).to_le_bytes());
+                    fold(&mut hash, &key.to_le_bytes());
+                    fold(&mut hash, payload);
+                }
+            }
         }
     }
     hash
@@ -88,6 +119,49 @@ mod tests {
             })
             .collect();
         assert_eq!(delivery_checksum(&deliveries), expected_checksum(&spec));
+    }
+
+    #[test]
+    fn collective_expected_matches_a_real_runtime_run() {
+        use torus_runtime::{CollectiveOp, CollectiveRuntime, Dtype, ReduceOp, RuntimeConfig};
+        let ops = [
+            CollectiveOp::Broadcast { root: 2 },
+            CollectiveOp::Allgather,
+            CollectiveOp::Allreduce {
+                op: ReduceOp::Sum,
+                dtype: Dtype::U64,
+            },
+            CollectiveOp::Reduce {
+                root: 1,
+                op: ReduceOp::Max,
+                dtype: Dtype::F32,
+            },
+        ];
+        for op in ops {
+            let spec = JobSpec {
+                shape: vec![2, 2],
+                block_bytes: 16,
+                payload: PayloadSpec::Seeded { seed: 9 },
+                op: torus_runtime::JobOp::Collective(op),
+                ..JobSpec::default()
+            };
+            let runtime = CollectiveRuntime::new(
+                &spec.torus_shape(),
+                op,
+                RuntimeConfig::default()
+                    .with_workers(2)
+                    .with_block_bytes(spec.block_bytes),
+            )
+            .unwrap();
+            let (_, deliveries) = runtime
+                .run_with_payloads(|id| spec.payload.key_payload(id, spec.block_bytes))
+                .unwrap();
+            assert_eq!(
+                delivery_checksum(&deliveries),
+                expected_checksum(&spec),
+                "digest mismatch for {op:?}"
+            );
+        }
     }
 
     #[test]

@@ -171,6 +171,25 @@ fn latency_json(lat: &LatencyStats) -> Json {
     ])
 }
 
+/// Per-op `{accepted, completed}` counter pairs, one entry per
+/// [`JobOp`](torus_service::JobOp) slot, keyed by the op's wire name.
+fn op_counts_json(stats: &ServiceStats) -> Json {
+    Json::obj(
+        torus_service::JobOp::NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    *name,
+                    Json::obj([
+                        ("accepted", Json::u64(stats.ops_accepted[i])),
+                        ("completed", Json::u64(stats.ops_completed[i])),
+                    ]),
+                )
+            }),
+    )
+}
+
 /// The full JSON form of the engine's aggregate stats.
 pub fn service_stats_json(stats: &ServiceStats) -> Json {
     Json::obj([
@@ -190,6 +209,7 @@ pub fn service_stats_json(stats: &ServiceStats) -> Json {
         ("cache_misses", Json::u64(stats.cache_misses)),
         ("wire_bytes", Json::u64(stats.wire_bytes)),
         ("bytes_copied", Json::u64(stats.bytes_copied)),
+        ("ops", op_counts_json(stats)),
         ("queue_wait_us", latency_json(&stats.queue_wait)),
         ("run_time_us", latency_json(&stats.run_time)),
     ])
@@ -458,6 +478,28 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn stats_event_carries_per_op_counters() {
+        let mut service = ServiceStats::default();
+        let allreduce = torus_service::JobOp::NAMES
+            .iter()
+            .position(|&n| n == "allreduce")
+            .unwrap();
+        service.ops_accepted[allreduce] = 4;
+        service.ops_completed[allreduce] = 3;
+        let event = stats(&service, &[], None, None);
+        let ops = event.get("service").unwrap().get("ops").unwrap();
+        for name in torus_service::JobOp::NAMES {
+            let slot = ops
+                .get(name)
+                .unwrap_or_else(|| panic!("missing op slot {name}"));
+            let expect = if name == "allreduce" { (4, 3) } else { (0, 0) };
+            assert_eq!(slot.get("accepted").unwrap().as_u64(), Some(expect.0));
+            assert_eq!(slot.get("completed").unwrap().as_u64(), Some(expect.1));
+        }
+        assert_eq!(crate::json::parse(&event.dump()).unwrap(), event);
     }
 
     #[test]

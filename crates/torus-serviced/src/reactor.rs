@@ -710,9 +710,10 @@ fn handle_submit(conn: &mut Conn, spec: Json, shared: &Arc<DaemonShared>) {
             return;
         }
     };
-    let submitted = shared.engine.submit_with_deadline(
+    let submitted = shared.engine.submit_op_with_deadline(
         &tenant,
         spec.torus_shape(),
+        spec.op,
         spec.payload,
         spec.runtime_config(),
         spec.deadline,

@@ -389,10 +389,11 @@ impl Daemon {
                     .map_err(|e| format!("recovered spec invalid: {e}"))
                     .and_then(|spec| {
                         engine
-                            .resubmit_as(
+                            .resubmit_op_as(
                                 &job.tenant,
                                 job.job_id,
                                 spec.torus_shape(),
+                                spec.op,
                                 spec.payload,
                                 spec.runtime_config(),
                                 spec.deadline,

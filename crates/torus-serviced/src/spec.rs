@@ -9,7 +9,10 @@
 
 use std::time::Duration;
 
-use torus_runtime::{FaultPlan, OnFailure, RetryPolicy, RuntimeConfig, WorkerFaultKind};
+use torus_runtime::{
+    CollectiveOp, Dtype, FaultPlan, JobOp, OnFailure, ReduceOp, RetryPolicy, RuntimeConfig,
+    WorkerFaultKind,
+};
 use torus_service::PayloadSpec;
 use torus_topology::TorusShape;
 
@@ -90,6 +93,9 @@ pub struct RetrySpec {
 pub struct JobSpec {
     /// Torus extents, e.g. `[4, 4]`.
     pub shape: Vec<u32>,
+    /// The operation to run: all-to-all (default) or a collective,
+    /// from the wire `op` object. Default [`JobOp::Alltoall`].
+    pub op: JobOp,
     /// Bytes each node sends every other node. Default 64.
     pub block_bytes: usize,
     /// What the blocks carry. Default [`PayloadSpec::Pattern`].
@@ -112,6 +118,7 @@ impl Default for JobSpec {
     fn default() -> Self {
         Self {
             shape: vec![4, 4],
+            op: JobOp::Alltoall,
             block_bytes: 64,
             payload: PayloadSpec::Pattern,
             workers: None,
@@ -155,6 +162,110 @@ fn field_rate(obj: &Json, key: &str, label: &str) -> Result<f64, SpecError> {
     }
 }
 
+/// Parses the wire `op` object into a [`JobOp`], validating every part
+/// against the job's shape and block size. Absent (or `null`) means
+/// all-to-all, the pre-collectives wire default.
+fn parse_op(value: Option<&Json>, num_nodes: u32, block_bytes: usize) -> Result<JobOp, SpecError> {
+    let obj = match value {
+        None | Some(Json::Null) => return Ok(JobOp::Alltoall),
+        Some(v) => v,
+    };
+    check_known_fields(obj, "op", &["kind", "root", "reduce", "dtype"])?;
+    let kind = obj
+        .get("kind")
+        .ok_or_else(|| SpecError::new("op.kind", "required when 'op' is given"))?
+        .as_str()
+        .ok_or_else(|| SpecError::new("op.kind", "must be a string"))?
+        .to_string();
+    if !JobOp::NAMES.contains(&kind.as_str()) {
+        return Err(SpecError::new(
+            "op.kind",
+            format!("unknown op; allowed: {}", JobOp::NAMES.join(", ")),
+        ));
+    }
+    let rooted = matches!(kind.as_str(), "broadcast" | "scatter" | "gather" | "reduce");
+    let combining = matches!(kind.as_str(), "reduce" | "allreduce");
+    let root = match obj.get("root") {
+        None | Some(Json::Null) => 0,
+        Some(_) if !rooted => {
+            return Err(SpecError::new(
+                "op.root",
+                format!("op '{kind}' takes no root"),
+            ))
+        }
+        Some(r) => {
+            let n = r
+                .as_u64()
+                .filter(|&n| n <= u32::MAX as u64)
+                .ok_or_else(|| SpecError::new("op.root", "must be a non-negative integer"))?
+                as u32;
+            if n >= num_nodes {
+                return Err(SpecError::new(
+                    "op.root",
+                    format!("root {n} does not exist on a {num_nodes}-node torus"),
+                ));
+            }
+            n
+        }
+    };
+    let reduce = match obj.get("reduce") {
+        None | Some(Json::Null) => ReduceOp::Sum,
+        Some(_) if !combining => {
+            return Err(SpecError::new(
+                "op.reduce",
+                format!("op '{kind}' takes no reduction operator"),
+            ))
+        }
+        Some(r) => {
+            let s = r
+                .as_str()
+                .ok_or_else(|| SpecError::new("op.reduce", "must be a string"))?;
+            ReduceOp::parse(s).ok_or_else(|| {
+                SpecError::new(
+                    "op.reduce",
+                    format!("unknown operator; allowed: {}", ReduceOp::NAMES.join(", ")),
+                )
+            })?
+        }
+    };
+    let dtype = match obj.get("dtype") {
+        None | Some(Json::Null) => Dtype::U64,
+        Some(_) if !combining => {
+            return Err(SpecError::new(
+                "op.dtype",
+                format!("op '{kind}' takes no dtype"),
+            ))
+        }
+        Some(d) => {
+            let s = d
+                .as_str()
+                .ok_or_else(|| SpecError::new("op.dtype", "must be a string"))?;
+            Dtype::parse(s).ok_or_else(|| {
+                SpecError::new(
+                    "op.dtype",
+                    format!("unknown dtype; allowed: {}", Dtype::NAMES.join(", ")),
+                )
+            })?
+        }
+    };
+    if combining && !block_bytes.is_multiple_of(dtype.lane_bytes()) {
+        return Err(SpecError::new(
+            "op.dtype",
+            format!(
+                "block_bytes {block_bytes} is not a whole number of {} lanes ({} bytes each)",
+                dtype.name(),
+                dtype.lane_bytes()
+            ),
+        ));
+    }
+    if kind == "alltoall" {
+        return Ok(JobOp::Alltoall);
+    }
+    Ok(JobOp::Collective(
+        CollectiveOp::from_parts(&kind, root, reduce, dtype).expect("kind checked against NAMES"),
+    ))
+}
+
 fn check_known_fields(obj: &Json, scope: &str, known: &[&str]) -> Result<(), SpecError> {
     let pairs = obj
         .as_obj()
@@ -180,6 +291,7 @@ impl JobSpec {
             "",
             &[
                 "shape",
+                "op",
                 "block_bytes",
                 "seed",
                 "payload",
@@ -249,6 +361,15 @@ impl JobSpec {
                 OnFailure::parse(s).map_err(|e| SpecError::new("on_failure", e))?
             }
         };
+
+        let num_nodes = shape.iter().product::<u32>();
+        let op = parse_op(value.get("op"), num_nodes, block_bytes)?;
+        if matches!(op, JobOp::Collective(_)) && on_failure == OnFailure::Degrade {
+            return Err(SpecError::new(
+                "on_failure",
+                "degraded mode is not supported for collective ops",
+            ));
+        }
 
         let fault = match value.get("fault") {
             None | Some(Json::Null) => None,
@@ -352,6 +473,7 @@ impl JobSpec {
 
         Ok(Self {
             shape,
+            op,
             block_bytes,
             payload,
             workers,
@@ -374,6 +496,20 @@ impl JobSpec {
                 Json::u64(self.block_bytes as u64),
             ),
         ];
+        // The op object is emitted only for collectives, so journals
+        // written before (and specs without) collectives stay
+        // byte-identical to the all-to-all wire form.
+        if let JobOp::Collective(op) = self.op {
+            let mut parts: Vec<(String, Json)> = vec![("kind".to_string(), Json::str(op.kind()))];
+            if let Some(root) = op.root() {
+                parts.push(("root".to_string(), Json::u64(root as u64)));
+            }
+            if let Some((reduce, dtype)) = op.reduce() {
+                parts.push(("reduce".to_string(), Json::str(reduce.name())));
+                parts.push(("dtype".to_string(), Json::str(dtype.name())));
+            }
+            pairs.push(("op".to_string(), Json::Obj(parts)));
+        }
         match self.payload {
             PayloadSpec::Pattern => pairs.push(("payload".to_string(), Json::str("pattern"))),
             PayloadSpec::Seeded { seed } => pairs.push(("seed".to_string(), Json::u64(seed))),
@@ -476,6 +612,17 @@ impl JobSpec {
             (
                 "shape",
                 Json::str("required: array of torus extents, e.g. [4,4]; product bounded by the topology crate"),
+            ),
+            (
+                "op",
+                Json::str(format!(
+                    "optional object {{kind one of: {}; root uint < nodes (broadcast/scatter/gather/reduce); \
+                     reduce one of: {} and dtype one of: {} (reduce/allreduce, block_bytes must be \
+                     a whole number of lanes)}}; absent means alltoall",
+                    JobOp::NAMES.join(", "),
+                    ReduceOp::NAMES.join(", "),
+                    Dtype::NAMES.join(", "),
+                )),
             ),
             (
                 "block_bytes",
@@ -605,6 +752,96 @@ mod tests {
             (
                 r#"{"shape":[4,4],"retry":{"deadline_ms":600000}}"#,
                 "retry.deadline_ms",
+            ),
+        ] {
+            let err = spec(text).unwrap_err();
+            assert_eq!(err.field, field, "spec {text} blamed {:?}", err.field);
+        }
+    }
+
+    #[test]
+    fn collective_ops_parse_and_round_trip() {
+        let s = spec(r#"{"shape":[4,4],"op":{"kind":"broadcast","root":5}}"#).unwrap();
+        assert_eq!(s.op, JobOp::Collective(CollectiveOp::Broadcast { root: 5 }));
+        let round = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(round, s);
+
+        let s = spec(
+            r#"{"shape":[2,3],"block_bytes":32,
+                "op":{"kind":"allreduce","reduce":"max","dtype":"f32"}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.op,
+            JobOp::Collective(CollectiveOp::Allreduce {
+                op: ReduceOp::Max,
+                dtype: Dtype::F32,
+            })
+        );
+        assert_eq!(JobSpec::from_json(&s.to_json()).unwrap(), s);
+
+        // Defaults: root 0, reduce sum, dtype u64; explicit alltoall.
+        let s = spec(r#"{"shape":[4,4],"op":{"kind":"reduce"}}"#).unwrap();
+        assert_eq!(
+            s.op,
+            JobOp::Collective(CollectiveOp::Reduce {
+                root: 0,
+                op: ReduceOp::Sum,
+                dtype: Dtype::U64,
+            })
+        );
+        let s = spec(r#"{"shape":[4,4],"op":{"kind":"alltoall"}}"#).unwrap();
+        assert_eq!(s.op, JobOp::Alltoall);
+        // Alltoall emits no op object, so old journals replay unchanged.
+        assert!(s.to_json().get("op").is_none());
+    }
+
+    #[test]
+    fn malformed_ops_are_typed_rejections() {
+        for (text, field) in [
+            (r#"{"shape":[4,4],"op":"broadcast"}"#, "op"),
+            (r#"{"shape":[4,4],"op":{}}"#, "op.kind"),
+            (r#"{"shape":[4,4],"op":{"kind":"transpose"}}"#, "op.kind"),
+            (r#"{"shape":[4,4],"op":{"kind":7}}"#, "op.kind"),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"broadcast","root":16}}"#,
+                "op.root",
+            ),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"broadcast","root":-1}}"#,
+                "op.root",
+            ),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"allgather","root":0}}"#,
+                "op.root",
+            ),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"reduce","reduce":"xor"}}"#,
+                "op.reduce",
+            ),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"broadcast","reduce":"sum"}}"#,
+                "op.reduce",
+            ),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"allreduce","dtype":"f64"}}"#,
+                "op.dtype",
+            ),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"gather","dtype":"u64"}}"#,
+                "op.dtype",
+            ),
+            (
+                r#"{"shape":[4,4],"block_bytes":12,"op":{"kind":"allreduce"}}"#,
+                "op.dtype",
+            ),
+            (
+                r#"{"shape":[4,4],"op":{"kind":"broadcast","turbo":1}}"#,
+                "op.turbo",
+            ),
+            (
+                r#"{"shape":[4,4],"on_failure":"degrade","op":{"kind":"broadcast"}}"#,
+                "on_failure",
             ),
         ] {
             let err = spec(text).unwrap_err();
